@@ -1,0 +1,360 @@
+//! Hidden Markov models: a classic dynamic-Bayesian-network family with
+//! *independent* textbook inference algorithms (forward–backward,
+//! Viterbi) — used to cross-validate the junction-tree engines on deep
+//! chain structures, and useful in their own right.
+//!
+//! An HMM unrolled for `T` steps is a Bayesian network
+//! `H_0 → H_1 → … → H_{T−1}` with an emission `H_t → O_t` per step; its
+//! junction tree is a path of width-2 cliques, the worst case for
+//! structural parallelism (only the Partition module helps) and exactly
+//! the regime the paper's rerooting analysis targets.
+
+use crate::{BayesianNetwork, BayesianNetworkBuilder, Result};
+use evprop_potential::VarId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A discrete hidden Markov model: initial distribution `pi`, transition
+/// matrix `a[i][j] = P(H_{t+1}=j | H_t=i)`, emission matrix
+/// `b[i][k] = P(O_t=k | H_t=i)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HiddenMarkovModel {
+    /// Initial hidden-state distribution.
+    pub pi: Vec<f64>,
+    /// Row-stochastic transition matrix.
+    pub a: Vec<Vec<f64>>,
+    /// Row-stochastic emission matrix.
+    pub b: Vec<Vec<f64>>,
+}
+
+// The α/β/δ recursions below are written index-style to mirror the
+// textbook (Rabiner) formulas; iterator rewrites obscure the math.
+#[allow(clippy::needless_range_loop)]
+impl HiddenMarkovModel {
+    /// Validates and wraps the parameter matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or rows that do not sum to 1 within
+    /// `1e-9` — these are programming errors, not runtime conditions.
+    pub fn new(pi: Vec<f64>, a: Vec<Vec<f64>>, b: Vec<Vec<f64>>) -> Self {
+        let n = pi.len();
+        assert!(n > 0, "need at least one hidden state");
+        assert_eq!(a.len(), n, "transition rows");
+        assert_eq!(b.len(), n, "emission rows");
+        let close = |s: f64| (s - 1.0).abs() < 1e-9;
+        assert!(close(pi.iter().sum()), "pi must normalize");
+        for r in &a {
+            assert_eq!(r.len(), n, "transition columns");
+            assert!(close(r.iter().sum()), "transition rows must normalize");
+        }
+        let m = b[0].len();
+        for r in &b {
+            assert_eq!(r.len(), m, "emission columns");
+            assert!(close(r.iter().sum()), "emission rows must normalize");
+        }
+        HiddenMarkovModel { pi, a, b }
+    }
+
+    /// A random HMM with `n` hidden and `m` observed states,
+    /// deterministic per seed. Entries are bounded away from zero so all
+    /// observation sequences have positive probability.
+    pub fn random(n: usize, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row = |len: usize, rng: &mut StdRng| -> Vec<f64> {
+            let mut v: Vec<f64> = (0..len).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let s: f64 = v.iter().sum();
+            for x in &mut v {
+                *x /= s;
+            }
+            let s: f64 = v.iter().sum();
+            v[len - 1] += 1.0 - s;
+            v
+        };
+        let pi = row(n, &mut rng);
+        let a = (0..n).map(|_| row(n, &mut rng)).collect();
+        let b = (0..n).map(|_| row(m, &mut rng)).collect();
+        HiddenMarkovModel::new(pi, a, b)
+    }
+
+    /// Number of hidden states.
+    pub fn num_hidden(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Number of observation symbols.
+    pub fn num_observed(&self) -> usize {
+        self.b[0].len()
+    }
+
+    /// Unrolls the HMM for `steps` time steps into a Bayesian network.
+    /// Variable layout: `H_t` is `VarId(2t)`, `O_t` is `VarId(2t + 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Construction errors are impossible for validated models but are
+    /// propagated rather than unwrapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps == 0`.
+    pub fn unroll(&self, steps: usize) -> Result<BayesianNetwork> {
+        assert!(steps > 0, "need at least one time step");
+        let mut bld = BayesianNetworkBuilder::new();
+        let mut prev_hidden: Option<VarId> = None;
+        for _ in 0..steps {
+            let h = bld.add_variable(self.num_hidden());
+            let o = bld.add_variable(self.num_observed());
+            match prev_hidden {
+                None => {
+                    bld.set_prior(h, self.pi.clone())?;
+                }
+                Some(ph) => {
+                    bld.set_cpt(h, &[ph], self.a.clone())?;
+                }
+            }
+            bld.set_cpt(o, &[h], self.b.clone())?;
+            prev_hidden = Some(h);
+        }
+        bld.build()
+    }
+
+    /// The `VarId` of hidden state `H_t` in the unrolled network.
+    pub fn hidden_var(t: usize) -> VarId {
+        VarId(2 * t as u32)
+    }
+
+    /// The `VarId` of observation `O_t` in the unrolled network.
+    pub fn observed_var(t: usize) -> VarId {
+        VarId(2 * t as u32 + 1)
+    }
+
+    /// Classic **forward–backward smoothing**: returns
+    /// `γ_t(i) = P(H_t = i | o_0..o_{T−1})` for every step, plus the
+    /// observation likelihood `P(o_0..o_{T−1})`. Implemented with scaled
+    /// α/β recursions (Rabiner's normalization), numerically stable for
+    /// long sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty observation sequence, an out-of-range symbol,
+    /// or an impossible sequence (zero likelihood).
+    pub fn smooth(&self, observations: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        let t_len = observations.len();
+        assert!(t_len > 0, "need at least one observation");
+        let n = self.num_hidden();
+        for &o in observations {
+            assert!(o < self.num_observed(), "observation symbol out of range");
+        }
+
+        // scaled forward pass
+        let mut alpha = vec![vec![0.0f64; n]; t_len];
+        let mut scale = vec![0.0f64; t_len];
+        for i in 0..n {
+            alpha[0][i] = self.pi[i] * self.b[i][observations[0]];
+        }
+        scale[0] = alpha[0].iter().sum();
+        assert!(scale[0] > 0.0, "impossible observation sequence");
+        for v in &mut alpha[0] {
+            *v /= scale[0];
+        }
+        for t in 1..t_len {
+            for j in 0..n {
+                let mut s = 0.0;
+                for i in 0..n {
+                    s += alpha[t - 1][i] * self.a[i][j];
+                }
+                alpha[t][j] = s * self.b[j][observations[t]];
+            }
+            scale[t] = alpha[t].iter().sum();
+            assert!(scale[t] > 0.0, "impossible observation sequence");
+            for v in &mut alpha[t] {
+                *v /= scale[t];
+            }
+        }
+
+        // scaled backward pass
+        let mut beta = vec![vec![1.0f64; n]; t_len];
+        for t in (0..t_len - 1).rev() {
+            for i in 0..n {
+                let mut s = 0.0;
+                for j in 0..n {
+                    s += self.a[i][j] * self.b[j][observations[t + 1]] * beta[t + 1][j];
+                }
+                beta[t][i] = s / scale[t + 1];
+            }
+        }
+
+        // posteriors
+        let mut gamma = vec![vec![0.0f64; n]; t_len];
+        for t in 0..t_len {
+            let mut z = 0.0;
+            for i in 0..n {
+                gamma[t][i] = alpha[t][i] * beta[t][i];
+                z += gamma[t][i];
+            }
+            for v in &mut gamma[t] {
+                *v /= z;
+            }
+        }
+        let log_likelihood: f64 = scale.iter().map(|s| s.ln()).sum();
+        (gamma, log_likelihood.exp())
+    }
+
+    /// Classic **Viterbi decoding**: the most probable hidden path for
+    /// the observations and its joint probability
+    /// `max_h P(h, o_0..o_{T−1})`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`HiddenMarkovModel::smooth`].
+    pub fn viterbi(&self, observations: &[usize]) -> (Vec<usize>, f64) {
+        let t_len = observations.len();
+        assert!(t_len > 0, "need at least one observation");
+        let n = self.num_hidden();
+        // log-space DP
+        let lg = |x: f64| {
+            if x > 0.0 {
+                x.ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let mut delta: Vec<f64> = (0..n)
+            .map(|i| lg(self.pi[i]) + lg(self.b[i][observations[0]]))
+            .collect();
+        let mut back = vec![vec![0usize; n]; t_len];
+        for t in 1..t_len {
+            let mut next = vec![f64::NEG_INFINITY; n];
+            for j in 0..n {
+                let mut best = (f64::NEG_INFINITY, 0usize);
+                for i in 0..n {
+                    let v = delta[i] + lg(self.a[i][j]);
+                    if v > best.0 {
+                        best = (v, i);
+                    }
+                }
+                next[j] = best.0 + lg(self.b[j][observations[t]]);
+                back[t][j] = best.1;
+            }
+            delta = next;
+        }
+        let (mut state, mut best) = (0usize, f64::NEG_INFINITY);
+        for (i, &v) in delta.iter().enumerate() {
+            if v > best {
+                best = v;
+                state = i;
+            }
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = state;
+        for t in (1..t_len).rev() {
+            state = back[t][state];
+            path[t - 1] = state;
+        }
+        (path, best.exp())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-style matches the math
+mod tests {
+    use super::*;
+    use crate::JointDistribution;
+    use evprop_potential::EvidenceSet;
+
+    fn toy() -> HiddenMarkovModel {
+        // weather/umbrella HMM from Russell–Norvig
+        HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            vec![vec![0.7, 0.3], vec![0.3, 0.7]],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+        )
+    }
+
+    #[test]
+    fn unroll_layout() {
+        let net = toy().unroll(4).unwrap();
+        assert_eq!(net.num_vars(), 8);
+        assert_eq!(net.parents_of(HiddenMarkovModel::hidden_var(2)).len(), 1);
+        assert_eq!(
+            net.parents_of(HiddenMarkovModel::observed_var(2)),
+            &[HiddenMarkovModel::hidden_var(2)]
+        );
+    }
+
+    #[test]
+    fn smoothing_matches_joint_oracle() {
+        let hmm = toy();
+        let net = hmm.unroll(5).unwrap();
+        let joint = JointDistribution::of(&net).unwrap();
+        let obs = [0usize, 1, 1, 0, 1];
+        let mut ev = EvidenceSet::new();
+        for (t, &o) in obs.iter().enumerate() {
+            ev.observe(HiddenMarkovModel::observed_var(t), o);
+        }
+        let (gamma, like) = hmm.smooth(&obs);
+        for t in 0..5 {
+            let m = joint
+                .marginal(HiddenMarkovModel::hidden_var(t), &ev)
+                .unwrap();
+            for i in 0..2 {
+                assert!(
+                    (m.data()[i] - gamma[t][i]).abs() < 1e-9,
+                    "t={t} i={i}: {} vs {}",
+                    m.data()[i],
+                    gamma[t][i]
+                );
+            }
+        }
+        let pe = joint.probability_of_evidence(&ev).unwrap();
+        assert!((like - pe).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viterbi_matches_bruteforce() {
+        let hmm = toy();
+        let obs = [0usize, 0, 1, 0];
+        let (path, p) = hmm.viterbi(&obs);
+        // brute force over 2^4 hidden paths
+        let mut best = (vec![], f64::NEG_INFINITY);
+        for mask in 0..16usize {
+            let h: Vec<usize> = (0..4).map(|t| (mask >> t) & 1).collect();
+            let mut prob = hmm.pi[h[0]] * hmm.b[h[0]][obs[0]];
+            for t in 1..4 {
+                prob *= hmm.a[h[t - 1]][h[t]] * hmm.b[h[t]][obs[t]];
+            }
+            if prob > best.1 {
+                best = (h, prob);
+            }
+        }
+        assert!((p - best.1).abs() < 1e-12);
+        assert_eq!(path, best.0);
+    }
+
+    #[test]
+    fn random_hmm_rows_normalize() {
+        let hmm = HiddenMarkovModel::random(4, 3, 9);
+        assert_eq!(hmm.num_hidden(), 4);
+        assert_eq!(hmm.num_observed(), 3);
+        assert!((hmm.pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // deterministic per seed
+        assert_eq!(hmm, HiddenMarkovModel::random(4, 3, 9));
+        assert_ne!(hmm, HiddenMarkovModel::random(4, 3, 10));
+    }
+
+    #[test]
+    fn long_sequences_stay_finite() {
+        let hmm = HiddenMarkovModel::random(3, 4, 1);
+        let obs: Vec<usize> = (0..500).map(|t| t % 4).collect();
+        let (gamma, like) = hmm.smooth(&obs);
+        assert!(like >= 0.0 && like.is_finite());
+        for g in &gamma {
+            let s: f64 = g.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        let (path, p) = hmm.viterbi(&obs);
+        assert_eq!(path.len(), 500);
+        assert!(p >= 0.0); // underflows to 0 in linear space; DP was in logs
+    }
+}

@@ -1,0 +1,47 @@
+//! Bayesian networks: directed acyclic graphical models with conditional
+//! probability tables (CPTs).
+//!
+//! This crate provides the *input side* of the PACT 2009 reproduction:
+//! networks are later compiled to junction trees (crate `evprop-jtree`)
+//! on which parallel evidence propagation runs. It also provides a
+//! brute-force joint-distribution oracle used as ground truth by every
+//! engine's correctness tests, a library of classic demo networks, and a
+//! random-network generator for workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use evprop_bayesnet::BayesianNetwork;
+//!
+//! // The classic sprinkler network: Cloudy -> {Sprinkler, Rain} -> WetGrass.
+//! let net = evprop_bayesnet::networks::sprinkler();
+//! assert_eq!(net.num_vars(), 4);
+//! let order = net.topological_order();
+//! assert_eq!(order.len(), 4);
+//! # let _: &BayesianNetwork = &net;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bif;
+mod error;
+mod generate;
+mod hmm;
+mod joint;
+mod network;
+pub mod networks;
+mod noisy_or;
+mod sampling;
+mod topo;
+
+pub use error::BayesError;
+pub use generate::{random_network, RandomNetworkConfig};
+pub use hmm::HiddenMarkovModel;
+pub use joint::JointDistribution;
+pub use sampling::ForwardSampler;
+pub use network::{BayesianNetwork, BayesianNetworkBuilder, Cpt};
+pub use noisy_or::{qmr_network, QmrConfig};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, BayesError>;

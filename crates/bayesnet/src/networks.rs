@@ -1,0 +1,232 @@
+//! A library of classic Bayesian networks used by examples and tests.
+//!
+//! State convention: state `0` = false/low, state `1` = true/high (and
+//! higher states where applicable).
+
+use crate::{BayesianNetwork, BayesianNetworkBuilder};
+use evprop_potential::VarId;
+
+/// The Russell–Norvig sprinkler network:
+/// `Cloudy → {Sprinkler, Rain} → WetGrass`.
+///
+/// Variable ids (dense, in order): 0 Cloudy, 1 Sprinkler, 2 Rain,
+/// 3 WetGrass. See [`wet_grass_vars`].
+pub fn sprinkler() -> BayesianNetwork {
+    let mut b = BayesianNetworkBuilder::new();
+    let cloudy = b.add_variable(2);
+    let sprinkler = b.add_variable(2);
+    let rain = b.add_variable(2);
+    let wet = b.add_variable(2);
+    b.set_prior(cloudy, vec![0.5, 0.5]).unwrap();
+    b.set_cpt(
+        sprinkler,
+        &[cloudy],
+        vec![vec![0.5, 0.5], vec![0.9, 0.1]],
+    )
+    .unwrap();
+    b.set_cpt(rain, &[cloudy], vec![vec![0.8, 0.2], vec![0.2, 0.8]])
+        .unwrap();
+    b.set_cpt(
+        wet,
+        &[sprinkler, rain],
+        vec![
+            vec![1.0, 0.0],   // S=F, R=F
+            vec![0.1, 0.9],   // S=F, R=T
+            vec![0.1, 0.9],   // S=T, R=F
+            vec![0.01, 0.99], // S=T, R=T
+        ],
+    )
+    .unwrap();
+    b.build().expect("sprinkler network is well-formed")
+}
+
+/// Ids of the sprinkler network's variables:
+/// `(cloudy, sprinkler, rain, wet_grass)`.
+pub fn wet_grass_vars() -> (VarId, VarId, VarId, VarId) {
+    (VarId(0), VarId(1), VarId(2), VarId(3))
+}
+
+/// The Lauritzen–Spiegelhalter "Asia" chest-clinic network — the
+/// motivating example of the junction-tree paper the PACT'09 work builds
+/// on (reference \[1\] there).
+///
+/// Variable ids: 0 asia, 1 tub, 2 smoke, 3 lung, 4 bronc, 5 either,
+/// 6 xray, 7 dysp. See [`asia_vars`].
+pub fn asia() -> BayesianNetwork {
+    let mut b = BayesianNetworkBuilder::new();
+    let asia = b.add_variable(2);
+    let tub = b.add_variable(2);
+    let smoke = b.add_variable(2);
+    let lung = b.add_variable(2);
+    let bronc = b.add_variable(2);
+    let either = b.add_variable(2);
+    let xray = b.add_variable(2);
+    let dysp = b.add_variable(2);
+    b.set_prior(asia, vec![0.99, 0.01]).unwrap();
+    b.set_cpt(tub, &[asia], vec![vec![0.99, 0.01], vec![0.95, 0.05]])
+        .unwrap();
+    b.set_prior(smoke, vec![0.5, 0.5]).unwrap();
+    b.set_cpt(lung, &[smoke], vec![vec![0.99, 0.01], vec![0.9, 0.1]])
+        .unwrap();
+    b.set_cpt(bronc, &[smoke], vec![vec![0.7, 0.3], vec![0.4, 0.6]])
+        .unwrap();
+    // either = tub OR lung, deterministic
+    b.set_cpt(
+        either,
+        &[tub, lung],
+        vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ],
+    )
+    .unwrap();
+    b.set_cpt(xray, &[either], vec![vec![0.95, 0.05], vec![0.02, 0.98]])
+        .unwrap();
+    b.set_cpt(
+        dysp,
+        &[either, bronc],
+        vec![
+            vec![0.9, 0.1], // E=F, B=F
+            vec![0.2, 0.8], // E=F, B=T
+            vec![0.3, 0.7], // E=T, B=F
+            vec![0.1, 0.9], // E=T, B=T
+        ],
+    )
+    .unwrap();
+    b.build().expect("asia network is well-formed")
+}
+
+/// Ids of the Asia network's variables, in declaration order:
+/// `(asia, tub, smoke, lung, bronc, either, xray, dysp)`.
+#[allow(clippy::type_complexity)]
+pub fn asia_vars() -> (VarId, VarId, VarId, VarId, VarId, VarId, VarId, VarId) {
+    (
+        VarId(0),
+        VarId(1),
+        VarId(2),
+        VarId(3),
+        VarId(4),
+        VarId(5),
+        VarId(6),
+        VarId(7),
+    )
+}
+
+/// Koller–Friedman "student" network with a 3-state grade:
+/// `Difficulty → Grade ← Intelligence; Intelligence → SAT; Grade → Letter`.
+///
+/// Variable ids: 0 difficulty, 1 intelligence, 2 grade (3 states),
+/// 3 sat, 4 letter.
+pub fn student() -> BayesianNetwork {
+    let mut b = BayesianNetworkBuilder::new();
+    let diff = b.add_variable(2);
+    let intel = b.add_variable(2);
+    let grade = b.add_variable(3);
+    let sat = b.add_variable(2);
+    let letter = b.add_variable(2);
+    b.set_prior(diff, vec![0.6, 0.4]).unwrap();
+    b.set_prior(intel, vec![0.7, 0.3]).unwrap();
+    b.set_cpt(
+        grade,
+        &[intel, diff],
+        vec![
+            vec![0.3, 0.4, 0.3],   // i=0, d=0
+            vec![0.05, 0.25, 0.7], // i=0, d=1
+            vec![0.9, 0.08, 0.02], // i=1, d=0
+            vec![0.5, 0.3, 0.2],   // i=1, d=1
+        ],
+    )
+    .unwrap();
+    b.set_cpt(sat, &[intel], vec![vec![0.95, 0.05], vec![0.2, 0.8]])
+        .unwrap();
+    b.set_cpt(
+        letter,
+        &[grade],
+        vec![vec![0.1, 0.9], vec![0.4, 0.6], vec![0.99, 0.01]],
+    )
+    .unwrap();
+    b.build().expect("student network is well-formed")
+}
+
+/// A depth-`n` noisy Markov chain of binary variables; handy for
+/// controlled-size tests (`n ≥ 1`).
+pub fn chain(n: usize) -> BayesianNetwork {
+    assert!(n >= 1);
+    let mut b = BayesianNetworkBuilder::new();
+    let mut prev = b.add_variable(2);
+    b.set_prior(prev, vec![0.5, 0.5]).unwrap();
+    for _ in 1..n {
+        let cur = b.add_variable(2);
+        b.set_cpt(cur, &[prev], vec![vec![0.8, 0.2], vec![0.3, 0.7]])
+            .unwrap();
+        prev = cur;
+    }
+    b.build().expect("chain network is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JointDistribution;
+    use evprop_potential::EvidenceSet;
+
+    #[test]
+    fn all_networks_build() {
+        assert_eq!(sprinkler().num_vars(), 4);
+        assert_eq!(asia().num_vars(), 8);
+        assert_eq!(student().num_vars(), 5);
+        assert_eq!(chain(10).num_vars(), 10);
+    }
+
+    #[test]
+    fn asia_smoking_raises_lung_cancer_posterior() {
+        let net = asia();
+        let (_a, _t, smoke, lung, ..) = asia_vars();
+        let j = JointDistribution::of(&net).unwrap();
+        let prior = j.marginal(lung, &EvidenceSet::new()).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(smoke, 1);
+        let post = j.marginal(lung, &ev).unwrap();
+        assert!(post.data()[1] > prior.data()[1]);
+        assert!((post.data()[1] - 0.1).abs() < 1e-9); // directly the CPT row
+    }
+
+    #[test]
+    fn asia_either_is_deterministic_or() {
+        let net = asia();
+        let (_a, tub, _s, lung, _b, either, ..) = asia_vars();
+        let j = JointDistribution::of(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(tub, 0);
+        ev.observe(lung, 0);
+        let m = j.marginal(either, &ev).unwrap();
+        assert!((m.data()[0] - 1.0).abs() < 1e-9);
+        ev.observe(lung, 1);
+        let m = j.marginal(either, &ev).unwrap();
+        assert!((m.data()[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn student_grade_explains_away() {
+        let net = student();
+        let j = JointDistribution::of(&net).unwrap();
+        // Given a good grade (state 0 = best), intelligence is likelier.
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(2), 0);
+        let post = j.marginal(VarId(1), &ev).unwrap();
+        let prior = j.marginal(VarId(1), &EvidenceSet::new()).unwrap();
+        assert!(post.data()[1] > prior.data()[1]);
+    }
+
+    #[test]
+    fn chain_mixing_toward_stationary() {
+        let net = chain(12);
+        let j = JointDistribution::of(&net).unwrap();
+        let m = j.marginal(VarId(11), &EvidenceSet::new()).unwrap();
+        // stationary distribution of the chain's transition matrix is
+        // (0.6, 0.4)
+        assert!((m.data()[0] - 0.6).abs() < 0.01);
+    }
+}

@@ -1,0 +1,138 @@
+//! Forward (ancestral) sampling — a statistical second oracle and a
+//! practical tool for approximate queries on networks too large for
+//! exact joints.
+
+use crate::{BayesianNetwork, Result};
+use evprop_potential::{PotentialTable, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws joint samples from a Bayesian network in topological order.
+///
+/// # Example
+///
+/// ```
+/// use evprop_bayesnet::{networks, ForwardSampler};
+/// let net = networks::sprinkler();
+/// let mut sampler = ForwardSampler::new(&net, 42);
+/// let sample = sampler.sample();
+/// assert_eq!(sample.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ForwardSampler<'a> {
+    net: &'a BayesianNetwork,
+    order: Vec<VarId>,
+    rng: StdRng,
+}
+
+impl<'a> ForwardSampler<'a> {
+    /// A sampler over `net`, deterministic for a given `seed`.
+    pub fn new(net: &'a BayesianNetwork, seed: u64) -> Self {
+        ForwardSampler {
+            net,
+            order: net.topological_order(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One joint sample: a state per variable, indexed by variable id.
+    pub fn sample(&mut self) -> Vec<usize> {
+        let mut states = vec![0usize; self.net.num_vars()];
+        for &v in &self.order {
+            let cpt = self.net.cpt(v);
+            let dom = cpt.table().domain();
+            // assignment over the CPT's canonical domain, child set later
+            let mut assignment = vec![0usize; dom.width()];
+            for (pos, dv) in dom.vars().iter().enumerate() {
+                if dv.id() != v {
+                    assignment[pos] = states[dv.id().index()];
+                }
+            }
+            let child_pos = dom
+                .position_of(v)
+                .expect("child is in its own CPT domain");
+            // inverse-CDF draw over the child's conditional distribution
+            let u: f64 = self.rng.gen();
+            let mut acc = 0.0;
+            let card = self.net.var(v).cardinality();
+            let mut drawn = card - 1;
+            for s in 0..card {
+                assignment[child_pos] = s;
+                acc += cpt.table().get(&assignment);
+                if u < acc {
+                    drawn = s;
+                    break;
+                }
+            }
+            states[v.index()] = drawn;
+        }
+        states
+    }
+
+    /// Monte-Carlo estimate of the marginal `P(var)` from `n` samples,
+    /// returned as a normalized table over `var`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates potential-table construction failures (impossible for
+    /// valid networks).
+    pub fn estimate_marginal(&mut self, var: VarId, n: usize) -> Result<PotentialTable> {
+        let card = self.net.var(var).cardinality();
+        let mut counts = vec![0.0f64; card];
+        for _ in 0..n {
+            counts[self.sample()[var.index()]] += 1.0;
+        }
+        let dom = evprop_potential::Domain::new(vec![self.net.var(var)])?;
+        let mut t = PotentialTable::from_data(dom, counts)?;
+        t.normalize();
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{networks, JointDistribution};
+    use evprop_potential::EvidenceSet;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = networks::asia();
+        let a: Vec<_> = {
+            let mut s = ForwardSampler::new(&net, 7);
+            (0..50).map(|_| s.sample()).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = ForwardSampler::new(&net, 7);
+            (0..50).map(|_| s.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_respect_deterministic_cpts() {
+        // "either" is a deterministic OR of tub and lung
+        let net = networks::asia();
+        let mut s = ForwardSampler::new(&net, 3);
+        for _ in 0..200 {
+            let x = s.sample();
+            assert_eq!(x[5], usize::from(x[1] == 1 || x[3] == 1));
+        }
+    }
+
+    #[test]
+    fn marginal_estimates_converge_to_oracle() {
+        let net = networks::sprinkler();
+        let joint = JointDistribution::of(&net).unwrap();
+        let mut s = ForwardSampler::new(&net, 11);
+        for v in 0..4u32 {
+            let est = s.estimate_marginal(VarId(v), 20_000).unwrap();
+            let exact = joint.marginal(VarId(v), &EvidenceSet::new()).unwrap();
+            // 20k samples: standard error ≈ 0.0035; 4σ tolerance
+            assert!(
+                est.max_abs_diff(&exact) < 0.015,
+                "V{v}: {est:?} vs {exact:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Topological utilities over the network DAG.
+
+use crate::BayesianNetwork;
+use evprop_potential::VarId;
+
+/// Kahn's algorithm; returns `None` when the graph has a cycle.
+pub(crate) fn topological_order(net: &BayesianNetwork) -> Option<Vec<VarId>> {
+    let n = net.num_vars();
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| net.parents_of(VarId(i as u32)).len())
+        .collect();
+    let mut queue: Vec<VarId> = (0..n)
+        .map(|i| VarId(i as u32))
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &c in net.children_of(v) {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+impl BayesianNetwork {
+    /// A topological order of the variables (parents before children).
+    ///
+    /// The network is guaranteed acyclic by construction, so this always
+    /// succeeds.
+    pub fn topological_order(&self) -> Vec<VarId> {
+        topological_order(self).expect("networks are validated acyclic at build time")
+    }
+
+    /// Variables with no parents.
+    pub fn roots(&self) -> Vec<VarId> {
+        (0..self.num_vars() as u32)
+            .map(VarId)
+            .filter(|&v| self.parents_of(v).is_empty())
+            .collect()
+    }
+
+    /// Variables with no children.
+    pub fn leaves(&self) -> Vec<VarId> {
+        (0..self.num_vars() as u32)
+            .map(VarId)
+            .filter(|&v| self.children_of(v).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::networks::sprinkler;
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let net = sprinkler();
+        let order = net.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for i in 0..net.num_vars() as u32 {
+            let v = evprop_potential::VarId(i);
+            for &c in net.children_of(v) {
+                assert!(pos[v.index()] < pos[c.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let net = sprinkler();
+        assert_eq!(net.roots().len(), 1); // Cloudy
+        assert_eq!(net.leaves().len(), 1); // WetGrass
+    }
+}

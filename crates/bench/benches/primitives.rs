@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the four node-level primitives — the
+//! per-entry costs that feed the simulator's `CostModel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evprop_potential::{Domain, PotentialTable, VarId, Variable};
+use std::hint::black_box;
+
+fn table(width: usize, first_var: u32) -> PotentialTable {
+    let dom = Domain::new(
+        (0..width as u32)
+            .map(|i| Variable::binary(VarId(first_var + i)))
+            .collect(),
+    )
+    .unwrap();
+    let data: Vec<f64> = (0..dom.size()).map(|i| 0.5 + (i % 7) as f64).collect();
+    PotentialTable::from_data(dom, data).unwrap()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    for width in [10usize, 14] {
+        let clique = table(width, 0);
+        let sep_dom = clique.domain().project(
+            &(0..(width as u32 / 2)).map(VarId).collect::<Vec<_>>(),
+        );
+        let sep = clique.marginalize(&sep_dom).unwrap();
+        let entries = clique.len() as u64;
+        group.throughput(Throughput::Elements(entries));
+
+        group.bench_with_input(BenchmarkId::new("marginalize", width), &width, |b, _| {
+            b.iter(|| black_box(clique.marginalize(&sep_dom).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("extend", width), &width, |b, _| {
+            b.iter(|| black_box(sep.extend(clique.domain()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("multiply", width), &width, |b, _| {
+            b.iter_batched(
+                || clique.clone(),
+                |mut t| {
+                    t.multiply_assign(&sep).unwrap();
+                    black_box(t)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("divide", width), &width, |b, _| {
+            b.iter_batched(
+                || (sep.clone(), sep.clone()),
+                |(mut n, d)| {
+                    n.divide_assign(&d).unwrap();
+                    black_box(n)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

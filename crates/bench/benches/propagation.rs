@@ -1,0 +1,74 @@
+//! Criterion benchmark of end-to-end evidence propagation: the
+//! sequential reference versus the parallel engines at one thread
+//! (isolating scheduler overhead) and at the host's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evprop_core::{
+    CollaborativeEngine, DataParallelEngine, Engine, OpenMpStyleEngine, SequentialEngine,
+};
+use evprop_potential::EvidenceSet;
+use evprop_sched::SchedulerConfig;
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::{materialize, random_tree, TreeParams};
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+    let shape = random_tree(&TreeParams::new(64, 12, 2, 4).with_seed(1));
+    let jt = materialize(&shape, 2);
+    let graph = TaskGraph::from_shape(jt.shape());
+    let ev = EvidenceSet::new();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(SequentialEngine.propagate_graph(&jt, &graph, &ev).unwrap()))
+    });
+    // 1 thread isolates scheduler overhead; host_cores shows real scaling
+    // (identical on single-core hosts, so deduplicate)
+    let mut thread_counts = vec![1usize, host_cores];
+    thread_counts.dedup();
+    for threads in thread_counts {
+        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(threads));
+        group.bench_with_input(
+            BenchmarkId::new("collaborative", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(engine.propagate_graph(&jt, &graph, &ev).unwrap())),
+        );
+    }
+    let omp = OpenMpStyleEngine::new(host_cores);
+    group.bench_function("openmp-style", |b| {
+        b.iter(|| black_box(omp.propagate_graph(&jt, &graph, &ev).unwrap()))
+    });
+    let dp = DataParallelEngine::new(host_cores);
+    group.bench_function("data-parallel", |b| {
+        b.iter(|| black_box(dp.propagate_graph(&jt, &graph, &ev).unwrap()))
+    });
+
+    // single-query fast path vs full calibration
+    let session = evprop_core::InferenceSession::from_junction_tree(jt.clone());
+    let query = evprop_potential::VarId(3);
+    group.bench_function("posterior_full", |b| {
+        b.iter(|| black_box(session.posterior(&SequentialEngine, query, &ev).unwrap()))
+    });
+    group.bench_function("posterior_collect_only", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .posterior_collect_only(&SequentialEngine, query, &ev)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // batched propagation (8 cases through one scheduler run)
+    let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(host_cores));
+    let cases: Vec<EvidenceSet> = (0..8).map(|_| EvidenceSet::new()).collect();
+    group.bench_function("batch_of_8", |b| {
+        b.iter(|| black_box(engine.propagate_batch(&jt, &graph, &cases).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark of root selection: Algorithm 1 (`O(w_C N)`)
+//! versus the straightforward `O(w_C N²)` method — the paper's
+//! complexity claim, and its "24 µs for 512 cliques" measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evprop_jtree::{select_root, select_root_naive};
+use evprop_workloads::fig4_template;
+use std::hint::black_box;
+
+fn bench_reroot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reroot");
+    group.sample_size(30);
+    for n in [128usize, 512, 2048] {
+        let shape = fig4_template(4, n, 15);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| black_box(select_root(&shape)))
+        });
+        // the naive method at 2048 cliques takes tens of ms; keep it to
+        // the smaller sizes so the suite stays fast
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| black_box(select_root_naive(&shape)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reroot);
+criterion_main!(benches);

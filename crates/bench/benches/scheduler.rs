@@ -1,0 +1,51 @@
+//! Criterion benchmark of the collaborative scheduler itself: thread
+//! count, partition threshold δ, and the work-stealing ablation — plus
+//! task-graph construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evprop_potential::EvidenceSet;
+use evprop_sched::{run_collaborative, SchedulerConfig, TableArena};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::{materialize, random_tree, TreeParams};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    let shape = random_tree(&TreeParams::new(128, 11, 2, 4).with_seed(9));
+    let jt = materialize(&shape, 9);
+    let graph = TaskGraph::from_shape(jt.shape());
+    let ev = EvidenceSet::new();
+
+    for threads in [1usize, 2, 4] {
+        let cfg = SchedulerConfig::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                let arena = TableArena::initialize(&graph, jt.potentials(), &ev);
+                black_box(run_collaborative(&graph, &arena, &cfg))
+            })
+        });
+    }
+
+    for (name, cfg) in [
+        ("delta_off", SchedulerConfig::with_threads(2).without_partitioning()),
+        ("delta_512", SchedulerConfig::with_threads(2).with_delta(512)),
+        ("delta_64", SchedulerConfig::with_threads(2).with_delta(64)),
+        ("stealing", SchedulerConfig::with_threads(2).with_stealing()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let arena = TableArena::initialize(&graph, jt.potentials(), &ev);
+                black_box(run_collaborative(&graph, &arena, &cfg))
+            })
+        });
+    }
+
+    group.bench_function("taskgraph_build", |b| {
+        b.iter(|| black_box(TaskGraph::from_shape(jt.shape())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Batch-inference ablation (extension): the paper's small-table outlier
+//! (`w=10, r=2`, Fig. 9) is starved of parallelism — can processing a
+//! *stream* of evidence cases as one replicated-graph batch recover it?
+//!
+//! Finding: **no, not by itself.** The binding constraint is the
+//! serialized global-list dispatch lock, which the batch copies share, so
+//! extra concurrent work just queues on the same lock. Under a lock-free
+//! dispatch design (λ = 0) the identical batch schedule is near-linear —
+//! isolating exactly the redesign the paper's §8 calls for in the
+//! many-core era.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin batch
+//! ```
+
+use evprop_bench::header;
+use evprop_simcore::{simulate, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::{random_tree, TreeParams};
+
+fn throughput_rows(g: &TaskGraph, model: &CostModel, label: &str) {
+    let single_serial = simulate(g, Policy::collaborative(), 1, model).makespan as f64;
+    for batch in [1usize, 2, 4, 8, 16] {
+        let replicated = g.replicate(batch);
+        let t = simulate(&replicated, Policy::collaborative(), 8, model).makespan as f64;
+        println!("{label},{batch},{:.2}", batch as f64 * single_serial / t);
+    }
+}
+
+fn main() {
+    println!("# batch-throughput ablation on the w=10, r=2 tree (512 cliques, 8 cores)");
+    println!("# throughput speedup = B x t(single case, 1 core) / t(batch of B, 8 cores)");
+    header(&["dispatch_lock", "batch_size", "throughput_speedup_at_8_cores"]);
+    let g = TaskGraph::from_shape(&random_tree(&TreeParams::new(512, 10, 2, 4).with_seed(0xF9)));
+
+    // default scheduler: dispatches serialize through the GL lock
+    throughput_rows(&g, &CostModel::default(), "locked");
+
+    // hypothetical lock-free dispatch (λ = 0): the §8 redesign target
+    let free = CostModel {
+        lambda_lock: 0.0,
+        ..CostModel::default()
+    };
+    throughput_rows(&g, &free, "lock-free");
+
+    println!("# takeaway: batching adds abundant independent work, yet the locked design");
+    println!("# stays pinned — the global-list lock, not a lack of parallelism, is the");
+    println!("# small-table bottleneck. Removing it (bottom rows) lets the same batch");
+    println!("# saturate all 8 cores, quantifying the payoff of the paper's proposed");
+    println!("# scheduler redesign.");
+}

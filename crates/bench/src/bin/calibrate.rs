@@ -1,0 +1,83 @@
+//! Calibration: measure the *real* per-entry cost of each node-level
+//! primitive on this host and compare the ratios against the simulator's
+//! `CostModel` constants — the empirical link between the threaded
+//! implementation and the virtual-time figures.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin calibrate
+//! ```
+
+use evprop_bench::header;
+use evprop_potential::{Domain, PotentialTable, VarId, Variable};
+use evprop_simcore::CostModel;
+use std::time::Instant;
+
+fn table(width: usize) -> PotentialTable {
+    let dom = Domain::new(
+        (0..width as u32)
+            .map(|i| Variable::binary(VarId(i)))
+            .collect(),
+    )
+    .expect("fresh variables");
+    let data: Vec<f64> = (0..dom.size()).map(|i| 0.5 + (i % 7) as f64).collect();
+    PotentialTable::from_data(dom, data).expect("length matches")
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn main() {
+    const WIDTH: usize = 18; // 256Ki entries: large enough to amortize setup
+    let clique = table(WIDTH);
+    let sep_dom = clique
+        .domain()
+        .project(&(0..(WIDTH as u32 / 2)).map(VarId).collect::<Vec<_>>());
+    let sep = clique.marginalize(&sep_dom).expect("subdomain");
+    let entries = clique.len() as f64;
+
+    let marg = best_of(7, || {
+        std::hint::black_box(clique.marginalize(&sep_dom).expect("subdomain"));
+    });
+    let ext = best_of(7, || {
+        std::hint::black_box(sep.extend(clique.domain()).expect("superdomain"));
+    });
+    let mut work = clique.clone();
+    let mul = best_of(7, || {
+        work.multiply_assign(&sep).expect("subdomain");
+        std::hint::black_box(&work);
+    });
+    let mut num = clique.clone();
+    let den = clique.clone();
+    let div = best_of(7, || {
+        num.divide_assign(&den).expect("same domain");
+        std::hint::black_box(&num);
+    });
+
+    let ns = |d: std::time::Duration| d.as_nanos() as f64 / entries;
+    let model = CostModel::default();
+    println!("# per-entry cost of the node-level primitives ({} entries, best of 7)", clique.len());
+    header(&["primitive", "ns_per_entry", "relative_measured", "relative_in_model"]);
+    let base = ns(marg);
+    for (name, d, modeled) in [
+        ("marginalize", marg, model.c_marg),
+        ("divide", div, model.c_div),
+        ("extend", ext, model.c_ext),
+        ("multiply", mul, model.c_mul),
+    ] {
+        println!(
+            "{name},{:.3},{:.2},{:.2}",
+            ns(d),
+            ns(d) / base,
+            modeled / model.c_marg
+        );
+    }
+    println!("# the simulator's c_* ratios should track the measured column; absolute");
+    println!("# nanoseconds are host-specific and do not enter any figure.");
+}

@@ -1,0 +1,40 @@
+//! Figure 5: speedup of evidence propagation due to junction-tree
+//! rerooting, on the Fig. 4 template trees, with task partitioning
+//! disabled — `Sp = t_original / t_rerooted` versus thread count.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin fig5
+//! ```
+
+use evprop_bench::{fmt_series, header, CORE_GRID};
+use evprop_jtree::select_root;
+use evprop_simcore::{simulate, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::fig4_template;
+
+fn main() {
+    println!("# Fig. 5 — rerooting speedup (512 cliques, w=15, binary, partitioning off)");
+    println!("# paper reference: Sp -> ~1.9 at 8 threads once P > b; rising later for larger b");
+    header(&["branches_b_plus_1", "P=1", "P=2", "P=4", "P=8"]);
+    let model = CostModel::default();
+    for b in [1usize, 2, 4, 8] {
+        let original = fig4_template(b, 512, 15);
+        let mut rerooted = original.clone();
+        let choice = select_root(&rerooted);
+        rerooted.reroot(choice.root).expect("selected root is valid");
+
+        let g_orig = TaskGraph::from_shape(&original);
+        let g_new = TaskGraph::from_shape(&rerooted);
+        let series: Vec<f64> = CORE_GRID
+            .iter()
+            .map(|&p| {
+                let t_orig =
+                    simulate(&g_orig, Policy::collaborative_unpartitioned(), p, &model).makespan;
+                let t_new =
+                    simulate(&g_new, Policy::collaborative_unpartitioned(), p, &model).makespan;
+                t_orig as f64 / t_new as f64
+            })
+            .collect();
+        println!("{},{}", b + 1, fmt_series(&series));
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 6: scalability of PNL-style exact inference — execution time
+//! versus processor count for Junction trees 1–3; the paper's PNL curve
+//! *rises* past 4 processors.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin fig6
+//! ```
+
+use evprop_bench::header;
+use evprop_simcore::{simulate, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::presets::{jt1, jt2, jt3};
+
+fn main() {
+    println!("# Fig. 6 — PNL-style execution time vs processors (normalized to 1 processor)");
+    println!("# paper reference: time decreases to ~4 processors, then increases, all three trees");
+    header(&["tree", "P=1", "P=2", "P=4", "P=6", "P=8"]);
+    let model = CostModel::default();
+    for (name, shape) in [("JT1", jt1()), ("JT2", jt2()), ("JT3", jt3())] {
+        let g = TaskGraph::from_shape(&shape);
+        let base = simulate(&g, Policy::PnlStyle, 1, &model).makespan as f64;
+        let series: Vec<String> = [1usize, 2, 4, 6, 8]
+            .iter()
+            .map(|&p| {
+                let t = simulate(&g, Policy::PnlStyle, p, &model).makespan as f64;
+                format!("{:.3}", t / base)
+            })
+            .collect();
+        println!("{name},{}", series.join(","));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 7: scalability of the three parallel methods — OpenMP-style,
+//! data-parallel, and the proposed collaborative scheduler — on Junction
+//! trees 1–3.
+//!
+//! Pass `--stealing` to add the work-stealing ablation column and
+//! `--delta-sweep` to print the partition-threshold sensitivity study.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin fig7 [-- --stealing] [-- --delta-sweep]
+//! ```
+
+use evprop_bench::{fmt_series, header, speedup_series};
+use evprop_simcore::{simulate, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::presets::{jt1, jt2, jt3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stealing = args.iter().any(|a| a == "--stealing");
+    let delta_sweep = args.iter().any(|a| a == "--delta-sweep");
+    let model = CostModel::default();
+
+    println!("# Fig. 7 — speedup vs cores for the three methods");
+    println!("# paper reference at 8 cores: proposed ~7.4 (Xeon) / 7.1 (Opteron);");
+    println!("#   ~2.1x over OpenMP-based, ~1.8x over data-parallel");
+    header(&["tree", "method", "P=1", "P=2", "P=4", "P=8"]);
+    for (name, shape) in [("JT1", jt1()), ("JT2", jt2()), ("JT3", jt3())] {
+        let g = TaskGraph::from_shape(&shape);
+        let rows: Vec<(&str, Policy)> = {
+            let mut v = vec![
+                ("openmp", Policy::OpenMpStyle),
+                ("data-parallel", Policy::DataParallel),
+                ("collaborative", Policy::collaborative()),
+            ];
+            if stealing {
+                v.push((
+                    "collab+steal",
+                    Policy::Collaborative {
+                        delta: Some(CostModel::DEFAULT_DELTA),
+                        work_stealing: true,
+                    },
+                ));
+            }
+            v
+        };
+        for (method, policy) in rows {
+            let series = speedup_series(&g, policy, &model);
+            println!("{name},{method},{}", fmt_series(&series));
+        }
+    }
+
+    if delta_sweep {
+        println!();
+        println!("# ablation — partition threshold δ sensitivity (JT1, 8 cores)");
+        header(&["delta_entries", "speedup_at_8"]);
+        let g = TaskGraph::from_shape(&jt1());
+        let base = simulate(&g, Policy::collaborative_unpartitioned(), 1, &model).makespan as f64;
+        for delta in [4096u64, 16_384, 65_536, 262_144, 1_048_576] {
+            let p = Policy::Collaborative {
+                delta: Some(delta),
+                work_stealing: false,
+            };
+            let t = simulate(&g, p, 8, &model).makespan as f64;
+            println!("{delta},{:.2}", base / t);
+        }
+        let t = simulate(&g, Policy::collaborative_unpartitioned(), 8, &model).makespan as f64;
+        println!("disabled,{:.2}", base / t);
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 8: load balance across threads and the computation-time ratio
+//! of the collaborative scheduler on Junction tree 1.
+//!
+//! Prints (a) per-core busy time (normalized to the busiest core) and
+//! (b) per-core computation-time ratio, from the simulator; then repeats
+//! the measurement with *real threads* on the memory-friendly JT1 stand-in
+//! so the numbers can be checked on any host.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin fig8
+//! ```
+
+use evprop_bench::header;
+use evprop_core::{CollaborativeEngine, Engine};
+use evprop_potential::EvidenceSet;
+use evprop_sched::SchedulerConfig;
+use evprop_simcore::{simulate, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::presets::{jt1, jt1_small};
+use evprop_workloads::materialize;
+
+fn main() {
+    let model = CostModel::default();
+    let g = TaskGraph::from_shape(&jt1());
+
+    println!("# Fig. 8(a) — per-core computation time, JT1, collaborative (normalized to max)");
+    header(&["threads", "per_core_busy"]);
+    for p in [2usize, 4, 8] {
+        let r = simulate(&g, Policy::collaborative(), p, &model);
+        let max = r.cores.iter().map(|c| c.busy).max().unwrap_or(1) as f64;
+        let cols: Vec<String> = r
+            .cores
+            .iter()
+            .map(|c| format!("{:.3}", c.busy as f64 / max))
+            .collect();
+        println!("{p},{}", cols.join(","));
+    }
+
+    println!();
+    println!("# Fig. 8(b) — computation-time ratio per core (paper: >= 99.1%)");
+    header(&["threads", "min_ratio", "mean_ratio"]);
+    for p in [2usize, 4, 8] {
+        let r = simulate(&g, Policy::collaborative(), p, &model);
+        let ratios: Vec<f64> = r
+            .cores
+            .iter()
+            .map(|c| c.busy as f64 / (c.busy + c.overhead).max(1) as f64)
+            .collect();
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("{p},{min:.4},{mean:.4}");
+    }
+
+    println!();
+    println!("# real threads on this host (JT1-small stand-in, width 12)");
+    header(&["threads", "wall", "imbalance", "min_compute_ratio"]);
+    let jt = materialize(&jt1_small(), 1);
+    for p in [1usize, 2, 4, 8] {
+        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(p));
+        engine
+            .propagate(&jt, &EvidenceSet::new())
+            .expect("propagation succeeds");
+        let report = engine.last_report().expect("a run just completed");
+        let min_ratio = report
+            .threads
+            .iter()
+            .map(|t| t.compute_ratio())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{p},{:?},{:.3},{:.4}",
+            report.wall,
+            report.imbalance(),
+            min_ratio
+        );
+    }
+    println!("# note: single-core hosts timeslice the threads; the simulator rows above");
+    println!("# carry the cross-core comparison.");
+}

@@ -1,0 +1,46 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints both the measured
+//! series and the paper's reference values so EXPERIMENTS.md can be
+//! updated by copy-paste. All series come from the deterministic
+//! simulator unless stated otherwise, so reruns are bit-identical.
+
+#![warn(missing_docs)]
+
+use evprop_simcore::{simulate, CostModel, Policy, SimReport};
+use evprop_taskgraph::TaskGraph;
+
+/// Core counts used throughout the paper's figures.
+pub const CORE_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Prints a CSV-ish header line.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join(","));
+}
+
+/// Formats a speedup series over [`CORE_GRID`].
+pub fn speedup_series(graph: &TaskGraph, policy: Policy, model: &CostModel) -> Vec<f64> {
+    let base = simulate(graph, policy, 1, model).makespan as f64;
+    CORE_GRID
+        .iter()
+        .map(|&p| base / simulate(graph, policy, p, model).makespan as f64)
+        .collect()
+}
+
+/// Runs the policy across [`CORE_GRID`] returning full reports.
+pub fn report_series(graph: &TaskGraph, policy: Policy, model: &CostModel) -> Vec<SimReport> {
+    CORE_GRID
+        .iter()
+        .map(|&p| simulate(graph, policy, p, model))
+        .collect()
+}
+
+/// Renders a `f64` series with fixed precision.
+pub fn fmt_series(series: &[f64]) -> String {
+    series
+        .iter()
+        .map(|v| format!("{v:.2}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}

@@ -1,0 +1,412 @@
+//! `evprop` — command-line exact inference on BIF networks.
+//!
+//! ```text
+//! evprop info <file.bif>
+//! evprop query <file.bif> --target VAR [--evidence VAR=STATE]... [--engine E] [--threads N]
+//! evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine E] [--threads N]
+//! evprop export <sprinkler|asia|student>
+//! evprop simulate --cliques N --width W --states R --degree K [--cores P]...
+//! ```
+
+use evprop_bayesnet::bif::{self, BifNetwork};
+use evprop_bayesnet::networks;
+use evprop_core::{
+    CollaborativeEngine, DataParallelEngine, Engine, InferenceSession, OpenMpStyleEngine,
+    SequentialEngine,
+};
+use evprop_jtree::{critical_path_weight, select_root};
+use evprop_potential::EvidenceSet;
+use evprop_simcore::{render_gantt, simulate, simulate_collaborative_traced, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::{random_tree, TreeParams};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  evprop info <file.bif>
+  evprop query <file.bif> --target VAR [--evidence VAR=STATE]... [--likelihood VAR=w:w...]... [--engine seq|collab|openmp|dp] [--threads N]
+  evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine seq|collab|openmp|dp] [--threads N]
+  evprop export <sprinkler|asia|student>
+  evprop dot <file.bif> [--tasks]
+  evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]";
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`evprop query … | head`):
+    // std's println! panics on EPIPE, and Rust exposes no stable way to
+    // restore SIGPIPE's default disposition without libc.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        let is_pipe = msg.is_some_and(|m| m.contains("Broken pipe"));
+        if is_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("mpe") => cmd_mpe(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load(path: &str) -> Result<BifNetwork, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    bif::parse(&src).map_err(|e| e.to_string())
+}
+
+/// Parses `--evidence VAR=STATE` occurrences against the name tables.
+fn parse_evidence(bif: &BifNetwork, args: &[String]) -> Result<EvidenceSet, String> {
+    let mut ev = EvidenceSet::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--evidence" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--evidence needs VAR=STATE".to_string())?;
+            let (var, state) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad evidence '{spec}', expected VAR=STATE"))?;
+            let v = bif
+                .var_id(var)
+                .ok_or_else(|| format!("unknown variable '{var}'"))?;
+            let s = bif
+                .state_index(var, state)
+                .or_else(|| state.parse::<usize>().ok())
+                .ok_or_else(|| format!("unknown state '{state}' of '{var}'"))?;
+            ev.observe(v, s);
+            i += 2;
+        } else if args[i] == "--likelihood" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--likelihood needs VAR=w:w:...".to_string())?;
+            let (var, weights) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad likelihood '{spec}', expected VAR=w:w"))?;
+            let v = bif
+                .var_id(var)
+                .ok_or_else(|| format!("unknown variable '{var}'"))?;
+            let ws: Vec<f64> = weights
+                .split(':')
+                .map(|w| w.parse::<f64>())
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|_| format!("bad weights in '{spec}'"))?;
+            ev.observe_likelihood(v, ws);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(ev)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn make_engine(args: &[String]) -> Result<Box<dyn Engine>, String> {
+    let threads = match flag_value(args, "--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("bad thread count '{t}'"))?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    Ok(match flag_value(args, "--engine").unwrap_or("collab") {
+        "seq" | "sequential" => Box::new(SequentialEngine),
+        "collab" | "collaborative" => Box::new(CollaborativeEngine::with_threads(threads)),
+        "openmp" => Box::new(OpenMpStyleEngine::new(threads)),
+        "dp" | "data-parallel" => Box::new(DataParallelEngine::new(threads)),
+        other => return Err(format!("unknown engine '{other}'")),
+    })
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info needs a file".to_string())?;
+    let bif = load(path)?;
+    let net = &bif.network;
+    println!("network: {} ({} variables, {} edges)", bif.name, net.num_vars(), net.num_edges());
+    let session = InferenceSession::from_network(net).map_err(|e| e.to_string())?;
+    let shape = session.junction_tree().shape();
+    println!(
+        "junction tree: {} cliques, max width {}, {} table entries total",
+        shape.num_cliques(),
+        shape.max_width(),
+        shape.total_state_space()
+    );
+    let unrerooted = evprop_jtree::JunctionTree::from_network(net).map_err(|e| e.to_string())?;
+    let before = critical_path_weight(unrerooted.shape());
+    let choice = select_root(unrerooted.shape());
+    println!(
+        "critical path: {} -> {} after Algorithm 1 rerooting ({:.2}x)",
+        before,
+        choice.critical_path,
+        before as f64 / choice.critical_path as f64
+    );
+    let g = session.task_graph();
+    println!(
+        "task graph: {} tasks, total work {}, critical work {}, inherent parallelism {:.2}",
+        g.num_tasks(),
+        g.total_weight(),
+        g.critical_path_weight(),
+        g.total_weight() as f64 / g.critical_path_weight().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("query needs a file".to_string())?;
+    let bif = load(path)?;
+    let target_name =
+        flag_value(args, "--target").ok_or("query needs --target VAR".to_string())?;
+    let target = bif
+        .var_id(target_name)
+        .ok_or_else(|| format!("unknown variable '{target_name}'"))?;
+    let ev = parse_evidence(&bif, args)?;
+    let engine = make_engine(args)?;
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    let calibrated = session
+        .propagate(engine.as_ref(), &ev)
+        .map_err(|e| e.to_string())?;
+    let marginal = calibrated.marginal(target).map_err(|e| e.to_string())?;
+    println!("P({target_name} | evidence) [engine: {}]", engine.name());
+    for (s, p) in marginal.data().iter().enumerate() {
+        println!("  {} = {:.6}", bif.state_name(target, s), p);
+    }
+    println!("P(evidence) = {:.6e}", calibrated.probability_of_evidence());
+    Ok(())
+}
+
+fn cmd_mpe(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("mpe needs a file".to_string())?;
+    let bif = load(path)?;
+    let ev = parse_evidence(&bif, args)?;
+    let engine = make_engine(args)?;
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    let mpe = session
+        .most_probable_explanation(engine.as_ref(), &ev)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "most probable explanation [engine: {}], P = {:.6e}",
+        engine.name(),
+        mpe.probability
+    );
+    for &(v, s) in &mpe.assignment {
+        let observed = ev.state_of(v).is_some();
+        println!(
+            "  {} = {}{}",
+            bif.var_name(v),
+            bif.state_name(v, s),
+            if observed { "  (observed)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("export needs a network name".to_string())?;
+    let net = match which.as_str() {
+        "sprinkler" => networks::sprinkler(),
+        "asia" => networks::asia(),
+        "student" => networks::student(),
+        other => return Err(format!("unknown builtin network '{other}'")),
+    };
+    print!("{}", bif::write(&bif::with_generated_names(net, which)));
+    Ok(())
+}
+
+/// Emits Graphviz DOT: the junction tree by default, the full task
+/// dependency graph with `--tasks`.
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("dot needs a file".to_string())?;
+    let bif = load(path)?;
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--tasks") {
+        print!("{}", session.task_graph().to_dot());
+    } else {
+        print!("{}", session.junction_tree().shape().to_dot());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let get = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: '{v}'")),
+            None => Ok(default),
+        }
+    };
+    let n = get("--cliques", 256)?;
+    let w = get("--width", 12)?;
+    let r = get("--states", 2)?;
+    let k = get("--degree", 4)?;
+    let policy = match flag_value(args, "--policy").unwrap_or("collab") {
+        "collab" | "collaborative" => Policy::collaborative(),
+        "openmp" => Policy::OpenMpStyle,
+        "dp" | "data-parallel" => Policy::DataParallel,
+        "pnl" => Policy::PnlStyle,
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let cores: Vec<usize> = {
+        let picked: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--cores")
+            .filter_map(|(i, _)| args.get(i + 1))
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        if picked.is_empty() {
+            vec![1, 2, 4, 8]
+        } else {
+            picked
+        }
+    };
+
+    let shape = random_tree(&TreeParams::new(n, w, r, k).with_seed(0xF9));
+    let g = TaskGraph::from_shape(&shape);
+    let model = CostModel::default();
+    println!(
+        "simulating {policy:?} on N={n} w={w} r={r} k={k} ({} tasks)",
+        g.num_tasks()
+    );
+    let base = simulate(&g, policy, 1, &model).makespan;
+    println!("cores,makespan,speedup");
+    for p in &cores {
+        let rep = simulate(&g, policy, *p, &model);
+        println!(
+            "{p},{},{:.2}",
+            rep.makespan,
+            base as f64 / rep.makespan as f64
+        );
+    }
+    if args.iter().any(|a| a == "--gantt") {
+        if let Policy::Collaborative {
+            delta,
+            work_stealing,
+        } = policy
+        {
+            let p = cores.last().copied().unwrap_or(4);
+            let (_, trace) =
+                simulate_collaborative_traced(&g, p, delta, work_stealing, &model);
+            println!("\nschedule on {p} cores (m=marg d=div e=ext x=mul):");
+            print!("{}", render_gantt(&trace, p, 72));
+        } else {
+            eprintln!("--gantt requires the collaborative policy");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asia_file() -> String {
+        let dir = std::env::temp_dir().join("evprop-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("asia.bif");
+        let text = bif::write(&bif::with_generated_names(networks::asia(), "asia"));
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn info_runs() {
+        cmd_info(&s(&[&asia_file()])).unwrap();
+    }
+
+    #[test]
+    fn query_runs_with_evidence() {
+        let f = asia_file();
+        cmd_query(&s(&[
+            &f, "--target", "v3", "--evidence", "v7=s1", "--engine", "seq",
+        ]))
+        .unwrap();
+        // numeric state form
+        cmd_query(&s(&[
+            &f, "--target", "v3", "--evidence", "v7=1", "--threads", "2",
+        ]))
+        .unwrap();
+        // soft evidence
+        cmd_query(&s(&[
+            &f, "--target", "v3", "--likelihood", "v6=0.3:0.9",
+        ]))
+        .unwrap();
+        assert!(cmd_query(&s(&[&f, "--target", "v3", "--likelihood", "v6=x:y"])).is_err());
+    }
+
+    #[test]
+    fn mpe_runs() {
+        let f = asia_file();
+        cmd_mpe(&s(&[&f, "--evidence", "v7=s1", "--engine", "collab", "--threads", "2"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn export_then_reload() {
+        for which in ["sprinkler", "asia", "student"] {
+            cmd_export(&s(&[which])).unwrap();
+        }
+        assert!(cmd_export(&s(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn dot_runs() {
+        let f = asia_file();
+        cmd_dot(&s(&[&f])).unwrap();
+        cmd_dot(&s(&[&f, "--tasks"])).unwrap();
+        assert!(cmd_dot(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn simulate_runs() {
+        cmd_simulate(&s(&[
+            "--cliques", "32", "--width", "8", "--cores", "1", "--cores", "4",
+        ]))
+        .unwrap();
+        cmd_simulate(&s(&["--cliques", "16", "--width", "6", "--gantt"])).unwrap();
+        assert!(cmd_simulate(&s(&["--policy", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_reported() {
+        assert!(cmd_info(&s(&["/nonexistent.bif"])).is_err());
+        let f = asia_file();
+        assert!(cmd_query(&s(&[&f])).is_err());
+        assert!(cmd_query(&s(&[&f, "--target", "nope"])).is_err());
+        assert!(cmd_query(&s(&[&f, "--target", "v3", "--evidence", "v7"])).is_err());
+        assert!(cmd_query(&s(&[&f, "--target", "v3", "--engine", "bogus"])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's engine: collaborative scheduling on real threads.
+
+use crate::engine::collect_cliques;
+use crate::{Calibrated, Engine, Result};
+use evprop_jtree::JunctionTree;
+use evprop_potential::EvidenceSet;
+use evprop_sched::{run_collaborative, RunReport, SchedulerConfig, TableArena};
+use evprop_taskgraph::TaskGraph;
+use parking_lot::Mutex;
+
+/// The proposed method (§6): `P` worker threads with local ready lists,
+/// least-loaded allocation, and δ-partitioning of large tasks.
+///
+/// The report of the most recent run (per-thread computation time and
+/// scheduling overhead — Fig. 8's measurements) is kept for inspection
+/// via [`CollaborativeEngine::last_report`].
+#[derive(Debug)]
+pub struct CollaborativeEngine {
+    config: SchedulerConfig,
+    last_report: Mutex<Option<RunReport>>,
+}
+
+impl CollaborativeEngine {
+    /// An engine with the given scheduler configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        CollaborativeEngine {
+            config,
+            last_report: Mutex::new(None),
+        }
+    }
+
+    /// An engine with `threads` workers and default δ.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(SchedulerConfig::with_threads(threads))
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Per-thread statistics of the most recent propagation, if any.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.last_report.lock().clone()
+    }
+}
+
+impl CollaborativeEngine {
+    /// Propagates a **batch** of independent evidence cases through one
+    /// scheduler run: the task graph is replicated per case and all
+    /// copies' tasks share the worker pool, exposing inter-case
+    /// parallelism on top of the intra-case kind. Pays off when single
+    /// cases are too small to keep `P` threads busy — the regime behind
+    /// the paper's `w=10, r=2` outlier.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::propagate_graph`]; an empty batch yields an empty
+    /// vector.
+    pub fn propagate_batch(
+        &self,
+        jt: &evprop_jtree::JunctionTree,
+        graph: &TaskGraph,
+        evidences: &[EvidenceSet],
+    ) -> crate::Result<Vec<Calibrated>> {
+        if evidences.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = graph.replicate(evidences.len());
+        let arena = TableArena::initialize_batch(graph, jt.potentials(), evidences);
+        let report = run_collaborative(&batch, &arena, &self.config);
+        *self.last_report.lock() = Some(report);
+        let per_copy = graph.buffers().len();
+        let mut tables = arena.into_tables();
+        let mut out = Vec::with_capacity(evidences.len());
+        // split the flat buffer vector back into per-case slices
+        for case in (0..evidences.len()).rev() {
+            let tail = tables.split_off(case * per_copy);
+            let _ = case;
+            out.push(crate::engine::collect_cliques(jt, graph, tail));
+        }
+        out.reverse();
+        Ok(out)
+    }
+}
+
+impl Engine for CollaborativeEngine {
+    fn name(&self) -> &'static str {
+        "collaborative"
+    }
+
+    fn propagate_graph(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        let arena = TableArena::initialize(graph, jt.potentials(), evidence);
+        let report = run_collaborative(graph, &arena, &self.config);
+        *self.last_report.lock() = Some(report);
+        Ok(collect_cliques(jt, graph, arena.into_tables()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialEngine;
+    use evprop_bayesnet::networks;
+    use evprop_potential::VarId;
+
+    #[test]
+    fn agrees_with_sequential_across_thread_counts() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(6), 1);
+        let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+        for threads in [1, 2, 4] {
+            let engine = CollaborativeEngine::with_threads(threads);
+            let got = engine.propagate(&jt, &ev).unwrap();
+            assert!(
+                got.max_divergence(&reference) < 1e-9,
+                "threads = {threads}"
+            );
+            assert!(engine.last_report().is_some());
+        }
+    }
+
+    #[test]
+    fn partitioning_preserves_results() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let reference = SequentialEngine.propagate(&jt, &EvidenceSet::new()).unwrap();
+        let engine =
+            CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(2));
+        let got = engine.propagate(&jt, &EvidenceSet::new()).unwrap();
+        assert!(got.max_divergence(&reference) < 1e-9);
+        let report = engine.last_report().unwrap();
+        assert!(report.partitioned_tasks > 0);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::SequentialEngine;
+    use evprop_bayesnet::networks;
+    use evprop_potential::VarId;
+    use evprop_taskgraph::TaskGraph;
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let evidences: Vec<EvidenceSet> = (0..5)
+            .map(|i| {
+                let mut e = EvidenceSet::new();
+                e.observe(VarId(7), i % 2);
+                if i > 2 {
+                    e.observe(VarId(2), 1);
+                }
+                e
+            })
+            .collect();
+        let engine =
+            CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(8));
+        let batch = engine.propagate_batch(&jt, &graph, &evidences).unwrap();
+        assert_eq!(batch.len(), 5);
+        for (i, ev) in evidences.iter().enumerate() {
+            let single = SequentialEngine.propagate(&jt, ev).unwrap();
+            assert!(
+                batch[i].max_divergence(&single) < 1e-9,
+                "case {i} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let net = networks::sprinkler();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let engine = CollaborativeEngine::with_threads(2);
+        assert!(engine.propagate_batch(&jt, &graph, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replicated_graph_validates() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let batch = graph.replicate(3);
+        assert_eq!(batch.num_tasks(), 3 * graph.num_tasks());
+        assert_eq!(batch.buffers().len(), 3 * graph.buffers().len());
+        batch.validate().unwrap();
+        assert_eq!(batch.total_weight(), 3 * graph.total_weight());
+        // critical path unchanged: copies are independent
+        assert_eq!(batch.critical_path_weight(), graph.critical_path_weight());
+    }
+}

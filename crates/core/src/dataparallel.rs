@@ -1,0 +1,107 @@
+//! Baseline 2: per-primitive data parallelism with fresh threads.
+
+use crate::engine::collect_cliques;
+use crate::par_exec::{combine_shares, exec_share};
+use crate::{Calibrated, Engine, Result};
+use evprop_jtree::JunctionTree;
+use evprop_potential::EvidenceSet;
+use evprop_sched::TableArena;
+use evprop_taskgraph::TaskGraph;
+
+/// The paper's second baseline ("data parallel method"): task order stays
+/// sequential, and **new threads are created for every node-level
+/// primitive** and joined right after. Functionally identical to
+/// [`crate::OpenMpStyleEngine`], but the per-primitive spawn/join cost is
+/// real — which is exactly the overhead the paper blames for this
+/// method's inferior scaling.
+#[derive(Clone, Copy, Debug)]
+pub struct DataParallelEngine {
+    threads: usize,
+}
+
+impl DataParallelEngine {
+    /// An engine spawning `threads` workers per primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        DataParallelEngine { threads }
+    }
+
+    /// Number of worker threads per primitive.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Engine for DataParallelEngine {
+    fn name(&self) -> &'static str {
+        "data-parallel"
+    }
+
+    fn propagate_graph(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        let arena = TableArena::initialize(graph, jt.potentials(), evidence);
+        let p = self.threads;
+        let order = graph
+            .topological_order()
+            .expect("task graphs from trees are acyclic");
+
+        for &t in &order {
+            let task = graph.task(t);
+            let partials = if p == 1 {
+                // SAFETY: single-threaded.
+                vec![unsafe { exec_share(task, 0, 1, &arena) }]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..p)
+                        .map(|i| {
+                            let arena_ref = &arena;
+                            // SAFETY: this primitive is the only work in
+                            // flight; worker shares are disjoint.
+                            scope.spawn(move || unsafe { exec_share(task, i, p, arena_ref) })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("workers do not panic"))
+                        .collect()
+                })
+            };
+            // SAFETY: all workers joined.
+            unsafe { combine_shares(task, partials, &arena) };
+        }
+
+        Ok(collect_cliques(jt, graph, arena.into_tables()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialEngine;
+    use evprop_bayesnet::networks;
+    use evprop_potential::VarId;
+
+    #[test]
+    fn agrees_with_sequential() {
+        let net = networks::student();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(4), 1);
+        let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+        for threads in [1, 2, 3] {
+            let got = DataParallelEngine::new(threads).propagate(&jt, &ev).unwrap();
+            assert!(
+                got.max_divergence(&reference) < 1e-9,
+                "threads = {threads}"
+            );
+        }
+    }
+}

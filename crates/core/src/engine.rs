@@ -1,0 +1,63 @@
+//! The engine abstraction.
+
+use crate::{Calibrated, Result};
+use evprop_jtree::{CliqueId, JunctionTree};
+use evprop_potential::EvidenceSet;
+use evprop_taskgraph::TaskGraph;
+use std::fmt::Debug;
+
+/// An evidence-propagation engine: absorbs evidence into a junction tree
+/// and runs two-phase propagation, producing calibrated clique
+/// potentials.
+///
+/// All engines compute the same function; they differ in how the task
+/// graph executes (sequentially, under the collaborative scheduler, or
+/// under one of the baseline parallelization schemes).
+pub trait Engine: Debug {
+    /// Short stable name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Runs propagation of `evidence` through `jt` using the prebuilt
+    /// task `graph` (which must have been built from `jt.shape()`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-operation failures; see [`crate::EngineError`].
+    fn propagate_graph(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated>;
+
+    /// Convenience: builds the task graph and propagates.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::propagate_graph`].
+    fn propagate(&self, jt: &JunctionTree, evidence: &EvidenceSet) -> Result<Calibrated> {
+        let graph = TaskGraph::from_shape(jt.shape());
+        self.propagate_graph(jt, &graph, evidence)
+    }
+}
+
+/// Shared helper: pull the calibrated clique tables out of a final buffer
+/// arena state.
+pub(crate) fn collect_cliques(
+    jt: &JunctionTree,
+    graph: &TaskGraph,
+    mut buffers: Vec<evprop_potential::PotentialTable>,
+) -> Calibrated {
+    let n = jt.num_cliques();
+    let mut cliques = Vec::with_capacity(n);
+    // clique buffers are the first n and in clique order by construction,
+    // but go through the graph's mapping to stay robust
+    for c in (0..n).map(CliqueId) {
+        let b = graph.clique_buffer(c);
+        cliques.push(std::mem::replace(
+            &mut buffers[b.index()],
+            evprop_potential::PotentialTable::scalar(0.0),
+        ));
+    }
+    Calibrated::new(jt.shape().clone(), cliques)
+}

@@ -1,0 +1,78 @@
+//! Engine error type.
+
+use evprop_jtree::JtreeError;
+use evprop_potential::{PotentialError, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the inference engines.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The queried variable appears in no clique.
+    VariableNotInTree(VarId),
+    /// The evidence is impossible under the model (probability zero), so
+    /// posteriors are undefined.
+    ImpossibleEvidence,
+    /// Junction-tree construction or validation failed.
+    Jtree(JtreeError),
+    /// A potential-table operation failed.
+    Potential(PotentialError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::VariableNotInTree(v) => {
+                write!(f, "variable {v} does not appear in any clique")
+            }
+            EngineError::ImpossibleEvidence => {
+                write!(f, "evidence has probability zero under the model")
+            }
+            EngineError::Jtree(e) => write!(f, "junction tree error: {e}"),
+            EngineError::Potential(e) => write!(f, "potential-table error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Jtree(e) => Some(e),
+            EngineError::Potential(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JtreeError> for EngineError {
+    fn from(e: JtreeError) -> Self {
+        EngineError::Jtree(e)
+    }
+}
+
+impl From<PotentialError> for EngineError {
+    fn from(e: PotentialError) -> Self {
+        EngineError::Potential(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let errs: Vec<EngineError> = vec![
+            EngineError::VariableNotInTree(VarId(1)),
+            EngineError::ImpossibleEvidence,
+            EngineError::Jtree(JtreeError::BadCliqueId(3)),
+            EngineError::Potential(PotentialError::UnknownVariable(VarId(0))),
+        ];
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errs[2].source().is_some());
+        assert!(errs[0].source().is_none());
+    }
+}

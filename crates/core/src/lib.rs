@@ -1,0 +1,64 @@
+//! Parallel evidence propagation engines — the public API of the
+//! PACT 2009 reproduction.
+//!
+//! # Pipeline
+//!
+//! 1. Compile a Bayesian network to a junction tree (or bring your own
+//!    tree), 2. re-root it with the paper's Algorithm 1 to minimize the
+//!    critical path, 3. build the task dependency graph, 4. propagate
+//!    evidence with an [`Engine`]:
+//!
+//! * [`SequentialEngine`] — the Hugin two-phase reference;
+//! * [`CollaborativeEngine`] — the paper's contribution: decentralized
+//!   scheduling with per-thread ready lists and δ-partitioning of large
+//!   tasks;
+//! * [`OpenMpStyleEngine`] — baseline 1: persistent thread pool, each
+//!   primitive's loop split across threads behind a barrier (what
+//!   mechanically adding `#pragma omp parallel for` to the sequential
+//!   code does);
+//! * [`DataParallelEngine`] — baseline 2: fresh threads spawned for
+//!   every primitive.
+//!
+//! # Example
+//!
+//! ```
+//! use evprop_bayesnet::networks;
+//! use evprop_core::{Engine, InferenceSession, SequentialEngine};
+//! use evprop_potential::{EvidenceSet, VarId};
+//!
+//! let net = networks::sprinkler();
+//! let session = InferenceSession::from_network(&net)?;
+//! let mut ev = EvidenceSet::new();
+//! ev.observe(VarId(3), 1); // wet grass observed
+//! let calibrated = session.propagate(&SequentialEngine, &ev)?;
+//! let p_rain = calibrated.marginal(VarId(2))?;
+//! assert!((p_rain.data()[1] - 0.7079).abs() < 5e-4);
+//! # Ok::<(), evprop_core::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod calibrated;
+mod collaborative;
+mod dataparallel;
+mod engine;
+mod error;
+mod mpe;
+mod openmp;
+mod par_exec;
+mod sequential;
+mod session;
+
+pub use calibrated::Calibrated;
+pub use collaborative::CollaborativeEngine;
+pub use dataparallel::DataParallelEngine;
+pub use engine::Engine;
+pub use error::EngineError;
+pub use mpe::{decode_mpe, MostProbableExplanation};
+pub use openmp::OpenMpStyleEngine;
+pub use sequential::SequentialEngine;
+pub use session::InferenceSession;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

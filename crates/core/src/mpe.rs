@@ -1,0 +1,258 @@
+//! Most-probable-explanation (MPE) queries via Dawid max-propagation.
+//!
+//! Max-propagation runs the exact same two-phase task DAG as evidence
+//! propagation with marginalization replaced by maximization
+//! ([`PropagationMode::MaxProduct`](evprop_taskgraph::PropagationMode::MaxProduct));
+//! the calibrated cliques then hold
+//! *max-marginals*, and a single root-to-leaves sweep decodes a jointly
+//! most probable assignment. This demonstrates the paper's claim that
+//! the scheduling machinery covers a *class* of DAG-structured
+//! computations, not just sum-product inference.
+
+use crate::{Calibrated, Engine, EngineError, Result};
+use evprop_potential::{EvidenceSet, Odometer, VarId};
+
+/// A jointly most probable assignment and its probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MostProbableExplanation {
+    /// One state per variable, sorted by variable id. Includes the
+    /// observed (evidence) variables at their observed states.
+    pub assignment: Vec<(VarId, usize)>,
+    /// The joint probability `P(assignment)` — equivalently
+    /// `P(MPE, evidence)`.
+    pub probability: f64,
+}
+
+impl MostProbableExplanation {
+    /// The assigned state of `var`, if the variable occurs in the model.
+    pub fn state_of(&self, var: VarId) -> Option<usize> {
+        self.assignment
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .ok()
+            .map(|i| self.assignment[i].1)
+    }
+}
+
+/// Decodes an MPE assignment from a **max-calibrated** tree (the result
+/// of propagating with
+/// [`PropagationMode::MaxProduct`](evprop_taskgraph::PropagationMode::MaxProduct)).
+///
+/// Standard consistent decoding: fix the root clique at its argmax, then
+/// walk the tree in preorder, maximizing each clique subject to the
+/// states already fixed on its parent separator. Ties break toward lower
+/// flat indices, deterministically.
+///
+/// # Errors
+///
+/// [`EngineError::ImpossibleEvidence`] when the max-marginal peak is 0.
+pub fn decode_mpe(calibrated: &Calibrated) -> Result<MostProbableExplanation> {
+    let shape = calibrated.shape();
+    let mut states: Vec<Option<(VarId, usize)>> = Vec::new();
+    let mut fixed: std::collections::HashMap<VarId, usize> = std::collections::HashMap::new();
+    let mut probability = None;
+
+    for &c in shape.preorder() {
+        let table = calibrated.clique(c);
+        let dom = table.domain();
+        // best entry consistent with already-fixed variables
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for assignment in Odometer::new(dom) {
+            let consistent = dom
+                .vars()
+                .iter()
+                .zip(&assignment)
+                .all(|(v, &s)| fixed.get(&v.id()).is_none_or(|&f| f == s));
+            if !consistent {
+                continue;
+            }
+            let v = table.get(&assignment);
+            if best.as_ref().is_none_or(|(bv, _)| v > *bv) {
+                best = Some((v, assignment));
+            }
+        }
+        let (peak, assignment) = best.expect("every domain has at least one joint state");
+        if c == shape.root() {
+            if peak <= 0.0 {
+                return Err(EngineError::ImpossibleEvidence);
+            }
+            probability = Some(peak);
+        }
+        for (v, &s) in dom.vars().iter().zip(&assignment) {
+            if fixed.insert(v.id(), s).is_none() {
+                states.push(Some((v.id(), s)));
+            }
+        }
+    }
+
+    let mut assignment: Vec<(VarId, usize)> = states.into_iter().flatten().collect();
+    assignment.sort_by_key(|&(v, _)| v);
+    Ok(MostProbableExplanation {
+        assignment,
+        probability: probability.unwrap_or(1.0),
+    })
+}
+
+impl crate::InferenceSession {
+    /// Runs **max-propagation** with `engine` and returns the
+    /// max-calibrated tree (each clique's table holds max-marginals of
+    /// the joint with the evidence absorbed).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::propagate_graph`].
+    pub fn propagate_max(
+        &self,
+        engine: &dyn Engine,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        engine.propagate_graph(self.junction_tree(), self.max_task_graph(), evidence)
+    }
+
+    /// The most probable explanation given `evidence`: the jointly most
+    /// likely assignment to *all* variables, with its probability.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ImpossibleEvidence`] if the evidence has zero
+    /// probability; otherwise see [`Engine::propagate_graph`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use evprop_bayesnet::networks;
+    /// use evprop_core::{InferenceSession, SequentialEngine};
+    /// use evprop_potential::{EvidenceSet, VarId};
+    ///
+    /// let session = InferenceSession::from_network(&networks::sprinkler())?;
+    /// let mut ev = EvidenceSet::new();
+    /// ev.observe(VarId(3), 1); // grass is wet
+    /// let mpe = session.most_probable_explanation(&SequentialEngine, &ev)?;
+    /// assert_eq!(mpe.state_of(VarId(3)), Some(1)); // evidence is respected
+    /// assert!(mpe.probability > 0.0);
+    /// # Ok::<(), evprop_core::EngineError>(())
+    /// ```
+    pub fn most_probable_explanation(
+        &self,
+        engine: &dyn Engine,
+        evidence: &EvidenceSet,
+    ) -> Result<MostProbableExplanation> {
+        let calibrated = self.propagate_max(engine, evidence)?;
+        decode_mpe(&calibrated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollaborativeEngine, InferenceSession, SequentialEngine};
+    use evprop_bayesnet::{networks, JointDistribution};
+    use evprop_potential::Odometer as JointOdometer;
+
+    /// Brute-force MPE: scan the joint table.
+    fn oracle_mpe(
+        net: &evprop_bayesnet::BayesianNetwork,
+        ev: &EvidenceSet,
+    ) -> (Vec<usize>, f64) {
+        let joint = JointDistribution::of(net).unwrap();
+        let mut table = joint.table().clone();
+        ev.absorb_into(&mut table).unwrap();
+        let mut best = (Vec::new(), f64::NEG_INFINITY);
+        for assignment in JointOdometer::new(table.domain()) {
+            let p = table.get(&assignment);
+            if p > best.1 {
+                best = (assignment, p);
+            }
+        }
+        best
+    }
+
+    fn check_net(net: &evprop_bayesnet::BayesianNetwork, ev: &EvidenceSet) {
+        let session = InferenceSession::from_network(net).unwrap();
+        let mpe = session
+            .most_probable_explanation(&SequentialEngine, ev)
+            .unwrap();
+        let (oracle_assign, oracle_p) = oracle_mpe(net, ev);
+        // probabilities must match exactly (assignments may differ on ties)
+        assert!(
+            (mpe.probability - oracle_p).abs() < 1e-9,
+            "P(mpe) {} vs oracle {}",
+            mpe.probability,
+            oracle_p
+        );
+        // and the decoded assignment's joint probability must equal the peak
+        let joint = JointDistribution::of(net).unwrap();
+        let states: Vec<usize> = mpe.assignment.iter().map(|&(_, s)| s).collect();
+        let decoded_p = joint.table().get(&states);
+        assert!(
+            (decoded_p - oracle_p).abs() < 1e-9,
+            "decoded {} vs oracle {} (oracle assignment {:?})",
+            decoded_p,
+            oracle_p,
+            oracle_assign
+        );
+    }
+
+    #[test]
+    fn mpe_matches_bruteforce_on_classics() {
+        for net in [networks::sprinkler(), networks::asia(), networks::student()] {
+            check_net(&net, &EvidenceSet::new());
+        }
+    }
+
+    #[test]
+    fn mpe_with_evidence() {
+        let net = networks::asia();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(7), 1); // dyspnoea
+        ev.observe(VarId(2), 1); // smoker
+        check_net(&net, &ev);
+        // evidence states appear in the assignment
+        let session = InferenceSession::from_network(&net).unwrap();
+        let mpe = session
+            .most_probable_explanation(&SequentialEngine, &ev)
+            .unwrap();
+        assert_eq!(mpe.state_of(VarId(7)), Some(1));
+        assert_eq!(mpe.state_of(VarId(2)), Some(1));
+    }
+
+    #[test]
+    fn mpe_on_random_networks() {
+        for seed in 0..4 {
+            let cfg = evprop_bayesnet::RandomNetworkConfig {
+                num_vars: 8,
+                max_parents: 2,
+                cardinality: (2, 3),
+                seed,
+            };
+            let net = evprop_bayesnet::random_network(&cfg).unwrap();
+            check_net(&net, &EvidenceSet::new());
+        }
+    }
+
+    #[test]
+    fn parallel_mpe_agrees_with_sequential() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(6), 1); // abnormal x-ray
+        let seq = session
+            .most_probable_explanation(&SequentialEngine, &ev)
+            .unwrap();
+        let par = session
+            .most_probable_explanation(&CollaborativeEngine::with_threads(4), &ev)
+            .unwrap();
+        assert!((seq.probability - par.probability).abs() < 1e-12);
+        assert_eq!(seq.assignment, par.assignment);
+    }
+
+    #[test]
+    fn impossible_evidence_rejected() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(3), 1); // lung cancer
+        ev.observe(VarId(5), 0); // but "either" is false — contradiction
+        let r = session.most_probable_explanation(&SequentialEngine, &ev);
+        assert!(matches!(r, Err(EngineError::ImpossibleEvidence)));
+    }
+}

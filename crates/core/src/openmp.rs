@@ -1,0 +1,156 @@
+//! Baseline 1: OpenMP-style loop parallelism with a persistent pool.
+
+use crate::engine::collect_cliques;
+use crate::par_exec::{combine_shares, exec_share};
+use crate::{Calibrated, Engine, Result};
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, PotentialTable};
+use evprop_sched::TableArena;
+use evprop_taskgraph::{TaskGraph, TaskId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// The paper's first baseline: the sequential engine with every
+/// primitive's entry loop split across a persistent pool of `P` threads
+/// behind fork/join barriers — the semantics of annotating the loops with
+/// `#pragma omp parallel for`. Task order stays strictly sequential, so
+/// only *data* parallelism is exploited.
+#[derive(Debug)]
+pub struct OpenMpStyleEngine {
+    threads: usize,
+}
+
+impl OpenMpStyleEngine {
+    /// An engine with a pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        OpenMpStyleEngine { threads }
+    }
+
+    /// Number of pool threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+struct PoolState<'a> {
+    graph: &'a TaskGraph,
+    arena: &'a TableArena,
+    current: Mutex<Option<TaskId>>,
+    partials: Vec<Mutex<Option<PotentialTable>>>,
+    start: Barrier,
+    done: Barrier,
+    stop: AtomicBool,
+}
+
+impl Engine for OpenMpStyleEngine {
+    fn name(&self) -> &'static str {
+        "openmp-style"
+    }
+
+    fn propagate_graph(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        let arena = TableArena::initialize(graph, jt.potentials(), evidence);
+        let p = self.threads;
+        let order = graph
+            .topological_order()
+            .expect("task graphs from trees are acyclic");
+
+        if p == 1 || graph.num_tasks() == 0 {
+            // degenerate pool: run inline
+            for &t in &order {
+                let task = graph.task(t);
+                // SAFETY: single-threaded here.
+                let partial = unsafe { exec_share(task, 0, 1, &arena) };
+                unsafe { combine_shares(task, vec![partial], &arena) };
+            }
+            return Ok(collect_cliques(jt, graph, arena.into_tables()));
+        }
+
+        let state = PoolState {
+            graph,
+            arena: &arena,
+            current: Mutex::new(None),
+            partials: (0..p).map(|_| Mutex::new(None)).collect(),
+            start: Barrier::new(p + 1),
+            done: Barrier::new(p + 1),
+            stop: AtomicBool::new(false),
+        };
+
+        std::thread::scope(|scope| {
+            for i in 0..p {
+                let st = &state;
+                scope.spawn(move || loop {
+                    st.start.wait();
+                    if st.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let t = st.current.lock().expect("job set before barrier");
+                    let task = st.graph.task(t);
+                    // SAFETY: the main thread serializes primitives; this
+                    // worker's share is disjoint from its siblings'.
+                    let partial = unsafe { exec_share(task, i, p, st.arena) };
+                    *st.partials[i].lock() = partial;
+                    st.done.wait();
+                });
+            }
+
+            for &t in &order {
+                *state.current.lock() = Some(t);
+                state.start.wait(); // fork
+                state.done.wait(); // join
+                let task = graph.task(t);
+                let partials: Vec<Option<PotentialTable>> = state
+                    .partials
+                    .iter()
+                    .map(|s| s.lock().take())
+                    .collect();
+                // SAFETY: all workers are parked between barriers.
+                unsafe { combine_shares(task, partials, &arena) };
+            }
+            state.stop.store(true, Ordering::Release);
+            state.start.wait(); // release workers into shutdown
+        });
+
+        Ok(collect_cliques(jt, graph, arena.into_tables()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialEngine;
+    use evprop_bayesnet::networks;
+    use evprop_potential::VarId;
+
+    #[test]
+    fn agrees_with_sequential() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(4), 1);
+        let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+        for threads in [1, 2, 4] {
+            let got = OpenMpStyleEngine::new(threads).propagate(&jt, &ev).unwrap();
+            assert!(
+                got.max_divergence(&reference) < 1e-9,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = OpenMpStyleEngine::new(0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared helpers for the two intra-primitive (loop-parallel) baselines.
+
+use evprop_potential::{EntryRange, PotentialTable};
+use evprop_sched::TableArena;
+use evprop_taskgraph::{Task, TaskKind};
+
+/// Worker `i` of `p`'s slice of a length-`len` loop (contiguous, evenly
+/// sized, covering exactly `0..len`).
+pub(crate) fn worker_range(len: usize, i: usize, p: usize) -> EntryRange {
+    let start = len * i / p;
+    let end = len * (i + 1) / p;
+    EntryRange { start, end }
+}
+
+/// Executes worker `i`'s share of `task`. For destination-partitioned
+/// primitives the write lands directly in the arena; for marginalization
+/// a private partial table is returned for the caller to combine.
+///
+/// # Safety
+///
+/// Caller must guarantee (via sequential task order plus disjoint worker
+/// ranges) that no other thread writes the buffers this share touches.
+pub(crate) unsafe fn exec_share(
+    task: &Task,
+    i: usize,
+    p: usize,
+    arena: &TableArena,
+) -> Option<PotentialTable> {
+    match task.kind {
+        TaskKind::Marginalize { src, dst, max } => {
+            let s = arena.get(src);
+            let range = worker_range(s.len(), i, p);
+            let spec_domain = arena.get(dst).domain().clone();
+            let mut partial = PotentialTable::zeros(spec_domain);
+            if max {
+                s.max_marginalize_range_into(range, &mut partial)
+                    .expect("separator domain nests in clique domain");
+            } else {
+                s.marginalize_range_into(range, &mut partial)
+                    .expect("separator domain nests in clique domain");
+            }
+            Some(partial)
+        }
+        TaskKind::Divide { num, den, dst } => {
+            let d = arena.get_mut(dst);
+            let range = worker_range(d.len(), i, p);
+            let (nm, dn) = (arena.get(num), arena.get(den));
+            d.data_mut()[range.start..range.end]
+                .copy_from_slice(&nm.data()[range.start..range.end]);
+            d.divide_assign_range(range, dn)
+                .expect("separator domains agree");
+            None
+        }
+        TaskKind::Extend { src, dst } => {
+            let d = arena.get_mut(dst);
+            let range = worker_range(d.len(), i, p);
+            arena
+                .get(src)
+                .extend_range_into(range, d)
+                .expect("separator domain nests in clique domain");
+            None
+        }
+        TaskKind::Multiply { src, dst } => {
+            let d = arena.get_mut(dst);
+            let range = worker_range(d.len(), i, p);
+            d.multiply_assign_range(range, arena.get(src))
+                .expect("extended ratio matches clique domain");
+            None
+        }
+    }
+}
+
+/// Combines marginalization partials into the destination buffer
+/// (no-op for other primitives, whose worker writes were disjoint).
+///
+/// # Safety
+///
+/// Caller must guarantee exclusive access to the destination buffer.
+pub(crate) unsafe fn combine_shares(
+    task: &Task,
+    partials: Vec<Option<PotentialTable>>,
+    arena: &TableArena,
+) {
+    if let TaskKind::Marginalize { dst, max, .. } = task.kind {
+        let d = arena.get_mut(dst);
+        d.fill(0.0);
+        for partial in partials.into_iter().flatten() {
+            if max {
+                d.max_assign(&partial)
+                    .expect("partials share the separator domain");
+            } else {
+                d.add_assign(&partial)
+                    .expect("partials share the separator domain");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_ranges_tile_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for p in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for i in 0..p {
+                    let r = worker_range(len, i, p);
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end inference sessions: compile once, query many times.
+
+use crate::{Calibrated, Engine, Result};
+use evprop_bayesnet::BayesianNetwork;
+use evprop_jtree::{select_root, JunctionTree, RootChoice};
+use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+use evprop_taskgraph::{PropagationMode, TaskGraph};
+use std::sync::OnceLock;
+
+/// A reusable inference pipeline: junction tree (re-rooted by
+/// Algorithm 1) plus its prebuilt task dependency graph.
+///
+/// # Example
+///
+/// ```
+/// use evprop_bayesnet::networks;
+/// use evprop_core::{InferenceSession, SequentialEngine};
+/// use evprop_potential::{EvidenceSet, VarId};
+///
+/// let session = InferenceSession::from_network(&networks::asia())?;
+/// let posterior = session.posterior(&SequentialEngine, VarId(3), &EvidenceSet::new())?;
+/// assert!((posterior.sum() - 1.0).abs() < 1e-9);
+/// # Ok::<(), evprop_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct InferenceSession {
+    jt: JunctionTree,
+    graph: TaskGraph,
+    root_choice: RootChoice,
+    /// Max-product task graph, built on first MPE query.
+    max_graph: OnceLock<TaskGraph>,
+}
+
+impl InferenceSession {
+    /// Compiles `net` into a junction tree, re-roots it with Algorithm 1
+    /// to minimize the critical path, and builds the task graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates junction-tree compilation errors.
+    pub fn from_network(net: &BayesianNetwork) -> Result<Self> {
+        let jt = JunctionTree::from_network(net)?;
+        Ok(Self::from_junction_tree(jt))
+    }
+
+    /// Wraps an existing junction tree, re-rooting it with Algorithm 1.
+    pub fn from_junction_tree(mut jt: JunctionTree) -> Self {
+        let root_choice = select_root(jt.shape());
+        jt.reroot(root_choice.root)
+            .expect("Algorithm 1 returns an in-range clique");
+        let graph = TaskGraph::from_shape(jt.shape());
+        InferenceSession {
+            jt,
+            graph,
+            root_choice,
+            max_graph: OnceLock::new(),
+        }
+    }
+
+    /// Wraps an existing junction tree *without* re-rooting (the paper's
+    /// "original tree" baseline in Fig. 5).
+    pub fn from_junction_tree_unrerooted(jt: JunctionTree) -> Self {
+        let root_choice = RootChoice {
+            root: jt.shape().root(),
+            critical_path: evprop_jtree::critical_path_weight(jt.shape()),
+        };
+        let graph = TaskGraph::from_shape(jt.shape());
+        InferenceSession {
+            jt,
+            graph,
+            root_choice,
+            max_graph: OnceLock::new(),
+        }
+    }
+
+    /// The junction tree (after any re-rooting).
+    pub fn junction_tree(&self) -> &JunctionTree {
+        &self.jt
+    }
+
+    /// The prebuilt task dependency graph.
+    pub fn task_graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The max-product task graph (same structure, max-marginalization),
+    /// built lazily on the first MPE query.
+    pub fn max_task_graph(&self) -> &TaskGraph {
+        self.max_graph
+            .get_or_init(|| TaskGraph::from_shape_mode(self.jt.shape(), PropagationMode::MaxProduct))
+    }
+
+    /// The root selected at construction and its critical-path weight.
+    pub fn root_choice(&self) -> RootChoice {
+        self.root_choice
+    }
+
+    /// Runs two-phase propagation with `engine`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::propagate_graph`].
+    pub fn propagate(&self, engine: &dyn Engine, evidence: &EvidenceSet) -> Result<Calibrated> {
+        engine.propagate_graph(&self.jt, &self.graph, evidence)
+    }
+
+    /// Convenience: posterior marginal of one variable.
+    ///
+    /// # Errors
+    ///
+    /// See [`Calibrated::marginal`].
+    pub fn posterior(
+        &self,
+        engine: &dyn Engine,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        self.propagate(engine, evidence)?.marginal(var)
+    }
+
+    /// Posterior marginal via **collect-only propagation**: the tree is
+    /// re-rooted at a clique covering `var` and only the collect phase
+    /// runs — half the propagation work of [`InferenceSession::posterior`],
+    /// at the cost of building a one-shot task graph. Worth it when a
+    /// single marginal is needed from a large tree; for many queries over
+    /// the same evidence, full calibration amortizes better.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EngineError::VariableNotInTree`] if no clique covers
+    /// `var`; [`crate::EngineError::ImpossibleEvidence`] if `P(e) = 0`.
+    pub fn posterior_collect_only(
+        &self,
+        engine: &dyn Engine,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        let target = self
+            .jt
+            .clique_containing(var)
+            .ok_or(crate::EngineError::VariableNotInTree(var))?;
+        let mut shape = self.jt.shape().clone();
+        shape
+            .reroot(target)
+            .expect("clique_containing returns in-range ids");
+        let graph = TaskGraph::collect_only(&shape, PropagationMode::SumProduct);
+        let calibrated = engine.propagate_graph(&self.jt, &graph, evidence)?;
+        // only the target clique is calibrated; marginalize from it
+        let table = calibrated.clique(target);
+        let sub = table.domain().project(&[var]);
+        let mut m = table.marginalize(&sub)?;
+        if m.sum() <= 0.0 {
+            return Err(crate::EngineError::ImpossibleEvidence);
+        }
+        m.normalize();
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollaborativeEngine, SequentialEngine};
+    use evprop_bayesnet::{networks, JointDistribution};
+
+    #[test]
+    fn session_reroots_and_stays_correct() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let joint = JointDistribution::of(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(7), 1);
+        for v in 0..7u32 {
+            let got = session
+                .posterior(&SequentialEngine, VarId(v), &ev)
+                .unwrap();
+            let want = joint.marginal(VarId(v), &ev).unwrap();
+            assert!(got.approx_eq(&want, 1e-9), "V{v}");
+        }
+    }
+
+    #[test]
+    fn rerooted_and_original_agree() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let a = InferenceSession::from_junction_tree(jt.clone());
+        let b = InferenceSession::from_junction_tree_unrerooted(jt);
+        assert!(a.root_choice().critical_path <= b.root_choice().critical_path);
+        let ev = EvidenceSet::new();
+        let pa = a.posterior(&SequentialEngine, VarId(3), &ev).unwrap();
+        let pb = b.posterior(&SequentialEngine, VarId(3), &ev).unwrap();
+        assert!(pa.approx_eq(&pb, 1e-9));
+    }
+
+    #[test]
+    fn session_reuse_across_queries_and_engines() {
+        let net = networks::student();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let collab = CollaborativeEngine::with_threads(2);
+        for state in 0..2 {
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(3), state);
+            let a = session
+                .posterior(&SequentialEngine, VarId(2), &ev)
+                .unwrap();
+            let b = session.posterior(&collab, VarId(2), &ev).unwrap();
+            assert!(a.approx_eq(&b, 1e-9));
+        }
+    }
+}
+
+#[cfg(test)]
+mod collect_only_tests {
+    use super::*;
+    use crate::{CollaborativeEngine, SequentialEngine};
+    use evprop_bayesnet::networks;
+
+    #[test]
+    fn collect_only_matches_full_posterior() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(7), 1);
+        ev.observe_likelihood(VarId(6), vec![0.4, 0.8]);
+        for v in 0..6u32 {
+            let full = session
+                .posterior(&SequentialEngine, VarId(v), &ev)
+                .unwrap();
+            let fast = session
+                .posterior_collect_only(&SequentialEngine, VarId(v), &ev)
+                .unwrap();
+            assert!(full.approx_eq(&fast, 1e-9), "V{v}");
+            let fast_par = session
+                .posterior_collect_only(&CollaborativeEngine::with_threads(3), VarId(v), &ev)
+                .unwrap();
+            assert!(full.approx_eq(&fast_par, 1e-9), "V{v} parallel");
+        }
+    }
+
+    #[test]
+    fn collect_only_detects_impossible_evidence() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(3), 1);
+        ev.observe(VarId(5), 0); // contradiction
+        let r = session.posterior_collect_only(&SequentialEngine, VarId(4), &ev);
+        assert!(matches!(r, Err(crate::EngineError::ImpossibleEvidence)));
+    }
+
+    #[test]
+    fn collect_only_unknown_variable() {
+        let net = networks::sprinkler();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let r = session.posterior_collect_only(&SequentialEngine, VarId(99), &EvidenceSet::new());
+        assert!(matches!(r, Err(crate::EngineError::VariableNotInTree(_))));
+    }
+}

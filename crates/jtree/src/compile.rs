@@ -1,0 +1,184 @@
+//! Bayesian network → junction tree compilation.
+
+use crate::{
+    triangulate_with, CliqueId, EliminationHeuristic, JtreeError, JunctionTree, MoralGraph,
+    Result, TreeShape,
+};
+use evprop_bayesnet::BayesianNetwork;
+use evprop_potential::{Domain, PotentialTable, Variable};
+
+/// Full Lauritzen–Spiegelhalter compilation pipeline; see
+/// [`JunctionTree::from_network`] for the public entry point.
+pub fn compile_network(net: &BayesianNetwork) -> Result<JunctionTree> {
+    compile_network_with(net, EliminationHeuristic::MinFill)
+}
+
+/// Like [`compile_network`] with an explicit triangulation heuristic.
+pub fn compile_network_with(
+    net: &BayesianNetwork,
+    heuristic: EliminationHeuristic,
+) -> Result<JunctionTree> {
+    let tri = triangulate_with(MoralGraph::of(net), heuristic);
+
+    // Clique domains with real cardinalities.
+    let domains: Vec<Domain> = tri
+        .cliques
+        .iter()
+        .map(|ids| {
+            Domain::new(
+                ids.iter()
+                    .map(|&v| Variable::new(v, net.var(v).cardinality()))
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(JtreeError::from)
+        })
+        .collect::<Result<_>>()?;
+
+    let edges = maximum_weight_spanning_tree(&domains);
+    let shape = TreeShape::new(domains, &edges, 0)?;
+
+    // Assign each CPT to one clique covering its family; multiply in.
+    let mut potentials: Vec<PotentialTable> = shape
+        .domains()
+        .iter()
+        .map(|d| PotentialTable::ones(d.clone()))
+        .collect();
+    for cpt in net.cpts() {
+        let fam = cpt.table().domain();
+        let target = (0..shape.num_cliques())
+            .map(CliqueId)
+            .filter(|&c| shape.domain(c).is_superset_of(fam))
+            // smallest covering clique keeps the multiply cheap
+            .min_by_key(|&c| shape.domain(c).size())
+            .ok_or_else(|| JtreeError::UnassignableCpt(cpt.child().id()))?;
+        potentials[target.index()].multiply_assign(cpt.table())?;
+    }
+
+    JunctionTree::from_parts(shape, potentials)
+}
+
+/// Kruskal over clique pairs with weight = separator size (number of
+/// shared variables), keeping the heaviest separators — the standard way
+/// to realize the running-intersection property over maximal elimination
+/// cliques. Components that share no variables (a disconnected network)
+/// are finally linked with empty separators so the result is a single
+/// tree; propagation across an empty separator carries only a scalar and
+/// is mathematically a no-op between independent components.
+fn maximum_weight_spanning_tree(domains: &[Domain]) -> Vec<(usize, usize)> {
+    let n = domains.len();
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new(); // (weight, a, b)
+    for a in 0..n {
+        for b in a + 1..n {
+            let w = domains[a].intersect(&domains[b]).width();
+            if w > 0 {
+                pairs.push((w, a, b));
+            }
+        }
+    }
+    // heaviest first; deterministic tie-break on (a, b)
+    pairs.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+
+    let mut dsu = Dsu::new(n);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for (_, a, b) in pairs {
+        if dsu.union(a, b) {
+            edges.push((a, b));
+        }
+    }
+    // link leftover components (disconnected networks)
+    for b in 1..n {
+        if dsu.union(0, b) {
+            edges.push((0, b));
+        }
+    }
+    edges
+}
+
+/// Minimal union-find with path halving.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks::{asia, chain, student};
+
+    #[test]
+    fn chain_compiles_to_path_of_pair_cliques() {
+        let jt = compile_network(&chain(6)).unwrap();
+        assert_eq!(jt.num_cliques(), 5);
+        jt.shape().validate().unwrap();
+        for c in 0..5 {
+            assert_eq!(jt.shape().domain(CliqueId(c)).width(), 2);
+        }
+    }
+
+    #[test]
+    fn asia_separators_nonempty() {
+        let jt = compile_network(&asia()).unwrap();
+        for c in (0..jt.num_cliques()).map(CliqueId) {
+            if jt.shape().parent(c).is_some() {
+                assert!(!jt.shape().parent_separator(c).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn student_mass_is_one() {
+        let jt = compile_network(&student()).unwrap();
+        let total: f64 = jt
+            .potentials()
+            .iter()
+            .fold(PotentialTable::scalar(1.0), |acc, p| {
+                acc.product(p).unwrap()
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_network_still_forms_tree() {
+        // two independent binary pairs
+        let mut b = evprop_bayesnet::BayesianNetworkBuilder::new();
+        let a0 = b.add_variable(2);
+        let a1 = b.add_variable(2);
+        let c0 = b.add_variable(2);
+        let c1 = b.add_variable(2);
+        b.set_prior(a0, vec![0.3, 0.7]).unwrap();
+        b.set_cpt(a1, &[a0], vec![vec![0.9, 0.1], vec![0.4, 0.6]])
+            .unwrap();
+        b.set_prior(c0, vec![0.5, 0.5]).unwrap();
+        b.set_cpt(c1, &[c0], vec![vec![0.8, 0.2], vec![0.1, 0.9]])
+            .unwrap();
+        let net = b.build().unwrap();
+        let jt = compile_network(&net).unwrap();
+        // single tree despite two components
+        assert_eq!(jt.num_cliques(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for junction-tree construction and validation.
+
+use evprop_potential::{PotentialError, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while compiling or validating junction trees.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum JtreeError {
+    /// The clique graph is not a tree (wrong edge count or disconnected).
+    NotATree {
+        /// Number of cliques.
+        cliques: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An edge referenced a clique id out of range.
+    BadCliqueId(usize),
+    /// The running-intersection property is violated for a variable.
+    RunningIntersectionViolated(VarId),
+    /// A separator between adjacent cliques is empty (the tree would not
+    /// propagate information across that edge).
+    EmptySeparator {
+        /// One endpoint.
+        a: usize,
+        /// Other endpoint.
+        b: usize,
+    },
+    /// A clique potential's domain does not match the clique's domain.
+    PotentialDomainMismatch(usize),
+    /// A CPT could not be assigned to any clique (triangulation bug or
+    /// malformed input).
+    UnassignableCpt(VarId),
+    /// An underlying potential-table operation failed.
+    Potential(PotentialError),
+}
+
+impl fmt::Display for JtreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JtreeError::NotATree { cliques, edges } => write!(
+                f,
+                "clique graph with {cliques} cliques and {edges} edges is not a tree"
+            ),
+            JtreeError::BadCliqueId(i) => write!(f, "clique id {i} out of range"),
+            JtreeError::RunningIntersectionViolated(v) => write!(
+                f,
+                "running-intersection property violated for variable {v}"
+            ),
+            JtreeError::EmptySeparator { a, b } => {
+                write!(f, "separator between cliques {a} and {b} is empty")
+            }
+            JtreeError::PotentialDomainMismatch(i) => {
+                write!(f, "potential of clique {i} has mismatched domain")
+            }
+            JtreeError::UnassignableCpt(v) => {
+                write!(f, "no clique covers the CPT family of variable {v}")
+            }
+            JtreeError::Potential(e) => write!(f, "potential-table error: {e}"),
+        }
+    }
+}
+
+impl Error for JtreeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JtreeError::Potential(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PotentialError> for JtreeError {
+    fn from(e: PotentialError) -> Self {
+        JtreeError::Potential(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = vec![
+            JtreeError::NotATree {
+                cliques: 3,
+                edges: 1,
+            },
+            JtreeError::BadCliqueId(5),
+            JtreeError::RunningIntersectionViolated(VarId(1)),
+            JtreeError::EmptySeparator { a: 0, b: 1 },
+            JtreeError::PotentialDomainMismatch(2),
+            JtreeError::UnassignableCpt(VarId(3)),
+            JtreeError::Potential(PotentialError::UnknownVariable(VarId(0))),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Junction trees: compilation from Bayesian networks, tree shapes, and
+//! the paper's **rerooting algorithm** (§4, Algorithm 1).
+//!
+//! A junction tree `J = (T, P̂)` is a tree of *cliques* (sets of random
+//! variables) satisfying the running-intersection property, with a
+//! potential table per clique. Exact inference propagates evidence over
+//! the tree in two phases (collect, distribute); the length of the
+//! longest weighted root-to-leaf path — the **critical path** — lower
+//! bounds parallel execution time, and this crate implements the paper's
+//! `O(w_C · N)` root-selection algorithm that minimizes it, alongside the
+//! straightforward `O(w_C · N²)` method used for cross-checking.
+//!
+//! # Pipeline
+//!
+//! ```
+//! use evprop_bayesnet::networks;
+//! use evprop_jtree::JunctionTree;
+//!
+//! let net = networks::asia();
+//! let jt = JunctionTree::from_network(&net).unwrap();
+//! assert!(jt.shape().validate().is_ok());
+//! // Re-root at the critical-path-minimizing clique:
+//! let best = evprop_jtree::select_root(jt.shape());
+//! # let _ = best;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compile;
+mod dot;
+mod error;
+mod moral;
+mod reroot;
+mod shape;
+mod tree;
+mod triangulate;
+
+pub use compile::{compile_network, compile_network_with};
+pub use error::JtreeError;
+pub use moral::MoralGraph;
+pub use reroot::{clique_cost, critical_path_weight, select_root, select_root_naive, RootChoice};
+pub use shape::{CliqueId, TreeShape};
+pub use tree::JunctionTree;
+pub use triangulate::{triangulate_min_fill, triangulate_with, EliminationHeuristic, Triangulation};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, JtreeError>;

@@ -1,0 +1,107 @@
+//! Moralization: Bayesian network → undirected moral graph.
+
+use evprop_bayesnet::BayesianNetwork;
+use evprop_potential::VarId;
+
+/// The moral graph of a Bayesian network: the undirected graph obtained
+/// by "marrying" the parents of every node (connecting them pairwise) and
+/// dropping edge directions. First step of junction-tree compilation.
+#[derive(Clone, Debug)]
+pub struct MoralGraph {
+    /// Adjacency sets, indexed by variable position; sorted, deduplicated.
+    adj: Vec<Vec<VarId>>,
+}
+
+impl MoralGraph {
+    /// Moralizes `net`.
+    pub fn of(net: &BayesianNetwork) -> Self {
+        let n = net.num_vars();
+        let mut adj: Vec<Vec<VarId>> = vec![Vec::new(); n];
+        let add = |adj: &mut Vec<Vec<VarId>>, a: VarId, b: VarId| {
+            if a != b {
+                adj[a.index()].push(b);
+                adj[b.index()].push(a);
+            }
+        };
+        for i in 0..n as u32 {
+            let v = VarId(i);
+            let parents = net.parents_of(v);
+            for &p in parents {
+                add(&mut adj, v, p);
+            }
+            // marry parents pairwise
+            for (x, &p) in parents.iter().enumerate() {
+                for &q in &parents[x + 1..] {
+                    add(&mut adj, p, q);
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        MoralGraph { adj }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of `v`, sorted by id.
+    pub fn neighbors(&self, v: VarId) -> &[VarId] {
+        &self.adj[v.index()]
+    }
+
+    /// Whether `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: VarId, b: VarId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Consumes the graph into raw adjacency lists (used by
+    /// triangulation).
+    pub(crate) fn into_adj(self) -> Vec<Vec<VarId>> {
+        self.adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks::{sprinkler, wet_grass_vars};
+
+    #[test]
+    fn sprinkler_moralization_marries_parents() {
+        let net = sprinkler();
+        let (c, s, r, w) = wet_grass_vars();
+        let m = MoralGraph::of(&net);
+        // original edges
+        assert!(m.has_edge(c, s));
+        assert!(m.has_edge(c, r));
+        assert!(m.has_edge(s, w));
+        assert!(m.has_edge(r, w));
+        // moral edge between WetGrass's parents
+        assert!(m.has_edge(s, r));
+        assert_eq!(m.num_edges(), 5);
+        assert_eq!(m.num_vertices(), 4);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let net = sprinkler();
+        let m = MoralGraph::of(&net);
+        for i in 0..4u32 {
+            let v = VarId(i);
+            let nb = m.neighbors(v);
+            assert!(!nb.contains(&v));
+            let mut s = nb.to_vec();
+            s.dedup();
+            assert_eq!(s.len(), nb.len());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: Algorithm 1 agrees with the exhaustive O(N²) rerooter.
+
+use evprop_jtree::{
+    clique_cost, critical_path_weight, select_root, select_root_naive, CliqueId, TreeShape,
+};
+use evprop_potential::{Domain, VarId, Variable};
+use proptest::prelude::*;
+
+/// A random tree over n cliques: clique i > 0 attaches to a random
+/// earlier clique. Widths vary per clique (1..=4 binary variables, all
+/// distinct across cliques so costs vary but structure is a valid tree).
+fn arb_tree() -> impl Strategy<Value = TreeShape> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..usize::MAX, n - 1),
+            proptest::collection::vec(1usize..=4, n),
+        )
+            .prop_map(move |(parents, widths)| {
+                let mut edges = Vec::with_capacity(n - 1);
+                for i in 1..n {
+                    edges.push((parents[i - 1] % i, i));
+                }
+                let mut next_var = 0u32;
+                let domains: Vec<Domain> = widths
+                    .iter()
+                    .map(|&w| {
+                        let vars: Vec<Variable> = (0..w)
+                            .map(|_| {
+                                let v = Variable::binary(VarId(next_var));
+                                next_var += 1;
+                                v
+                            })
+                            .collect();
+                        Domain::new(vars).unwrap()
+                    })
+                    .collect();
+                TreeShape::new(domains, &edges, 0).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Algorithm 1's root achieves the same minimal critical path as
+    /// trying every root.
+    #[test]
+    fn algorithm1_matches_naive(shape in arb_tree()) {
+        let fast = select_root(&shape);
+        let naive = select_root_naive(&shape);
+        prop_assert_eq!(
+            fast.critical_path, naive.critical_path,
+            "alg1 picked {:?}, naive picked {:?}", fast.root, naive.root
+        );
+    }
+
+    /// The reported critical path matches a recomputation after actually
+    /// re-rooting the tree.
+    #[test]
+    fn reported_weight_is_real(shape in arb_tree()) {
+        let choice = select_root(&shape);
+        let mut s = shape.clone();
+        s.reroot(choice.root).unwrap();
+        prop_assert_eq!(critical_path_weight(&s), choice.critical_path);
+    }
+
+    /// Rerooting never increases the critical path relative to the
+    /// original root, and is idempotent.
+    #[test]
+    fn reroot_never_hurts(shape in arb_tree()) {
+        let before = critical_path_weight(&shape);
+        let choice = select_root(&shape);
+        prop_assert!(choice.critical_path <= before);
+        let mut s = shape.clone();
+        s.reroot(choice.root).unwrap();
+        let again = select_root(&s);
+        prop_assert_eq!(again.critical_path, choice.critical_path);
+    }
+
+    /// Rerooting preserves the undirected topology: same neighbor sets,
+    /// same total cost, every non-root clique's parent is a neighbor.
+    #[test]
+    fn reroot_preserves_structure(shape in arb_tree(), seed in 0usize..1000) {
+        let n = shape.num_cliques();
+        let target = CliqueId(seed % n);
+        let mut s = shape.clone();
+        s.reroot(target).unwrap();
+        prop_assert_eq!(s.root(), target);
+        let total_before: u64 = (0..n).map(|i| clique_cost(&shape, CliqueId(i))).sum();
+        let total_after: u64 = (0..n).map(|i| clique_cost(&s, CliqueId(i))).sum();
+        prop_assert_eq!(total_before, total_after);
+        for i in 0..n {
+            let c = CliqueId(i);
+            let mut a: Vec<usize> = shape.neighbors(c).iter().map(|x| x.index()).collect();
+            let mut b: Vec<usize> = s.neighbors(c).iter().map(|x| x.index()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            if let Some(p) = s.parent(c) {
+                prop_assert!(s.neighbors(c).contains(&p));
+            }
+        }
+        // parent/child arrays are consistent
+        for i in 0..n {
+            let c = CliqueId(i);
+            for &ch in s.children(c) {
+                prop_assert_eq!(s.parent(ch), Some(c));
+            }
+        }
+    }
+
+    /// Preorder visits every clique exactly once, parents first.
+    #[test]
+    fn preorder_well_formed(shape in arb_tree()) {
+        let pre = shape.preorder();
+        prop_assert_eq!(pre.len(), shape.num_cliques());
+        let mut seen = vec![false; shape.num_cliques()];
+        for &c in pre {
+            if let Some(p) = shape.parent(c) {
+                prop_assert!(seen[p.index()]);
+            }
+            prop_assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+}

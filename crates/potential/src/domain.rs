@@ -1,0 +1,409 @@
+//! Ordered sets of variables with mixed-radix index arithmetic.
+
+use crate::{PotentialError, Result, VarId, Variable};
+use std::fmt;
+
+/// An ordered set of discrete variables — the scope of a potential table.
+///
+/// Domains are canonicalized: variables are stored sorted by [`VarId`],
+/// with no duplicates. Two tables over the same variable set therefore
+/// always agree on entry layout, which lets the node-level primitives walk
+/// tables with precomputed strides instead of per-entry hash lookups.
+///
+/// Entries of a table over this domain are laid out row-major with the
+/// **last** variable fastest: the stride of variable `i` is the product of
+/// the cardinalities of variables `i+1..`.
+///
+/// # Example
+///
+/// ```
+/// use evprop_potential::{Domain, Variable, VarId};
+/// let d = Domain::new(vec![
+///     Variable::new(VarId(2), 3),
+///     Variable::new(VarId(0), 2),
+/// ]).unwrap();
+/// // Canonical order is by VarId regardless of construction order.
+/// assert_eq!(d.vars()[0].id(), VarId(0));
+/// assert_eq!(d.size(), 6);
+/// assert_eq!(d.stride(0), 3); // V0 strides over V2's 3 states
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Domain {
+    vars: Vec<Variable>,
+    /// Stride of each variable position; `strides[i]` = product of
+    /// cardinalities of positions `i+1..`.
+    strides: Vec<usize>,
+    size: usize,
+}
+
+impl Domain {
+    /// Builds a domain from a collection of variables.
+    ///
+    /// The variables are sorted by id; order of the input is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PotentialError::DuplicateVariable`] if a variable id
+    /// appears twice with the same cardinality, and
+    /// [`PotentialError::CardinalityMismatch`] if it appears twice with
+    /// different cardinalities.
+    pub fn new(mut vars: Vec<Variable>) -> Result<Self> {
+        vars.sort_by_key(|v| v.id());
+        for w in vars.windows(2) {
+            if w[0].id() == w[1].id() {
+                if w[0].cardinality() != w[1].cardinality() {
+                    return Err(PotentialError::CardinalityMismatch {
+                        var: w[0].id(),
+                        expected: w[0].cardinality(),
+                        found: w[1].cardinality(),
+                    });
+                }
+                return Err(PotentialError::DuplicateVariable(w[0].id()));
+            }
+        }
+        Ok(Self::from_sorted(vars))
+    }
+
+    /// Builds a domain from variables already sorted by id with no
+    /// duplicates. Internal fast path.
+    fn from_sorted(vars: Vec<Variable>) -> Self {
+        let mut strides = vec![0usize; vars.len()];
+        let mut acc = 1usize;
+        for (i, v) in vars.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc
+                .checked_mul(v.cardinality())
+                .expect("domain size overflows usize");
+        }
+        Domain {
+            vars,
+            strides,
+            size: acc,
+        }
+    }
+
+    /// The empty domain; its (single-entry) table is a scalar.
+    pub fn empty() -> Self {
+        Domain {
+            vars: Vec::new(),
+            strides: Vec::new(),
+            size: 1,
+        }
+    }
+
+    /// The variables of this domain, sorted by id.
+    #[inline]
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Number of variables (the clique width `w` in the paper).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of joint states — the length of a table over this
+    /// domain (`r^w` for uniform cardinality `r`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// `true` when the domain has no variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The stride of the variable at `position`: how far the flat index
+    /// moves when that variable's state increments by one.
+    #[inline]
+    pub fn stride(&self, position: usize) -> usize {
+        self.strides[position]
+    }
+
+    /// Position of `var` within the domain, if present.
+    pub fn position_of(&self, var: VarId) -> Option<usize> {
+        self.vars.binary_search_by_key(&var, |v| v.id()).ok()
+    }
+
+    /// Whether `var` is in the domain.
+    #[inline]
+    pub fn contains(&self, var: VarId) -> bool {
+        self.position_of(var).is_some()
+    }
+
+    /// Whether every variable of `other` is also in `self`.
+    pub fn is_superset_of(&self, other: &Domain) -> bool {
+        other.vars.iter().all(|v| self.contains(v.id()))
+    }
+
+    /// The intersection of two domains — the **separator** of two adjacent
+    /// cliques in a junction tree.
+    pub fn intersect(&self, other: &Domain) -> Domain {
+        let vars: Vec<Variable> = self
+            .vars
+            .iter()
+            .filter(|v| other.contains(v.id()))
+            .copied()
+            .collect();
+        Domain::from_sorted(vars)
+    }
+
+    /// The union of two domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PotentialError::CardinalityMismatch`] if a shared variable
+    /// has different cardinalities in the two domains.
+    pub fn union(&self, other: &Domain) -> Result<Domain> {
+        let mut vars = Vec::with_capacity(self.width() + other.width());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            let (a, b) = (self.vars[i], other.vars[j]);
+            if a.id() < b.id() {
+                vars.push(a);
+                i += 1;
+            } else if b.id() < a.id() {
+                vars.push(b);
+                j += 1;
+            } else {
+                if a.cardinality() != b.cardinality() {
+                    return Err(PotentialError::CardinalityMismatch {
+                        var: a.id(),
+                        expected: a.cardinality(),
+                        found: b.cardinality(),
+                    });
+                }
+                vars.push(a);
+                i += 1;
+                j += 1;
+            }
+        }
+        vars.extend_from_slice(&self.vars[i..]);
+        vars.extend_from_slice(&other.vars[j..]);
+        Ok(Domain::from_sorted(vars))
+    }
+
+    /// The set difference `self \ other`.
+    pub fn minus(&self, other: &Domain) -> Domain {
+        let vars: Vec<Variable> = self
+            .vars
+            .iter()
+            .filter(|v| !other.contains(v.id()))
+            .copied()
+            .collect();
+        Domain::from_sorted(vars)
+    }
+
+    /// Projects the domain onto the given variable ids (keeping those that
+    /// are present); order of `keep` is irrelevant.
+    pub fn project(&self, keep: &[VarId]) -> Domain {
+        let vars: Vec<Variable> = self
+            .vars
+            .iter()
+            .filter(|v| keep.contains(&v.id()))
+            .copied()
+            .collect();
+        Domain::from_sorted(vars)
+    }
+
+    /// Converts a full assignment (one state per domain variable, in
+    /// domain order) into a flat table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the assignment length differs from the
+    /// domain width or a state is out of range.
+    #[inline]
+    pub fn flat_index(&self, states: &[usize]) -> usize {
+        debug_assert_eq!(states.len(), self.vars.len());
+        let mut idx = 0usize;
+        for (i, &s) in states.iter().enumerate() {
+            debug_assert!(s < self.vars[i].cardinality());
+            idx += s * self.strides[i];
+        }
+        idx
+    }
+
+    /// Converts a flat table index back to a full assignment.
+    pub fn unflatten(&self, mut idx: usize) -> Vec<usize> {
+        let mut states = vec![0usize; self.vars.len()];
+        for (state, &stride) in states.iter_mut().zip(&self.strides) {
+            *state = idx / stride;
+            idx %= stride;
+        }
+        states
+    }
+
+    /// For each variable position of `self`, the stride of that variable
+    /// inside a table over `target` (0 if `target` does not contain it).
+    ///
+    /// This is the bridge used by every primitive: scanning a table over
+    /// `self` linearly while maintaining the corresponding index into a
+    /// table over `target` costs O(1) amortized per entry.
+    pub fn strides_in(&self, target: &Domain) -> Vec<usize> {
+        self.vars
+            .iter()
+            .map(|v| {
+                target
+                    .position_of(v.id())
+                    .map(|p| target.stride(p))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// The cardinalities of the domain's variables, in domain order.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.vars.iter().map(|v| v.cardinality()).collect()
+    }
+
+    /// The ids of the domain's variables, in domain order.
+    pub fn var_ids(&self) -> Vec<VarId> {
+        self.vars.iter().map(|v| v.id()).collect()
+    }
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Domain::empty()
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Domain{{")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(spec: &[(u32, usize)]) -> Domain {
+        Domain::new(
+            spec.iter()
+                .map(|&(id, c)| Variable::new(VarId(id), c))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_sort_and_strides() {
+        let d = dom(&[(2, 3), (0, 2), (1, 4)]);
+        assert_eq!(d.var_ids(), vec![VarId(0), VarId(1), VarId(2)]);
+        assert_eq!(d.size(), 24);
+        // last variable fastest
+        assert_eq!(d.stride(2), 1);
+        assert_eq!(d.stride(1), 3);
+        assert_eq!(d.stride(0), 12);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = Domain::new(vec![
+            Variable::new(VarId(1), 2),
+            Variable::new(VarId(1), 2),
+        ])
+        .unwrap_err();
+        assert_eq!(err, PotentialError::DuplicateVariable(VarId(1)));
+    }
+
+    #[test]
+    fn cardinality_conflict_rejected() {
+        let err = Domain::new(vec![
+            Variable::new(VarId(1), 2),
+            Variable::new(VarId(1), 3),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PotentialError::CardinalityMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_domain_is_scalar() {
+        let d = Domain::empty();
+        assert_eq!(d.size(), 1);
+        assert!(d.is_empty());
+        assert_eq!(d.flat_index(&[]), 0);
+    }
+
+    #[test]
+    fn flat_roundtrip_exhaustive() {
+        let d = dom(&[(0, 2), (1, 3), (2, 2)]);
+        for idx in 0..d.size() {
+            let states = d.unflatten(idx);
+            assert_eq!(d.flat_index(&states), idx);
+        }
+    }
+
+    #[test]
+    fn intersect_union_minus() {
+        let a = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let b = dom(&[(1, 3), (2, 2), (5, 4)]);
+        let s = a.intersect(&b);
+        assert_eq!(s.var_ids(), vec![VarId(1), VarId(2)]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.var_ids(), vec![VarId(0), VarId(1), VarId(2), VarId(5)]);
+        let m = a.minus(&b);
+        assert_eq!(m.var_ids(), vec![VarId(0)]);
+        assert!(u.is_superset_of(&a));
+        assert!(u.is_superset_of(&b));
+        assert!(!a.is_superset_of(&b));
+    }
+
+    #[test]
+    fn union_detects_conflicting_cardinalities() {
+        let a = dom(&[(0, 2)]);
+        let b = Domain::new(vec![Variable::new(VarId(0), 3)]).unwrap();
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn strides_in_superdomain() {
+        let sub = dom(&[(0, 2), (2, 2)]);
+        let sup = dom(&[(0, 2), (1, 3), (2, 2)]);
+        // In sup: strides are [6, 2, 1]; sub vars V0,V2 -> [6, 1].
+        assert_eq!(sub.strides_in(&sup), vec![6, 1]);
+        // Reverse direction: V1 missing from sub gets stride 0.
+        assert_eq!(sup.strides_in(&sub), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let d = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let p = d.project(&[VarId(2), VarId(0)]);
+        assert_eq!(p.var_ids(), vec![VarId(0), VarId(2)]);
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let d = dom(&[(3, 2), (7, 3)]);
+        assert_eq!(d.position_of(VarId(7)), Some(1));
+        assert!(d.contains(VarId(3)));
+        assert!(!d.contains(VarId(4)));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let d = dom(&[(0, 2), (1, 3)]);
+        let s = format!("{d:?}");
+        assert!(s.contains("V0(2)"));
+        assert!(s.contains("V1(3)"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Evidence: instantiated variables to be absorbed before propagation.
+
+use crate::{PotentialTable, Result, VarId};
+use std::fmt;
+
+/// One piece of evidence: variable `var` observed in state `state`
+/// (the `A_e = a_e` of §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Evidence {
+    /// The observed variable.
+    pub var: VarId,
+    /// Its observed state.
+    pub state: usize,
+}
+
+impl Evidence {
+    /// Creates a piece of evidence.
+    #[inline]
+    pub fn new(var: VarId, state: usize) -> Self {
+        Evidence { var, state }
+    }
+}
+
+impl fmt::Display for Evidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.var, self.state)
+    }
+}
+
+/// **Soft (likelihood) evidence**: instead of pinning a variable to one
+/// state, each state is weighted by the likelihood of some unmodeled
+/// observation — e.g. a noisy sensor that is 80 % reliable. Hard
+/// evidence is the special case of a one-hot likelihood.
+///
+/// Unlike hard evidence, a likelihood must be multiplied into the model
+/// **exactly once** (squaring it would double-count the observation), so
+/// engines absorb each likelihood into a single clique.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Likelihood {
+    /// The observed variable.
+    pub var: VarId,
+    /// One non-negative weight per state of `var`.
+    pub weights: Vec<f64>,
+}
+
+impl Likelihood {
+    /// Multiplies this likelihood into `table` along the `var` axis.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::PotentialError::UnknownVariable`] if `var` is not in the
+    /// table's domain; [`crate::PotentialError::CardinalityMismatch`] if
+    /// the weight count differs from the variable's cardinality.
+    pub fn apply_to(&self, table: &mut PotentialTable) -> Result<()> {
+        let pos = table
+            .domain()
+            .position_of(self.var)
+            .ok_or(crate::PotentialError::UnknownVariable(self.var))?;
+        let card = table.domain().vars()[pos].cardinality();
+        if self.weights.len() != card {
+            return Err(crate::PotentialError::CardinalityMismatch {
+                var: self.var,
+                expected: card,
+                found: self.weights.len(),
+            });
+        }
+        let stride = table.domain().stride(pos);
+        let block = stride * card;
+        let data = table.data_mut();
+        for base in (0..data.len()).step_by(block) {
+            for (s, &w) in self.weights.iter().enumerate() {
+                let lo = base + s * stride;
+                for v in &mut data[lo..lo + stride] {
+                    *v *= w;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of evidence items: hard observations (at most one per variable;
+/// later insertions replace earlier ones) plus soft likelihoods.
+///
+/// # Example
+///
+/// ```
+/// use evprop_potential::{Evidence, EvidenceSet, VarId};
+/// let mut ev = EvidenceSet::new();
+/// ev.observe(VarId(3), 1);
+/// ev.observe(VarId(3), 0); // replaces
+/// ev.observe_likelihood(VarId(1), vec![0.8, 0.2]); // noisy sensor
+/// assert_eq!(ev.state_of(VarId(3)), Some(0));
+/// assert_eq!(ev.len(), 1);
+/// assert_eq!(ev.soft().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvidenceSet {
+    items: Vec<Evidence>,
+    soft: Vec<Likelihood>,
+}
+
+impl EvidenceSet {
+    /// An empty evidence set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `var = state`, replacing any earlier observation of `var`.
+    pub fn observe(&mut self, var: VarId, state: usize) -> &mut Self {
+        if let Some(e) = self.items.iter_mut().find(|e| e.var == var) {
+            e.state = state;
+        } else {
+            self.items.push(Evidence::new(var, state));
+        }
+        self
+    }
+
+    /// The observed state of `var`, if any.
+    pub fn state_of(&self, var: VarId) -> Option<usize> {
+        self.items.iter().find(|e| e.var == var).map(|e| e.state)
+    }
+
+    /// Number of observed variables.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is observed, hard or soft.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.soft.is_empty()
+    }
+
+    /// Iterates over the hard evidence items.
+    pub fn iter(&self) -> std::slice::Iter<'_, Evidence> {
+        self.items.iter()
+    }
+
+    /// Records soft evidence: `weights[s]` is the likelihood of the
+    /// unmodeled observation given `var = s`. A later likelihood for the
+    /// same variable replaces the earlier one.
+    pub fn observe_likelihood(&mut self, var: VarId, weights: Vec<f64>) -> &mut Self {
+        if let Some(l) = self.soft.iter_mut().find(|l| l.var == var) {
+            l.weights = weights;
+        } else {
+            self.soft.push(Likelihood { var, weights });
+        }
+        self
+    }
+
+    /// The soft (likelihood) evidence items.
+    pub fn soft(&self) -> &[Likelihood] {
+        &self.soft
+    }
+
+    /// Absorbs into `table` every **hard** evidence item whose variable
+    /// lies in the table's domain (zeroing inconsistent entries). Returns
+    /// how many items were absorbed.
+    ///
+    /// Hard evidence is idempotent under repetition (an indicator squared
+    /// is itself), so absorbing into *every* containing clique is safe;
+    /// soft evidence is not, which is why it is excluded here — see
+    /// [`EvidenceSet::soft`] and [`Likelihood::apply_to`], which engines
+    /// apply to exactly one clique per variable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::PotentialError::StateOutOfRange`] when an
+    /// observed state exceeds the variable's cardinality.
+    pub fn absorb_into(&self, table: &mut PotentialTable) -> Result<usize> {
+        let mut n = 0;
+        for e in &self.items {
+            if table.domain().contains(e.var) {
+                table.restrict(e.var, e.state)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl FromIterator<Evidence> for EvidenceSet {
+    fn from_iter<I: IntoIterator<Item = Evidence>>(iter: I) -> Self {
+        let mut set = EvidenceSet::new();
+        for e in iter {
+            set.observe(e.var, e.state);
+        }
+        set
+    }
+}
+
+impl Extend<Evidence> for EvidenceSet {
+    fn extend<I: IntoIterator<Item = Evidence>>(&mut self, iter: I) {
+        for e in iter {
+            self.observe(e.var, e.state);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EvidenceSet {
+    type Item = &'a Evidence;
+    type IntoIter = std::slice::Iter<'a, Evidence>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, Variable};
+
+    #[test]
+    fn observe_and_replace() {
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(1), 2).observe(VarId(2), 0);
+        assert_eq!(ev.len(), 2);
+        ev.observe(VarId(1), 1);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev.state_of(VarId(1)), Some(1));
+        assert_eq!(ev.state_of(VarId(9)), None);
+        assert!(!ev.is_empty());
+    }
+
+    #[test]
+    fn absorb_into_table() {
+        let d = Domain::new(vec![
+            Variable::new(VarId(0), 2),
+            Variable::new(VarId(1), 2),
+        ])
+        .unwrap();
+        let mut t = PotentialTable::ones(d);
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(1), 0);
+        ev.observe(VarId(7), 1); // not in domain: ignored
+        let n = ev.absorb_into(&mut t).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn absorb_bad_state_errors() {
+        let d = Domain::new(vec![Variable::binary(VarId(0))]).unwrap();
+        let mut t = PotentialTable::ones(d);
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(0), 5);
+        assert!(ev.absorb_into(&mut t).is_err());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let ev: EvidenceSet = vec![Evidence::new(VarId(0), 1), Evidence::new(VarId(0), 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev.state_of(VarId(0)), Some(0));
+    }
+
+    #[test]
+    fn likelihood_applies_along_axis() {
+        let d = Domain::new(vec![
+            Variable::new(VarId(0), 2),
+            Variable::new(VarId(1), 2),
+        ])
+        .unwrap();
+        let mut t = PotentialTable::from_data(d, vec![1., 2., 3., 4.]).unwrap();
+        Likelihood {
+            var: VarId(1),
+            weights: vec![0.5, 2.0],
+        }
+        .apply_to(&mut t)
+        .unwrap();
+        assert_eq!(t.data(), &[0.5, 4., 1.5, 8.]);
+    }
+
+    #[test]
+    fn likelihood_validates() {
+        let d = Domain::new(vec![Variable::binary(VarId(0))]).unwrap();
+        let mut t = PotentialTable::ones(d);
+        assert!(Likelihood {
+            var: VarId(9),
+            weights: vec![1., 1.],
+        }
+        .apply_to(&mut t)
+        .is_err());
+        assert!(Likelihood {
+            var: VarId(0),
+            weights: vec![1., 1., 1.],
+        }
+        .apply_to(&mut t)
+        .is_err());
+    }
+
+    #[test]
+    fn soft_evidence_replaces() {
+        let mut ev = EvidenceSet::new();
+        ev.observe_likelihood(VarId(0), vec![0.9, 0.1]);
+        ev.observe_likelihood(VarId(0), vec![0.2, 0.8]);
+        assert_eq!(ev.soft().len(), 1);
+        assert_eq!(ev.soft()[0].weights, vec![0.2, 0.8]);
+        assert!(!ev.is_empty());
+        assert_eq!(ev.len(), 0); // len counts hard evidence only
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(format!("{}", Evidence::new(VarId(2), 1)), "V2=1");
+    }
+}

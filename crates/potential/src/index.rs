@@ -1,0 +1,235 @@
+//! Index arithmetic: assignments, odometers and cross-domain walkers.
+
+use crate::Domain;
+
+/// A full assignment of states to the variables of some domain, in domain
+/// order. A thin wrapper over `Vec<usize>` used mostly in tests and
+/// user-facing APIs; the hot paths work on flat indices.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Assignment(pub Vec<usize>);
+
+impl Assignment {
+    /// The states, one per variable in domain order.
+    #[inline]
+    pub fn states(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<Vec<usize>> for Assignment {
+    fn from(v: Vec<usize>) -> Self {
+        Assignment(v)
+    }
+}
+
+/// Iterates over all joint assignments of a domain in flat-index order
+/// (last variable fastest).
+///
+/// # Example
+///
+/// ```
+/// use evprop_potential::{Domain, Odometer, Variable, VarId};
+/// let d = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))]).unwrap();
+/// let all: Vec<Vec<usize>> = Odometer::new(&d).collect();
+/// assert_eq!(all, vec![vec![0,0], vec![0,1], vec![1,0], vec![1,1]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Odometer {
+    cards: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl Odometer {
+    /// Starts an odometer over `domain` at the all-zero assignment.
+    pub fn new(domain: &Domain) -> Self {
+        let cards = domain.cardinalities();
+        let done = cards.contains(&0);
+        Odometer {
+            current: vec![0; cards.len()],
+            cards,
+            done,
+        }
+    }
+}
+
+impl Iterator for Odometer {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // increment with carry, last position fastest
+        let mut i = self.cards.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.cards[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+/// Walks a *source* domain linearly (flat indices `0, 1, 2, ...`) while
+/// maintaining the corresponding flat index into a *target* domain.
+///
+/// The target index is defined by giving each source variable a stride in
+/// the target (0 when the target lacks the variable — see
+/// [`Domain::strides_in`]). Advancing costs O(1) amortized; the walker can
+/// also be positioned at an arbitrary source index in O(w), which is what
+/// lets the Partition module hand out table *ranges* to subtasks.
+///
+/// This one mechanism implements all four node-level primitives:
+///
+/// * **marginalize**: scan the big table, accumulate into `target[walk]`;
+/// * **extend**: scan the big (destination) table, read `source[walk]`;
+/// * **multiply/divide**: scan the destination, combine with `other[walk]`.
+#[derive(Debug, Clone)]
+pub struct AxisWalker {
+    cards: Vec<usize>,
+    /// Stride of each source axis within the target table.
+    tstrides: Vec<usize>,
+    counters: Vec<usize>,
+    target_idx: usize,
+}
+
+impl AxisWalker {
+    /// Creates a walker from the source domain and per-source-axis strides
+    /// in the target (typically `source.strides_in(&target)`).
+    pub fn new(source: &Domain, tstrides: Vec<usize>) -> Self {
+        debug_assert_eq!(source.width(), tstrides.len());
+        AxisWalker {
+            cards: source.cardinalities(),
+            tstrides,
+            counters: vec![0; source.width()],
+            target_idx: 0,
+        }
+    }
+
+    /// Positions the walker at source flat index `src_idx`.
+    pub fn seek(&mut self, source: &Domain, src_idx: usize) {
+        self.counters = source.unflatten(src_idx);
+        self.target_idx = self
+            .counters
+            .iter()
+            .zip(&self.tstrides)
+            .map(|(&c, &s)| c * s)
+            .sum();
+    }
+
+    /// The target flat index corresponding to the current source index.
+    #[inline]
+    pub fn target_index(&self) -> usize {
+        self.target_idx
+    }
+
+    /// Advances the source index by one, updating the target index.
+    #[inline]
+    pub fn advance(&mut self) {
+        let mut i = self.cards.len();
+        loop {
+            if i == 0 {
+                // wrapped all the way around; reset (caller controls bounds)
+                return;
+            }
+            i -= 1;
+            self.counters[i] += 1;
+            self.target_idx += self.tstrides[i];
+            if self.counters[i] < self.cards[i] {
+                return;
+            }
+            self.counters[i] = 0;
+            self.target_idx -= self.cards[i] * self.tstrides[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VarId, Variable};
+
+    fn dom(spec: &[(u32, usize)]) -> Domain {
+        Domain::new(
+            spec.iter()
+                .map(|&(id, c)| Variable::new(VarId(id), c))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn odometer_counts_all_assignments() {
+        let d = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let all: Vec<_> = Odometer::new(&d).collect();
+        assert_eq!(all.len(), 12);
+        // flat-index order
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(d.flat_index(a), i);
+        }
+    }
+
+    #[test]
+    fn odometer_empty_domain_yields_single() {
+        let d = Domain::empty();
+        let all: Vec<_> = Odometer::new(&d).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn walker_matches_bruteforce_projection() {
+        let src = dom(&[(0, 2), (1, 3), (2, 2)]);
+        let tgt = dom(&[(0, 2), (2, 2)]);
+        let mut w = AxisWalker::new(&src, src.strides_in(&tgt));
+        for (i, states) in Odometer::new(&src).enumerate() {
+            // brute-force target index: project states onto tgt vars
+            let proj: Vec<usize> = vec![states[0], states[2]];
+            assert_eq!(w.target_index(), tgt.flat_index(&proj), "at src idx {i}");
+            w.advance();
+        }
+    }
+
+    #[test]
+    fn walker_seek_agrees_with_walk() {
+        let src = dom(&[(0, 3), (1, 2), (3, 4)]);
+        let tgt = dom(&[(1, 2), (3, 4)]);
+        let strides = src.strides_in(&tgt);
+        let mut stepped = AxisWalker::new(&src, strides.clone());
+        for idx in 0..src.size() {
+            let mut sought = AxisWalker::new(&src, strides.clone());
+            sought.seek(&src, idx);
+            assert_eq!(sought.target_index(), stepped.target_index(), "idx {idx}");
+            stepped.advance();
+        }
+    }
+
+    #[test]
+    fn walker_into_superdomain() {
+        // extension direction: walk the sep, index into the clique
+        let sep = dom(&[(1, 3)]);
+        let clique = dom(&[(0, 2), (1, 3)]);
+        let mut w = AxisWalker::new(&clique, clique.strides_in(&sep));
+        // clique idx 0..6 -> sep idx pattern 0,1,2,0,1,2
+        let mut got = Vec::new();
+        for _ in 0..clique.size() {
+            got.push(w.target_index());
+            w.advance();
+        }
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn assignment_from_vec() {
+        let a: Assignment = vec![1, 0, 2].into();
+        assert_eq!(a.states(), &[1, 0, 2]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Max-marginalization: the primitive that turns sum-product evidence
+//! propagation into max-product (Viterbi / MPE) propagation.
+//!
+//! Dawid's max-propagation runs the same two-phase schedule with the
+//! same division, extension and multiplication primitives; only
+//! marginalization changes — `Σ` becomes `max` — and partitioned
+//! partial results combine by elementwise `max` instead of addition.
+
+use crate::index::AxisWalker;
+use crate::{EntryRange, PotentialError, PotentialTable, Result};
+
+impl PotentialTable {
+    /// **Max-marginalization**: `dst[s] = max over clique states
+    /// projecting to s` — the max-product counterpart of
+    /// [`PotentialTable::marginalize`].
+    ///
+    /// # Errors
+    ///
+    /// [`PotentialError::NotSubdomain`] if `target` ⊄ this domain.
+    pub fn max_marginalize(
+        &self,
+        target: &crate::Domain,
+    ) -> Result<PotentialTable> {
+        let mut out = PotentialTable::zeros(target.clone());
+        self.max_marginalize_range_into(EntryRange::full(self.len()), &mut out)?;
+        Ok(out)
+    }
+
+    /// Range-partitioned max-marginalization: folds the source entries in
+    /// `range` into `out` with elementwise `max`. Partials from disjoint
+    /// ranges combine with [`PotentialTable::max_assign`]. `out` should
+    /// start at zero (the identity for non-negative potentials).
+    ///
+    /// # Errors
+    ///
+    /// [`PotentialError::NotSubdomain`] if `out`'s domain ⊄ this domain;
+    /// [`PotentialError::BadRange`] for an out-of-bounds range.
+    pub fn max_marginalize_range_into(
+        &self,
+        range: EntryRange,
+        out: &mut PotentialTable,
+    ) -> Result<()> {
+        for v in out.domain().vars() {
+            if !self.domain().contains(v.id()) {
+                return Err(PotentialError::NotSubdomain { missing: v.id() });
+            }
+        }
+        if range.start > range.end || range.end > self.len() {
+            return Err(PotentialError::BadRange {
+                start: range.start,
+                end: range.end,
+                len: self.len(),
+            });
+        }
+        let mut w = AxisWalker::new(self.domain(), self.domain().strides_in(out.domain()));
+        w.seek(self.domain(), range.start);
+        let dst = out.data_mut();
+        for &v in &self.data()[range.start..range.end] {
+            let slot = &mut dst[w.target_index()];
+            if v > *slot {
+                *slot = v;
+            }
+            w.advance();
+        }
+        Ok(())
+    }
+
+    /// Elementwise maximum over identical domains; the combining step for
+    /// partitioned max-marginalization subtasks.
+    ///
+    /// # Errors
+    ///
+    /// [`PotentialError::DataSizeMismatch`] if lengths differ.
+    pub fn max_assign(&mut self, other: &PotentialTable) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(PotentialError::DataSizeMismatch {
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            if b > *a {
+                *a = b;
+            }
+        }
+        Ok(())
+    }
+
+    /// The flat index and value of the largest entry (first one on ties).
+    pub fn argmax(&self) -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, VarId, Variable};
+
+    fn dom(spec: &[(u32, usize)]) -> Domain {
+        Domain::new(
+            spec.iter()
+                .map(|&(id, c)| Variable::new(VarId(id), c))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_marginalize_small() {
+        let t = PotentialTable::from_data(
+            dom(&[(0, 2), (1, 3)]),
+            vec![1., 7., 3., 4., 5., 6.],
+        )
+        .unwrap();
+        let onto_b = t.max_marginalize(&dom(&[(1, 3)])).unwrap();
+        assert_eq!(onto_b.data(), &[4., 7., 6.]);
+        let onto_a = t.max_marginalize(&dom(&[(0, 2)])).unwrap();
+        assert_eq!(onto_a.data(), &[7., 6.]);
+        let scalar = t.max_marginalize(&Domain::empty()).unwrap();
+        assert_eq!(scalar.data(), &[7.]);
+    }
+
+    #[test]
+    fn partitioned_max_matches_whole() {
+        let t = PotentialTable::from_data(
+            dom(&[(0, 2), (1, 2), (2, 2)]),
+            vec![8., 1., 6., 2., 7., 3., 5., 4.],
+        )
+        .unwrap();
+        let target = dom(&[(1, 2)]);
+        let whole = t.max_marginalize(&target).unwrap();
+        for chunk in 1..=5 {
+            let mut acc = PotentialTable::zeros(target.clone());
+            for r in EntryRange::split(t.len(), chunk) {
+                let mut part = PotentialTable::zeros(target.clone());
+                t.max_marginalize_range_into(r, &mut part).unwrap();
+                acc.max_assign(&part).unwrap();
+            }
+            assert_eq!(acc.data(), whole.data(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t =
+            PotentialTable::from_data(dom(&[(0, 2), (1, 2)]), vec![0.1, 0.9, 0.3, 0.2]).unwrap();
+        assert_eq!(t.argmax(), (1, 0.9));
+    }
+
+    #[test]
+    fn max_assign_requires_same_length() {
+        let mut a = PotentialTable::ones(dom(&[(0, 2)]));
+        let b = PotentialTable::ones(dom(&[(0, 3)]));
+        assert!(a.max_assign(&b).is_err());
+    }
+
+    #[test]
+    fn max_marginalize_bad_target_errors() {
+        let t = PotentialTable::ones(dom(&[(0, 2)]));
+        assert!(matches!(
+            t.max_marginalize(&dom(&[(5, 2)])),
+            Err(PotentialError::NotSubdomain { .. })
+        ));
+    }
+}

@@ -1,0 +1,144 @@
+//! Discrete random variables.
+
+use std::fmt;
+
+/// Identifier of a discrete random variable.
+///
+/// Variable identities are plain integers; a [`VarId`] newtype keeps them
+/// from being confused with states, clique ids or task ids elsewhere in
+/// the workspace.
+///
+/// # Example
+///
+/// ```
+/// use evprop_potential::VarId;
+/// let v = VarId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Returns the identifier as a `usize`, convenient for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(v: u32) -> Self {
+        VarId(v)
+    }
+}
+
+/// A discrete random variable: an identifier plus its number of states.
+///
+/// The number of states (`cardinality`) is the `r` of the paper; the
+/// potential table of a clique with `w` variables each of `r` states has
+/// `r^w` entries.
+///
+/// # Example
+///
+/// ```
+/// use evprop_potential::{Variable, VarId};
+/// let v = Variable::new(VarId(0), 3);
+/// assert_eq!(v.cardinality(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Variable {
+    id: VarId,
+    cardinality: usize,
+}
+
+impl Variable {
+    /// Creates a variable with the given identifier and state count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality` is zero — a variable must have at least one
+    /// state.
+    #[inline]
+    pub fn new(id: VarId, cardinality: usize) -> Self {
+        assert!(cardinality > 0, "variable cardinality must be positive");
+        Variable { id, cardinality }
+    }
+
+    /// A binary variable, the most common case in the paper's workloads.
+    #[inline]
+    pub fn binary(id: VarId) -> Self {
+        Variable::new(id, 2)
+    }
+
+    /// The variable's identifier.
+    #[inline]
+    pub fn id(&self) -> VarId {
+        self.id
+    }
+
+    /// The number of states of this variable.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.id, self.cardinality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_roundtrip() {
+        assert_eq!(VarId::from(7u32), VarId(7));
+        assert_eq!(VarId(7).index(), 7);
+    }
+
+    #[test]
+    fn var_id_ordering_matches_numeric() {
+        assert!(VarId(1) < VarId(2));
+        assert!(VarId(10) > VarId(2));
+    }
+
+    #[test]
+    fn variable_accessors() {
+        let v = Variable::new(VarId(4), 5);
+        assert_eq!(v.id(), VarId(4));
+        assert_eq!(v.cardinality(), 5);
+    }
+
+    #[test]
+    fn binary_constructor() {
+        assert_eq!(Variable::binary(VarId(0)).cardinality(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn zero_cardinality_rejected() {
+        let _ = Variable::new(VarId(0), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", VarId(3)), "V3");
+        assert_eq!(format!("{:?}", VarId(3)), "V3");
+        assert_eq!(format!("{}", Variable::new(VarId(3), 2)), "V3(2)");
+    }
+}

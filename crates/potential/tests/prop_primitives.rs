@@ -1,0 +1,207 @@
+//! Property-based tests for the node-level primitives.
+//!
+//! These pin down the algebraic identities the parallel engines rely on:
+//! partitioned execution must agree with whole-table execution, and the
+//! primitives must satisfy the distribution laws used by evidence
+//! propagation.
+
+use evprop_potential::{Domain, EntryRange, PotentialTable, VarId, Variable};
+use proptest::prelude::*;
+
+/// Strategy: a domain of 1..=4 variables with cardinalities 1..=4 and
+/// arbitrary distinct ids out of a small pool.
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    proptest::collection::btree_set(0u32..8, 1..=4).prop_flat_map(|ids| {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        proptest::collection::vec(1usize..=4, ids.len()).prop_map(move |cards| {
+            Domain::new(
+                ids.iter()
+                    .zip(&cards)
+                    .map(|(&id, &c)| Variable::new(VarId(id), c))
+                    .collect(),
+            )
+            .unwrap()
+        })
+    })
+}
+
+/// Strategy: a table over an arbitrary domain with entries in [0, 10].
+fn arb_table() -> impl Strategy<Value = PotentialTable> {
+    arb_domain().prop_flat_map(|d| {
+        let n = d.size();
+        proptest::collection::vec(0.0f64..10.0, n)
+            .prop_map(move |data| PotentialTable::from_data(d.clone(), data).unwrap())
+    })
+}
+
+/// Picks a random subdomain of `d` (possibly empty).
+fn arb_subdomain(d: Domain) -> impl Strategy<Value = Domain> {
+    let ids = d.var_ids();
+    proptest::collection::vec(proptest::bool::ANY, ids.len()).prop_map(move |mask| {
+        let keep: Vec<VarId> = ids
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(&id, _)| id)
+            .collect();
+        d.project(&keep)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Marginalization preserves total mass.
+    #[test]
+    fn marginalize_preserves_sum(t in arb_table(), chunk in 1usize..7) {
+        let _ = chunk;
+        let sub = t.domain().project(&t.domain().var_ids()[..1]);
+        let m = t.marginalize(&sub).unwrap();
+        prop_assert!((m.sum() - t.sum()).abs() <= 1e-9 * (1.0 + t.sum()));
+    }
+
+    /// Partitioned marginalization (partials added) equals whole-table
+    /// marginalization for every subdomain and chunk size.
+    #[test]
+    fn marginalize_partition_consistent(
+        (t, sub) in arb_table().prop_flat_map(|t| {
+            let d = t.domain().clone();
+            (Just(t), arb_subdomain(d))
+        }),
+        chunk in 1usize..9,
+    ) {
+        let whole = t.marginalize(&sub).unwrap();
+        let mut acc = PotentialTable::zeros(sub.clone());
+        for r in EntryRange::split(t.len(), chunk) {
+            let mut part = PotentialTable::zeros(sub.clone());
+            t.marginalize_range_into(r, &mut part).unwrap();
+            acc.add_assign(&part).unwrap();
+        }
+        prop_assert!(acc.approx_eq(&whole, 1e-9));
+    }
+
+    /// Extension then marginalization back recovers the source scaled by
+    /// the size of the eliminated subspace.
+    #[test]
+    fn extend_then_marginalize_scales(
+        (t, sup) in arb_table().prop_flat_map(|t| {
+            let base = t.domain().clone();
+            // add up to 2 extra fresh variables
+            proptest::collection::vec((8u32..12, 1usize..=3), 0..3).prop_map(move |extra| {
+                let mut vars = base.vars().to_vec();
+                for (id, c) in extra {
+                    if !base.contains(VarId(id)) && !vars.iter().any(|v| v.id() == VarId(id)) {
+                        vars.push(Variable::new(VarId(id), c));
+                    }
+                }
+                Domain::new(vars).unwrap()
+            }).prop_map({
+                let t = t.clone();
+                move |sup| (t.clone(), sup)
+            })
+        })
+    ) {
+        let factor = (sup.size() / t.domain().size()) as f64;
+        let ext = t.extend(&sup).unwrap();
+        let back = ext.marginalize(t.domain()).unwrap();
+        let mut scaled = t.clone();
+        scaled.scale(factor);
+        prop_assert!(back.approx_eq(&scaled, 1e-9 * (1.0 + factor)));
+    }
+
+    /// Partitioned extension/multiplication/division agree with the
+    /// whole-table primitives.
+    #[test]
+    fn dest_partition_consistent(
+        (t, sub) in arb_table().prop_flat_map(|t| {
+            let d = t.domain().clone();
+            (Just(t), arb_subdomain(d))
+        }),
+        chunk in 1usize..9,
+        op in 0usize..3,
+    ) {
+        let subtab = t.marginalize(&sub).unwrap();
+        match op {
+            0 => {
+                // extension
+                let whole = subtab.extend(t.domain()).unwrap();
+                let mut pieced = PotentialTable::zeros(t.domain().clone());
+                for r in EntryRange::split(t.len(), chunk) {
+                    subtab.extend_range_into(r, &mut pieced).unwrap();
+                }
+                prop_assert!(pieced.approx_eq(&whole, 0.0));
+            }
+            1 => {
+                // multiplication
+                let mut whole = t.clone();
+                whole.multiply_assign(&subtab).unwrap();
+                let mut pieced = t.clone();
+                for r in EntryRange::split(t.len(), chunk) {
+                    pieced.multiply_assign_range(r, &subtab).unwrap();
+                }
+                prop_assert!(pieced.approx_eq(&whole, 0.0));
+            }
+            _ => {
+                // division (same-domain)
+                let den = t.clone();
+                let mut whole = t.clone();
+                whole.divide_assign(&den).unwrap();
+                let mut pieced = t.clone();
+                for r in EntryRange::split(t.len(), chunk) {
+                    pieced.divide_assign_range(r, &den).unwrap();
+                }
+                prop_assert!(pieced.approx_eq(&whole, 0.0));
+            }
+        }
+    }
+
+    /// The Hugin update is exact: after multiplying a clique by the
+    /// separator ratio, re-marginalizing the clique onto the separator
+    /// gives the updated separator (when the original separator was the
+    /// clique's marginal — i.e. a calibrated edge).
+    #[test]
+    fn hugin_update_calibrates(t in arb_table()) {
+        prop_assume!(t.domain().width() >= 2);
+        let keep = &t.domain().var_ids()[..t.domain().width() / 2];
+        let sep_dom = t.domain().project(keep);
+        prop_assume!(!sep_dom.is_empty());
+        let old_sep = t.marginalize(&sep_dom).unwrap();
+        // a fresh separator: double the mass
+        let mut new_sep = old_sep.clone();
+        new_sep.scale(2.0);
+        let mut ratio = new_sep.clone();
+        ratio.divide_assign(&old_sep).unwrap();
+        let mut clique = t.clone();
+        clique.multiply_assign(&ratio).unwrap();
+        let got = clique.marginalize(&sep_dom).unwrap();
+        prop_assert!(got.approx_eq(&new_sep, 1e-6 * (1.0 + new_sep.sum())));
+    }
+
+    /// Restriction commutes with marginalization over untouched variables.
+    #[test]
+    fn restrict_commutes_with_marginalize(t in arb_table(), state in 0usize..4) {
+        prop_assume!(t.domain().width() >= 2);
+        let ev_var = t.domain().vars()[0];
+        let state = state % ev_var.cardinality();
+        let rest: Vec<VarId> = t.domain().var_ids()[1..].to_vec();
+        let sub = t.domain().project(&rest);
+
+        // restrict then marginalize
+        let mut a = t.clone();
+        a.restrict(ev_var.id(), state).unwrap();
+        let a = a.marginalize(&sub).unwrap();
+
+        // marginalize including the var can't commute, so instead compare
+        // against the direct slice-sum
+        let mut expect = PotentialTable::zeros(sub.clone());
+        for (idx, &v) in t.data().iter().enumerate() {
+            let states = t.domain().unflatten(idx);
+            if states[0] == state {
+                let proj: Vec<usize> = states[1..].to_vec();
+                let j = sub.flat_index(&proj);
+                expect.data_mut()[j] += v;
+            }
+        }
+        prop_assert!(a.approx_eq(&expect, 1e-9));
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared table arena the worker threads execute against.
+
+use evprop_potential::{EvidenceSet, PotentialTable};
+use evprop_taskgraph::{BufferId, BufferInit, TaskGraph};
+use std::cell::UnsafeCell;
+use std::fmt;
+
+/// The buffers (clique potentials, separators, scratch) shared by all
+/// worker threads during one propagation run.
+///
+/// # Safety model
+///
+/// Interior mutability without per-access locks is what makes the
+/// collaborative scheduler fast, and it is sound for the same reason the
+/// paper's Pthreads code is: the task dependency graph orders every pair
+/// of conflicting accesses —
+///
+/// * each buffer has a unique writer task at any moment
+///   ([`TaskGraph::validate`] proves all writers of a buffer are totally
+///   ordered by dependency paths);
+/// * readers of a buffer are ordered after its relevant writer and before
+///   the next one by the same graph;
+/// * partitioned subtasks write **disjoint ranges** of the destination
+///   (or private partial tables, for marginalization);
+/// * the scheduler's atomic dependency counters (`fetch_sub` with
+///   `AcqRel`) and ready-list mutexes carry the happens-before edges
+///   between the completing and the launching thread.
+///
+/// All `unsafe` access is confined to this module's two accessors.
+pub struct TableArena {
+    cells: Vec<UnsafeCell<PotentialTable>>,
+}
+
+// SAFETY: see the type-level safety model; cross-thread access is
+// externally synchronized by the task DAG.
+unsafe impl Sync for TableArena {}
+
+impl TableArena {
+    /// Allocates and initializes every buffer of `graph`:
+    /// clique buffers copy `clique_potentials` (then absorb `evidence`),
+    /// separators start at ones, scratch at zeros. Hard evidence is
+    /// absorbed into every containing clique (idempotent); each soft
+    /// likelihood is multiplied into exactly **one** clique — applying it
+    /// twice would double-count the observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clique_potentials` does not cover every clique
+    /// referenced by the graph, evidence states are out of range, or an
+    /// evidence variable (hard or soft) appears in no clique — caller
+    /// bugs that would otherwise silently yield prior posteriors.
+    pub fn initialize(
+        graph: &TaskGraph,
+        clique_potentials: &[PotentialTable],
+        evidence: &EvidenceSet,
+    ) -> Self {
+        let mut cells: Vec<UnsafeCell<PotentialTable>> = graph
+            .buffers()
+            .iter()
+            .map(|spec| {
+                let table = match spec.init {
+                    BufferInit::CliquePotential(c) => {
+                        let mut t = clique_potentials[c.index()].clone();
+                        evidence
+                            .absorb_into(&mut t)
+                            .expect("evidence states are validated upstream");
+                        t
+                    }
+                    BufferInit::Ones => PotentialTable::ones(spec.domain.clone()),
+                    BufferInit::Zeros => PotentialTable::zeros(spec.domain.clone()),
+                };
+                UnsafeCell::new(table)
+            })
+            .collect();
+        // a hard observation on a variable outside every clique would be
+        // silently dropped by the per-table absorption above — reject it
+        for e in evidence.iter() {
+            assert!(
+                graph.buffers().iter().any(|spec| {
+                    matches!(spec.init, BufferInit::CliquePotential(_))
+                        && spec.domain.contains(e.var)
+                }),
+                "evidence variable {} appears in no clique of this junction tree",
+                e.var
+            );
+        }
+        for lk in evidence.soft() {
+            let target = graph
+                .buffers()
+                .iter()
+                .enumerate()
+                .find(|(_, spec)| {
+                    matches!(spec.init, BufferInit::CliquePotential(_))
+                        && spec.domain.contains(lk.var)
+                })
+                .map(|(i, _)| i)
+                .expect("soft-evidence variable appears in some clique");
+            lk.apply_to(cells[target].get_mut())
+                .expect("likelihood length matches the variable");
+        }
+        TableArena { cells }
+    }
+
+    /// Initializes a **batch** arena for `base.replicate(evidences.len())`:
+    /// copy `i`'s clique buffers absorb `evidences[i]`. See
+    /// [`evprop_taskgraph::TaskGraph::replicate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty `evidences` or the conditions of
+    /// [`TableArena::initialize`].
+    pub fn initialize_batch(
+        base: &TaskGraph,
+        clique_potentials: &[PotentialTable],
+        evidences: &[EvidenceSet],
+    ) -> Self {
+        assert!(!evidences.is_empty(), "need at least one evidence case");
+        let mut cells = Vec::with_capacity(base.buffers().len() * evidences.len());
+        for ev in evidences {
+            let one = TableArena::initialize(base, clique_potentials, ev);
+            cells.extend(one.cells);
+        }
+        TableArena { cells }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the arena holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared access to a buffer.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee (via the task DAG) that no concurrent
+    /// task writes buffer `b`, except for writes to ranges disjoint from
+    /// those this reader inspects.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self, b: BufferId) -> &PotentialTable {
+        &*self.cells[b.index()].get()
+    }
+
+    /// Exclusive access to a buffer.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee (via the task DAG) exclusive write
+    /// access: no concurrent reader or writer of buffer `b`, or — for
+    /// partitioned subtasks — that all concurrent accesses touch disjoint
+    /// entry ranges.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, b: BufferId) -> &mut PotentialTable {
+        &mut *self.cells[b.index()].get()
+    }
+
+    /// Consumes the arena, returning the final buffer contents (used by
+    /// engines to read calibrated clique potentials after a run).
+    pub fn into_tables(self) -> Vec<PotentialTable> {
+        self.cells.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+
+    /// Single-threaded mutable view for sequential engines and tests.
+    pub fn tables_mut(&mut self) -> &mut [PotentialTable] {
+        // SAFETY: &mut self guarantees exclusivity; UnsafeCell<T> has the
+        // same layout as T.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.cells.as_mut_ptr() as *mut PotentialTable,
+                self.cells.len(),
+            )
+        }
+    }
+}
+
+impl fmt::Debug for TableArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TableArena({} buffers)", self.cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_jtree::TreeShape;
+    use evprop_potential::{Domain, VarId, Variable};
+
+    fn two_clique_graph() -> (TaskGraph, Vec<PotentialTable>) {
+        let d0 = Domain::new(vec![
+            Variable::binary(VarId(0)),
+            Variable::binary(VarId(1)),
+        ])
+        .unwrap();
+        let d1 = Domain::new(vec![
+            Variable::binary(VarId(1)),
+            Variable::binary(VarId(2)),
+        ])
+        .unwrap();
+        let shape = TreeShape::new(vec![d0.clone(), d1.clone()], &[(0, 1)], 0).unwrap();
+        let pots = vec![
+            PotentialTable::from_data(d0, vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
+            PotentialTable::ones(d1),
+        ];
+        (TaskGraph::from_shape(&shape), pots)
+    }
+
+    #[test]
+    fn initialization_follows_specs() {
+        let (g, pots) = two_clique_graph();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(0), 1);
+        let mut arena = TableArena::initialize(&g, &pots, &ev);
+        assert_eq!(arena.len(), g.buffers().len());
+        assert!(!arena.is_empty());
+        let tables = arena.tables_mut();
+        // clique 0 with evidence V0=1 absorbed
+        assert_eq!(tables[0].data(), &[0.0, 0.0, 0.3, 0.4]);
+        // clique 1 untouched by that evidence
+        assert_eq!(tables[1].data(), &[1.0, 1.0, 1.0, 1.0]);
+        // sep_old buffer is ones; find one
+        let ones = g
+            .buffers()
+            .iter()
+            .position(|b| b.init == BufferInit::Ones)
+            .unwrap();
+        assert!(tables[ones].data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn into_tables_roundtrip() {
+        let (g, pots) = two_clique_graph();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let tables = arena.into_tables();
+        assert_eq!(tables.len(), g.buffers().len());
+        assert_eq!(tables[0].data(), pots[0].data());
+    }
+
+    #[test]
+    fn arena_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<TableArena>();
+    }
+}

@@ -1,0 +1,568 @@
+//! The collaborative scheduling algorithm (Algorithm 2 of the paper).
+
+use crate::{RunReport, SchedulerConfig, TableArena, ThreadStats};
+use crossbeam::utils::Backoff;
+use evprop_potential::{EntryRange, PotentialTable};
+use evprop_taskgraph::{TaskGraph, TaskId, TaskKind};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A schedulable unit: a static graph task, or one subtask of a
+/// partitioned task (`part` indexes into the record's range list; the
+/// last part is the combiner that inherits the original successors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Exec {
+    Static(TaskId),
+    Part { rec: usize, part: usize },
+}
+
+/// Runtime record of one partitioned task (the paper's `T̂_1 … T̂_n`).
+struct Record {
+    task: TaskId,
+    ranges: Vec<EntryRange>,
+    /// Subtasks the combiner still waits for (`n − 1` initially).
+    final_deps: AtomicU32,
+    /// Private partial tables produced by marginalization subtasks,
+    /// added together by the combiner.
+    partials: Mutex<Vec<PotentialTable>>,
+}
+
+/// One thread's local ready list (LL) with its weight counter.
+struct LocalList {
+    queue: Mutex<VecDeque<Exec>>,
+    weight: AtomicU64,
+    /// Whether the owning thread is currently spinning for work — used
+    /// as the tie-breaker so zero-weight *idle* threads win allocations
+    /// over zero-weight busy ones.
+    idle: AtomicBool,
+}
+
+struct Shared<'g> {
+    graph: &'g TaskGraph,
+    arena: &'g TableArena,
+    cfg: &'g SchedulerConfig,
+    /// Remaining dependency degree per static task.
+    deps: Vec<AtomicU32>,
+    lls: Vec<LocalList>,
+    records: Mutex<Vec<Arc<Record>>>,
+    /// Static tasks not yet (semantically) complete.
+    remaining: AtomicUsize,
+    partitioned: AtomicUsize,
+    subtasks: AtomicUsize,
+}
+
+/// Runs two-phase evidence propagation: every task of `graph` executes
+/// against `arena` under the collaborative scheduler with `cfg.num_threads`
+/// workers. Returns per-thread statistics.
+///
+/// ```
+/// use evprop_bayesnet::networks;
+/// use evprop_jtree::JunctionTree;
+/// use evprop_potential::EvidenceSet;
+/// use evprop_sched::{run_collaborative, SchedulerConfig, TableArena};
+/// use evprop_taskgraph::TaskGraph;
+///
+/// let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+/// let graph = TaskGraph::from_shape(jt.shape());
+/// let arena = TableArena::initialize(&graph, jt.potentials(), &EvidenceSet::new());
+/// let report = run_collaborative(&graph, &arena, &SchedulerConfig::with_threads(2));
+/// let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+/// assert!(executed >= graph.num_tasks());
+/// ```
+///
+/// The arena must have been initialized for this graph
+/// ([`TableArena::initialize`]); after the call the clique buffers hold
+/// the calibrated potentials.
+///
+/// # Panics
+///
+/// Panics if the graph and arena disagree on buffer count.
+pub fn run_collaborative(
+    graph: &TaskGraph,
+    arena: &TableArena,
+    cfg: &SchedulerConfig,
+) -> RunReport {
+    assert_eq!(
+        graph.buffers().len(),
+        arena.len(),
+        "arena was not initialized for this graph"
+    );
+    let p = cfg.num_threads.max(1);
+    let mut report = RunReport {
+        threads: vec![ThreadStats::default(); p],
+        ..Default::default()
+    };
+    if graph.num_tasks() == 0 {
+        return report;
+    }
+
+    let shared = Shared {
+        graph,
+        arena,
+        cfg,
+        deps: (0..graph.num_tasks())
+            .map(|t| AtomicU32::new(graph.dependency_degree(TaskId(t))))
+            .collect(),
+        lls: (0..p)
+            .map(|_| LocalList {
+                queue: Mutex::new(VecDeque::new()),
+                weight: AtomicU64::new(0),
+                idle: AtomicBool::new(false),
+            })
+            .collect(),
+        records: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(graph.num_tasks()),
+        partitioned: AtomicUsize::new(0),
+        subtasks: AtomicUsize::new(0),
+    };
+
+    // Line 1 of Algorithm 2: evenly distribute the initially-ready tasks.
+    for (i, t) in graph.initial_ready().into_iter().enumerate() {
+        let w = graph.task(t).weight;
+        let ll = &shared.lls[i % p];
+        ll.queue.lock().push_back(Exec::Static(t));
+        ll.weight.fetch_add(w, Ordering::Relaxed);
+    }
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for i in 0..p {
+            let sh = &shared;
+            handles.push(scope.spawn(move || worker(sh, i)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            report.threads[i] = h.join().expect("worker threads do not panic");
+        }
+    });
+    report.wall = wall_start.elapsed();
+    report.partitioned_tasks = shared.partitioned.load(Ordering::Relaxed);
+    report.subtasks_spawned = shared.subtasks.load(Ordering::Relaxed);
+    report
+}
+
+/// The per-thread loop: Fetch → (Partition) → Execute → Allocate.
+fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
+    let start = Instant::now();
+    let mut stats = ThreadStats::default();
+    let backoff = Backoff::new();
+    loop {
+        if sh.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // Fetch: head of own LL.
+        let mine = sh.lls[id].queue.lock().pop_front();
+        let e = match mine {
+            Some(e) => {
+                sh.lls[id]
+                    .weight
+                    .fetch_sub(exec_weight(sh, e), Ordering::Relaxed);
+                sh.lls[id].idle.store(false, Ordering::Relaxed);
+                backoff.reset();
+                e
+            }
+            None => {
+                if let Some(e) = sh.cfg.work_stealing.then(|| steal(sh, id)).flatten() {
+                    sh.lls[id].idle.store(false, Ordering::Relaxed);
+                    backoff.reset();
+                    e
+                } else {
+                    sh.lls[id].idle.store(true, Ordering::Relaxed);
+                    backoff.snooze();
+                    continue;
+                }
+            }
+        };
+        process(sh, id, e, &mut stats);
+    }
+    stats.overhead = start.elapsed().saturating_sub(stats.busy);
+    stats
+}
+
+/// Work-stealing extension: pop from the tail of the heaviest victim
+/// (keeping the victim's weight counter consistent).
+fn steal(sh: &Shared<'_>, thief: usize) -> Option<Exec> {
+    let victim = (0..sh.lls.len())
+        .filter(|&j| j != thief)
+        .max_by_key(|&j| sh.lls[j].weight.load(Ordering::Relaxed))?;
+    let e = sh.lls[victim].queue.lock().pop_back()?;
+    sh.lls[victim]
+        .weight
+        .fetch_sub(exec_weight(sh, e), Ordering::Relaxed);
+    Some(e)
+}
+
+fn exec_weight(sh: &Shared<'_>, e: Exec) -> u64 {
+    match e {
+        Exec::Static(t) => sh.graph.task(t).weight,
+        Exec::Part { rec, part } => {
+            let r = sh.records.lock()[rec].clone();
+            r.ranges[part].len() as u64
+        }
+    }
+}
+
+/// Allocate module: give a ready task to the thread with the smallest
+/// weight counter (`arg min_t W_t`, Line 7 of Algorithm 2).
+fn allocate(sh: &Shared<'_>, e: Exec, w: u64) {
+    let j = (0..sh.lls.len())
+        .min_by_key(|&j| {
+            (
+                sh.lls[j].weight.load(Ordering::Relaxed),
+                !sh.lls[j].idle.load(Ordering::Relaxed),
+                j,
+            )
+        })
+        .expect("at least one thread");
+    sh.lls[j].weight.fetch_add(w, Ordering::Relaxed);
+    sh.lls[j].queue.lock().push_back(e);
+}
+
+/// Executes one unit and performs the Allocate bookkeeping for whatever
+/// it unblocks.
+fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
+    match e {
+        Exec::Static(t) => {
+            let task = sh.graph.task(t);
+            let len = task.weight as usize;
+            match sh.cfg.partition_threshold {
+                // Partition module: large task → subtasks of ≤ δ entries.
+                Some(delta) if len > delta => {
+                    let ranges = EntryRange::split(len, delta);
+                    let n = ranges.len();
+                    debug_assert!(n >= 2);
+                    let record = Arc::new(Record {
+                        task: t,
+                        ranges,
+                        final_deps: AtomicU32::new((n - 1) as u32),
+                        partials: Mutex::new(Vec::new()),
+                    });
+                    let rec = {
+                        let mut recs = sh.records.lock();
+                        recs.push(record.clone());
+                        recs.len() - 1
+                    };
+                    sh.partitioned.fetch_add(1, Ordering::Relaxed);
+                    sh.subtasks.fetch_add(n, Ordering::Relaxed);
+                    // middle subtasks spread across threads
+                    for part in 1..n - 1 {
+                        allocate(
+                            sh,
+                            Exec::Part { rec, part },
+                            record.ranges[part].len() as u64,
+                        );
+                    }
+                    // first subtask runs here, now
+                    run_part(sh, id, rec, &record, 0, stats);
+                }
+                _ => {
+                    let t0 = Instant::now();
+                    // SAFETY: the task DAG gives this task exclusive
+                    // access to its destination buffer (TaskGraph::validate).
+                    unsafe { exec_full(&task.kind, sh.arena) };
+                    record_exec(stats, t0, task.weight);
+                    complete_static(sh, t);
+                }
+            }
+        }
+        Exec::Part { rec, part } => {
+            let record = sh.records.lock()[rec].clone();
+            run_part(sh, id, rec, &record, part, stats);
+        }
+    }
+}
+
+fn record_exec(stats: &mut ThreadStats, t0: Instant, weight: u64) {
+    stats.busy += t0.elapsed();
+    stats.tasks_executed += 1;
+    stats.weight_executed += weight;
+}
+
+/// Executes subtask `part` of a partitioned task.
+fn run_part(
+    sh: &Shared<'_>,
+    _id: usize,
+    rec: usize,
+    record: &Record,
+    part: usize,
+    stats: &mut ThreadStats,
+) {
+    let n = record.ranges.len();
+    let range = record.ranges[part];
+    let task = sh.graph.task(record.task);
+    let is_final = part == n - 1;
+
+    let t0 = Instant::now();
+    match task.kind {
+        TaskKind::Marginalize { src, dst, max } => {
+            if is_final {
+                // SAFETY: all sibling subtasks have completed (final_deps
+                // reached 0), so this task is the sole accessor of dst.
+                let d = unsafe { sh.arena.get_mut(dst) };
+                let s = unsafe { sh.arena.get(src) };
+                d.fill(0.0);
+                if max {
+                    s.max_marginalize_range_into(range, d)
+                        .expect("separator domain nests in clique domain");
+                    for p in record.partials.lock().drain(..) {
+                        d.max_assign(&p).expect("partials share the separator domain");
+                    }
+                } else {
+                    s.marginalize_range_into(range, d)
+                        .expect("separator domain nests in clique domain");
+                    for p in record.partials.lock().drain(..) {
+                        d.add_assign(&p).expect("partials share the separator domain");
+                    }
+                }
+            } else {
+                // private partial table; only the arena *source* is read
+                // SAFETY: concurrent subtasks only read src.
+                let s = unsafe { sh.arena.get(src) };
+                let spec = &sh.graph.buffers()[dst.index()];
+                let mut partial = PotentialTable::zeros(spec.domain.clone());
+                if max {
+                    s.max_marginalize_range_into(range, &mut partial)
+                        .expect("separator domain nests in clique domain");
+                } else {
+                    s.marginalize_range_into(range, &mut partial)
+                        .expect("separator domain nests in clique domain");
+                }
+                record.partials.lock().push(partial);
+            }
+        }
+        TaskKind::Divide { num, den, dst } => {
+            // SAFETY: sibling subtasks write disjoint dst ranges.
+            let d = unsafe { sh.arena.get_mut(dst) };
+            let (nm, dn) = unsafe { (sh.arena.get(num), sh.arena.get(den)) };
+            d.data_mut()[range.start..range.end]
+                .copy_from_slice(&nm.data()[range.start..range.end]);
+            d.divide_assign_range(range, dn)
+                .expect("separator domains agree");
+        }
+        TaskKind::Extend { src, dst } => {
+            // SAFETY: sibling subtasks write disjoint dst ranges.
+            let d = unsafe { sh.arena.get_mut(dst) };
+            let s = unsafe { sh.arena.get(src) };
+            s.extend_range_into(range, d)
+                .expect("separator domain nests in clique domain");
+        }
+        TaskKind::Multiply { src, dst } => {
+            // SAFETY: sibling subtasks write disjoint dst ranges.
+            let d = unsafe { sh.arena.get_mut(dst) };
+            let s = unsafe { sh.arena.get(src) };
+            d.multiply_assign_range(range, s)
+                .expect("extended ratio matches clique domain");
+        }
+    }
+    record_exec(stats, t0, range.len() as u64);
+
+    if is_final {
+        complete_static(sh, record.task);
+    } else if record.final_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // combiner becomes ready
+        allocate(
+            sh,
+            Exec::Part { rec, part: n - 1 },
+            record.ranges[n - 1].len() as u64,
+        );
+    }
+}
+
+/// A static task is semantically done: decrease successors' dependency
+/// degrees (allocating any that reach zero) and the remaining counter.
+fn complete_static(sh: &Shared<'_>, t: TaskId) {
+    for &s in sh.graph.successors(t) {
+        if sh.deps[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+            allocate(sh, Exec::Static(s), sh.graph.task(s).weight);
+        }
+    }
+    sh.remaining.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Whole-task execution against the arena; mirrors
+/// `evprop_taskgraph::execute_full`, which the sequential engine uses —
+/// keeping both paths trivially comparable.
+///
+/// # Safety
+///
+/// Caller must hold (via the task DAG) exclusive access to the task's
+/// destination buffer and shared access to its sources.
+unsafe fn exec_full(kind: &TaskKind, arena: &TableArena) {
+    match *kind {
+        TaskKind::Marginalize { src, dst, max } => {
+            let d = arena.get_mut(dst);
+            let s = arena.get(src);
+            d.fill(0.0);
+            let range = EntryRange::full(s.len());
+            if max {
+                s.max_marginalize_range_into(range, d)
+                    .expect("separator domain nests in clique domain");
+            } else {
+                s.marginalize_range_into(range, d)
+                    .expect("separator domain nests in clique domain");
+            }
+        }
+        TaskKind::Divide { num, den, dst } => {
+            let d = arena.get_mut(dst);
+            let (nm, dn) = (arena.get(num), arena.get(den));
+            d.data_mut().copy_from_slice(nm.data());
+            d.divide_assign(dn).expect("separator domains agree");
+        }
+        TaskKind::Extend { src, dst } => {
+            let d = arena.get_mut(dst);
+            let s = arena.get(src);
+            s.extend_range_into(EntryRange::full(d.len()), d)
+                .expect("separator domain nests in clique domain");
+        }
+        TaskKind::Multiply { src, dst } => {
+            let d = arena.get_mut(dst);
+            let s = arena.get(src);
+            d.multiply_assign(s)
+                .expect("extended ratio matches clique domain");
+        }
+    }
+}
+
+/// Convenience: total busy time across threads (used by tests).
+#[allow(dead_code)]
+pub(crate) fn total_busy(report: &RunReport) -> Duration {
+    report.threads.iter().map(|t| t.busy).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks;
+    use evprop_jtree::JunctionTree;
+    use evprop_potential::EvidenceSet;
+    use evprop_taskgraph::execute_full as seq_execute;
+
+    /// Sequential reference: run all tasks in topological order.
+    fn run_sequential(graph: &TaskGraph, arena: &mut TableArena) {
+        let order = graph.topological_order().unwrap();
+        let tables = arena.tables_mut();
+        for t in order {
+            seq_execute(&graph.task(t).kind, tables);
+        }
+    }
+
+    fn asia_setup() -> (TaskGraph, Vec<PotentialTable>) {
+        let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+        let g = TaskGraph::from_shape(jt.shape());
+        let pots = jt.potentials().to_vec();
+        (g, pots)
+    }
+
+    fn compare_engines(threads: usize, delta: Option<usize>, stealing: bool) {
+        let (g, pots) = asia_setup();
+        let ev = {
+            let mut e = EvidenceSet::new();
+            e.observe(evprop_potential::VarId(7), 1); // dysp = yes
+            e
+        };
+        let mut seq = TableArena::initialize(&g, &pots, &ev);
+        run_sequential(&g, &mut seq);
+        let seq_tables = seq.into_tables();
+
+        let mut cfg = SchedulerConfig::with_threads(threads);
+        cfg.partition_threshold = delta;
+        cfg.work_stealing = stealing;
+        let par = TableArena::initialize(&g, &pots, &ev);
+        let report = run_collaborative(&g, &par, &cfg);
+        let par_tables = par.into_tables();
+
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert!(executed >= g.num_tasks());
+        for (i, (a, b)) in seq_tables.iter().zip(&par_tables).enumerate() {
+            assert!(
+                a.approx_eq(b, 1e-9),
+                "buffer {i} differs: {:?} vs {:?}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_single_thread() {
+        compare_engines(1, None, false);
+    }
+
+    #[test]
+    fn matches_sequential_multithreaded() {
+        for p in [2, 4, 8] {
+            compare_engines(p, None, false);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_partitioning() {
+        // tiny δ forces aggressive partitioning on every table
+        for delta in [1, 2, 3, 7] {
+            compare_engines(4, Some(delta), false);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_stealing() {
+        compare_engines(4, Some(2), true);
+    }
+
+    #[test]
+    fn empty_graph_returns_immediately() {
+        let jt = {
+            // single-clique tree
+            let d = evprop_potential::Domain::new(vec![evprop_potential::Variable::binary(
+                evprop_potential::VarId(0),
+            )])
+            .unwrap();
+            let shape = evprop_jtree::TreeShape::new(vec![d.clone()], &[], 0).unwrap();
+            JunctionTree::from_parts(shape, vec![PotentialTable::ones(d)]).unwrap()
+        };
+        let g = TaskGraph::from_shape(jt.shape());
+        let arena = TableArena::initialize(&g, jt.potentials(), &EvidenceSet::new());
+        let report = run_collaborative(&g, &arena, &SchedulerConfig::with_threads(4));
+        assert_eq!(report.partitioned_tasks, 0);
+        assert!(report.threads.iter().all(|t| t.tasks_executed == 0));
+    }
+
+    #[test]
+    fn partition_stats_reported() {
+        let (g, pots) = asia_setup();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let cfg = SchedulerConfig::with_threads(2).with_delta(2);
+        let report = run_collaborative(&g, &arena, &cfg);
+        assert!(report.partitioned_tasks > 0);
+        assert!(report.subtasks_spawned > report.partitioned_tasks);
+    }
+
+    #[test]
+    fn all_threads_do_work_on_wide_trees() {
+        // star-ish tree: many leaves → concurrent chains
+        use evprop_potential::{Domain, VarId, Variable};
+        let k = 8usize;
+        let mut domains = vec![Domain::new(
+            (0..k as u32).map(|i| Variable::binary(VarId(i))).collect(),
+        )
+        .unwrap()];
+        for i in 0..k as u32 {
+            domains.push(Domain::new(vec![Variable::binary(VarId(i))]).unwrap());
+        }
+        let edges: Vec<(usize, usize)> = (1..=k).map(|i| (0, i)).collect();
+        let shape = evprop_jtree::TreeShape::new(domains, &edges, 0).unwrap();
+        let g = TaskGraph::from_shape(&shape);
+        let pots: Vec<PotentialTable> = shape
+            .domains()
+            .iter()
+            .map(|d| PotentialTable::ones(d.clone()))
+            .collect();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let cfg = SchedulerConfig::with_threads(2).without_partitioning();
+        let report = run_collaborative(&g, &arena, &cfg);
+        let total: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert_eq!(total, g.num_tasks());
+    }
+}

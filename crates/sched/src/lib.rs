@@ -1,0 +1,40 @@
+//! The **collaborative scheduler** (§6 of the paper) on real OS threads.
+//!
+//! Every worker thread runs the paper's four modules:
+//!
+//! * **Allocate** — when a task completes, its successors' dependency
+//!   degrees are decreased; tasks reaching degree 0 are placed on the
+//!   local ready list (LL) of the thread with the smallest weight
+//!   counter;
+//! * **Fetch** — each thread takes the task at the head of its own LL;
+//! * **Partition** — a fetched task whose potential table exceeds the
+//!   threshold δ is split into range subtasks: the first runs
+//!   immediately, the middle ones are spread across the other threads'
+//!   LLs, and a *final* subtask — the only one inheriting the original
+//!   task's successors — combines the results (added for
+//!   marginalization, concatenated otherwise);
+//! * **Execute** — the node-level primitive runs against the shared
+//!   table arena.
+//!
+//! The global task list (GL) of the paper corresponds to the immutable
+//! [`TaskGraph`](evprop_taskgraph::TaskGraph) plus an append-only arena
+//! of dynamic subtasks; per-task dependency degrees are atomics, so
+//! "locking an entry" is a single `fetch_sub`.
+//!
+//! A work-stealing variant (idle threads pop from the *tail* of a
+//! victim's LL) is provided as the ablation the paper's §8 gestures at.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arena;
+mod collab;
+mod config;
+mod generic;
+mod stats;
+
+pub use arena::TableArena;
+pub use collab::run_collaborative;
+pub use config::SchedulerConfig;
+pub use generic::{DagBuilder, DagTaskId};
+pub use stats::{RunReport, ThreadStats};

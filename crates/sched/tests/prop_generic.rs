@@ -1,0 +1,77 @@
+//! Property tests for the generic DAG scheduler: random layered DAGs,
+//! random thread counts, verified execution order and exactly-once
+//! semantics under concurrency.
+
+use evprop_sched::{DagBuilder, DagTaskId, SchedulerConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A random DAG description: for each task, indices of earlier tasks it
+/// depends on (kept sparse).
+fn arb_dag() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (1usize..60).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0usize..usize::MAX, 0..4), n)
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, deps)| {
+                        let mut d: Vec<usize> =
+                            deps.into_iter().filter(|_| i > 0).map(|x| x % i).collect();
+                        d.sort_unstable();
+                        d.dedup();
+                        d
+                    })
+                    .collect()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every task runs exactly once, after all of its dependencies.
+    #[test]
+    fn exactly_once_and_ordered(
+        dag_spec in arb_dag(),
+        threads in 1usize..5,
+        weights in proptest::collection::vec(1u64..100, 60),
+        stealing in proptest::bool::ANY,
+    ) {
+        let n = dag_spec.len();
+        let stamps: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let runs: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let clock = AtomicUsize::new(1);
+
+        let mut dag = DagBuilder::new();
+        let mut ids: Vec<DagTaskId> = Vec::with_capacity(n);
+        for (i, deps) in dag_spec.iter().enumerate() {
+            let handles: Vec<DagTaskId> = deps.iter().map(|&d| ids[d]).collect();
+            let stamps = &stamps;
+            let runs = &runs;
+            let clock = &clock;
+            ids.push(dag.add_task(weights[i % weights.len()], &handles, move || {
+                runs[i].fetch_add(1, Ordering::Relaxed);
+                stamps[i].store(clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            }));
+        }
+        let mut cfg = SchedulerConfig::with_threads(threads);
+        cfg.work_stealing = stealing;
+        let report = dag.run(&cfg);
+
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        prop_assert_eq!(executed, n);
+        for i in 0..n {
+            prop_assert_eq!(runs[i].load(Ordering::Relaxed), 1, "task {} runs once", i);
+            for &d in &dag_spec[i] {
+                prop_assert!(
+                    stamps[d].load(Ordering::Relaxed) < stamps[i].load(Ordering::Relaxed),
+                    "task {} ran before dependency {}", i, d
+                );
+            }
+        }
+        // weight accounting matches
+        let total_weight: u64 = report.threads.iter().map(|t| t.weight_executed).sum();
+        let expected: u64 = (0..n).map(|i| weights[i % weights.len()]).sum();
+        prop_assert_eq!(total_weight, expected);
+    }
+}

@@ -1,0 +1,488 @@
+//! Event-driven virtual-time replay of the collaborative scheduler.
+
+use crate::{CoreStats, CostModel, SimReport};
+use evprop_jtree::CliqueId;
+use evprop_potential::{EntryRange, PrimitiveKind};
+use evprop_taskgraph::{TaskGraph, TaskId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One executed (sub)task in a simulated schedule — the raw material for
+/// Gantt charts and schedule inspection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual core that ran the task.
+    pub core: usize,
+    /// Virtual start time (after lock + dispatch overhead).
+    pub start: u64,
+    /// Virtual completion time.
+    pub end: u64,
+    /// The clique whose update the task belongs to.
+    pub clique: CliqueId,
+    /// The primitive executed.
+    pub primitive: PrimitiveKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimExec {
+    Static(TaskId),
+    Part { rec: usize, part: usize },
+}
+
+struct SimRecord {
+    task: TaskId,
+    /// Entry counts of each subtask range (the last is the combiner).
+    part_weights: Vec<u64>,
+    final_deps: u32,
+}
+
+struct Core {
+    queue: VecDeque<SimExec>,
+    /// Weight counter of the local ready list.
+    weight: u64,
+    running: Option<SimExec>,
+    stats: CoreStats,
+}
+
+struct Sim<'g> {
+    graph: &'g TaskGraph,
+    model: &'g CostModel,
+    delta: Option<u64>,
+    stealing: bool,
+    deps: Vec<u32>,
+    cores: Vec<Core>,
+    records: Vec<SimRecord>,
+    /// Completion events: (time, sequence, core).
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    remaining: usize,
+    makespan: u64,
+    partitioned: usize,
+    subtasks: usize,
+    /// Virtual time at which the global-list lock next becomes free;
+    /// every dispatch serializes through it for `lambda_lock` units.
+    lock_free_at: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+pub(crate) fn simulate_collaborative(
+    graph: &TaskGraph,
+    cores: usize,
+    delta: Option<u64>,
+    stealing: bool,
+    model: &CostModel,
+) -> SimReport {
+    simulate_collaborative_impl(graph, cores, delta, stealing, model, false).0
+}
+
+/// Like [`crate::simulate`] with the collaborative policy, but also
+/// returning the full execution trace (one event per executed subtask).
+pub fn simulate_collaborative_traced(
+    graph: &TaskGraph,
+    cores: usize,
+    delta: Option<u64>,
+    stealing: bool,
+    model: &CostModel,
+) -> (SimReport, Vec<TraceEvent>) {
+    let (report, trace) = simulate_collaborative_impl(graph, cores, delta, stealing, model, true);
+    (report, trace.expect("tracing was requested"))
+}
+
+fn simulate_collaborative_impl(
+    graph: &TaskGraph,
+    cores: usize,
+    delta: Option<u64>,
+    stealing: bool,
+    model: &CostModel,
+    traced: bool,
+) -> (SimReport, Option<Vec<TraceEvent>>) {
+    let mut sim = Sim {
+        graph,
+        model,
+        delta,
+        stealing,
+        deps: (0..graph.num_tasks())
+            .map(|t| graph.dependency_degree(TaskId(t)))
+            .collect(),
+        cores: (0..cores)
+            .map(|_| Core {
+                queue: VecDeque::new(),
+                weight: 0,
+                running: None,
+                stats: CoreStats::default(),
+            })
+            .collect(),
+        records: Vec::new(),
+        events: BinaryHeap::new(),
+        seq: 0,
+        remaining: graph.num_tasks(),
+        makespan: 0,
+        partitioned: 0,
+        subtasks: 0,
+        lock_free_at: 0,
+        trace: traced.then(Vec::new),
+    };
+
+    if graph.num_tasks() == 0 {
+        let trace = sim.trace.take();
+        return (sim.into_report(), trace);
+    }
+
+    // Line 1: evenly distribute the initially-ready tasks.
+    for (i, t) in graph.initial_ready().into_iter().enumerate() {
+        let c = i % cores;
+        sim.cores[c].weight += graph.task(t).weight;
+        sim.cores[c].queue.push_back(SimExec::Static(t));
+    }
+    for c in 0..cores {
+        sim.try_start(c, 0);
+    }
+
+    // main event loop
+    while let Some(Reverse((t, _, c))) = sim.events.pop() {
+        sim.complete(c, t);
+    }
+    debug_assert_eq!(sim.remaining, 0, "simulation drained all tasks");
+    let trace = sim.trace.take();
+    (sim.into_report(), trace)
+}
+
+impl<'g> Sim<'g> {
+    fn exec_weight(&self, e: SimExec) -> u64 {
+        match e {
+            SimExec::Static(t) => self.graph.task(t).weight,
+            SimExec::Part { rec, part } => self.records[rec].part_weights[part],
+        }
+    }
+
+    /// Allocate module: ready unit goes to the least-loaded core; ties
+    /// prefer an idle core (a busy core with an empty queue still has a
+    /// task in flight).
+    fn allocate(&mut self, e: SimExec, now: u64) {
+        let j = (0..self.cores.len())
+            .min_by_key(|&j| (self.cores[j].weight, self.cores[j].running.is_some(), j))
+            .expect("at least one core");
+        self.cores[j].weight += self.exec_weight(e);
+        self.cores[j].queue.push_back(e);
+        self.try_start(j, now);
+    }
+
+    /// If core `c` is idle, fetch (head of own queue, else steal) and
+    /// begin executing.
+    fn try_start(&mut self, c: usize, now: u64) {
+        if self.cores[c].running.is_some() {
+            return;
+        }
+        let e = if let Some(e) = self.cores[c].queue.pop_front() {
+            self.cores[c].weight -= self.exec_weight(e);
+            Some(e)
+        } else if self.stealing {
+            self.steal(c)
+        } else {
+            None
+        };
+        let Some(e) = e else { return };
+        self.begin(c, e, now);
+    }
+
+    fn steal(&mut self, thief: usize) -> Option<SimExec> {
+        let victim = (0..self.cores.len())
+            .filter(|&j| j != thief)
+            .max_by_key(|&j| self.cores[j].weight)?;
+        let e = self.cores[victim].queue.pop_back()?;
+        self.cores[victim].weight -= self.exec_weight(e);
+        Some(e)
+    }
+
+    /// Partition check + execution start.
+    fn begin(&mut self, c: usize, e: SimExec, now: u64) {
+        // Mark the core busy *before* any partition allocation: allocate()
+        // may otherwise try_start() this very core and double-book it.
+        self.cores[c].running = Some(e);
+        let e = match e {
+            SimExec::Static(t) => {
+                let w = self.graph.task(t).weight;
+                match self.delta {
+                    Some(delta) if w > delta => {
+                        // Partition module (virtual): split into ranges.
+                        let ranges = EntryRange::split(w as usize, delta as usize);
+                        let n = ranges.len();
+                        let rec = self.records.len();
+                        self.records.push(SimRecord {
+                            task: t,
+                            part_weights: ranges.iter().map(|r| r.len() as u64).collect(),
+                            final_deps: (n - 1) as u32,
+                        });
+                        self.partitioned += 1;
+                        self.subtasks += n;
+                        for part in 1..n - 1 {
+                            self.allocate(SimExec::Part { rec, part }, now);
+                        }
+                        SimExec::Part { rec, part: 0 }
+                    }
+                    _ => SimExec::Static(t),
+                }
+            }
+            part => part,
+        };
+
+        let (kind, w) = match e {
+            SimExec::Static(t) => {
+                let task = self.graph.task(t);
+                (task.kind.primitive(), task.weight)
+            }
+            SimExec::Part { rec, part } => {
+                let task = self.graph.task(self.records[rec].task);
+                (task.kind.primitive(), self.records[rec].part_weights[part])
+            }
+        };
+        let sigma = self.model.sigma_sched.round() as u64;
+        let lambda = self.model.lambda_lock.round() as u64;
+        let exec = self.model.exec_cost(kind, w);
+        // serialize the dispatch through the global-list lock
+        let acquired = self.lock_free_at.max(now);
+        self.lock_free_at = acquired + lambda;
+        let stall = acquired - now;
+        let core = &mut self.cores[c];
+        core.running = Some(e);
+        core.stats.busy += exec;
+        core.stats.overhead += stall + lambda + sigma;
+        core.stats.weight += w;
+        core.stats.tasks += 1;
+        let done = acquired + lambda + sigma + exec;
+        if let Some(trace) = &mut self.trace {
+            let clique = match e {
+                SimExec::Static(t) => self.graph.task(t).clique,
+                SimExec::Part { rec, .. } => self.graph.task(self.records[rec].task).clique,
+            };
+            trace.push(TraceEvent {
+                core: c,
+                start: acquired + lambda + sigma,
+                end: done,
+                clique,
+                primitive: kind,
+            });
+        }
+        self.seq += 1;
+        self.events.push(Reverse((done, self.seq, c)));
+    }
+
+    /// Handle the completion event of whatever ran on core `c`.
+    fn complete(&mut self, c: usize, now: u64) {
+        self.makespan = self.makespan.max(now);
+        let e = self.cores[c]
+            .running
+            .take()
+            .expect("completion events match running tasks");
+        match e {
+            SimExec::Static(t) => self.complete_static(t, now),
+            SimExec::Part { rec, part } => {
+                let n = self.records[rec].part_weights.len();
+                if part == n - 1 {
+                    let t = self.records[rec].task;
+                    self.complete_static(t, now);
+                } else {
+                    self.records[rec].final_deps -= 1;
+                    if self.records[rec].final_deps == 0 {
+                        self.allocate(SimExec::Part { rec, part: n - 1 }, now);
+                    }
+                }
+            }
+        }
+        self.try_start(c, now);
+    }
+
+    fn complete_static(&mut self, t: TaskId, now: u64) {
+        // collect first to avoid aliasing self
+        let succs: Vec<TaskId> = self.graph.successors(t).to_vec();
+        for s in succs {
+            self.deps[s.index()] -= 1;
+            if self.deps[s.index()] == 0 {
+                self.allocate(SimExec::Static(s), now);
+            }
+        }
+        self.remaining -= 1;
+    }
+
+    fn into_report(self) -> SimReport {
+        SimReport {
+            makespan: self.makespan,
+            cores: self.cores.into_iter().map(|c| c.stats).collect(),
+            partitioned_tasks: self.partitioned,
+            subtasks_spawned: self.subtasks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{simulate, speedup, CostModel, Policy};
+    use evprop_jtree::TreeShape;
+    use evprop_potential::{Domain, VarId, Variable};
+    use evprop_taskgraph::TaskGraph;
+
+    fn dom(ids: &[u32]) -> Domain {
+        Domain::new(ids.iter().map(|&i| Variable::binary(VarId(i))).collect()).unwrap()
+    }
+
+    fn path(n: usize, width: usize) -> TaskGraph {
+        let domains: Vec<Domain> = (0..n)
+            .map(|i| {
+                let base = (i * (width - 1)) as u32;
+                dom(&(0..width as u32).map(|j| base + j).collect::<Vec<_>>())
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        TaskGraph::from_shape(&TreeShape::new(domains, &edges, 0).unwrap())
+    }
+
+    fn balanced(depth: usize, width: usize) -> TaskGraph {
+        // binary tree of cliques
+        let n = (1 << depth) - 1;
+        let mut next_var = 0u32;
+        let domains: Vec<Domain> = (0..n)
+            .map(|_| {
+                let vars: Vec<u32> = (0..width as u32).map(|j| next_var + j).collect();
+                next_var += width as u32;
+                dom(&vars)
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        TaskGraph::from_shape(&TreeShape::new(domains, &edges, 0).unwrap())
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = balanced(5, 6);
+        let m = CostModel::default();
+        let a = simulate(&g, Policy::collaborative(), 4, &m);
+        let b = simulate(&g, Policy::collaborative(), 4, &m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_core_makespan_is_total_time() {
+        let g = path(5, 4);
+        let m = CostModel::default();
+        let r = simulate(&g, Policy::collaborative_unpartitioned(), 1, &m);
+        let expected: u64 = g
+            .tasks()
+            .iter()
+            .map(|t| {
+                m.exec_cost(t.kind.primitive(), t.weight)
+                    + m.sigma_sched as u64
+                    + m.lambda_lock as u64
+            })
+            .sum();
+        assert_eq!(r.makespan, expected);
+        assert_eq!(r.cores[0].tasks, g.num_tasks());
+    }
+
+    #[test]
+    fn more_cores_never_slower() {
+        let g = balanced(6, 8);
+        let m = CostModel::default();
+        let mut prev = u64::MAX;
+        for p in [1, 2, 4, 8] {
+            let r = simulate(&g, Policy::collaborative(), p, &m);
+            assert!(r.makespan <= prev, "p={p}");
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn wide_trees_scale_nearly_linearly() {
+        // large balanced tree with big cliques: plenty of structural and
+        // data parallelism
+        let g = balanced(7, 12);
+        let m = CostModel::default();
+        let s8 = speedup(&g, Policy::collaborative(), 8, &m);
+        assert!(s8 > 6.0, "speedup {s8}");
+    }
+
+    #[test]
+    fn partitioning_helps_serial_chains() {
+        // a path gives almost no structural parallelism: only the
+        // Partition module can help
+        let g = path(16, 14);
+        let m = CostModel::default();
+        let without = speedup(&g, Policy::collaborative_unpartitioned(), 8, &m);
+        let with = speedup(
+            &g,
+            Policy::Collaborative {
+                delta: Some(1024),
+                work_stealing: false,
+            },
+            8,
+            &m,
+        );
+        assert!(with > without + 0.5, "with={with} without={without}");
+    }
+
+    #[test]
+    fn stealing_does_not_break_anything() {
+        let g = balanced(5, 8);
+        let m = CostModel::default();
+        let r = simulate(
+            &g,
+            Policy::Collaborative {
+                delta: Some(4096),
+                work_stealing: true,
+            },
+            4,
+            &m,
+        );
+        let total: usize = r.cores.iter().map(|c| c.tasks).sum();
+        assert!(total >= g.num_tasks());
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = path(1, 3);
+        let r = simulate(&g, Policy::collaborative(), 4, &CostModel::default());
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        use crate::simulate_collaborative_traced;
+        let g = balanced(5, 8);
+        let m = CostModel::default();
+        let (report, trace) = simulate_collaborative_traced(&g, 4, Some(64), false, &m);
+        let total_tasks: usize = report.cores.iter().map(|c| c.tasks).sum();
+        assert_eq!(trace.len(), total_tasks);
+        // per-core events do not overlap and end within the makespan
+        for core in 0..4 {
+            let mut events: Vec<_> = trace.iter().filter(|e| e.core == core).collect();
+            events.sort_by_key(|e| e.start);
+            for w in events.windows(2) {
+                assert!(w[0].end <= w[1].start, "overlap on core {core}");
+            }
+            for e in &events {
+                assert!(e.end <= report.makespan);
+                assert!(e.start <= e.end);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_conservation() {
+        // total busy time is independent of core count (same work)
+        let g = balanced(5, 8);
+        let m = CostModel::default();
+        let b1 = simulate(&g, Policy::collaborative_unpartitioned(), 1, &m).total_busy();
+        let b8 = simulate(&g, Policy::collaborative_unpartitioned(), 8, &m).total_busy();
+        assert_eq!(b1, b8);
+    }
+
+    #[test]
+    fn overhead_small_for_large_tables() {
+        // Fig. 8(b): scheduling overhead below 1% for JT1-like sizes
+        let g = balanced(6, 20); // 1Mi-entry cliques, the JT1 regime
+        let m = CostModel::default();
+        let r = simulate(&g, Policy::collaborative(), 8, &m);
+        let ratio = r.total_overhead() as f64 / (r.total_busy() + r.total_overhead()) as f64;
+        assert!(ratio < 0.01, "overhead ratio {ratio}");
+    }
+}

@@ -1,0 +1,196 @@
+//! The global cost model (DESIGN.md §7).
+//!
+//! One set of constants drives every figure — there is no per-figure
+//! tuning. The unit of virtual time is one table-entry touch by a
+//! marginalization loop.
+
+use evprop_potential::PrimitiveKind;
+
+/// Cost constants shared by all policies.
+///
+/// * `c_*` — per-entry execution cost of each primitive, set to the
+///   ratios measured on real tables by the `calibrate` binary
+///   (marginalization is the most expensive per entry — it walks the
+///   source with a mixed-radix index map and accumulates — while
+///   same-domain division is a plain elementwise loop);
+/// * `sigma_sched` — collaborative scheduler's per-dispatch overhead
+///   (dependency decrements, list push/pop under a lock);
+/// * `omp_*` — OpenMP-style baseline: a serial fraction of each
+///   primitive that mechanical `parallel for` annotation does not cover,
+///   plus an affine fork/join barrier cost;
+/// * `dp_*` — data-parallel baseline: small serial fraction (it
+///   partitions tables like the Partition module) but a large
+///   per-primitive thread spawn/join cost;
+/// * `pnl_*` — PNL-like reference: serialized shared-state section plus
+///   coordination growing with `P²`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-entry cost of marginalization.
+    pub c_marg: f64,
+    /// Per-entry cost of division.
+    pub c_div: f64,
+    /// Per-entry cost of extension.
+    pub c_ext: f64,
+    /// Per-entry cost of multiplication.
+    pub c_mul: f64,
+    /// Collaborative per-task dispatch overhead (units).
+    pub sigma_sched: f64,
+    /// Critical-section length of the global-list lock per dispatch
+    /// (units). Dispatches serialize through it, so `tasks × λ` is a
+    /// *serial* floor on the makespan — the mechanism that caps speedup
+    /// for trees with small potential tables (the paper's `w=10, r=2`
+    /// outlier in Fig. 9).
+    pub lambda_lock: f64,
+    /// OpenMP-style serial fraction of each primitive.
+    pub omp_serial: f64,
+    /// OpenMP-style fork/join cost: `omp_fork_a + omp_fork_b · P`.
+    pub omp_fork_a: f64,
+    /// See `omp_fork_a`.
+    pub omp_fork_b: f64,
+    /// Data-parallel serial fraction.
+    pub dp_serial: f64,
+    /// Data-parallel spawn/join cost: `dp_fork_a + dp_fork_b · P`.
+    pub dp_fork_a: f64,
+    /// See `dp_fork_a`.
+    pub dp_fork_b: f64,
+    /// PNL-style serial fraction.
+    pub pnl_serial: f64,
+    /// PNL-style coordination overhead per primitive, as a fraction of
+    /// the primitive's work *per core*: cost `pnl_coord_frac · P · w`.
+    /// Coordination proportional to both table size (fine-grained
+    /// locking) and core count makes runtime rise past ~4 cores for
+    /// every tree size, the Fig. 6 shape.
+    pub pnl_coord_frac: f64,
+}
+
+impl CostModel {
+    /// Default partition threshold δ (entries) used by
+    /// [`crate::Policy::collaborative`].
+    pub const DEFAULT_DELTA: u64 = 131_072;
+
+    /// Execution cost (units) of processing `weight` entries with the
+    /// given primitive.
+    pub fn exec_cost(&self, kind: PrimitiveKind, weight: u64) -> u64 {
+        let c = match kind {
+            PrimitiveKind::Marginalize => self.c_marg,
+            PrimitiveKind::Divide => self.c_div,
+            PrimitiveKind::Extend => self.c_ext,
+            PrimitiveKind::Multiply => self.c_mul,
+        };
+        (weight as f64 * c).round() as u64
+    }
+
+    /// OpenMP-style time for one primitive of `weight` entries on `p`
+    /// cores.
+    pub fn omp_task_time(&self, kind: PrimitiveKind, weight: u64, p: usize) -> u64 {
+        self.fractioned(kind, weight, p, self.omp_serial)
+            + (self.omp_fork_a + self.omp_fork_b * p as f64).round() as u64
+    }
+
+    /// Data-parallel time for one primitive of `weight` entries on `p`
+    /// cores.
+    pub fn dp_task_time(&self, kind: PrimitiveKind, weight: u64, p: usize) -> u64 {
+        self.fractioned(kind, weight, p, self.dp_serial)
+            + (self.dp_fork_a + self.dp_fork_b * p as f64).round() as u64
+    }
+
+    /// PNL-style time for one primitive of `weight` entries on `p` cores.
+    pub fn pnl_task_time(&self, kind: PrimitiveKind, weight: u64, p: usize) -> u64 {
+        let w = self.exec_cost(kind, weight) as f64;
+        self.fractioned(kind, weight, p, self.pnl_serial)
+            + (self.pnl_coord_frac * p as f64 * w).round() as u64
+    }
+
+    fn fractioned(&self, kind: PrimitiveKind, weight: u64, p: usize, serial: f64) -> u64 {
+        let w = self.exec_cost(kind, weight) as f64;
+        if p <= 1 {
+            return w.round() as u64;
+        }
+        (w * serial + w * (1.0 - serial) / p as f64).round() as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            c_marg: 1.0,
+            c_div: 0.5,
+            c_ext: 0.65,
+            c_mul: 0.7,
+            sigma_sched: 280.0,
+            lambda_lock: 210.0,
+            omp_serial: 0.18,
+            omp_fork_a: 1_050.0,
+            omp_fork_b: 175.0,
+            dp_serial: 0.02,
+            dp_fork_a: 21_000.0,
+            dp_fork_b: 5_600.0,
+            pnl_serial: 0.06,
+            pnl_coord_frac: 0.04,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_cost_scales_with_weight() {
+        let m = CostModel::default();
+        assert_eq!(m.exec_cost(PrimitiveKind::Marginalize, 1000), 1000);
+        assert_eq!(m.exec_cost(PrimitiveKind::Divide, 1000), 500);
+        assert_eq!(m.exec_cost(PrimitiveKind::Extend, 1000), 650);
+        assert_eq!(m.exec_cost(PrimitiveKind::Multiply, 1000), 700);
+    }
+
+    #[test]
+    fn single_core_has_no_parallel_gain() {
+        let m = CostModel::default();
+        let w = 100_000;
+        let t1 = m.omp_task_time(PrimitiveKind::Multiply, w, 1);
+        // full per-entry cost plus fork overhead, no division by P
+        assert!(t1 >= m.exec_cost(PrimitiveKind::Multiply, w));
+    }
+
+    #[test]
+    fn omp_is_amdahl_limited() {
+        let m = CostModel::default();
+        let w = 1_000_000;
+        let t1 = m.omp_task_time(PrimitiveKind::Multiply, w, 1) as f64;
+        let t8 = m.omp_task_time(PrimitiveKind::Multiply, w, 8) as f64;
+        let speedup = t1 / t8;
+        // 18% serial fraction caps speedup near 1/(0.18+0.82/8) ≈ 3.5
+        assert!(speedup > 3.0 && speedup < 4.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn pnl_degrades_past_four_cores_on_large_tables() {
+        let m = CostModel::default();
+        let w = 1 << 20;
+        let t4 = m.pnl_task_time(PrimitiveKind::Multiply, w, 4);
+        let t8 = m.pnl_task_time(PrimitiveKind::Multiply, w, 8);
+        assert!(t8 > t4, "t8={t8} t4={t4}");
+    }
+
+    #[test]
+    fn dp_beats_omp_on_large_tables_at_8_cores() {
+        // The paper: data-parallel ≈ 4.1×, OpenMP ≈ 3.5× at 8 cores on
+        // the large-clique tree.
+        let m = CostModel::default();
+        let w = 1 << 20;
+        let dp = m.dp_task_time(PrimitiveKind::Multiply, w, 8);
+        let omp = m.omp_task_time(PrimitiveKind::Multiply, w, 8);
+        assert!(dp < omp);
+    }
+
+    #[test]
+    fn dp_loses_on_small_tables() {
+        // spawn overhead dominates small primitives
+        let m = CostModel::default();
+        let w = 1 << 10;
+        let dp = m.dp_task_time(PrimitiveKind::Multiply, w, 8);
+        let omp = m.omp_task_time(PrimitiveKind::Multiply, w, 8);
+        assert!(dp > omp);
+    }
+}

@@ -1,0 +1,99 @@
+//! ASCII Gantt rendering of simulated schedules.
+
+use crate::TraceEvent;
+use evprop_potential::PrimitiveKind;
+use std::fmt::Write as _;
+
+/// Renders a trace as an ASCII Gantt chart: one row per core, time
+/// bucketed into `width` columns. Busy buckets show the initial of the
+/// dominant primitive (`m`/`d`/`e`/`x` for marginalize/divide/extend/
+/// multiply), idle buckets `·`.
+///
+/// # Example
+///
+/// ```
+/// use evprop_bayesnet::networks;
+/// use evprop_jtree::JunctionTree;
+/// use evprop_simcore::{render_gantt, simulate_collaborative_traced, CostModel};
+/// use evprop_taskgraph::TaskGraph;
+///
+/// let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+/// let g = TaskGraph::from_shape(jt.shape());
+/// let (_, trace) = simulate_collaborative_traced(&g, 2, None, false, &CostModel::default());
+/// let chart = render_gantt(&trace, 2, 40);
+/// assert!(chart.lines().count() >= 2);
+/// ```
+pub fn render_gantt(trace: &[TraceEvent], cores: usize, width: usize) -> String {
+    let makespan = trace.iter().map(|e| e.end).max().unwrap_or(0);
+    let mut out = String::new();
+    if makespan == 0 || width == 0 {
+        for c in 0..cores {
+            let _ = writeln!(out, "core {c:>2} |");
+        }
+        return out;
+    }
+    let glyph = |k: PrimitiveKind| match k {
+        PrimitiveKind::Marginalize => 'm',
+        PrimitiveKind::Divide => 'd',
+        PrimitiveKind::Extend => 'e',
+        PrimitiveKind::Multiply => 'x',
+    };
+    for c in 0..cores {
+        // per-bucket occupancy, weighted by overlap
+        let mut cells = vec![(0u64, ' '); width];
+        for e in trace.iter().filter(|e| e.core == c) {
+            let b0 = (e.start as u128 * width as u128 / makespan as u128) as usize;
+            let b1 = (e.end as u128 * width as u128 / makespan as u128) as usize;
+            for cell in cells.iter_mut().take(b1.min(width - 1) + 1).skip(b0) {
+                let span = e.end - e.start;
+                if span >= cell.0 {
+                    *cell = (span, glyph(e.primitive));
+                }
+            }
+        }
+        let row: String = cells
+            .iter()
+            .map(|&(_, g)| if g == ' ' { '·' } else { g })
+            .collect();
+        let _ = writeln!(out, "core {c:>2} |{row}|");
+    }
+    let _ = writeln!(out, "         0{}{makespan} units", " ".repeat(width.saturating_sub(1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_jtree::CliqueId;
+
+    fn ev(core: usize, start: u64, end: u64, k: PrimitiveKind) -> TraceEvent {
+        TraceEvent {
+            core,
+            start,
+            end,
+            clique: CliqueId(0),
+            primitive: k,
+        }
+    }
+
+    #[test]
+    fn renders_rows_and_glyphs() {
+        let trace = vec![
+            ev(0, 0, 50, PrimitiveKind::Marginalize),
+            ev(0, 50, 100, PrimitiveKind::Multiply),
+            ev(1, 25, 75, PrimitiveKind::Divide),
+        ];
+        let chart = render_gantt(&trace, 2, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('m') && lines[0].contains('x'));
+        assert!(lines[1].contains('d'));
+        assert!(lines[1].contains('·')); // idle head and tail
+    }
+
+    #[test]
+    fn empty_trace() {
+        let chart = render_gantt(&[], 3, 10);
+        assert_eq!(chart.lines().count(), 3);
+    }
+}

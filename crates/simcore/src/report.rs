@@ -1,0 +1,103 @@
+//! Simulation results.
+
+/// What one virtual core did during a simulated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Virtual time spent executing primitives.
+    pub busy: u64,
+    /// Virtual time spent on scheduling overhead (dispatch, fork/join).
+    pub overhead: u64,
+    /// Table entries processed.
+    pub weight: u64,
+    /// Number of (sub)tasks executed.
+    pub tasks: usize,
+}
+
+impl CoreStats {
+    /// `busy / (busy + overhead + idle)` given the run's makespan — the
+    /// Fig. 8(b) computation-time ratio for this core.
+    pub fn compute_ratio(&self, makespan: u64) -> f64 {
+        if makespan == 0 {
+            return 1.0;
+        }
+        self.busy as f64 / makespan as f64
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Virtual completion time of the whole propagation.
+    pub makespan: u64,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Tasks split by the Partition module (collaborative policy only).
+    pub partitioned_tasks: usize,
+    /// Dynamic subtasks spawned by partitioning.
+    pub subtasks_spawned: usize,
+}
+
+impl SimReport {
+    /// Total busy time across cores.
+    pub fn total_busy(&self) -> u64 {
+        self.cores.iter().map(|c| c.busy).sum()
+    }
+
+    /// Total scheduling overhead across cores.
+    pub fn total_overhead(&self) -> u64 {
+        self.cores.iter().map(|c| c.overhead).sum()
+    }
+
+    /// Load imbalance: max core weight over mean core weight.
+    pub fn imbalance(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 1.0;
+        }
+        let max = self.cores.iter().map(|c| c.weight).max().unwrap() as f64;
+        let mean =
+            self.cores.iter().map(|c| c.weight).sum::<u64>() as f64 / self.cores.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let r = SimReport {
+            makespan: 100,
+            cores: vec![
+                CoreStats {
+                    busy: 90,
+                    overhead: 5,
+                    weight: 90,
+                    tasks: 3,
+                },
+                CoreStats {
+                    busy: 80,
+                    overhead: 2,
+                    weight: 80,
+                    tasks: 2,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.total_busy(), 170);
+        assert_eq!(r.total_overhead(), 7);
+        assert!((r.cores[0].compute_ratio(r.makespan) - 0.9).abs() < 1e-12);
+        assert!((r.imbalance() - 90.0 / 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = SimReport::default();
+        assert_eq!(r.imbalance(), 1.0);
+        assert_eq!(r.total_busy(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The three baseline policies: OpenMP-style, data-parallel, PNL-style.
+//!
+//! All three keep the paper's *sequential* outer structure — primitives
+//! execute one after another in a valid topological order — and only
+//! parallelize inside each primitive. Their makespan is therefore the sum
+//! of per-primitive times under the respective intra-primitive model (see
+//! [`CostModel`]), and per-core statistics charge each core `1/P` of the
+//! parallelizable work.
+
+use crate::{CoreStats, CostModel, SimReport};
+use evprop_potential::PrimitiveKind;
+use evprop_taskgraph::TaskGraph;
+
+fn simulate_serial_outer(
+    graph: &TaskGraph,
+    cores: usize,
+    model: &CostModel,
+    task_time: impl Fn(PrimitiveKind, u64, usize) -> u64,
+) -> SimReport {
+    let mut makespan = 0u64;
+    let mut stats = vec![CoreStats::default(); cores];
+    for t in graph.tasks() {
+        let kind = t.kind.primitive();
+        let dt = task_time(kind, t.weight, cores);
+        makespan += dt;
+        // charge cores: parallel share of the pure work is busy; the rest
+        // of dt (serial section seen by others + barrier) is overhead.
+        let work = model.exec_cost(kind, t.weight);
+        let share = work / cores as u64;
+        for (i, s) in stats.iter_mut().enumerate() {
+            s.busy += share;
+            s.overhead += dt.saturating_sub(share);
+            s.weight += t.weight / cores as u64;
+            if i == 0 {
+                // core 0 carries the integer-division remainders so the
+                // per-core sums reconcile with the totals
+                s.busy += work % cores as u64;
+                s.weight += t.weight % cores as u64;
+                s.tasks += 1;
+            }
+        }
+    }
+    SimReport {
+        makespan,
+        cores: stats,
+        partitioned_tasks: 0,
+        subtasks_spawned: 0,
+    }
+}
+
+pub(crate) fn simulate_openmp(graph: &TaskGraph, cores: usize, model: &CostModel) -> SimReport {
+    simulate_serial_outer(graph, cores, model, |k, w, p| model.omp_task_time(k, w, p))
+}
+
+pub(crate) fn simulate_data_parallel(
+    graph: &TaskGraph,
+    cores: usize,
+    model: &CostModel,
+) -> SimReport {
+    simulate_serial_outer(graph, cores, model, |k, w, p| model.dp_task_time(k, w, p))
+}
+
+pub(crate) fn simulate_pnl(graph: &TaskGraph, cores: usize, model: &CostModel) -> SimReport {
+    simulate_serial_outer(graph, cores, model, |k, w, p| model.pnl_task_time(k, w, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{simulate, speedup, CostModel, Policy};
+    use evprop_jtree::TreeShape;
+    use evprop_potential::{Domain, VarId, Variable};
+    use evprop_taskgraph::TaskGraph;
+
+    fn big_tree(width: usize) -> TaskGraph {
+        // balanced binary tree, 31 cliques
+        let n = 31;
+        let mut next = 0u32;
+        let domains: Vec<Domain> = (0..n)
+            .map(|_| {
+                let vars: Vec<Variable> = (0..width)
+                    .map(|_| {
+                        let v = Variable::binary(VarId(next));
+                        next += 1;
+                        v
+                    })
+                    .collect();
+                Domain::new(vars).unwrap()
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| ((i - 1) / 2, i)).collect();
+        TaskGraph::from_shape(&TreeShape::new(domains, &edges, 0).unwrap())
+    }
+
+    #[test]
+    fn openmp_saturates_below_collaborative() {
+        let g = big_tree(18); // tables above δ so the Partition module engages
+        let m = CostModel::default();
+        let omp = speedup(&g, Policy::OpenMpStyle, 8, &m);
+        let collab = speedup(&g, Policy::collaborative(), 8, &m);
+        assert!(omp > 2.0 && omp < 4.5, "omp speedup {omp}");
+        assert!(collab > omp * 1.5, "collab {collab} vs omp {omp}");
+    }
+
+    #[test]
+    fn pnl_runtime_rises_after_four_cores() {
+        // Fig. 6 shape: time decreases to ~4 cores then increases
+        let g = big_tree(16);
+        let m = CostModel::default();
+        let t4 = simulate(&g, Policy::PnlStyle, 4, &m).makespan;
+        let t8 = simulate(&g, Policy::PnlStyle, 8, &m).makespan;
+        let t1 = simulate(&g, Policy::PnlStyle, 1, &m).makespan;
+        assert!(t4 < t1);
+        assert!(t8 > t4, "t8={t8} should exceed t4={t4}");
+    }
+
+    #[test]
+    fn data_parallel_between_openmp_and_collaborative_on_large_cliques() {
+        let g = big_tree(20); // 1M-entry tables, the JT1 regime where the paper
+                              // saw data-parallel beat OpenMP
+        let m = CostModel::default();
+        let dp = speedup(&g, Policy::DataParallel, 8, &m);
+        let omp = speedup(&g, Policy::OpenMpStyle, 8, &m);
+        let collab = speedup(&g, Policy::collaborative(), 8, &m);
+        assert!(dp > omp, "dp {dp} vs omp {omp}");
+        assert!(collab > dp, "collab {collab} vs dp {dp}");
+    }
+
+    #[test]
+    fn data_parallel_collapses_on_small_cliques() {
+        let g = big_tree(6); // 64-entry tables: spawn overhead dominates
+        let m = CostModel::default();
+        let dp = speedup(&g, Policy::DataParallel, 8, &m);
+        assert!(dp < 1.5, "dp speedup {dp} should be poor");
+    }
+
+    #[test]
+    fn serial_policies_are_deterministic() {
+        let g = big_tree(10);
+        let m = CostModel::default();
+        for p in [Policy::OpenMpStyle, Policy::DataParallel, Policy::PnlStyle] {
+            assert_eq!(simulate(&g, p, 4, &m), simulate(&g, p, 4, &m));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the discrete-event simulator.
+
+use evprop_jtree::TreeShape;
+use evprop_potential::{Domain, VarId, Variable};
+use evprop_simcore::{simulate, simulate_collaborative_traced, CostModel, Policy};
+use evprop_taskgraph::TaskGraph;
+use proptest::prelude::*;
+
+/// Random tree shapes: parent of clique i is a random earlier clique;
+/// clique widths 2..=8 binary variables (weights 4..256).
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    (2usize..30).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..usize::MAX, n - 1),
+            proptest::collection::vec(2usize..=8, n),
+        )
+            .prop_map(move |(parents, widths)| {
+                let mut edges = Vec::with_capacity(n - 1);
+                for i in 1..n {
+                    edges.push((parents[i - 1] % i, i));
+                }
+                let mut next = 0u32;
+                let domains: Vec<Domain> = widths
+                    .iter()
+                    .map(|&w| {
+                        let vars: Vec<Variable> = (0..w)
+                            .map(|_| {
+                                let v = Variable::binary(VarId(next));
+                                next += 1;
+                                v
+                            })
+                            .collect();
+                        Domain::new(vars).unwrap()
+                    })
+                    .collect();
+                TaskGraph::from_shape(&TreeShape::new(domains, &edges, 0).unwrap())
+            })
+    })
+}
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::collaborative(),
+        Policy::collaborative_unpartitioned(),
+        Policy::Collaborative {
+            delta: Some(16),
+            work_stealing: true,
+        },
+        Policy::OpenMpStyle,
+        Policy::DataParallel,
+        Policy::PnlStyle,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Determinism: every policy yields identical reports on reruns.
+    #[test]
+    fn all_policies_deterministic(g in arb_graph(), cores in 1usize..9) {
+        let m = CostModel::default();
+        for p in policies() {
+            prop_assert_eq!(simulate(&g, p, cores, &m), simulate(&g, p, cores, &m));
+        }
+    }
+
+    /// The makespan respects the trivial bounds: at least the critical
+    /// work over one core's ability, at most fully serial execution.
+    #[test]
+    fn collaborative_makespan_bounds(g in arb_graph(), cores in 1usize..9) {
+        let m = CostModel::default();
+        let r = simulate(&g, Policy::collaborative_unpartitioned(), cores, &m);
+        let work: u64 = g
+            .tasks()
+            .iter()
+            .map(|t| m.exec_cost(t.kind.primitive(), t.weight))
+            .sum();
+        let per_task = (m.sigma_sched + m.lambda_lock).round() as u64;
+        prop_assert!(r.makespan >= work / cores as u64);
+        prop_assert!(r.makespan <= work + per_task * g.num_tasks() as u64);
+        // every task executed exactly once (no partitioning)
+        let total: usize = r.cores.iter().map(|c| c.tasks).sum();
+        prop_assert_eq!(total, g.num_tasks());
+    }
+
+    /// Work conservation: total busy time is invariant to core count and
+    /// stealing (same primitives execute).
+    #[test]
+    fn busy_time_conserved(g in arb_graph(), cores in 2usize..9) {
+        let m = CostModel::default();
+        let p = Policy::collaborative_unpartitioned();
+        let one = simulate(&g, p, 1, &m).total_busy();
+        let many = simulate(&g, p, cores, &m).total_busy();
+        prop_assert_eq!(one, many);
+        let steal = Policy::Collaborative { delta: None, work_stealing: true };
+        prop_assert_eq!(simulate(&g, steal, cores, &m).total_busy(), one);
+    }
+
+    /// Multicore runs never lose to the single-core schedule. (Strict
+    /// monotonicity in P does NOT hold — greedy list scheduling admits
+    /// Graham anomalies, and lock contention grows with P — so the
+    /// invariant is anchored at P = 1.)
+    #[test]
+    fn collaborative_never_worse_than_serial(g in arb_graph()) {
+        let m = CostModel::default();
+        let serial = simulate(&g, Policy::collaborative(), 1, &m).makespan;
+        for cores in [2usize, 4, 8] {
+            let r = simulate(&g, Policy::collaborative(), cores, &m);
+            prop_assert!(r.makespan <= serial, "cores={cores}");
+        }
+    }
+
+    /// Traces tile the schedule: per-core events are disjoint, within the
+    /// makespan, and their busy time sums to the report's.
+    #[test]
+    fn traces_tile_schedule(g in arb_graph(), cores in 1usize..6, delta in 2u64..64) {
+        let m = CostModel::default();
+        let (report, trace) =
+            simulate_collaborative_traced(&g, cores, Some(delta), false, &m);
+        let total_tasks: usize = report.cores.iter().map(|c| c.tasks).sum();
+        prop_assert_eq!(trace.len(), total_tasks);
+        for core in 0..cores {
+            let mut evs: Vec<_> = trace.iter().filter(|e| e.core == core).collect();
+            evs.sort_by_key(|e| e.start);
+            for w in evs.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+            let busy: u64 = evs.iter().map(|e| e.end - e.start).sum();
+            prop_assert_eq!(busy, report.cores[core].busy);
+        }
+    }
+
+    /// Partitioning never increases total busy work by more than the
+    /// combiner rounding, and subtask counts are consistent.
+    #[test]
+    fn partition_accounting(g in arb_graph(), delta in 2u64..64) {
+        let m = CostModel::default();
+        let p = Policy::Collaborative { delta: Some(delta), work_stealing: false };
+        let r = simulate(&g, p, 4, &m);
+        let expected_subtasks: usize = g
+            .tasks()
+            .iter()
+            .filter(|t| t.weight > delta)
+            .map(|t| (t.weight as usize).div_ceil(delta as usize))
+            .sum();
+        prop_assert_eq!(r.subtasks_spawned, expected_subtasks);
+        let expected_partitioned =
+            g.tasks().iter().filter(|t| t.weight > delta).count();
+        prop_assert_eq!(r.partitioned_tasks, expected_partitioned);
+        // busy conserved vs unpartitioned up to per-subtask rounding of
+        // the fractional per-entry costs (≤ 0.5 units per subtask)
+        let base = simulate(&g, Policy::collaborative_unpartitioned(), 4, &m);
+        let diff = r.total_busy().abs_diff(base.total_busy());
+        prop_assert!(
+            diff as usize <= r.subtasks_spawned + g.num_tasks(),
+            "busy drift {diff} over {} subtasks",
+            r.subtasks_spawned
+        );
+    }
+}

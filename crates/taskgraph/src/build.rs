@@ -1,0 +1,529 @@
+//! Construction of the global task DAG from a tree shape (§5.2).
+
+use crate::graph::{
+    BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskId, TaskKind,
+};
+use evprop_jtree::{CliqueId, TreeShape};
+
+/// Each junction-tree edge expands into 8 tasks: the 4-primitive chain of
+/// the collect message plus the 4-primitive chain of the distribute
+/// message (Fig. 2b/c).
+pub const MESSAGE_TASKS_PER_EDGE: usize = 8;
+
+/// Per-edge buffer ids (the edge is identified by its child clique).
+#[derive(Clone, Copy, Debug)]
+struct EdgeBuffers {
+    /// ψ_S — the original separator (initialized to ones; never written).
+    sep_old: BufferId,
+    /// ψ*_S — collect-phase marginal of the child clique.
+    sep_up: BufferId,
+    /// ψ*_S / ψ_S — collect-phase ratio.
+    ratio_up: BufferId,
+    /// The ratio extended over the parent clique's domain.
+    ext_up: BufferId,
+    /// Distribute-phase buffers; absent in collect-only graphs.
+    down: Option<DownBuffers>,
+}
+
+/// Distribute-phase scratch for one edge.
+#[derive(Clone, Copy, Debug)]
+struct DownBuffers {
+    /// ψ**_S — distribute-phase marginal of the parent clique.
+    sep_down: BufferId,
+    /// ψ**_S / ψ*_S — distribute-phase ratio.
+    ratio_down: BufferId,
+    /// The ratio extended over the child clique's domain.
+    ext_down: BufferId,
+}
+
+impl TaskGraph {
+    /// Builds the task dependency graph for two-phase evidence propagation
+    /// over `shape`, following §5.2: the clique updating graph (collect
+    /// phase depending on children, distribute phase on the parent),
+    /// refined by the per-edge local task chains
+    /// `Marginalize → Divide → Extend → Multiply`. Multiplications into
+    /// the same clique are serialized (they share a destination table);
+    /// everything else runs as parallel as the tree allows.
+    ///
+    /// A single-clique tree yields an empty graph — propagation is a
+    /// no-op.
+    pub fn from_shape(shape: &TreeShape) -> TaskGraph {
+        Self::from_shape_mode(shape, PropagationMode::SumProduct)
+    }
+
+    /// Like [`TaskGraph::from_shape`], but selecting the algebra: with
+    /// [`PropagationMode::MaxProduct`] the marginalization tasks maximize
+    /// instead of summing, producing the max-calibrated tree used for
+    /// most-probable-explanation queries. The graph structure, weights
+    /// and dependencies are identical in both modes.
+    pub fn from_shape_mode(shape: &TreeShape, mode: PropagationMode) -> TaskGraph {
+        Self::build(shape, mode, true)
+    }
+
+    /// Builds only the **collect phase** toward the shape's current root:
+    /// after execution the root clique is fully calibrated (it holds
+    /// `P(C_root, e)`), while every other clique is not. Answering a
+    /// single in-clique query this way costs half the propagation work of
+    /// the full two-phase schedule — re-root the shape at a clique
+    /// covering the query first.
+    pub fn collect_only(shape: &TreeShape, mode: PropagationMode) -> TaskGraph {
+        Self::build(shape, mode, false)
+    }
+
+    fn build(shape: &TreeShape, mode: PropagationMode, include_distribute: bool) -> TaskGraph {
+        let max = mode == PropagationMode::MaxProduct;
+        let n = shape.num_cliques();
+        let mut g = TaskGraph {
+            tasks: Vec::with_capacity(MESSAGE_TASKS_PER_EDGE * n.saturating_sub(1)),
+            succ: Vec::new(),
+            pred_count: Vec::new(),
+            buffers: Vec::with_capacity(n * 8),
+            clique_buffers: Vec::with_capacity(n),
+        };
+
+        // clique potentials occupy buffers 0..n
+        for c in (0..n).map(CliqueId) {
+            let b = g.push_buffer(BufferSpec {
+                domain: shape.domain(c).clone(),
+                init: BufferInit::CliquePotential(c),
+            });
+            g.clique_buffers.push(b);
+        }
+
+        // per-edge scratch buffers
+        let mut edge_bufs: Vec<Option<EdgeBuffers>> = vec![None; n];
+        for c in (0..n).map(CliqueId) {
+            let Some(p) = shape.parent(c) else { continue };
+            let sep = shape.parent_separator(c).clone();
+            let eb = EdgeBuffers {
+                sep_old: g.push_buffer(BufferSpec {
+                    domain: sep.clone(),
+                    init: BufferInit::Ones,
+                }),
+                sep_up: g.push_buffer(BufferSpec {
+                    domain: sep.clone(),
+                    init: BufferInit::Zeros,
+                }),
+                ratio_up: g.push_buffer(BufferSpec {
+                    domain: sep.clone(),
+                    init: BufferInit::Zeros,
+                }),
+                ext_up: g.push_buffer(BufferSpec {
+                    domain: shape.domain(p).clone(),
+                    init: BufferInit::Zeros,
+                }),
+                down: include_distribute.then(|| DownBuffers {
+                    sep_down: g.push_buffer(BufferSpec {
+                        domain: sep.clone(),
+                        init: BufferInit::Zeros,
+                    }),
+                    ratio_down: g.push_buffer(BufferSpec {
+                        domain: sep.clone(),
+                        init: BufferInit::Zeros,
+                    }),
+                    ext_down: g.push_buffer(BufferSpec {
+                        domain: shape.domain(c).clone(),
+                        init: BufferInit::Zeros,
+                    }),
+                }),
+            };
+            edge_bufs[c.index()] = Some(eb);
+        }
+
+        // ---------------- collect phase (postorder) ----------------
+        // mul_up_chain[p] = last collect Multiply writing clique p
+        let mut mul_up_chain: Vec<Option<TaskId>> = vec![None; n];
+        // mul_up_all[x] = every collect Multiply into clique x (the
+        // clique-updating-graph "depends on all children" edge set)
+        let mut marg_up_of: Vec<Option<TaskId>> = vec![None; n];
+        let mut mul_up_of: Vec<Option<TaskId>> = vec![None; n];
+        for &c in &shape.postorder() {
+            let Some(p) = shape.parent(c) else { continue };
+            let eb = edge_bufs[c.index()].expect("non-root cliques have edge buffers");
+            let sep_len = g.buffers[eb.sep_up.index()].domain.size() as u64;
+            let clique_len = shape.domain(c).size() as u64;
+            let parent_len = shape.domain(p).size() as u64;
+
+            let marg = g.push_task(
+                Task {
+                    kind: TaskKind::Marginalize {
+                        src: g.clique_buffers[c.index()],
+                        dst: eb.sep_up,
+                        max,
+                    },
+                    weight: clique_len,
+                    phase: Phase::Collect,
+                    clique: c,
+                },
+                // clique c is ready once every child's collect message
+                // has been multiplied in
+                shape
+                    .children(c)
+                    .iter()
+                    .map(|ch| mul_up_of[ch.index()].expect("children processed first"))
+                    .collect(),
+            );
+            marg_up_of[c.index()] = Some(marg);
+
+            let div = g.push_task(
+                Task {
+                    kind: TaskKind::Divide {
+                        num: eb.sep_up,
+                        den: eb.sep_old,
+                        dst: eb.ratio_up,
+                    },
+                    weight: sep_len,
+                    phase: Phase::Collect,
+                    clique: c,
+                },
+                vec![marg],
+            );
+
+            let ext = g.push_task(
+                Task {
+                    kind: TaskKind::Extend {
+                        src: eb.ratio_up,
+                        dst: eb.ext_up,
+                    },
+                    weight: parent_len,
+                    phase: Phase::Collect,
+                    clique: p,
+                },
+                vec![div],
+            );
+
+            // serialize with the previous multiply into the parent
+            let mut deps = vec![ext];
+            if let Some(prev) = mul_up_chain[p.index()] {
+                deps.push(prev);
+            }
+            let mul = g.push_task(
+                Task {
+                    kind: TaskKind::Multiply {
+                        src: eb.ext_up,
+                        dst: g.clique_buffers[p.index()],
+                    },
+                    weight: parent_len,
+                    phase: Phase::Collect,
+                    clique: p,
+                },
+                deps,
+            );
+            mul_up_chain[p.index()] = Some(mul);
+            mul_up_of[c.index()] = Some(mul);
+        }
+
+        // ---------------- distribute phase (preorder) ----------------
+        let mut mul_down_of: Vec<Option<TaskId>> = vec![None; n];
+        let distribute_cliques: &[evprop_jtree::CliqueId] =
+            if include_distribute { shape.preorder() } else { &[] };
+        for &c in distribute_cliques.iter() {
+            let Some(p) = shape.parent(c) else { continue };
+            let eb = edge_bufs[c.index()].expect("non-root cliques have edge buffers");
+            let down = eb.down.expect("distribute graphs allocate down buffers");
+            let sep_len = g.buffers[down.sep_down.index()].domain.size() as u64;
+            let clique_len = shape.domain(c).size() as u64;
+            let parent_len = shape.domain(p).size() as u64;
+
+            // The parent is fully updated once (a) its last collect
+            // multiply finished — `mul_up_chain[p]` transitively orders
+            // all of them — and (b) its own distribute multiply finished
+            // (absent for the root).
+            let mut deps = vec![mul_up_chain[p.index()]
+                .expect("p has at least child c, so a collect multiply exists")];
+            if let Some(md) = mul_down_of[p.index()] {
+                deps.push(md);
+            }
+            let marg = g.push_task(
+                Task {
+                    kind: TaskKind::Marginalize {
+                        src: g.clique_buffers[p.index()],
+                        dst: down.sep_down,
+                        max,
+                    },
+                    weight: parent_len,
+                    phase: Phase::Distribute,
+                    clique: p,
+                },
+                deps,
+            );
+
+            // ψ**_S / ψ*_S — the denominator is the collect-phase
+            // separator, whose writer (MARG_up of c) precedes this task
+            // through mul_up_chain[p].
+            let div = g.push_task(
+                Task {
+                    kind: TaskKind::Divide {
+                        num: down.sep_down,
+                        den: eb.sep_up,
+                        dst: down.ratio_down,
+                    },
+                    weight: sep_len,
+                    phase: Phase::Distribute,
+                    clique: c,
+                },
+                vec![marg],
+            );
+
+            let ext = g.push_task(
+                Task {
+                    kind: TaskKind::Extend {
+                        src: down.ratio_down,
+                        dst: down.ext_down,
+                    },
+                    weight: clique_len,
+                    phase: Phase::Distribute,
+                    clique: c,
+                },
+                vec![div],
+            );
+
+            // Writes clique c; prior writers (collect multiplies into c)
+            // and readers (MARG_up of c) are ordered before this task
+            // through the dependency chain — see the crate docs' safety
+            // argument and `TaskGraph::validate`.
+            let mul = g.push_task(
+                Task {
+                    kind: TaskKind::Multiply {
+                        src: down.ext_down,
+                        dst: g.clique_buffers[c.index()],
+                    },
+                    weight: clique_len,
+                    phase: Phase::Distribute,
+                    clique: c,
+                },
+                vec![ext],
+            );
+            mul_down_of[c.index()] = Some(mul);
+        }
+
+        debug_assert!(g.validate().is_ok(), "builder produced an invalid graph");
+        g
+    }
+
+    fn push_buffer(&mut self, spec: BufferSpec) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(spec);
+        id
+    }
+
+    fn push_task(&mut self, task: Task, deps: Vec<TaskId>) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        self.succ.push(Vec::new());
+        self.pred_count.push(deps.len() as u32);
+        for d in deps {
+            self.succ[d.index()].push(id);
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_potential::{Domain, PrimitiveKind, VarId, Variable};
+
+    fn dom(ids: &[u32]) -> Domain {
+        Domain::new(ids.iter().map(|&i| Variable::binary(VarId(i))).collect()).unwrap()
+    }
+
+    fn path(n: usize) -> TreeShape {
+        // C_i = {i, i+1}
+        let domains: Vec<Domain> = (0..n).map(|i| dom(&[i as u32, i as u32 + 1])).collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        TreeShape::new(domains, &edges, 0).unwrap()
+    }
+
+    fn star(k: usize) -> TreeShape {
+        // center {0..k}, leaf i = {i}
+        let mut domains = vec![Domain::new(
+            (0..k as u32).map(|i| Variable::binary(VarId(i))).collect(),
+        )
+        .unwrap()];
+        for i in 0..k as u32 {
+            domains.push(dom(&[i]));
+        }
+        let edges: Vec<(usize, usize)> = (1..=k).map(|i| (0, i)).collect();
+        TreeShape::new(domains, &edges, 0).unwrap()
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        for n in [2, 3, 5, 9] {
+            let g = TaskGraph::from_shape(&path(n));
+            assert_eq!(g.num_tasks(), MESSAGE_TASKS_PER_EDGE * (n - 1));
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_clique_graph_is_empty() {
+        let g = TaskGraph::from_shape(&path(1));
+        assert_eq!(g.num_tasks(), 0);
+        assert_eq!(g.initial_ready().len(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn leaves_start_ready() {
+        let g = TaskGraph::from_shape(&star(4));
+        // collect MARG of each leaf is dependency-free
+        let ready = g.initial_ready();
+        assert_eq!(ready.len(), 4);
+        for t in ready {
+            assert_eq!(g.task(t).phase, Phase::Collect);
+            assert_eq!(g.task(t).kind.primitive(), PrimitiveKind::Marginalize);
+        }
+    }
+
+    #[test]
+    fn multiplies_into_shared_clique_serialize() {
+        let g = TaskGraph::from_shape(&star(4));
+        // collect multiplications all write buffer 0 (center clique);
+        // validate() already checks ordering, but assert the chain length
+        let muls: Vec<TaskId> = (0..g.num_tasks())
+            .map(TaskId)
+            .filter(|&t| {
+                g.task(t).phase == Phase::Collect
+                    && g.task(t).kind.primitive() == PrimitiveKind::Multiply
+            })
+            .collect();
+        assert_eq!(muls.len(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn critical_path_le_total() {
+        let g = TaskGraph::from_shape(&path(6));
+        assert!(g.critical_path_weight() <= g.total_weight());
+        assert!(g.critical_path_weight() > 0);
+    }
+
+    #[test]
+    fn star_has_more_parallelism_than_path() {
+        // same number of edges → same total tasks, but the star's
+        // critical path is far shorter relative to total work
+        let gp = TaskGraph::from_shape(&path(9));
+        let gs = TaskGraph::from_shape(&star(8));
+        let par_p = gp.total_weight() as f64 / gp.critical_path_weight() as f64;
+        let par_s = gs.total_weight() as f64 / gs.critical_path_weight() as f64;
+        assert!(par_s > par_p);
+    }
+
+    #[test]
+    fn levels_partition_all_tasks() {
+        let g = TaskGraph::from_shape(&path(5));
+        let levels = g.levels();
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_tasks());
+        // within a level no task depends on another of the same level
+        for level in &levels {
+            for &t in level {
+                for &s in g.successors(t) {
+                    assert!(!level.contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phases_are_ordered_per_clique_pair() {
+        let g = TaskGraph::from_shape(&path(4));
+        let order = g.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_tasks()];
+            for (i, t) in order.iter().enumerate() {
+                p[t.index()] = i;
+            }
+            p
+        };
+        // every collect multiply into the root precedes every distribute
+        // marginalize out of the root
+        for a in (0..g.num_tasks()).map(TaskId) {
+            for b in (0..g.num_tasks()).map(TaskId) {
+                let (ta, tb) = (g.task(a), g.task(b));
+                if ta.phase == Phase::Collect
+                    && tb.phase == Phase::Distribute
+                    && ta.kind.dst() == BufferId(0)
+                    && matches!(tb.kind, TaskKind::Marginalize { src, .. } if src == BufferId(0))
+                {
+                    assert!(pos[a.index()] < pos[b.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_reflect_table_sizes() {
+        let g = TaskGraph::from_shape(&path(3));
+        for t in g.tasks() {
+            match t.kind {
+                TaskKind::Marginalize { src, .. } => {
+                    assert_eq!(t.weight, g.buffers()[src.index()].domain.size() as u64)
+                }
+                _ => assert_eq!(
+                    t.weight,
+                    g.buffers()[t.kind.dst().index()].domain.size() as u64
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_inits_are_sane() {
+        let g = TaskGraph::from_shape(&path(3));
+        let n_ones = g
+            .buffers()
+            .iter()
+            .filter(|b| b.init == BufferInit::Ones)
+            .count();
+        assert_eq!(n_ones, 2); // one sep_old per edge
+        let n_clique = g
+            .buffers()
+            .iter()
+            .filter(|b| matches!(b.init, BufferInit::CliquePotential(_)))
+            .count();
+        assert_eq!(n_clique, 3);
+    }
+}
+
+#[cfg(test)]
+mod collect_only_tests {
+    use super::*;
+    use crate::graph::PropagationMode;
+    use evprop_potential::{Domain, VarId, Variable};
+
+    fn chain_shape(n: usize) -> TreeShape {
+        let domains: Vec<Domain> = (0..n)
+            .map(|i| {
+                Domain::new(vec![
+                    Variable::binary(VarId(i as u32)),
+                    Variable::binary(VarId(i as u32 + 1)),
+                ])
+                .unwrap()
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        TreeShape::new(domains, &edges, 0).unwrap()
+    }
+
+    #[test]
+    fn collect_only_has_half_the_tasks() {
+        let shape = chain_shape(6);
+        let full = TaskGraph::from_shape(&shape);
+        let half = TaskGraph::collect_only(&shape, PropagationMode::SumProduct);
+        assert_eq!(half.num_tasks() * 2, full.num_tasks());
+        half.validate().unwrap();
+        assert!(half.buffers().len() < full.buffers().len());
+        // every task is a collect-phase task
+        assert!(half.tasks().iter().all(|t| t.phase == Phase::Collect));
+    }
+
+    #[test]
+    fn collect_only_single_clique_is_empty() {
+        let shape = chain_shape(1);
+        let g = TaskGraph::collect_only(&shape, PropagationMode::SumProduct);
+        assert_eq!(g.num_tasks(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphviz export of task graphs for inspection and documentation.
+
+use crate::graph::{Phase, TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+impl TaskGraph {
+    /// Renders the task DAG in Graphviz DOT syntax: one node per task
+    /// labeled `primitive@clique (weight)`, collect-phase tasks in the
+    /// upper cluster, distribute-phase in the lower, dependency edges
+    /// between them.
+    ///
+    /// ```sh
+    /// dot -Tsvg graph.dot -o graph.svg
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        for phase in [Phase::Collect, Phase::Distribute] {
+            let _ = writeln!(
+                out,
+                "  subgraph cluster_{} {{\n    label=\"{}\";",
+                if phase == Phase::Collect { "collect" } else { "distribute" },
+                if phase == Phase::Collect { "collect (leaves to root)" } else { "distribute (root to leaves)" },
+            );
+            for (i, t) in self.tasks.iter().enumerate() {
+                if t.phase == phase {
+                    let _ = writeln!(
+                        out,
+                        "    t{} [label=\"{}@{} ({})\"];",
+                        i,
+                        t.kind.primitive(),
+                        t.clique,
+                        t.weight
+                    );
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for i in 0..self.num_tasks() {
+            for s in self.successors(TaskId(i)) {
+                let _ = writeln!(out, "  t{} -> t{};", i, s.index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TaskGraph;
+    use evprop_jtree::TreeShape;
+    use evprop_potential::{Domain, VarId, Variable};
+
+    #[test]
+    fn dot_contains_every_task_and_edge() {
+        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))])
+            .unwrap();
+        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))])
+            .unwrap();
+        let shape = TreeShape::new(vec![d0, d1], &[(0, 1)], 0).unwrap();
+        let g = TaskGraph::from_shape(&shape);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph tasks {"));
+        for i in 0..g.num_tasks() {
+            assert!(dot.contains(&format!("t{i} [label=")), "node t{i} missing");
+        }
+        let edges: usize = dot.matches(" -> ").count();
+        let expected: usize = (0..g.num_tasks())
+            .map(|i| g.successors(crate::TaskId(i)).len())
+            .sum();
+        assert_eq!(edges, expected);
+        assert!(dot.contains("cluster_collect"));
+        assert!(dot.contains("cluster_distribute"));
+        assert!(dot.contains("marg@"));
+    }
+}

@@ -1,0 +1,458 @@
+//! The task DAG data structures.
+
+use evprop_jtree::CliqueId;
+use evprop_potential::{Domain, PrimitiveKind};
+use std::error::Error;
+use std::fmt;
+
+/// Index of a task in a [`TaskGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a buffer (a potential table the tasks read/write).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BufferId(pub usize);
+
+impl BufferId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// How an engine initializes a buffer before propagation starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferInit {
+    /// Copy the junction tree's initial potential of this clique (then
+    /// absorb evidence into it).
+    CliquePotential(CliqueId),
+    /// Fill with ones (separators, ψ_S ≡ 1 initially).
+    Ones,
+    /// Fill with zeros (marginalization targets, scratch).
+    Zeros,
+}
+
+/// Size and initialization of one buffer.
+#[derive(Clone, Debug)]
+pub struct BufferSpec {
+    /// The buffer's variable set.
+    pub domain: Domain,
+    /// How to initialize it.
+    pub init: BufferInit,
+}
+
+/// Which algebra the propagation runs in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PropagationMode {
+    /// Ordinary evidence propagation: marginals are sums.
+    #[default]
+    SumProduct,
+    /// Dawid max-propagation: marginals are maxima; calibrated cliques
+    /// hold max-marginals, from which the most probable explanation is
+    /// decoded.
+    MaxProduct,
+}
+
+/// Which propagation phase a task belongs to (the two symmetric halves of
+/// the clique updating graph, Fig. 2a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Evidence flows leaves → root.
+    Collect,
+    /// Evidence flows root → leaves.
+    Distribute,
+}
+
+/// The operation a task performs. Every task writes exactly one buffer
+/// (`dst`) and reads at most two others — the invariant that makes
+/// DAG-ordered parallel execution race-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// `dst = Σ src` over the eliminated variables (`dst`'s domain ⊆
+    /// `src`'s). The task zeroes `dst` before accumulating.
+    Marginalize {
+        /// Clique-sized source.
+        src: BufferId,
+        /// Separator-sized destination.
+        dst: BufferId,
+        /// `false` = sum out (ordinary evidence propagation);
+        /// `true` = max out (Dawid max-propagation for MPE queries).
+        max: bool,
+    },
+    /// `dst = num / den` elementwise with `0/0 = 0` (identical domains).
+    Divide {
+        /// Updated separator ψ*_S.
+        num: BufferId,
+        /// Original separator ψ_S.
+        den: BufferId,
+        /// Ratio output.
+        dst: BufferId,
+    },
+    /// `dst[i] = src[project(i)]`: replicate a separator over a clique
+    /// domain (`src`'s domain ⊆ `dst`'s).
+    Extend {
+        /// Separator-sized source.
+        src: BufferId,
+        /// Clique-sized destination.
+        dst: BufferId,
+    },
+    /// `dst[i] *= src[i]` elementwise (identical domains — `src` is the
+    /// extended ratio).
+    Multiply {
+        /// Extended-ratio source.
+        src: BufferId,
+        /// Clique potential destination.
+        dst: BufferId,
+    },
+}
+
+impl TaskKind {
+    /// The buffer this task writes.
+    pub fn dst(&self) -> BufferId {
+        match *self {
+            TaskKind::Marginalize { dst, .. }
+            | TaskKind::Divide { dst, .. }
+            | TaskKind::Extend { dst, .. }
+            | TaskKind::Multiply { dst, .. } => dst,
+        }
+    }
+
+    /// The buffers this task reads (one or two).
+    pub fn reads(&self) -> Vec<BufferId> {
+        match *self {
+            TaskKind::Marginalize { src, .. } | TaskKind::Extend { src, .. } => vec![src],
+            TaskKind::Divide { num, den, .. } => vec![num, den],
+            TaskKind::Multiply { src, dst } => vec![src, dst],
+        }
+    }
+
+    /// The node-level primitive this task performs.
+    pub fn primitive(&self) -> PrimitiveKind {
+        match self {
+            TaskKind::Marginalize { .. } => PrimitiveKind::Marginalize,
+            TaskKind::Divide { .. } => PrimitiveKind::Divide,
+            TaskKind::Extend { .. } => PrimitiveKind::Extend,
+            TaskKind::Multiply { .. } => PrimitiveKind::Multiply,
+        }
+    }
+}
+
+/// One schedulable task: a primitive plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// What to execute.
+    pub kind: TaskKind,
+    /// Work size in table entries — the scheduler's load-balancing weight
+    /// and the simulator's cost driver. Equals the partitionable table's
+    /// length (source for marginalization, destination otherwise).
+    pub weight: u64,
+    /// Which propagation phase the task belongs to.
+    pub phase: Phase,
+    /// The clique whose update this task is part of (the *receiving*
+    /// clique of the message).
+    pub clique: CliqueId,
+}
+
+/// Errors detected by [`TaskGraph::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskGraphError {
+    /// The graph has a dependency cycle (builder bug).
+    Cyclic,
+    /// A task references a buffer id out of range.
+    BadBuffer(TaskId),
+    /// Two tasks write the same buffer without an ordering path between
+    /// them (write-write race).
+    UnorderedWriters(TaskId, TaskId),
+}
+
+impl fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskGraphError::Cyclic => write!(f, "task graph contains a cycle"),
+            TaskGraphError::BadBuffer(t) => write!(f, "task {t:?} references unknown buffer"),
+            TaskGraphError::UnorderedWriters(a, b) => {
+                write!(f, "tasks {a:?} and {b:?} write the same buffer unordered")
+            }
+        }
+    }
+}
+
+impl Error for TaskGraphError {}
+
+/// The global task dependency graph `G` plus the buffer table it runs on.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) succ: Vec<Vec<TaskId>>,
+    pub(crate) pred_count: Vec<u32>,
+    pub(crate) buffers: Vec<BufferSpec>,
+    /// Buffer holding each clique's potential, indexed by clique id.
+    pub(crate) clique_buffers: Vec<BufferId>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task with the given id.
+    #[inline]
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.tasks[t.index()]
+    }
+
+    /// All tasks, indexed by id.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Successor tasks of `t` (tasks with an incoming edge from `t`).
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succ[t.index()]
+    }
+
+    /// Initial dependency degree of `t` (number of incoming edges).
+    #[inline]
+    pub fn dependency_degree(&self, t: TaskId) -> u32 {
+        self.pred_count[t.index()]
+    }
+
+    /// Buffer specifications, indexed by [`BufferId`].
+    #[inline]
+    pub fn buffers(&self) -> &[BufferSpec] {
+        &self.buffers
+    }
+
+    /// The buffer holding clique `c`'s potential.
+    #[inline]
+    pub fn clique_buffer(&self, c: CliqueId) -> BufferId {
+        self.clique_buffers[c.index()]
+    }
+
+    /// Tasks with dependency degree zero — schedulable immediately.
+    pub fn initial_ready(&self) -> Vec<TaskId> {
+        (0..self.num_tasks())
+            .map(TaskId)
+            .filter(|&t| self.pred_count[t.index()] == 0)
+            .collect()
+    }
+
+    /// Sum of all task weights — the serial work `W`.
+    pub fn total_weight(&self) -> u64 {
+        self.tasks.iter().map(|t| t.weight).sum()
+    }
+
+    /// Weight of the heaviest dependency chain — the critical work
+    /// `T_∞`; `W / T_∞` bounds achievable speedup.
+    pub fn critical_path_weight(&self) -> u64 {
+        let order = self.topological_order().expect("graphs built here are acyclic");
+        let mut longest = vec![0u64; self.num_tasks()];
+        let mut best = 0;
+        for &t in &order {
+            let w = longest[t.index()] + self.tasks[t.index()].weight;
+            best = best.max(w);
+            for &s in self.successors(t) {
+                longest[s.index()] = longest[s.index()].max(w);
+            }
+        }
+        best
+    }
+
+    /// Replicates the graph `copies` times into one disjoint-union DAG:
+    /// copy `i`'s task `t` becomes task `i·T + t` and its buffers shift
+    /// by `i·B`. Scheduling a batch of independent evidence cases through
+    /// one replicated graph exposes *inter-case* parallelism — exactly
+    /// what small-table trees (the paper's `w=10, r=2` outlier) lack
+    /// within a single case.
+    ///
+    /// The returned graph's [`TaskGraph::clique_buffer`] mapping refers to
+    /// copy 0; copy `i`'s clique `c` lives at buffer
+    /// `clique_buffer(c) + i · buffers_per_copy`.
+    ///
+    /// ```
+    /// use evprop_bayesnet::networks;
+    /// use evprop_jtree::JunctionTree;
+    /// use evprop_taskgraph::TaskGraph;
+    /// let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+    /// let g = TaskGraph::from_shape(jt.shape());
+    /// let batch = g.replicate(4);
+    /// assert_eq!(batch.num_tasks(), 4 * g.num_tasks());
+    /// assert_eq!(batch.critical_path_weight(), g.critical_path_weight());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn replicate(&self, copies: usize) -> TaskGraph {
+        assert!(copies > 0, "need at least one copy");
+        let t = self.num_tasks();
+        let b = self.buffers.len();
+        let mut tasks = Vec::with_capacity(t * copies);
+        let mut succ = Vec::with_capacity(t * copies);
+        let mut pred_count = Vec::with_capacity(t * copies);
+        let mut buffers = Vec::with_capacity(b * copies);
+        for copy in 0..copies {
+            let shift_buf = |id: BufferId| BufferId(id.index() + copy * b);
+            for task in &self.tasks {
+                let kind = match task.kind {
+                    TaskKind::Marginalize { src, dst, max } => TaskKind::Marginalize {
+                        src: shift_buf(src),
+                        dst: shift_buf(dst),
+                        max,
+                    },
+                    TaskKind::Divide { num, den, dst } => TaskKind::Divide {
+                        num: shift_buf(num),
+                        den: shift_buf(den),
+                        dst: shift_buf(dst),
+                    },
+                    TaskKind::Extend { src, dst } => TaskKind::Extend {
+                        src: shift_buf(src),
+                        dst: shift_buf(dst),
+                    },
+                    TaskKind::Multiply { src, dst } => TaskKind::Multiply {
+                        src: shift_buf(src),
+                        dst: shift_buf(dst),
+                    },
+                };
+                tasks.push(Task { kind, ..task.clone() });
+            }
+            for s in &self.succ {
+                succ.push(s.iter().map(|x| TaskId(x.index() + copy * t)).collect());
+            }
+            pred_count.extend_from_slice(&self.pred_count);
+            buffers.extend(self.buffers.iter().cloned());
+        }
+        TaskGraph {
+            tasks,
+            succ,
+            pred_count,
+            buffers,
+            clique_buffers: self.clique_buffers.clone(),
+        }
+    }
+
+    /// A topological order, or `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.num_tasks();
+        let mut indeg = self.pred_count.clone();
+        let mut queue: Vec<TaskId> = (0..n)
+            .map(TaskId)
+            .filter(|&t| indeg[t.index()] == 0)
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            out.push(t);
+            for &s in self.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// Levels for level-synchronous (OpenMP-style) execution: task `t` is
+    /// in level `1 + max(level of predecessors)`.
+    pub fn levels(&self) -> Vec<Vec<TaskId>> {
+        let order = self.topological_order().expect("graphs built here are acyclic");
+        let mut level = vec![0usize; self.num_tasks()];
+        let mut max_level = 0;
+        for &t in &order {
+            for &s in self.successors(t) {
+                level[s.index()] = level[s.index()].max(level[t.index()] + 1);
+                max_level = max_level.max(level[s.index()]);
+            }
+        }
+        let mut out = vec![Vec::new(); max_level + 1];
+        for t in (0..self.num_tasks()).map(TaskId) {
+            out[level[t.index()]].push(t);
+        }
+        out
+    }
+
+    /// Structural validation: buffer ids in range, acyclicity, and every
+    /// pair of writers to the same buffer ordered by a dependency path.
+    ///
+    /// O(V·E/64) via bitset reachability — meant for tests and debug
+    /// assertions, not hot paths.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskGraphError`].
+    pub fn validate(&self) -> Result<(), TaskGraphError> {
+        let nb = self.buffers.len();
+        for (i, t) in self.tasks.iter().enumerate() {
+            let mut ids = t.kind.reads();
+            ids.push(t.kind.dst());
+            if ids.iter().any(|b| b.index() >= nb) {
+                return Err(TaskGraphError::BadBuffer(TaskId(i)));
+            }
+        }
+        let order = self.topological_order().ok_or(TaskGraphError::Cyclic)?;
+
+        // reachability bitsets, processed in reverse topological order
+        let n = self.num_tasks();
+        let words = n.div_ceil(64);
+        let mut reach = vec![0u64; n * words];
+        let mut row = vec![0u64; words];
+        for &t in order.iter().rev() {
+            let ti = t.index();
+            // set own bit
+            reach[ti * words + ti / 64] |= 1 << (ti % 64);
+            for s in self.successors(t).iter().map(|s| s.index()) {
+                row.copy_from_slice(&reach[s * words..(s + 1) * words]);
+                for (d, &v) in reach[ti * words..(ti + 1) * words].iter_mut().zip(&row) {
+                    *d |= v;
+                }
+            }
+        }
+        // group writers per buffer
+        let mut writers: Vec<Vec<TaskId>> = vec![Vec::new(); nb];
+        for (i, t) in self.tasks.iter().enumerate() {
+            writers[t.kind.dst().index()].push(TaskId(i));
+        }
+        for ws in &writers {
+            for (x, &a) in ws.iter().enumerate() {
+                for &b in &ws[x + 1..] {
+                    let (ai, bi) = (a.index(), b.index());
+                    let a_reaches_b = reach[ai * words + bi / 64] >> (bi % 64) & 1 == 1;
+                    let b_reaches_a = reach[bi * words + ai / 64] >> (ai % 64) & 1 == 1;
+                    if !a_reaches_b && !b_reaches_a {
+                        return Err(TaskGraphError::UnorderedWriters(a, b));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,46 @@
+//! Task definition and dependency-graph construction (§5 of the paper).
+//!
+//! Evidence propagation over a junction tree decomposes into *tasks*, one
+//! per node-level primitive execution. This crate turns a
+//! [`TreeShape`](evprop_jtree::TreeShape) into the global task DAG the
+//! schedulers run:
+//!
+//! 1. the **clique updating graph** (Fig. 2a) — two symmetric phases:
+//!    collect (each clique depends on its children) and distribute (each
+//!    clique depends on its parent);
+//! 2. each clique update expands into a **local task dependency graph**
+//!    (Fig. 2b/c): `Marginalize → Divide → Extend → Multiply` along every
+//!    edge, with multiplications into the same clique serialized.
+//!
+//! Tasks read and write *buffers* (clique potentials, separators, ratio
+//! and extension scratch); the graph carries [`BufferSpec`]s so any
+//! engine — real threads or the discrete-event simulator — can allocate
+//! and drive them.
+//!
+//! # Example
+//!
+//! ```
+//! use evprop_bayesnet::networks;
+//! use evprop_jtree::JunctionTree;
+//! use evprop_taskgraph::TaskGraph;
+//!
+//! let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+//! let g = TaskGraph::from_shape(jt.shape());
+//! assert_eq!(g.num_tasks(), 8 * (jt.num_cliques() - 1));
+//! g.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build;
+mod dot;
+mod execute;
+mod graph;
+
+pub use build::MESSAGE_TASKS_PER_EDGE;
+pub use execute::{execute_full, execute_range, write_and_read};
+pub use graph::{
+    BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskGraphError,
+    TaskId, TaskKind,
+};

@@ -1,0 +1,30 @@
+//! Workload generators reproducing the paper's experimental inputs.
+//!
+//! The paper evaluates on junction trees generated with the MATLAB Bayes
+//! Net Toolbox, controlled by four parameters: number of cliques `N`,
+//! clique width `w`, variable states `r`, and clique degree `k`. This
+//! crate generates trees with exactly those controls:
+//!
+//! * [`fig4_template`] — the Fig. 4 rerooting-benchmark template: `b + 1`
+//!   equal-length branches radiating from a hub, rooted at the end of
+//!   branch 0 (so rerooting can halve the critical path);
+//! * [`random_tree`] — k-ary junction trees with the (N, w, r, k)
+//!   controls, used for Figs. 6, 7, 9;
+//! * [`presets`] — the paper's Junction trees 1–3 plus scaled-down
+//!   variants sized for real-memory execution;
+//! * [`materialize`] — attach random strictly-positive potentials to a
+//!   shape, producing a runnable [`JunctionTree`].
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod presets;
+mod random;
+mod template;
+
+pub use random::{materialize, random_tree, TreeParams};
+pub use template::fig4_template;
+
+pub use evprop_jtree::{JunctionTree, TreeShape};

@@ -1,0 +1,79 @@
+//! The paper's named junction trees and sweep grids.
+
+use crate::{random_tree, TreeParams};
+use evprop_jtree::TreeShape;
+
+/// Junction tree 1 (§7): 512 cliques, width 20, binary variables,
+/// average clique degree 4. ~1M-entry potential tables; meant for the
+/// simulator (materializing it costs ≈ 4 GB like the paper's runs).
+pub fn jt1() -> TreeShape {
+    random_tree(&TreeParams::new(512, 20, 2, 4).with_seed(0xA1))
+}
+
+/// Junction tree 2 (§7): 256 cliques, width 15, ternary variables,
+/// average clique degree 4.
+pub fn jt2() -> TreeShape {
+    random_tree(&TreeParams::new(256, 15, 3, 4).with_seed(0xA2))
+}
+
+/// Junction tree 3 (§7): 128 cliques, width 10, ternary variables,
+/// average clique degree 2.
+pub fn jt3() -> TreeShape {
+    random_tree(&TreeParams::new(128, 10, 3, 2).with_seed(0xA3))
+}
+
+/// A memory-friendly JT1 stand-in (width 12) for *real* multithreaded
+/// execution and wall-clock benches on laptop-class hosts: same
+/// structure class, ~4K-entry tables.
+pub fn jt1_small() -> TreeShape {
+    random_tree(&TreeParams::new(512, 12, 2, 4).with_seed(0xA1))
+}
+
+/// Fig. 9(a) grid: vary the number of cliques.
+pub const SWEEP_N: [usize; 4] = [128, 256, 512, 1024];
+
+/// Fig. 9(b) grid: vary clique width.
+pub const SWEEP_W: [usize; 3] = [10, 15, 20];
+
+/// Fig. 9(c) grid: vary the number of states.
+pub const SWEEP_R: [usize; 2] = [2, 3];
+
+/// Fig. 9(d) grid: vary clique degree.
+pub const SWEEP_K: [usize; 3] = [2, 4, 8];
+
+/// A Fig. 9 sweep point: JT1's parameters with one knob overridden.
+pub fn sweep_point(n: usize, w: usize, r: usize, k: usize) -> TreeShape {
+    random_tree(&TreeParams::new(n, w, r, k).with_seed(0xF9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let t1 = jt1();
+        assert_eq!(t1.num_cliques(), 512);
+        assert_eq!(t1.max_width(), 20);
+        let t2 = jt2();
+        assert_eq!(t2.num_cliques(), 256);
+        assert_eq!(t2.max_width(), 15);
+        let t3 = jt3();
+        assert_eq!(t3.num_cliques(), 128);
+        assert_eq!(t3.max_width(), 10);
+    }
+
+    #[test]
+    fn presets_are_valid_trees() {
+        for shape in [jt1(), jt2(), jt3(), jt1_small()] {
+            shape.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sweep_points_build() {
+        let s = sweep_point(128, 10, 2, 2);
+        assert_eq!(s.num_cliques(), 128);
+        s.validate().unwrap();
+    }
+}

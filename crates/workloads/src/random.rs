@@ -1,0 +1,213 @@
+//! Random k-ary junction trees with (N, w, r, k) controls — the
+//! substitute for the paper's Bayes Net Toolbox generator.
+
+use evprop_jtree::{JunctionTree, TreeShape};
+use evprop_potential::{Domain, PotentialTable, VarId, Variable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four knobs of the paper's workload generator plus structural
+/// extras.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Number of cliques `N`.
+    pub num_cliques: usize,
+    /// Clique width `w` (variables per clique).
+    pub width: usize,
+    /// States per variable `r`.
+    pub states: usize,
+    /// Clique degree `k`: maximum children per clique. The generator
+    /// fills cliques breadth-first with a random child count in
+    /// `1..=k` per internal clique, giving trees whose average internal
+    /// degree tracks `k` like the BNT trees the paper used.
+    pub degree: usize,
+    /// Variables shared between a clique and its parent (separator
+    /// width); must be in `1..width`.
+    pub sep_width: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TreeParams {
+    /// Parameters with the paper-style defaults: separator width
+    /// `w / 2` (at least 1), seed 0.
+    pub fn new(num_cliques: usize, width: usize, states: usize, degree: usize) -> Self {
+        TreeParams {
+            num_cliques,
+            width,
+            states,
+            degree,
+            sep_width: (width / 2).max(1),
+            seed: 0,
+        }
+    }
+
+    /// Overrides the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the separator width (builder-style).
+    pub fn with_sep_width(mut self, sep_width: usize) -> Self {
+        self.sep_width = sep_width;
+        self
+    }
+}
+
+/// Generates a random junction-tree shape per `params`.
+///
+/// Construction guarantees the running-intersection property: every
+/// clique shares `sep_width` variables with its parent (a random subset
+/// of the parent's variables) and introduces `width − sep_width` fresh
+/// ones, so each variable's occurrence set is a connected subtree.
+///
+/// # Panics
+///
+/// Panics when `width < 2`, `sep_width ∉ 1..width`, `states == 0`,
+/// `degree == 0` or `num_cliques == 0`.
+pub fn random_tree(params: &TreeParams) -> TreeShape {
+    assert!(params.num_cliques > 0, "need at least one clique");
+    assert!(params.width >= 2, "cliques need at least two variables");
+    assert!(
+        params.sep_width >= 1 && params.sep_width < params.width,
+        "separator width must be in 1..width"
+    );
+    assert!(params.states >= 1, "variables need at least one state");
+    assert!(params.degree >= 1, "cliques must admit children");
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut next_var = 0u32;
+    let mut fresh = |n: usize, rng_states: usize| -> Vec<Variable> {
+        let vars = (0..n)
+            .map(|j| Variable::new(VarId(next_var + j as u32), rng_states))
+            .collect();
+        next_var += n as u32;
+        vars
+    };
+
+    let mut domains = vec![Domain::new(fresh(params.width, params.states))
+        .expect("fresh ids are distinct")];
+    let mut edges = Vec::with_capacity(params.num_cliques - 1);
+
+    // breadth-first frontier of cliques that may still receive children
+    let mut frontier = std::collections::VecDeque::from([0usize]);
+    while domains.len() < params.num_cliques {
+        let parent = frontier.pop_front().unwrap_or(domains.len() - 1);
+        let kids = rng.gen_range(1..=params.degree);
+        for _ in 0..kids {
+            if domains.len() >= params.num_cliques {
+                break;
+            }
+            // random subset of the parent's variables as the separator
+            let parent_vars = domains[parent].vars().to_vec();
+            let mut idx: Vec<usize> = (0..parent_vars.len()).collect();
+            // partial Fisher–Yates for sep_width picks
+            for i in 0..params.sep_width {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut vars: Vec<Variable> = idx[..params.sep_width]
+                .iter()
+                .map(|&i| parent_vars[i])
+                .collect();
+            vars.extend(fresh(params.width - params.sep_width, params.states));
+            let id = domains.len();
+            domains.push(Domain::new(vars).expect("fresh ids are distinct"));
+            edges.push((parent, id));
+            frontier.push_back(id);
+        }
+    }
+
+    let shape = TreeShape::new(domains, &edges, 0).expect("generator yields a tree");
+    debug_assert!(shape.validate().is_ok());
+    shape
+}
+
+/// Attaches random strictly-positive potentials (entries uniform in
+/// `[0.1, 1)`) to a shape, producing a runnable junction tree.
+/// Deterministic for a given seed.
+pub fn materialize(shape: &TreeShape, seed: u64) -> JunctionTree {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let potentials: Vec<PotentialTable> = shape
+        .domains()
+        .iter()
+        .map(|d| {
+            let data: Vec<f64> = (0..d.size()).map(|_| rng.gen_range(0.1..1.0)).collect();
+            PotentialTable::from_data(d.clone(), data).expect("length matches domain")
+        })
+        .collect();
+    JunctionTree::from_parts(shape.clone(), potentials)
+        .expect("shape and potentials share domains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_controls() {
+        let p = TreeParams::new(64, 6, 3, 4).with_seed(7);
+        let shape = random_tree(&p);
+        assert_eq!(shape.num_cliques(), 64);
+        shape.validate().unwrap();
+        for d in shape.domains() {
+            assert_eq!(d.width(), 6);
+            assert!(d.vars().iter().all(|v| v.cardinality() == 3));
+        }
+        for c in (0..64).map(evprop_jtree::CliqueId) {
+            assert!(shape.children(c).len() <= 4);
+            if shape.parent(c).is_some() {
+                assert_eq!(shape.parent_separator(c).width(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TreeParams::new(40, 5, 2, 3).with_seed(11);
+        let a = random_tree(&p);
+        let b = random_tree(&p);
+        assert_eq!(a.num_cliques(), b.num_cliques());
+        for c in (0..40).map(evprop_jtree::CliqueId) {
+            assert_eq!(a.domain(c), b.domain(c));
+            assert_eq!(a.parent(c), b.parent(c));
+        }
+        let c = random_tree(&TreeParams::new(40, 5, 2, 3).with_seed(12));
+        let same_structure =
+            (0..40).all(|i| a.parent(evprop_jtree::CliqueId(i)) == c.parent(evprop_jtree::CliqueId(i)));
+        let same_domains =
+            (0..40).all(|i| a.domain(evprop_jtree::CliqueId(i)) == c.domain(evprop_jtree::CliqueId(i)));
+        assert!(!(same_structure && same_domains), "seeds should differ");
+    }
+
+    #[test]
+    fn degree_one_gives_a_path() {
+        let p = TreeParams::new(12, 4, 2, 1).with_seed(0);
+        let shape = random_tree(&p);
+        assert_eq!(shape.leaves().len(), 1);
+    }
+
+    #[test]
+    fn materialize_is_deterministic_and_positive() {
+        let p = TreeParams::new(10, 4, 2, 2).with_seed(3);
+        let shape = random_tree(&p);
+        let a = materialize(&shape, 5);
+        let b = materialize(&shape, 5);
+        for c in (0..10).map(evprop_jtree::CliqueId) {
+            assert_eq!(a.potential(c).data(), b.potential(c).data());
+            assert!(a.potential(c).data().iter().all(|&v| v > 0.0));
+        }
+        let c = materialize(&shape, 6);
+        assert_ne!(
+            a.potential(evprop_jtree::CliqueId(0)).data(),
+            c.potential(evprop_jtree::CliqueId(0)).data()
+        );
+    }
+
+    #[test]
+    fn sep_width_bounds_enforced() {
+        let p = TreeParams::new(4, 3, 2, 2).with_sep_width(3);
+        assert!(std::panic::catch_unwind(|| random_tree(&p)).is_err());
+    }
+}

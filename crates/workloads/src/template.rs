@@ -1,0 +1,158 @@
+//! The Fig. 4 junction-tree template used to evaluate rerooting.
+
+use evprop_jtree::TreeShape;
+use evprop_potential::{Domain, VarId, Variable};
+
+/// Builds the Fig. 4 template: a hub clique with `b + 1` equal-length
+/// chain branches, **rooted at the far end of branch 0**.
+///
+/// With that root, the critical path spans branch 0 *plus* the longest
+/// other branch; Algorithm 1 re-roots at the hub, cutting the critical
+/// path to a single branch — the mechanism behind the ≤ 2× speedup of
+/// Fig. 5. The paper instantiates `b ∈ {1, 2, 4, 8}` with 512 cliques of
+/// 15 binary variables each.
+///
+/// Adjacent cliques share exactly one variable, so the tree satisfies
+/// the running-intersection property by construction; branch lengths
+/// differ by at most one clique when `(n_cliques − 1)` is not divisible
+/// by `b + 1`.
+///
+/// # Panics
+///
+/// Panics if `n_cliques < b + 2` (the hub plus one clique per branch) or
+/// `width < 2`, or if `width` is too small to give the hub a distinct
+/// shared variable per branch (`width ≥ b + 1`).
+pub fn fig4_template(b: usize, n_cliques: usize, width: usize) -> TreeShape {
+    let branches = b + 1;
+    assert!(width >= 2, "cliques need at least two variables");
+    assert!(
+        width >= branches,
+        "hub width {width} cannot host {branches} distinct separators"
+    );
+    assert!(
+        n_cliques > branches,
+        "need at least one clique per branch plus the hub"
+    );
+
+    let mut next_var = 0u32;
+    let mut fresh = |count: usize| -> Vec<Variable> {
+        let vars = (0..count)
+            .map(|j| Variable::binary(VarId(next_var + j as u32)))
+            .collect();
+        next_var += count as u32;
+        vars
+    };
+
+    // clique 0 = hub
+    let hub_vars = fresh(width);
+    let mut domains = vec![Domain::new(hub_vars.clone()).expect("fresh ids are distinct")];
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n_cliques - 1);
+
+    // distribute the remaining cliques over the branches, branch 0 first
+    // (so it is never shorter than the others)
+    let rest = n_cliques - 1;
+    let base = rest / branches;
+    let extra = rest % branches;
+    let mut root = 0usize; // replaced by the end of branch 0 below
+
+    for (branch, &hub_var) in hub_vars.iter().enumerate().take(branches) {
+        let len = base + usize::from(branch < extra);
+        let mut prev = 0usize; // hub
+        let mut shared = hub_var; // hub's variable for this branch
+        for _ in 0..len {
+            let mut vars = fresh(width - 1);
+            vars.push(shared);
+            let id = domains.len();
+            // the next clique of the chain shares this clique's first
+            // fresh variable
+            shared = vars[0];
+            domains.push(Domain::new(vars).expect("fresh ids are distinct"));
+            edges.push((prev, id));
+            prev = id;
+        }
+        if branch == 0 {
+            root = prev;
+        }
+    }
+
+    let shape =
+        TreeShape::new(domains, &edges, root).expect("template construction yields a tree");
+    debug_assert!(shape.validate().is_ok());
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_jtree::{critical_path_weight, select_root, select_root_naive, CliqueId};
+
+    #[test]
+    fn paper_dimensions() {
+        for b in [1usize, 2, 4, 8] {
+            let shape = fig4_template(b, 512, 15);
+            assert_eq!(shape.num_cliques(), 512);
+            assert_eq!(shape.max_width(), 15);
+            shape.validate().unwrap();
+            // hub has b+1 neighbors
+            assert_eq!(shape.degree(CliqueId(0)), b + 1);
+        }
+    }
+
+    #[test]
+    fn rerooting_roughly_halves_critical_path() {
+        let shape = fig4_template(1, 512, 8);
+        let before = critical_path_weight(&shape);
+        let choice = select_root(&shape);
+        let ratio = before as f64 / choice.critical_path as f64;
+        assert!(
+            (1.8..=2.05).contains(&ratio),
+            "expected ≈2× reduction, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn algorithm1_reroots_at_hub_region() {
+        // the optimal root sits on the branch0–branch1 diameter near the hub
+        let shape = fig4_template(4, 101, 6);
+        let fast = select_root(&shape);
+        let naive = select_root_naive(&shape);
+        assert_eq!(fast.critical_path, naive.critical_path);
+        // hub itself is the balance point for equal branches
+        assert_eq!(fast.root, CliqueId(0));
+    }
+
+    #[test]
+    fn branch_lengths_balanced() {
+        let shape = fig4_template(2, 10, 4);
+        // 9 chain cliques over 3 branches → 3 each
+        let hub = CliqueId(0);
+        for &head in shape.neighbors(hub) {
+            // walk away from hub
+            let mut len = 1;
+            let mut prev = hub;
+            let mut cur = head;
+            loop {
+                let next = shape
+                    .neighbors(cur)
+                    .iter()
+                    .copied()
+                    .find(|&x| x != prev);
+                match next {
+                    Some(n) => {
+                        prev = cur;
+                        cur = n;
+                        len += 1;
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(len, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hub width")]
+    fn too_many_branches_rejected() {
+        let _ = fig4_template(8, 512, 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Scaling study on a generated junction tree: real threads on this
+//! machine, plus the discrete-event simulator's 1–8-virtual-core curve.
+//!
+//! ```sh
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use evprop::core::{CollaborativeEngine, Engine, EngineError, InferenceSession};
+use evprop::potential::EvidenceSet;
+use evprop::sched::SchedulerConfig;
+use evprop::simcore::{simulate, CostModel, Policy};
+use evprop::taskgraph::TaskGraph;
+use evprop::workloads::{materialize, random_tree, TreeParams};
+use std::time::Instant;
+
+fn main() -> Result<(), EngineError> {
+    // A 128-clique tree with 4096-entry tables: big enough to measure,
+    // small enough for any laptop.
+    let params = TreeParams::new(128, 12, 2, 4).with_seed(42);
+    let shape = random_tree(&params);
+    let jt = materialize(&shape, 7);
+    println!(
+        "workload: {} cliques, width {}, {:.1} MB of tables",
+        shape.num_cliques(),
+        shape.max_width(),
+        shape.total_state_space() as f64 * 8.0 / 1e6
+    );
+
+    let session = InferenceSession::from_junction_tree(jt);
+    let evidence = EvidenceSet::new();
+
+    println!("\nreal threads on this host ({} hardware cores):", std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut t1 = None;
+    for threads in [1usize, 2, 4, 8] {
+        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(threads));
+        let start = Instant::now();
+        let calibrated = session.propagate(&engine, &evidence)?;
+        let dt = start.elapsed();
+        let report = engine.last_report().expect("a run just completed");
+        t1.get_or_insert(dt);
+        println!(
+            "  {:>9} {threads} threads: {:>8.2?}  (imbalance {:.3}, {} tasks partitioned, P(e)={:.3e})",
+            engine.name(),
+            dt,
+            report.imbalance(),
+            report.partitioned_tasks,
+            calibrated.probability_of_evidence(),
+        );
+    }
+    println!("  (wall-clock speedup requires as many hardware cores; see the simulator below)");
+
+    println!("\ndiscrete-event simulator, virtual cores (same task graph):");
+    let graph = TaskGraph::from_shape(session.junction_tree().shape());
+    let model = CostModel::default();
+    let base = simulate(&graph, Policy::collaborative(), 1, &model).makespan;
+    for cores in [1usize, 2, 4, 8] {
+        let r = simulate(&graph, Policy::collaborative(), cores, &model);
+        println!(
+            "  {cores} cores: makespan {:>12} units, speedup {:.2}, overhead {:.3}%",
+            r.makespan,
+            base as f64 / r.makespan as f64,
+            100.0 * r.total_overhead() as f64 / (r.total_busy() + r.total_overhead()) as f64,
+        );
+    }
+    Ok(())
+}

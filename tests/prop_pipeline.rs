@@ -1,0 +1,93 @@
+//! Property tests over the whole pipeline: random Bayesian networks →
+//! junction tree → task graph → engines, checked against the joint
+//! oracle and each other.
+
+use evprop::bayesnet::{random_network, JointDistribution, RandomNetworkConfig};
+use evprop::core::{CollaborativeEngine, Engine, InferenceSession, SequentialEngine};
+use evprop::potential::{EvidenceSet, VarId};
+use evprop::sched::SchedulerConfig;
+use evprop::taskgraph::TaskGraph;
+use evprop::workloads::{materialize, random_tree, TreeParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small networks: sequential engine equals the brute-force
+    /// oracle for every variable and random evidence.
+    #[test]
+    fn sequential_matches_oracle(
+        seed in 0u64..5000,
+        n_vars in 4usize..10,
+        max_parents in 1usize..4,
+        ev_var in 0usize..10,
+        ev_state in 0usize..2,
+    ) {
+        let cfg = RandomNetworkConfig {
+            num_vars: n_vars,
+            max_parents,
+            cardinality: (2, 3),
+            seed,
+        };
+        let net = random_network(&cfg).expect("valid network");
+        let session = InferenceSession::from_network(&net).expect("compiles");
+        let joint = JointDistribution::of(&net).expect("small");
+        let mut ev = EvidenceSet::new();
+        let var = VarId((ev_var % n_vars) as u32);
+        ev.observe(var, ev_state % net.var(var).cardinality());
+        // skip impossible-evidence draws
+        prop_assume!(joint.probability_of_evidence(&ev).unwrap() > 1e-12);
+        let cal = session.propagate(&SequentialEngine, &ev).expect("runs");
+        for v in 0..n_vars as u32 {
+            if ev.state_of(VarId(v)).is_some() {
+                continue;
+            }
+            let got = cal.marginal(VarId(v)).expect("marginal");
+            let want = joint.marginal(VarId(v), &ev).expect("oracle");
+            prop_assert!(got.approx_eq(&want, 1e-8), "V{v}");
+        }
+    }
+
+    /// Random junction trees: the collaborative scheduler under random
+    /// thread counts and δ equals the sequential engine.
+    #[test]
+    fn collaborative_matches_sequential(
+        seed in 0u64..5000,
+        n in 4usize..40,
+        w in 3usize..8,
+        k in 1usize..5,
+        threads in 1usize..5,
+        delta_exp in 0usize..9,
+    ) {
+        let shape = random_tree(&TreeParams::new(n, w, 2, k).with_seed(seed));
+        let jt = materialize(&shape, seed);
+        let reference = SequentialEngine
+            .propagate(&jt, &EvidenceSet::new())
+            .expect("sequential");
+        let delta = if delta_exp == 0 { None } else { Some(1usize << delta_exp) };
+        let mut cfg = SchedulerConfig::with_threads(threads);
+        cfg.partition_threshold = delta;
+        let got = CollaborativeEngine::new(cfg)
+            .propagate(&jt, &EvidenceSet::new())
+            .expect("collaborative");
+        prop_assert!(got.max_relative_divergence(&reference) < 1e-9);
+    }
+
+    /// Task-graph structural invariants hold for arbitrary generated
+    /// trees.
+    #[test]
+    fn taskgraph_invariants(
+        seed in 0u64..5000,
+        n in 1usize..60,
+        w in 2usize..7,
+        k in 1usize..6,
+    ) {
+        let shape = random_tree(&TreeParams::new(n, w, 2, k).with_seed(seed));
+        let g = TaskGraph::from_shape(&shape);
+        prop_assert_eq!(g.num_tasks(), 8 * (n - 1));
+        g.validate().expect("valid graph");
+        prop_assert!(g.critical_path_weight() <= g.total_weight());
+        // every task is reachable: topological order covers all
+        prop_assert_eq!(g.topological_order().unwrap().len(), g.num_tasks());
+    }
+}

@@ -1,0 +1,85 @@
+//! Statistical cross-validation at scales the exact joint oracle cannot
+//! reach: junction-tree posteriors vs forward-sampling estimates on a
+//! 30-variable network (joint would need 2³⁰ entries).
+
+use evprop::bayesnet::{random_network, ForwardSampler, RandomNetworkConfig};
+use evprop::core::{CollaborativeEngine, InferenceSession};
+use evprop::potential::{EvidenceSet, VarId};
+
+#[test]
+fn engine_matches_sampler_on_large_network() {
+    let cfg = RandomNetworkConfig {
+        num_vars: 30,
+        max_parents: 2,
+        cardinality: (2, 2),
+        seed: 99,
+    };
+    let net = random_network(&cfg).expect("generator produces valid networks");
+    let session = InferenceSession::from_network(&net).expect("network compiles");
+    let engine = CollaborativeEngine::with_threads(4);
+    let calibrated = session
+        .propagate(&engine, &EvidenceSet::new())
+        .expect("propagation succeeds");
+
+    let mut sampler = ForwardSampler::new(&net, 5);
+    const N: usize = 40_000;
+    // collect all samples once, tally every variable
+    let mut counts = vec![[0u32; 2]; 30];
+    for _ in 0..N {
+        let s = sampler.sample();
+        for (v, &st) in s.iter().enumerate() {
+            counts[v][st] += 1;
+        }
+    }
+
+    for v in 0..30u32 {
+        let exact = calibrated.marginal(VarId(v)).expect("marginal exists");
+        let est = counts[v as usize][1] as f64 / N as f64;
+        // SE ≤ 0.0025 at N = 40k; allow 5σ
+        assert!(
+            (exact.data()[1] - est).abs() < 0.0125,
+            "V{v}: exact {} vs sampled {est}",
+            exact.data()[1]
+        );
+    }
+}
+
+#[test]
+fn conditional_query_matches_rejection_sampling() {
+    // small evidence set, rejection sampling as the independent oracle
+    let cfg = RandomNetworkConfig {
+        num_vars: 14,
+        max_parents: 3,
+        cardinality: (2, 2),
+        seed: 4,
+    };
+    let net = random_network(&cfg).expect("valid network");
+    let session = InferenceSession::from_network(&net).expect("compiles");
+    let ev_var = VarId(13);
+    let query = VarId(2);
+    let mut ev = EvidenceSet::new();
+    ev.observe(ev_var, 1);
+    let exact = session
+        .propagate(&CollaborativeEngine::with_threads(2), &ev)
+        .expect("runs")
+        .marginal(query)
+        .expect("marginal");
+
+    let mut sampler = ForwardSampler::new(&net, 21);
+    let (mut hits, mut kept) = (0u32, 0u32);
+    for _ in 0..120_000 {
+        let s = sampler.sample();
+        if s[ev_var.index()] == 1 {
+            kept += 1;
+            hits += u32::from(s[query.index()] == 1);
+        }
+    }
+    assert!(kept > 2_000, "evidence too rare for this test ({kept})");
+    let est = hits as f64 / kept as f64;
+    let se = (est * (1.0 - est) / kept as f64).sqrt();
+    assert!(
+        (exact.data()[1] - est).abs() < 6.0 * se + 0.005,
+        "exact {} vs rejection {est} (kept {kept})",
+        exact.data()[1]
+    );
+}
