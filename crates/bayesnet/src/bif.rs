@@ -310,7 +310,9 @@ fn parse_variable(lx: &mut Lexer<'_>) -> std::result::Result<RawVariable, BifPar
     }
     let kind = lx.expect_ident()?;
     if kind != "discrete" {
-        return Err(lx.err(format!("only discrete variables are supported, found '{kind}'")));
+        return Err(lx.err(format!(
+            "only discrete variables are supported, found '{kind}'"
+        )));
     }
     lx.expect_punct('[')?;
     let n = lx.expect_number()? as usize;
@@ -394,9 +396,7 @@ fn parse_probability(lx: &mut Lexer<'_>) -> std::result::Result<RawProbability, 
                 }
                 rows.push((key, vals));
             }
-            other => {
-                return Err(lx.err(format!("expected 'table', '(' or '}}', found {other:?}")))
-            }
+            other => return Err(lx.err(format!("expected 'table', '(' or '}}', found {other:?}"))),
         }
     }
     Ok(RawProbability {
@@ -427,15 +427,12 @@ fn assemble(
         state_names.push(v.states.clone());
     }
     let lookup = |n: &str, line: usize| -> Result<usize> {
-        var_names
-            .iter()
-            .position(|x| x == n)
-            .ok_or_else(|| {
-                BayesError::Bif(BifParseError {
-                    line,
-                    message: format!("unknown variable '{n}'"),
-                })
+        var_names.iter().position(|x| x == n).ok_or_else(|| {
+            BayesError::Bif(BifParseError {
+                line,
+                message: format!("unknown variable '{n}'"),
             })
+        })
     };
 
     for p in probabilities {
@@ -485,9 +482,7 @@ fn assemble(
                 }
                 // flat parent-config index, last parent fastest
                 let mut cfg = 0usize;
-                for ((state_name, &pi), &card) in
-                    key.iter().zip(&parent_idx).zip(&parent_cards)
-                {
+                for ((state_name, &pi), &card) in key.iter().zip(&parent_idx).zip(&parent_cards) {
                     let s = state_names[pi]
                         .iter()
                         .position(|x| x == state_name)
@@ -568,7 +563,11 @@ pub fn write(bif: &BifNetwork) -> String {
             let prior: Vec<String> = (0..net.var(v).cardinality())
                 .map(|s| format!("{}", cpt.table().get(&[s])))
                 .collect();
-            let _ = writeln!(out, "probability ( {child} ) {{\n  table {};\n}}", prior.join(", "));
+            let _ = writeln!(
+                out,
+                "probability ( {child} ) {{\n  table {};\n}}",
+                prior.join(", ")
+            );
         } else {
             let parents: Vec<String> = cpt
                 .parents()

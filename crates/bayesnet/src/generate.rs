@@ -67,10 +67,7 @@ pub fn random_network(cfg: &RandomNetworkConfig) -> Result<BayesianNetwork> {
                 parents.push(ids[p]);
             }
         }
-        let rows: usize = parents
-            .iter()
-            .map(|p| cards[p.index()])
-            .product();
+        let rows: usize = parents.iter().map(|p| cards[p.index()]).product();
         let child_card = cards[i];
         let mut cpt_rows = Vec::with_capacity(rows);
         for _ in 0..rows {

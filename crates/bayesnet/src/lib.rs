@@ -39,9 +39,9 @@ pub use error::BayesError;
 pub use generate::{random_network, RandomNetworkConfig};
 pub use hmm::HiddenMarkovModel;
 pub use joint::JointDistribution;
-pub use sampling::ForwardSampler;
 pub use network::{BayesianNetwork, BayesianNetworkBuilder, Cpt};
 pub use noisy_or::{qmr_network, QmrConfig};
+pub use sampling::ForwardSampler;
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, BayesError>;

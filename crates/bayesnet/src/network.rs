@@ -324,12 +324,7 @@ mod tests {
         // child V0, parent V1 (child id < parent id: exercises sorting)
         let child = Variable::binary(VarId(0));
         let parent = Variable::binary(VarId(1));
-        let cpt = Cpt::new(
-            child,
-            vec![parent],
-            vec![vec![0.9, 0.1], vec![0.3, 0.7]],
-        )
-        .unwrap();
+        let cpt = Cpt::new(child, vec![parent], vec![vec![0.9, 0.1], vec![0.3, 0.7]]).unwrap();
         let t = cpt.table();
         // canonical domain order: V0, V1; P(V0=1 | V1=0) = 0.1
         assert_eq!(t.get(&[1, 0]), 0.1);

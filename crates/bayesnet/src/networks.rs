@@ -18,12 +18,8 @@ pub fn sprinkler() -> BayesianNetwork {
     let rain = b.add_variable(2);
     let wet = b.add_variable(2);
     b.set_prior(cloudy, vec![0.5, 0.5]).unwrap();
-    b.set_cpt(
-        sprinkler,
-        &[cloudy],
-        vec![vec![0.5, 0.5], vec![0.9, 0.1]],
-    )
-    .unwrap();
+    b.set_cpt(sprinkler, &[cloudy], vec![vec![0.5, 0.5], vec![0.9, 0.1]])
+        .unwrap();
     b.set_cpt(rain, &[cloudy], vec![vec![0.8, 0.2], vec![0.2, 0.8]])
         .unwrap();
     b.set_cpt(

@@ -125,7 +125,10 @@ impl Default for QmrConfig {
 /// Panics when `parents_per_symptom` exceeds `diseases` or either layer
 /// is empty.
 pub fn qmr_network(cfg: &QmrConfig) -> Result<BayesianNetwork> {
-    assert!(cfg.diseases > 0 && cfg.symptoms > 0, "layers must be nonempty");
+    assert!(
+        cfg.diseases > 0 && cfg.symptoms > 0,
+        "layers must be nonempty"
+    );
     assert!(
         cfg.parents_per_symptom >= 1 && cfg.parents_per_symptom <= cfg.diseases,
         "parents_per_symptom must be in 1..=diseases"

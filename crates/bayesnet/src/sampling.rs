@@ -48,9 +48,7 @@ impl<'a> ForwardSampler<'a> {
                     assignment[pos] = states[dv.id().index()];
                 }
             }
-            let child_pos = dom
-                .position_of(v)
-                .expect("child is in its own CPT domain");
+            let child_pos = dom.position_of(v).expect("child is in its own CPT domain");
             // inverse-CDF draw over the child's conditional distribution
             let u: f64 = self.rng.gen();
             let mut acc = 0.0;

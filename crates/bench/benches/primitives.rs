@@ -21,9 +21,9 @@ fn bench_primitives(c: &mut Criterion) {
     group.sample_size(20);
     for width in [10usize, 14] {
         let clique = table(width, 0);
-        let sep_dom = clique.domain().project(
-            &(0..(width as u32 / 2)).map(VarId).collect::<Vec<_>>(),
-        );
+        let sep_dom = clique
+            .domain()
+            .project(&(0..(width as u32 / 2)).map(VarId).collect::<Vec<_>>());
         let sep = clique.marginalize(&sep_dom).unwrap();
         let entries = clique.len() as u64;
         group.throughput(Throughput::Elements(entries));

@@ -28,8 +28,14 @@ fn bench_scheduler(c: &mut Criterion) {
     }
 
     for (name, cfg) in [
-        ("delta_off", SchedulerConfig::with_threads(2).without_partitioning()),
-        ("delta_512", SchedulerConfig::with_threads(2).with_delta(512)),
+        (
+            "delta_off",
+            SchedulerConfig::with_threads(2).without_partitioning(),
+        ),
+        (
+            "delta_512",
+            SchedulerConfig::with_threads(2).with_delta(512),
+        ),
         ("delta_64", SchedulerConfig::with_threads(2).with_delta(64)),
         ("stealing", SchedulerConfig::with_threads(2).with_stealing()),
     ] {

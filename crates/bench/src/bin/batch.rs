@@ -30,8 +30,14 @@ fn throughput_rows(g: &TaskGraph, model: &CostModel, label: &str) {
 fn main() {
     println!("# batch-throughput ablation on the w=10, r=2 tree (512 cliques, 8 cores)");
     println!("# throughput speedup = B x t(single case, 1 core) / t(batch of B, 8 cores)");
-    header(&["dispatch_lock", "batch_size", "throughput_speedup_at_8_cores"]);
-    let g = TaskGraph::from_shape(&random_tree(&TreeParams::new(512, 10, 2, 4).with_seed(0xF9)));
+    header(&[
+        "dispatch_lock",
+        "batch_size",
+        "throughput_speedup_at_8_cores",
+    ]);
+    let g = TaskGraph::from_shape(&random_tree(
+        &TreeParams::new(512, 10, 2, 4).with_seed(0xF9),
+    ));
 
     // default scheduler: dispatches serialize through the GL lock
     throughput_rows(&g, &CostModel::default(), "locked");

@@ -62,8 +62,16 @@ fn main() {
 
     let ns = |d: std::time::Duration| d.as_nanos() as f64 / entries;
     let model = CostModel::default();
-    println!("# per-entry cost of the node-level primitives ({} entries, best of 7)", clique.len());
-    header(&["primitive", "ns_per_entry", "relative_measured", "relative_in_model"]);
+    println!(
+        "# per-entry cost of the node-level primitives ({} entries, best of 7)",
+        clique.len()
+    );
+    header(&[
+        "primitive",
+        "ns_per_entry",
+        "relative_measured",
+        "relative_in_model",
+    ]);
     let base = ns(marg);
     for (name, d, modeled) in [
         ("marginalize", marg, model.c_marg),

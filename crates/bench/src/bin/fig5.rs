@@ -21,7 +21,9 @@ fn main() {
         let original = fig4_template(b, 512, 15);
         let mut rerooted = original.clone();
         let choice = select_root(&rerooted);
-        rerooted.reroot(choice.root).expect("selected root is valid");
+        rerooted
+            .reroot(choice.root)
+            .expect("selected root is valid");
 
         let g_orig = TaskGraph::from_shape(&original);
         let g_new = TaskGraph::from_shape(&rerooted);

@@ -16,8 +16,8 @@ use evprop_potential::EvidenceSet;
 use evprop_sched::SchedulerConfig;
 use evprop_simcore::{simulate, CostModel, Policy};
 use evprop_taskgraph::TaskGraph;
-use evprop_workloads::presets::{jt1, jt1_small};
 use evprop_workloads::materialize;
+use evprop_workloads::presets::{jt1, jt1_small};
 
 fn main() {
     let model = CostModel::default();

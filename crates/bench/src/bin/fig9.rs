@@ -82,6 +82,8 @@ fn main() {
                 .expect("five runs");
             println!("{n_ev},{best:?}");
         }
-        println!("# expectation per the paper: flat — evidence count does not change the task graph");
+        println!(
+            "# expectation per the paper: flat — evidence count does not change the task graph"
+        );
     }
 }

@@ -48,7 +48,12 @@ fn main() {
         let base = simulate(&g, policy, 1, &model).makespan as f64;
         let row: Vec<String> = cores
             .iter()
-            .map(|&p| format!("{:.2}", base / simulate(&g, policy, p, &model).makespan as f64))
+            .map(|&p| {
+                format!(
+                    "{:.2}",
+                    base / simulate(&g, policy, p, &model).makespan as f64
+                )
+            })
             .collect();
         println!("{name},{}", row.join(","));
     }
@@ -56,7 +61,9 @@ fn main() {
     println!();
     println!("# contention wall — small-table tree (w=10, r=2), sweeping the lock length λ");
     header(&["lambda_units", "P=8", "P=16", "P=32", "P=64"]);
-    let small = TaskGraph::from_shape(&random_tree(&TreeParams::new(512, 10, 2, 4).with_seed(0xF9)));
+    let small = TaskGraph::from_shape(&random_tree(
+        &TreeParams::new(512, 10, 2, 4).with_seed(0xF9),
+    ));
     for lambda in [0.0f64, 75.0, 300.0, 1200.0] {
         let m = CostModel {
             lambda_lock: lambda,
@@ -65,7 +72,12 @@ fn main() {
         let base = simulate(&small, Policy::collaborative(), 1, &m).makespan as f64;
         let row: Vec<String> = [8usize, 16, 32, 64]
             .iter()
-            .map(|&p| format!("{:.2}", base / simulate(&small, Policy::collaborative(), p, &m).makespan as f64))
+            .map(|&p| {
+                format!(
+                    "{:.2}",
+                    base / simulate(&small, Policy::collaborative(), p, &m).makespan as f64
+                )
+            })
             .collect();
         println!("{lambda},{}", row.join(","));
     }

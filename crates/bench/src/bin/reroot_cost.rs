@@ -27,7 +27,12 @@ fn time<T>(f: impl Fn() -> T, iters: usize) -> std::time::Duration {
 
 fn main() {
     println!("# §7 — rerooting cost (paper: 24 µs for 512 cliques vs ~1e5 µs propagation)");
-    header(&["tree", "algorithm1", "naive_O(N^2)", "sim_propagation_units_P8"]);
+    header(&[
+        "tree",
+        "algorithm1",
+        "naive_O(N^2)",
+        "sim_propagation_units_P8",
+    ]);
     let model = CostModel::default();
     for (name, shape) in [
         ("template_b1_512", fig4_template(1, 512, 15)),

@@ -1,0 +1,228 @@
+//! Serving-throughput benchmark (extension): what does compile-once,
+//! serve-many buy on real threads?
+//!
+//! Answers the same deterministic pseudo-random query stream two ways
+//! over each workload:
+//!
+//! * **spawn-per-query** — [`CollaborativeEngine`]: every propagation
+//!   spawns and joins its worker threads and allocates a fresh table
+//!   arena (what `run_collaborative` costs per call);
+//! * **pooled** — [`PooledEngine`]: resident workers parked between
+//!   jobs, one recycled arena reset in place per query.
+//!
+//! Prints a CSV-ish summary and writes the full comparison to
+//! `BENCH_serve.json` in the working directory.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin serve_throughput
+//! ```
+
+use evprop_bayesnet::networks;
+use evprop_core::{CollaborativeEngine, InferenceSession, PooledEngine, Query};
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_sched::SchedulerConfig;
+use evprop_workloads::{random_tree, TreeParams};
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// One workload: a compiled session plus how many queries to stream.
+struct Workload {
+    name: &'static str,
+    session: InferenceSession,
+    /// Number of distinct observable variables (for evidence drawing).
+    num_vars: u32,
+    queries: usize,
+}
+
+/// Measured outcome of one (workload, mode) cell.
+struct Cell {
+    qps: f64,
+    total_secs: f64,
+    tables_allocated: u64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let asia = networks::asia();
+    out.push(Workload {
+        name: "asia",
+        num_vars: asia.num_vars() as u32,
+        session: InferenceSession::from_network(&asia).unwrap(),
+        queries: 400,
+    });
+    let student = networks::student();
+    out.push(Workload {
+        name: "student",
+        num_vars: student.num_vars() as u32,
+        session: InferenceSession::from_network(&student).unwrap(),
+        queries: 400,
+    });
+    // A tree in the paper's experimental range: wider tables, so each
+    // query carries real propagation work.
+    let shape = random_tree(&TreeParams::new(64, 8, 2, 4).with_seed(0xF9));
+    let jt = JunctionTree::from_parts(
+        shape.clone(),
+        shape
+            .domains()
+            .iter()
+            .map(|d| {
+                let mut t = evprop_potential::PotentialTable::ones(d.clone());
+                t.fill(0.5);
+                t
+            })
+            .collect(),
+    )
+    .unwrap();
+    let num_vars = shape
+        .domains()
+        .iter()
+        .flat_map(|d| d.vars().iter().map(|v| v.id().0))
+        .max()
+        .unwrap()
+        + 1;
+    out.push(Workload {
+        name: "random_w8",
+        num_vars,
+        session: InferenceSession::from_junction_tree(jt),
+        queries: 100,
+    });
+    out
+}
+
+/// Deterministic stream of single-evidence posterior queries. Every
+/// target/evidence variable is drawn from the junction tree's
+/// variables, so each query is answerable.
+fn query_stream(w: &Workload, seed: u64) -> Vec<Query> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let in_tree = |v: u32| {
+        w.session
+            .junction_tree()
+            .clique_containing(VarId(v))
+            .is_some()
+    };
+    let vars: Vec<u32> = (0..w.num_vars).filter(|&v| in_tree(v)).collect();
+    (0..w.queries)
+        .map(|_| {
+            let target = vars[rng.gen_range(0..vars.len())];
+            let mut ev = EvidenceSet::new();
+            if vars.len() > 1 {
+                let mut obs = target;
+                while obs == target {
+                    obs = vars[rng.gen_range(0..vars.len())];
+                }
+                // state 0 always exists; keeps P(e) > 0 on every workload
+                ev.observe(VarId(obs), 0);
+            }
+            Query::new(VarId(target), ev)
+        })
+        .collect()
+}
+
+fn run_spawning(w: &Workload, queries: &[Query], threads: usize) -> Cell {
+    let engine = CollaborativeEngine::with_threads(threads);
+    let mut tables = 0u64;
+    let start = Instant::now();
+    for q in queries {
+        w.session
+            .posterior(&engine, q.target, &q.evidence)
+            .expect("stream queries are answerable");
+        tables += engine
+            .last_report()
+            .map_or(0, |r| r.total_tables_allocated());
+    }
+    let total = start.elapsed().as_secs_f64();
+    Cell {
+        qps: queries.len() as f64 / total.max(1e-12),
+        total_secs: total,
+        tables_allocated: tables,
+    }
+}
+
+fn run_pooled(w: &Workload, queries: &[Query], threads: usize) -> Cell {
+    let engine = PooledEngine::new(SchedulerConfig::with_threads(threads));
+    let jt = w.session.junction_tree();
+    let graph = w.session.task_graph();
+    // warm the arena outside the timed region: steady state is the
+    // regime a service lives in
+    engine
+        .posterior(jt, graph, queries[0].target, &queries[0].evidence)
+        .expect("stream queries are answerable");
+    let mut tables = 0u64;
+    let start = Instant::now();
+    for q in queries {
+        engine
+            .posterior(jt, graph, q.target, &q.evidence)
+            .expect("stream queries are answerable");
+        tables += engine
+            .last_report()
+            .map_or(0, |r| r.total_tables_allocated());
+    }
+    let total = start.elapsed().as_secs_f64();
+    Cell {
+        qps: queries.len() as f64 / total.max(1e-12),
+        total_secs: total,
+        tables_allocated: tables,
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .min(8);
+    println!("# serving throughput: spawn-per-query vs persistent pool ({threads} threads)");
+    evprop_bench::header(&[
+        "workload",
+        "queries",
+        "spawn_qps",
+        "pooled_qps",
+        "speedup",
+        "spawn_tables",
+        "pooled_tables",
+    ]);
+
+    let mut json_rows = Vec::new();
+    for w in workloads() {
+        let queries = query_stream(&w, 0xC0FFEE);
+        let spawn = run_spawning(&w, &queries, threads);
+        let pooled = run_pooled(&w, &queries, threads);
+        let speedup = pooled.qps / spawn.qps;
+        println!(
+            "{},{},{:.0},{:.0},{:.2},{},{}",
+            w.name,
+            queries.len(),
+            spawn.qps,
+            pooled.qps,
+            speedup,
+            spawn.tables_allocated,
+            pooled.tables_allocated
+        );
+        json_rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"queries\": {}, \"threads\": {},\n",
+                "     \"spawn_per_query\": {{\"qps\": {:.1}, \"total_secs\": {:.4}, ",
+                "\"tables_allocated\": {}}},\n",
+                "     \"pooled\": {{\"qps\": {:.1}, \"total_secs\": {:.4}, ",
+                "\"tables_allocated\": {}}},\n",
+                "     \"pooled_speedup\": {:.3}}}"
+            ),
+            w.name,
+            queries.len(),
+            threads,
+            spawn.qps,
+            spawn.total_secs,
+            spawn.tables_allocated,
+            pooled.qps,
+            pooled.total_secs,
+            pooled.tables_allocated,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("# wrote BENCH_serve.json");
+}

@@ -5,6 +5,7 @@
 //! evprop query <file.bif> --target VAR [--evidence VAR=STATE]... [--engine E] [--threads N]
 //! evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine E] [--threads N]
 //! evprop export <sprinkler|asia|student>
+//! evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
 //! evprop simulate --cliques N --width W --states R --degree K [--cores P]...
 //! ```
 
@@ -12,7 +13,7 @@ use evprop_bayesnet::bif::{self, BifNetwork};
 use evprop_bayesnet::networks;
 use evprop_core::{
     CollaborativeEngine, DataParallelEngine, Engine, InferenceSession, OpenMpStyleEngine,
-    SequentialEngine,
+    PooledEngine, Query, QueryBatch, SequentialEngine,
 };
 use evprop_jtree::{critical_path_weight, select_root};
 use evprop_potential::EvidenceSet;
@@ -23,10 +24,11 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   evprop info <file.bif>
-  evprop query <file.bif> --target VAR [--evidence VAR=STATE]... [--likelihood VAR=w:w...]... [--engine seq|collab|openmp|dp] [--threads N]
-  evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine seq|collab|openmp|dp] [--threads N]
+  evprop query <file.bif> --target VAR [--evidence VAR=STATE]... [--likelihood VAR=w:w...]... [--engine seq|collab|pooled|openmp|dp] [--threads N]
+  evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine seq|collab|pooled|openmp|dp] [--threads N]
   evprop export <sprinkler|asia|student>
   evprop dot <file.bif> [--tasks]
+  evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
   evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]";
 
 fn main() -> ExitCode {
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("mpe") => cmd_mpe(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -75,8 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn load(path: &str) -> Result<BifNetwork, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     bif::parse(&src).map_err(|e| e.to_string())
 }
 
@@ -142,6 +144,7 @@ fn make_engine(args: &[String]) -> Result<Box<dyn Engine>, String> {
     Ok(match flag_value(args, "--engine").unwrap_or("collab") {
         "seq" | "sequential" => Box::new(SequentialEngine),
         "collab" | "collaborative" => Box::new(CollaborativeEngine::with_threads(threads)),
+        "pooled" => Box::new(PooledEngine::with_threads(threads)),
         "openmp" => Box::new(OpenMpStyleEngine::new(threads)),
         "dp" | "data-parallel" => Box::new(DataParallelEngine::new(threads)),
         other => return Err(format!("unknown engine '{other}'")),
@@ -152,7 +155,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("info needs a file".to_string())?;
     let bif = load(path)?;
     let net = &bif.network;
-    println!("network: {} ({} variables, {} edges)", bif.name, net.num_vars(), net.num_edges());
+    println!(
+        "network: {} ({} variables, {} edges)",
+        bif.name,
+        net.num_vars(),
+        net.num_edges()
+    );
     let session = InferenceSession::from_network(net).map_err(|e| e.to_string())?;
     let shape = session.junction_tree().shape();
     println!(
@@ -184,8 +192,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("query needs a file".to_string())?;
     let bif = load(path)?;
-    let target_name =
-        flag_value(args, "--target").ok_or("query needs --target VAR".to_string())?;
+    let target_name = flag_value(args, "--target").ok_or("query needs --target VAR".to_string())?;
     let target = bif
         .var_id(target_name)
         .ok_or_else(|| format!("unknown variable '{target_name}'"))?;
@@ -231,7 +238,9 @@ fn cmd_mpe(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_export(args: &[String]) -> Result<(), String> {
-    let which = args.first().ok_or("export needs a network name".to_string())?;
+    let which = args
+        .first()
+        .ok_or("export needs a network name".to_string())?;
     let net = match which.as_str() {
         "sprinkler" => networks::sprinkler(),
         "asia" => networks::asia(),
@@ -256,10 +265,100 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a deterministic pseudo-random query stream over `net`:
+/// each query asks for one target's posterior under single-variable
+/// hard evidence (target and evidence variables always distinct).
+fn random_queries(net: &evprop_bayesnet::BayesianNetwork, n: usize, seed: u64) -> QueryBatch {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vars = net.num_vars() as u32;
+    (0..n)
+        .map(|_| {
+            let target = evprop_potential::VarId(rng.gen_range(0..vars));
+            let mut ev = EvidenceSet::new();
+            if vars > 1 {
+                let mut obs = evprop_potential::VarId(rng.gen_range(0..vars));
+                while obs == target {
+                    obs = evprop_potential::VarId(rng.gen_range(0..vars));
+                }
+                let card = net.var(obs).cardinality();
+                ev.observe(obs, rng.gen_range(0..card));
+            }
+            Query::new(target, ev)
+        })
+        .collect()
+}
+
+/// Serve-style batch inference: compile the network once, then answer a
+/// stream of randomized queries. The default path holds the session's
+/// resident [`PooledEngine`]; `--spawn-per-query` runs the same stream
+/// on a [`CollaborativeEngine`] that spawns and joins its worker
+/// threads for every query — the baseline the pool exists to beat.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("serve needs a file".to_string())?;
+    let bif = load(path)?;
+    let queries = match flag_value(args, "--queries") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad query count '{v}'"))?,
+        None => 200,
+    };
+    let threads = match flag_value(args, "--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("bad thread count '{t}'"))?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => s.parse::<u64>().map_err(|_| format!("bad seed '{s}'"))?,
+        None => 0xC0FFEE,
+    };
+    let spawn_per_query = args.iter().any(|a| a == "--spawn-per-query");
+
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    let batch = random_queries(&bif.network, queries, seed);
+
+    let start = std::time::Instant::now();
+    let mode = if spawn_per_query {
+        let engine = CollaborativeEngine::with_threads(threads);
+        for q in &batch {
+            session
+                .posterior(&engine, q.target, &q.evidence)
+                .map_err(|e| e.to_string())?;
+        }
+        "spawn-per-query"
+    } else {
+        session.pooled_engine_with(evprop_sched::SchedulerConfig::with_threads(threads));
+        session.posterior_batch(&batch).map_err(|e| e.to_string())?;
+        "pooled"
+    };
+    let elapsed = start.elapsed();
+    let qps = batch.len() as f64 / elapsed.as_secs_f64().max(1e-12);
+    println!(
+        "served {} queries [{mode}, {threads} threads] in {:.3} s ({:.0} queries/s)",
+        batch.len(),
+        elapsed.as_secs_f64(),
+        qps
+    );
+    if !spawn_per_query {
+        if let Some(report) = session.pooled_engine().last_report() {
+            println!(
+                "last job: wall {:?}, {} steals, {} tables allocated",
+                report.wall,
+                report.total_steals(),
+                report.total_tables_allocated()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let get = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name) {
-            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: '{v}'")),
             None => Ok(default),
         }
     };
@@ -313,8 +412,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         } = policy
         {
             let p = cores.last().copied().unwrap_or(4);
-            let (_, trace) =
-                simulate_collaborative_traced(&g, p, delta, work_stealing, &model);
+            let (_, trace) = simulate_collaborative_traced(&g, p, delta, work_stealing, &model);
             println!("\nschedule on {p} cores (m=marg d=div e=ext x=mul):");
             print!("{}", render_gantt(&trace, p, 72));
         } else {
@@ -350,27 +448,44 @@ mod tests {
     fn query_runs_with_evidence() {
         let f = asia_file();
         cmd_query(&s(&[
-            &f, "--target", "v3", "--evidence", "v7=s1", "--engine", "seq",
+            &f,
+            "--target",
+            "v3",
+            "--evidence",
+            "v7=s1",
+            "--engine",
+            "seq",
         ]))
         .unwrap();
         // numeric state form
         cmd_query(&s(&[
-            &f, "--target", "v3", "--evidence", "v7=1", "--threads", "2",
+            &f,
+            "--target",
+            "v3",
+            "--evidence",
+            "v7=1",
+            "--threads",
+            "2",
         ]))
         .unwrap();
         // soft evidence
-        cmd_query(&s(&[
-            &f, "--target", "v3", "--likelihood", "v6=0.3:0.9",
-        ]))
-        .unwrap();
+        cmd_query(&s(&[&f, "--target", "v3", "--likelihood", "v6=0.3:0.9"])).unwrap();
         assert!(cmd_query(&s(&[&f, "--target", "v3", "--likelihood", "v6=x:y"])).is_err());
     }
 
     #[test]
     fn mpe_runs() {
         let f = asia_file();
-        cmd_mpe(&s(&[&f, "--evidence", "v7=s1", "--engine", "collab", "--threads", "2"]))
-            .unwrap();
+        cmd_mpe(&s(&[
+            &f,
+            "--evidence",
+            "v7=s1",
+            "--engine",
+            "collab",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -390,9 +505,33 @@ mod tests {
     }
 
     #[test]
+    fn serve_runs_pooled_and_spawned() {
+        let f = asia_file();
+        cmd_serve(&s(&[&f, "--queries", "8", "--threads", "2", "--seed", "7"])).unwrap();
+        cmd_serve(&s(&[
+            &f,
+            "--queries",
+            "4",
+            "--threads",
+            "2",
+            "--spawn-per-query",
+        ]))
+        .unwrap();
+        assert!(cmd_serve(&s(&[])).is_err());
+        assert!(cmd_serve(&s(&[&f, "--queries", "x"])).is_err());
+    }
+
+    #[test]
     fn simulate_runs() {
         cmd_simulate(&s(&[
-            "--cliques", "32", "--width", "8", "--cores", "1", "--cores", "4",
+            "--cliques",
+            "32",
+            "--width",
+            "8",
+            "--cores",
+            "1",
+            "--cores",
+            "4",
         ]))
         .unwrap();
         cmd_simulate(&s(&["--cliques", "16", "--width", "6", "--gantt"])).unwrap();

@@ -176,11 +176,7 @@ mod tests {
     use evprop_potential::{Domain, Variable};
 
     fn simple() -> Calibrated {
-        let d = Domain::new(vec![
-            Variable::binary(VarId(0)),
-            Variable::binary(VarId(1)),
-        ])
-        .unwrap();
+        let d = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))]).unwrap();
         let shape = TreeShape::new(vec![d.clone()], &[], 0).unwrap();
         let t = PotentialTable::from_data(d, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
         Calibrated::new(shape, vec![t])

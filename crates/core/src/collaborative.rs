@@ -119,10 +119,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let engine = CollaborativeEngine::with_threads(threads);
             let got = engine.propagate(&jt, &ev).unwrap();
-            assert!(
-                got.max_divergence(&reference) < 1e-9,
-                "threads = {threads}"
-            );
+            assert!(got.max_divergence(&reference) < 1e-9, "threads = {threads}");
             assert!(engine.last_report().is_some());
         }
     }
@@ -131,9 +128,10 @@ mod tests {
     fn partitioning_preserves_results() {
         let net = networks::asia();
         let jt = JunctionTree::from_network(&net).unwrap();
-        let reference = SequentialEngine.propagate(&jt, &EvidenceSet::new()).unwrap();
-        let engine =
-            CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(2));
+        let reference = SequentialEngine
+            .propagate(&jt, &EvidenceSet::new())
+            .unwrap();
+        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(2));
         let got = engine.propagate(&jt, &EvidenceSet::new()).unwrap();
         assert!(got.max_divergence(&reference) < 1e-9);
         let report = engine.last_report().unwrap();
@@ -164,16 +162,12 @@ mod batch_tests {
                 e
             })
             .collect();
-        let engine =
-            CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(8));
+        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(4).with_delta(8));
         let batch = engine.propagate_batch(&jt, &graph, &evidences).unwrap();
         assert_eq!(batch.len(), 5);
         for (i, ev) in evidences.iter().enumerate() {
             let single = SequentialEngine.propagate(&jt, ev).unwrap();
-            assert!(
-                batch[i].max_divergence(&single) < 1e-9,
-                "case {i} diverges"
-            );
+            assert!(batch[i].max_divergence(&single) < 1e-9, "case {i} diverges");
         }
     }
 

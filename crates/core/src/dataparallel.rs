@@ -97,11 +97,10 @@ mod tests {
         ev.observe(VarId(4), 1);
         let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
         for threads in [1, 2, 3] {
-            let got = DataParallelEngine::new(threads).propagate(&jt, &ev).unwrap();
-            assert!(
-                got.max_divergence(&reference) < 1e-9,
-                "threads = {threads}"
-            );
+            let got = DataParallelEngine::new(threads)
+                .propagate(&jt, &ev)
+                .unwrap();
+            assert!(got.max_divergence(&reference) < 1e-9, "threads = {threads}");
         }
     }
 }

@@ -17,7 +17,11 @@
 //!   mechanically adding `#pragma omp parallel for` to the sequential
 //!   code does);
 //! * [`DataParallelEngine`] — baseline 2: fresh threads spawned for
-//!   every primitive.
+//!   every primitive;
+//! * [`PooledEngine`] — the serving variant of the collaborative
+//!   engine: worker threads spawned once, table arenas recycled, so a
+//!   steady-state query pays only for propagation (compile once,
+//!   serve many — see [`InferenceSession::posterior_batch`]).
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ mod error;
 mod mpe;
 mod openmp;
 mod par_exec;
+mod pooled;
 mod sequential;
 mod session;
 
@@ -57,8 +62,9 @@ pub use engine::Engine;
 pub use error::EngineError;
 pub use mpe::{decode_mpe, MostProbableExplanation};
 pub use openmp::OpenMpStyleEngine;
+pub use pooled::PooledEngine;
 pub use sequential::SequentialEngine;
-pub use session::InferenceSession;
+pub use session::{InferenceSession, Query, QueryBatch};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -100,11 +100,7 @@ impl crate::InferenceSession {
     /// # Errors
     ///
     /// See [`Engine::propagate_graph`].
-    pub fn propagate_max(
-        &self,
-        engine: &dyn Engine,
-        evidence: &EvidenceSet,
-    ) -> Result<Calibrated> {
+    pub fn propagate_max(&self, engine: &dyn Engine, evidence: &EvidenceSet) -> Result<Calibrated> {
         engine.propagate_graph(self.junction_tree(), self.max_task_graph(), evidence)
     }
 
@@ -149,10 +145,7 @@ mod tests {
     use evprop_potential::Odometer as JointOdometer;
 
     /// Brute-force MPE: scan the joint table.
-    fn oracle_mpe(
-        net: &evprop_bayesnet::BayesianNetwork,
-        ev: &EvidenceSet,
-    ) -> (Vec<usize>, f64) {
+    fn oracle_mpe(net: &evprop_bayesnet::BayesianNetwork, ev: &EvidenceSet) -> (Vec<usize>, f64) {
         let joint = JointDistribution::of(net).unwrap();
         let mut table = joint.table().clone();
         ev.absorb_into(&mut table).unwrap();

@@ -109,11 +109,8 @@ impl Engine for OpenMpStyleEngine {
                 state.start.wait(); // fork
                 state.done.wait(); // join
                 let task = graph.task(t);
-                let partials: Vec<Option<PotentialTable>> = state
-                    .partials
-                    .iter()
-                    .map(|s| s.lock().take())
-                    .collect();
+                let partials: Vec<Option<PotentialTable>> =
+                    state.partials.iter().map(|s| s.lock().take()).collect();
                 // SAFETY: all workers are parked between barriers.
                 unsafe { combine_shares(task, partials, &arena) };
             }
@@ -141,10 +138,7 @@ mod tests {
         let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
         for threads in [1, 2, 4] {
             let got = OpenMpStyleEngine::new(threads).propagate(&jt, &ev).unwrap();
-            assert!(
-                got.max_divergence(&reference) < 1e-9,
-                "threads = {threads}"
-            );
+            assert!(got.max_divergence(&reference) < 1e-9, "threads = {threads}");
         }
     }
 

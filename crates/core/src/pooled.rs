@@ -1,0 +1,306 @@
+//! Compile-once, serve-many: the collaborative scheduler behind a
+//! persistent worker pool with recycled table arenas.
+
+use crate::{Calibrated, Engine, Result};
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+use evprop_sched::{CollabPool, RunReport, SchedulerConfig, TableArena};
+use evprop_taskgraph::TaskGraph;
+use parking_lot::Mutex;
+
+/// Arenas kept warm between queries. Jobs are serialized on the pool,
+/// so one arena per concurrently-used task graph (sum-product,
+/// max-product, the occasional collect-only graph) is plenty.
+const MAX_CACHED_ARENAS: usize = 4;
+
+/// A [`CollaborativeEngine`](crate::CollaborativeEngine) variant for
+/// services: worker threads are spawned **once** (a resident
+/// [`CollabPool`]) and table arenas are **recycled** across queries
+/// ([`TableArena::reset`] instead of a fresh allocation), so the
+/// steady-state cost of a query is the propagation itself — no thread
+/// spawn, no buffer allocation.
+///
+/// # Example
+///
+/// ```
+/// use evprop_bayesnet::networks;
+/// use evprop_core::{Engine, PooledEngine};
+/// use evprop_potential::{EvidenceSet, VarId};
+/// use evprop_jtree::JunctionTree;
+///
+/// let jt = JunctionTree::from_network(&networks::asia())?;
+/// let engine = PooledEngine::with_threads(2);
+/// for state in 0..2 {
+///     let mut ev = EvidenceSet::new();
+///     ev.observe(VarId(7), state);
+///     let calibrated = engine.propagate(&jt, &ev)?;
+///     assert!((calibrated.marginal(VarId(3))?.sum() - 1.0).abs() < 1e-9);
+/// }
+/// # Ok::<(), evprop_core::EngineError>(())
+/// ```
+pub struct PooledEngine {
+    pool: CollabPool,
+    config: SchedulerConfig,
+    /// Recycled arenas, matched back to graphs by buffer layout.
+    arenas: Mutex<Vec<TableArena>>,
+    last_report: Mutex<Option<RunReport>>,
+}
+
+impl std::fmt::Debug for PooledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledEngine")
+            .field("pool", &self.pool)
+            .field("config", &self.config)
+            .field("cached_arenas", &self.arenas.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PooledEngine {
+    /// An engine with resident `config.num_threads` workers.
+    pub fn new(config: SchedulerConfig) -> Self {
+        PooledEngine {
+            pool: CollabPool::new(config.num_threads),
+            config,
+            arenas: Mutex::new(Vec::new()),
+            last_report: Mutex::new(None),
+        }
+    }
+
+    /// An engine with `threads` resident workers and default δ.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(SchedulerConfig::with_threads(threads))
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Number of resident worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Per-thread statistics of the most recent job, if any. On the
+    /// pooled path `wall` is per-job handoff-to-completion time and
+    /// `total_tables_allocated` stays 0 for unpartitioned steady-state
+    /// queries — the two numbers this engine exists to shrink.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// Takes a warm arena matching `graph` from the cache (resetting it
+    /// in place), or allocates a fresh one on a cold start.
+    fn checkout(
+        &self,
+        graph: &TaskGraph,
+        clique_potentials: &[PotentialTable],
+        evidence: &EvidenceSet,
+    ) -> TableArena {
+        let cached = {
+            let mut cache = self.arenas.lock();
+            cache
+                .iter()
+                .position(|a| a.matches(graph))
+                .map(|i| cache.swap_remove(i))
+        };
+        match cached {
+            Some(mut arena) => {
+                arena.reset(graph, clique_potentials, evidence);
+                arena
+            }
+            None => TableArena::initialize(graph, clique_potentials, evidence),
+        }
+    }
+
+    /// Returns an arena to the cache for the next query.
+    fn recycle(&self, arena: TableArena) {
+        let mut cache = self.arenas.lock();
+        if cache.len() < MAX_CACHED_ARENAS {
+            cache.push(arena);
+        }
+    }
+
+    /// Runs one job on the resident pool and stores its report.
+    fn run_job(&self, graph: &TaskGraph, arena: &TableArena) {
+        let report = self.pool.run(graph, arena, &self.config);
+        *self.last_report.lock() = Some(report);
+    }
+
+    /// Posterior marginal of `var` without materializing a full
+    /// [`Calibrated`]: propagates, marginalizes straight out of the
+    /// arena buffer of a clique covering `var`, and recycles the arena —
+    /// the only allocation on a warm path is the returned marginal.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EngineError::VariableNotInTree`] if no clique covers
+    /// `var`; [`crate::EngineError::ImpossibleEvidence`] if `P(e) = 0`.
+    pub fn posterior(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        let target = jt
+            .clique_containing(var)
+            .ok_or(crate::EngineError::VariableNotInTree(var))?;
+        let mut arena = self.checkout(graph, jt.potentials(), evidence);
+        self.run_job(graph, &arena);
+        let table = &arena.tables_mut()[graph.clique_buffer(target).index()];
+        let sub = table.domain().project(&[var]);
+        let marginal = table.marginalize(&sub);
+        self.recycle(arena);
+        let mut m = marginal?;
+        if m.sum() <= 0.0 {
+            return Err(crate::EngineError::ImpossibleEvidence);
+        }
+        m.normalize();
+        Ok(m)
+    }
+
+    /// Answers a batch of queries, reusing **one** arena slot across
+    /// the whole batch: each query resets the arena in place, runs as
+    /// one pool job, and yields its normalized posterior. Queries run
+    /// back-to-back on the resident workers; results are in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Per-query errors as in [`PooledEngine::posterior`]; the first
+    /// error aborts the batch.
+    pub fn posterior_batch(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        queries: &[crate::Query],
+    ) -> Result<Vec<PotentialTable>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            out.push(self.posterior(jt, graph, q.target, &q.evidence)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Engine for PooledEngine {
+    fn name(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn propagate_graph(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        let mut arena = self.checkout(graph, jt.potentials(), evidence);
+        self.run_job(graph, &arena);
+        // Clone the calibrated clique tables out instead of consuming
+        // the arena — the buffers stay allocated for the next query.
+        let tables = arena.tables_mut();
+        let cliques: Vec<PotentialTable> = (0..jt.num_cliques())
+            .map(|c| tables[graph.clique_buffer(evprop_jtree::CliqueId(c)).index()].clone())
+            .collect();
+        self.recycle(arena);
+        Ok(Calibrated::new(jt.shape().clone(), cliques))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Query, SequentialEngine};
+    use evprop_bayesnet::networks;
+
+    #[test]
+    fn pooled_agrees_with_sequential() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let engine = PooledEngine::with_threads(3);
+        for state in 0..2 {
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(7), state);
+            let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+            let got = engine.propagate(&jt, &ev).unwrap();
+            assert!(got.max_divergence(&reference) < 1e-9, "state {state}");
+        }
+    }
+
+    #[test]
+    fn warm_queries_reuse_arena_without_table_allocations() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let engine = PooledEngine::new(SchedulerConfig::with_threads(2).without_partitioning());
+        let ev = EvidenceSet::new();
+        // cold start allocates the arena …
+        engine.posterior(&jt, &graph, VarId(3), &ev).unwrap();
+        // … warm queries reset it in place; no worker allocates a table
+        for _ in 0..3 {
+            engine.posterior(&jt, &graph, VarId(3), &ev).unwrap();
+            let report = engine.last_report().unwrap();
+            assert_eq!(report.total_tables_allocated(), 0);
+        }
+        assert_eq!(engine.arenas.lock().len(), 1);
+    }
+
+    #[test]
+    fn posterior_matches_full_calibration() {
+        let net = networks::student();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let engine = PooledEngine::with_threads(2);
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(3), 1);
+        for v in 0..3u32 {
+            let fast = engine.posterior(&jt, &graph, VarId(v), &ev).unwrap();
+            let full = engine
+                .propagate_graph(&jt, &graph, &ev)
+                .unwrap()
+                .marginal(VarId(v))
+                .unwrap();
+            assert!(fast.approx_eq(&full, 1e-9), "V{v}");
+        }
+    }
+
+    #[test]
+    fn posterior_batch_in_input_order() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let engine = PooledEngine::with_threads(2);
+        let queries: Vec<Query> = (0..4u32)
+            .map(|i| {
+                let mut ev = EvidenceSet::new();
+                ev.observe(VarId(7), (i % 2) as usize);
+                Query::new(VarId(i % 3), ev)
+            })
+            .collect();
+        let batch = engine.posterior_batch(&jt, &graph, &queries).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (q, got) in queries.iter().zip(&batch) {
+            let want = engine
+                .posterior(&jt, &graph, q.target, &q.evidence)
+                .unwrap();
+            assert!(got.approx_eq(&want, 1e-12));
+        }
+    }
+
+    #[test]
+    fn unknown_variable_and_impossible_evidence() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let engine = PooledEngine::with_threads(2);
+        let r = engine.posterior(&jt, &graph, VarId(99), &EvidenceSet::new());
+        assert!(matches!(r, Err(crate::EngineError::VariableNotInTree(_))));
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(3), 1);
+        ev.observe(VarId(5), 0); // contradiction
+        let r = engine.posterior(&jt, &graph, VarId(4), &ev);
+        assert!(matches!(r, Err(crate::EngineError::ImpossibleEvidence)));
+    }
+}

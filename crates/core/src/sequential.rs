@@ -47,7 +47,9 @@ mod tests {
         let net = networks::asia();
         let jt = JunctionTree::from_network(&net).unwrap();
         let joint = JointDistribution::of(&net).unwrap();
-        let cal = SequentialEngine.propagate(&jt, &EvidenceSet::new()).unwrap();
+        let cal = SequentialEngine
+            .propagate(&jt, &EvidenceSet::new())
+            .unwrap();
         for v in 0..8u32 {
             let got = cal.marginal(VarId(v)).unwrap();
             let want = joint.marginal(VarId(v), &EvidenceSet::new()).unwrap();

@@ -1,11 +1,33 @@
 //! End-to-end inference sessions: compile once, query many times.
 
-use crate::{Calibrated, Engine, Result};
+use crate::{Calibrated, Engine, PooledEngine, Result};
 use evprop_bayesnet::BayesianNetwork;
 use evprop_jtree::{select_root, JunctionTree, RootChoice};
 use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+use evprop_sched::SchedulerConfig;
 use evprop_taskgraph::{PropagationMode, TaskGraph};
 use std::sync::OnceLock;
+
+/// One serving query: the variable whose posterior is wanted, under
+/// some evidence.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Variable whose posterior marginal is requested.
+    pub target: VarId,
+    /// Evidence to condition on (may be empty).
+    pub evidence: EvidenceSet,
+}
+
+impl Query {
+    /// A query for `P(target | evidence)`.
+    pub fn new(target: VarId, evidence: EvidenceSet) -> Self {
+        Query { target, evidence }
+    }
+}
+
+/// An ordered batch of queries, answered back-to-back on the session's
+/// resident pool by [`InferenceSession::posterior_batch`].
+pub type QueryBatch = Vec<Query>;
 
 /// A reusable inference pipeline: junction tree (re-rooted by
 /// Algorithm 1) plus its prebuilt task dependency graph.
@@ -29,6 +51,8 @@ pub struct InferenceSession {
     root_choice: RootChoice,
     /// Max-product task graph, built on first MPE query.
     max_graph: OnceLock<TaskGraph>,
+    /// Resident serving engine, spawned on first pooled query.
+    pooled: OnceLock<PooledEngine>,
 }
 
 impl InferenceSession {
@@ -54,6 +78,7 @@ impl InferenceSession {
             graph,
             root_choice,
             max_graph: OnceLock::new(),
+            pooled: OnceLock::new(),
         }
     }
 
@@ -70,6 +95,7 @@ impl InferenceSession {
             graph,
             root_choice,
             max_graph: OnceLock::new(),
+            pooled: OnceLock::new(),
         }
     }
 
@@ -86,8 +112,9 @@ impl InferenceSession {
     /// The max-product task graph (same structure, max-marginalization),
     /// built lazily on the first MPE query.
     pub fn max_task_graph(&self) -> &TaskGraph {
-        self.max_graph
-            .get_or_init(|| TaskGraph::from_shape_mode(self.jt.shape(), PropagationMode::MaxProduct))
+        self.max_graph.get_or_init(|| {
+            TaskGraph::from_shape_mode(self.jt.shape(), PropagationMode::MaxProduct)
+        })
     }
 
     /// The root selected at construction and its critical-path weight.
@@ -116,6 +143,47 @@ impl InferenceSession {
         evidence: &EvidenceSet,
     ) -> Result<PotentialTable> {
         self.propagate(engine, evidence)?.marginal(var)
+    }
+
+    /// The session's resident serving engine — worker threads spawned
+    /// once, table arenas recycled across queries — created with the
+    /// default [`SchedulerConfig`] on first use. To pick the
+    /// configuration, call [`InferenceSession::pooled_engine_with`]
+    /// before the first pooled query.
+    pub fn pooled_engine(&self) -> &PooledEngine {
+        self.pooled
+            .get_or_init(|| PooledEngine::new(SchedulerConfig::default()))
+    }
+
+    /// The resident serving engine, created with `config` if none
+    /// exists yet. The first creation wins: if the pool is already
+    /// running, the existing engine is returned and `config` ignored.
+    pub fn pooled_engine_with(&self, config: SchedulerConfig) -> &PooledEngine {
+        self.pooled.get_or_init(|| PooledEngine::new(config))
+    }
+
+    /// Posterior marginal of one variable on the resident pool: the
+    /// steady-state serving path (no thread spawn, no table
+    /// allocation on a warm arena).
+    ///
+    /// # Errors
+    ///
+    /// See [`PooledEngine::posterior`].
+    pub fn posterior_pooled(&self, var: VarId, evidence: &EvidenceSet) -> Result<PotentialTable> {
+        self.pooled_engine()
+            .posterior(&self.jt, &self.graph, var, evidence)
+    }
+
+    /// Answers a [`QueryBatch`] back-to-back on the resident pool,
+    /// reusing one arena slot for the whole batch. Results are in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`PooledEngine::posterior_batch`].
+    pub fn posterior_batch(&self, batch: &[Query]) -> Result<Vec<PotentialTable>> {
+        self.pooled_engine()
+            .posterior_batch(&self.jt, &self.graph, batch)
     }
 
     /// Posterior marginal via **collect-only propagation**: the tree is
@@ -171,9 +239,7 @@ mod tests {
         let mut ev = EvidenceSet::new();
         ev.observe(VarId(7), 1);
         for v in 0..7u32 {
-            let got = session
-                .posterior(&SequentialEngine, VarId(v), &ev)
-                .unwrap();
+            let got = session.posterior(&SequentialEngine, VarId(v), &ev).unwrap();
             let want = joint.marginal(VarId(v), &ev).unwrap();
             assert!(got.approx_eq(&want, 1e-9), "V{v}");
         }
@@ -193,6 +259,29 @@ mod tests {
     }
 
     #[test]
+    fn pooled_batch_matches_per_query_engines() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let batch: QueryBatch = (0..4u32)
+            .map(|i| {
+                let mut ev = EvidenceSet::new();
+                ev.observe(VarId(7), (i % 2) as usize);
+                Query::new(VarId(i), ev)
+            })
+            .collect();
+        let pooled = session.posterior_batch(&batch).unwrap();
+        assert_eq!(pooled.len(), batch.len());
+        for (q, got) in batch.iter().zip(&pooled) {
+            let want = session
+                .posterior(&SequentialEngine, q.target, &q.evidence)
+                .unwrap();
+            assert!(got.approx_eq(&want, 1e-9), "query {:?}", q.target);
+            let single = session.posterior_pooled(q.target, &q.evidence).unwrap();
+            assert!(got.approx_eq(&single, 1e-12));
+        }
+    }
+
+    #[test]
     fn session_reuse_across_queries_and_engines() {
         let net = networks::student();
         let session = InferenceSession::from_network(&net).unwrap();
@@ -200,9 +289,7 @@ mod tests {
         for state in 0..2 {
             let mut ev = EvidenceSet::new();
             ev.observe(VarId(3), state);
-            let a = session
-                .posterior(&SequentialEngine, VarId(2), &ev)
-                .unwrap();
+            let a = session.posterior(&SequentialEngine, VarId(2), &ev).unwrap();
             let b = session.posterior(&collab, VarId(2), &ev).unwrap();
             assert!(a.approx_eq(&b, 1e-9));
         }
@@ -223,9 +310,7 @@ mod collect_only_tests {
         ev.observe(VarId(7), 1);
         ev.observe_likelihood(VarId(6), vec![0.4, 0.8]);
         for v in 0..6u32 {
-            let full = session
-                .posterior(&SequentialEngine, VarId(v), &ev)
-                .unwrap();
+            let full = session.posterior(&SequentialEngine, VarId(v), &ev).unwrap();
             let fast = session
                 .posterior_collect_only(&SequentialEngine, VarId(v), &ev)
                 .unwrap();

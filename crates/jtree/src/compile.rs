@@ -1,8 +1,8 @@
 //! Bayesian network → junction tree compilation.
 
 use crate::{
-    triangulate_with, CliqueId, EliminationHeuristic, JtreeError, JunctionTree, MoralGraph,
-    Result, TreeShape,
+    triangulate_with, CliqueId, EliminationHeuristic, JtreeError, JunctionTree, MoralGraph, Result,
+    TreeShape,
 };
 use evprop_bayesnet::BayesianNetwork;
 use evprop_potential::{Domain, PotentialTable, Variable};

@@ -12,8 +12,7 @@ impl TreeShape {
     /// dot -Tsvg tree.dot -o tree.svg
     /// ```
     pub fn to_dot(&self) -> String {
-        let mut out =
-            String::from("graph junction_tree {\n  node [shape=ellipse, fontsize=10];\n");
+        let mut out = String::from("graph junction_tree {\n  node [shape=ellipse, fontsize=10];\n");
         for c in (0..self.num_cliques()).map(CliqueId) {
             let vars: Vec<String> = self
                 .domain(c)
@@ -61,10 +60,8 @@ mod tests {
 
     #[test]
     fn dot_lists_cliques_and_separators() {
-        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))])
-            .unwrap();
-        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))])
-            .unwrap();
+        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))]).unwrap();
+        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))]).unwrap();
         let shape = TreeShape::new(vec![d0, d1], &[(0, 1)], 0).unwrap();
         let dot = shape.to_dot();
         assert!(dot.starts_with("graph junction_tree {"));

@@ -44,10 +44,9 @@ impl fmt::Display for JtreeError {
                 "clique graph with {cliques} cliques and {edges} edges is not a tree"
             ),
             JtreeError::BadCliqueId(i) => write!(f, "clique id {i} out of range"),
-            JtreeError::RunningIntersectionViolated(v) => write!(
-                f,
-                "running-intersection property violated for variable {v}"
-            ),
+            JtreeError::RunningIntersectionViolated(v) => {
+                write!(f, "running-intersection property violated for variable {v}")
+            }
             JtreeError::EmptySeparator { a, b } => {
                 write!(f, "separator between cliques {a} and {b} is empty")
             }

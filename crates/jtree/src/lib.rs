@@ -42,7 +42,9 @@ pub use moral::MoralGraph;
 pub use reroot::{clique_cost, critical_path_weight, select_root, select_root_naive, RootChoice};
 pub use shape::{CliqueId, TreeShape};
 pub use tree::JunctionTree;
-pub use triangulate::{triangulate_min_fill, triangulate_with, EliminationHeuristic, Triangulation};
+pub use triangulate::{
+    triangulate_min_fill, triangulate_with, EliminationHeuristic, Triangulation,
+};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, JtreeError>;

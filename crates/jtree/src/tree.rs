@@ -180,8 +180,7 @@ mod tests {
             JunctionTree::from_parts(shape.clone(), vec![]),
             Err(JtreeError::NotATree { .. })
         ));
-        let jt =
-            JunctionTree::from_parts(shape, vec![PotentialTable::ones(d)]).unwrap();
+        let jt = JunctionTree::from_parts(shape, vec![PotentialTable::ones(d)]).unwrap();
         assert_eq!(jt.num_cliques(), 1);
         let (_s, p) = jt.into_parts();
         assert_eq!(p.len(), 1);

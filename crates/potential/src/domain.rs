@@ -317,21 +317,15 @@ mod tests {
 
     #[test]
     fn duplicate_rejected() {
-        let err = Domain::new(vec![
-            Variable::new(VarId(1), 2),
-            Variable::new(VarId(1), 2),
-        ])
-        .unwrap_err();
+        let err =
+            Domain::new(vec![Variable::new(VarId(1), 2), Variable::new(VarId(1), 2)]).unwrap_err();
         assert_eq!(err, PotentialError::DuplicateVariable(VarId(1)));
     }
 
     #[test]
     fn cardinality_conflict_rejected() {
-        let err = Domain::new(vec![
-            Variable::new(VarId(1), 2),
-            Variable::new(VarId(1), 3),
-        ])
-        .unwrap_err();
+        let err =
+            Domain::new(vec![Variable::new(VarId(1), 2), Variable::new(VarId(1), 3)]).unwrap_err();
         assert!(matches!(err, PotentialError::CardinalityMismatch { .. }));
     }
 

@@ -43,6 +43,8 @@ pub enum PotentialError {
         /// The variable's cardinality.
         cardinality: usize,
     },
+    /// An operation required two tables over the *same* domain.
+    DomainMismatch,
     /// An entry range was out of bounds or ill-formed.
     BadRange {
         /// Range start.
@@ -87,8 +89,14 @@ impl fmt::Display for PotentialError {
                 f,
                 "state {state} out of range for variable {var} with {cardinality} states"
             ),
+            PotentialError::DomainMismatch => {
+                write!(f, "operation requires both tables to share one domain")
+            }
             PotentialError::BadRange { start, end, len } => {
-                write!(f, "entry range {start}..{end} invalid for table of length {len}")
+                write!(
+                    f,
+                    "entry range {start}..{end} invalid for table of length {len}"
+                )
             }
         }
     }
@@ -115,6 +123,7 @@ mod tests {
             },
             PotentialError::NotSubdomain { missing: VarId(2) },
             PotentialError::UnknownVariable(VarId(9)),
+            PotentialError::DomainMismatch,
             PotentialError::StateOutOfRange {
                 var: VarId(0),
                 state: 7,

@@ -224,11 +224,7 @@ mod tests {
 
     #[test]
     fn absorb_into_table() {
-        let d = Domain::new(vec![
-            Variable::new(VarId(0), 2),
-            Variable::new(VarId(1), 2),
-        ])
-        .unwrap();
+        let d = Domain::new(vec![Variable::new(VarId(0), 2), Variable::new(VarId(1), 2)]).unwrap();
         let mut t = PotentialTable::ones(d);
         let mut ev = EvidenceSet::new();
         ev.observe(VarId(1), 0);
@@ -258,11 +254,7 @@ mod tests {
 
     #[test]
     fn likelihood_applies_along_axis() {
-        let d = Domain::new(vec![
-            Variable::new(VarId(0), 2),
-            Variable::new(VarId(1), 2),
-        ])
-        .unwrap();
+        let d = Domain::new(vec![Variable::new(VarId(0), 2), Variable::new(VarId(1), 2)]).unwrap();
         let mut t = PotentialTable::from_data(d, vec![1., 2., 3., 4.]).unwrap();
         Likelihood {
             var: VarId(1),

@@ -17,10 +17,7 @@ impl PotentialTable {
     /// # Errors
     ///
     /// [`PotentialError::NotSubdomain`] if `target` ⊄ this domain.
-    pub fn max_marginalize(
-        &self,
-        target: &crate::Domain,
-    ) -> Result<PotentialTable> {
+    pub fn max_marginalize(&self, target: &crate::Domain) -> Result<PotentialTable> {
         let mut out = PotentialTable::zeros(target.clone());
         self.max_marginalize_range_into(EntryRange::full(self.len()), &mut out)?;
         Ok(out)
@@ -114,11 +111,8 @@ mod tests {
 
     #[test]
     fn max_marginalize_small() {
-        let t = PotentialTable::from_data(
-            dom(&[(0, 2), (1, 3)]),
-            vec![1., 7., 3., 4., 5., 6.],
-        )
-        .unwrap();
+        let t = PotentialTable::from_data(dom(&[(0, 2), (1, 3)]), vec![1., 7., 3., 4., 5., 6.])
+            .unwrap();
         let onto_b = t.max_marginalize(&dom(&[(1, 3)])).unwrap();
         assert_eq!(onto_b.data(), &[4., 7., 6.]);
         let onto_a = t.max_marginalize(&dom(&[(0, 2)])).unwrap();

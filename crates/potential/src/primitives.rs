@@ -17,8 +17,8 @@
 //! "combined (for extension, multiplication and division) or added (for
 //! marginalization)" rule.
 
-use crate::{Domain, PotentialError, PotentialTable, Result};
 use crate::index::AxisWalker;
+use crate::{Domain, PotentialError, PotentialTable, Result};
 
 /// Which node-level primitive a task performs (§5.1, Fig. 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -296,11 +296,7 @@ impl PotentialTable {
     ///
     /// See [`PotentialTable::divide_assign`]; additionally
     /// [`PotentialError::BadRange`] for an out-of-bounds range.
-    pub fn divide_assign_range(
-        &mut self,
-        range: EntryRange,
-        other: &PotentialTable,
-    ) -> Result<()> {
+    pub fn divide_assign_range(&mut self, range: EntryRange, other: &PotentialTable) -> Result<()> {
         if self.domain() != other.domain() {
             // report the first variable that differs
             let missing = other

@@ -139,6 +139,34 @@ impl PotentialTable {
         self.data.fill(value);
     }
 
+    /// Overwrites this table's entries with `src`'s, **without
+    /// reallocating** — the in-place counterpart of cloning, used by the
+    /// serving path to reset clique buffers between queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PotentialError::DomainMismatch`] when the tables are
+    /// not over the same domain.
+    pub fn copy_from(&mut self, src: &PotentialTable) -> Result<()> {
+        if self.domain != src.domain {
+            return Err(PotentialError::DomainMismatch);
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// Resets every entry to `1.0` in place (separator buffers between
+    /// serving queries).
+    pub fn reset_ones(&mut self) {
+        self.fill(1.0);
+    }
+
+    /// Resets every entry to `0.0` in place (scratch buffers between
+    /// serving queries).
+    pub fn reset_zeros(&mut self) {
+        self.fill(0.0);
+    }
+
     /// Multiplies every entry by `factor`.
     pub fn scale(&mut self, factor: f64) {
         for v in &mut self.data {
@@ -214,7 +242,12 @@ impl PotentialTable {
 
 impl fmt::Debug for PotentialTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PotentialTable({:?}, {} entries", self.domain, self.len())?;
+        write!(
+            f,
+            "PotentialTable({:?}, {} entries",
+            self.domain,
+            self.len()
+        )?;
         if self.len() <= 16 {
             write!(f, ", {:?}", self.data)?;
         }
@@ -292,11 +325,7 @@ mod tests {
     fn restrict_zeroes_inconsistent_entries() {
         // P(A,B), restrict A=1
         let d = dom(&[(0, 2), (1, 3)]);
-        let mut t = PotentialTable::from_data(
-            d,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-        )
-        .unwrap();
+        let mut t = PotentialTable::from_data(d, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         t.restrict(VarId(0), 1).unwrap();
         assert_eq!(t.data(), &[0.0, 0.0, 0.0, 4.0, 5.0, 6.0]);
         // restrict B=0 next
@@ -345,6 +374,22 @@ mod tests {
         assert_eq!(t.data(), &[3.0, 3.0]);
         t.fill(0.5);
         assert_eq!(t.data(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn copy_from_resets_in_place() {
+        let d = dom(&[(0, 2)]);
+        let src = PotentialTable::from_data(d.clone(), vec![0.25, 0.75]).unwrap();
+        let mut dst = PotentialTable::zeros(d);
+        dst.copy_from(&src).unwrap();
+        assert_eq!(dst.data(), src.data());
+        dst.reset_ones();
+        assert_eq!(dst.data(), &[1.0, 1.0]);
+        dst.reset_zeros();
+        assert_eq!(dst.data(), &[0.0, 0.0]);
+        // mismatched domains are rejected, even at equal size
+        let other = PotentialTable::ones(dom(&[(1, 2)]));
+        assert_eq!(dst.copy_from(&other), Err(PotentialError::DomainMismatch));
     }
 
     #[test]

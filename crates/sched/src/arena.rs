@@ -26,6 +26,24 @@ use std::fmt;
 ///   `AcqRel`) and ready-list mutexes carry the happens-before edges
 ///   between the completing and the launching thread.
 ///
+/// ## Reuse across jobs
+///
+/// The serving path keeps one arena alive across many scheduler runs
+/// ([`TableArena::reset`] instead of a fresh
+/// [`TableArena::initialize`]). This is sound under one extra
+/// invariant: **jobs on an arena are serialized**. `reset` takes
+/// `&mut self`, so the borrow checker proves no worker can hold an
+/// accessor while buffers are being rewritten; a scheduler run borrows
+/// the arena shared (`&TableArena`) for its whole duration and joins or
+/// parks every worker before returning, so the next `reset` — and the
+/// next job — starts only after every access of the previous job
+/// happened-before it (the pool's job-completion handshake carries the
+/// edge, exactly as the dependency counters do within a job). Buffer
+/// *identity* (count and domains, checked by [`TableArena::matches`])
+/// is what ties an arena to a task graph; contents are irrelevant to
+/// soundness because every propagation fully overwrites the buffers it
+/// reads through the DAG's write-before-read ordering.
+///
 /// All `unsafe` access is confined to this module's two accessors.
 pub struct TableArena {
     cells: Vec<UnsafeCell<PotentialTable>>,
@@ -72,33 +90,60 @@ impl TableArena {
                 UnsafeCell::new(table)
             })
             .collect();
-        // a hard observation on a variable outside every clique would be
-        // silently dropped by the per-table absorption above — reject it
-        for e in evidence.iter() {
-            assert!(
-                graph.buffers().iter().any(|spec| {
-                    matches!(spec.init, BufferInit::CliquePotential(_))
-                        && spec.domain.contains(e.var)
-                }),
-                "evidence variable {} appears in no clique of this junction tree",
-                e.var
-            );
-        }
-        for lk in evidence.soft() {
-            let target = graph
-                .buffers()
-                .iter()
-                .enumerate()
-                .find(|(_, spec)| {
-                    matches!(spec.init, BufferInit::CliquePotential(_))
-                        && spec.domain.contains(lk.var)
-                })
-                .map(|(i, _)| i)
-                .expect("soft-evidence variable appears in some clique");
-            lk.apply_to(cells[target].get_mut())
-                .expect("likelihood length matches the variable");
-        }
+        apply_soft_and_check(graph, evidence, &mut cells);
         TableArena { cells }
+    }
+
+    /// `true` when this arena's buffer layout (count and domains) was
+    /// built for `graph` — the precondition of [`TableArena::reset`].
+    pub fn matches(&self, graph: &TaskGraph) -> bool {
+        self.cells.len() == graph.buffers().len()
+            && graph.buffers().iter().zip(&self.cells).all(|(spec, cell)| {
+                // SAFETY: &self + immutable read of the domain; callers
+                // never invoke `matches` while a job is running (jobs
+                // borrow the arena for their whole duration).
+                let t = unsafe { &*cell.get() };
+                *t.domain() == spec.domain
+            })
+    }
+
+    /// Re-initializes every buffer **in place** for a fresh query:
+    /// identical post-state to [`TableArena::initialize`] with zero
+    /// allocations — clique buffers copy `clique_potentials` again and
+    /// absorb `evidence`, separators reset to ones, scratch to zeros.
+    /// This is the steady-state serving path: compile and allocate once,
+    /// reset per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena was not built for this graph (see
+    /// [`TableArena::matches`]) or on the evidence conditions of
+    /// [`TableArena::initialize`].
+    pub fn reset(
+        &mut self,
+        graph: &TaskGraph,
+        clique_potentials: &[PotentialTable],
+        evidence: &EvidenceSet,
+    ) {
+        assert!(
+            self.matches(graph),
+            "arena layout does not match this task graph"
+        );
+        for (cell, spec) in self.cells.iter_mut().zip(graph.buffers()) {
+            let t = cell.get_mut();
+            match spec.init {
+                BufferInit::CliquePotential(c) => {
+                    t.copy_from(&clique_potentials[c.index()])
+                        .expect("matches() verified the domains");
+                    evidence
+                        .absorb_into(t)
+                        .expect("evidence states are validated upstream");
+                }
+                BufferInit::Ones => t.reset_ones(),
+                BufferInit::Zeros => t.reset_zeros(),
+            }
+        }
+        apply_soft_and_check(graph, evidence, &mut self.cells);
     }
 
     /// Initializes a **batch** arena for `base.replicate(evidences.len())`:
@@ -179,6 +224,32 @@ impl TableArena {
     }
 }
 
+/// Shared tail of [`TableArena::initialize`] and [`TableArena::reset`]:
+/// reject evidence no clique covers (a hard observation on a variable
+/// outside every clique would be silently dropped by per-table
+/// absorption) and multiply each soft likelihood into exactly one
+/// clique.
+fn apply_soft_and_check(
+    graph: &TaskGraph,
+    evidence: &EvidenceSet,
+    cells: &mut [UnsafeCell<PotentialTable>],
+) {
+    for e in evidence.iter() {
+        assert!(
+            graph.clique_buffer_containing(e.var).is_some(),
+            "evidence variable {} appears in no clique of this junction tree",
+            e.var
+        );
+    }
+    for lk in evidence.soft() {
+        let target = graph
+            .clique_buffer_containing(lk.var)
+            .expect("soft-evidence variable appears in some clique");
+        lk.apply_to(cells[target.index()].get_mut())
+            .expect("likelihood length matches the variable");
+    }
+}
+
 impl fmt::Debug for TableArena {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "TableArena({} buffers)", self.cells.len())
@@ -192,16 +263,8 @@ mod tests {
     use evprop_potential::{Domain, VarId, Variable};
 
     fn two_clique_graph() -> (TaskGraph, Vec<PotentialTable>) {
-        let d0 = Domain::new(vec![
-            Variable::binary(VarId(0)),
-            Variable::binary(VarId(1)),
-        ])
-        .unwrap();
-        let d1 = Domain::new(vec![
-            Variable::binary(VarId(1)),
-            Variable::binary(VarId(2)),
-        ])
-        .unwrap();
+        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))]).unwrap();
+        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))]).unwrap();
         let shape = TreeShape::new(vec![d0.clone(), d1.clone()], &[(0, 1)], 0).unwrap();
         let pots = vec![
             PotentialTable::from_data(d0, vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
@@ -239,6 +302,42 @@ mod tests {
         let tables = arena.into_tables();
         assert_eq!(tables.len(), g.buffers().len());
         assert_eq!(tables[0].data(), pots[0].data());
+    }
+
+    #[test]
+    fn reset_equals_fresh_initialize() {
+        let (g, pots) = two_clique_graph();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(0), 1);
+        ev.observe_likelihood(VarId(2), vec![0.2, 0.9]);
+
+        // dirty the arena with a different query first
+        let mut dirty_ev = EvidenceSet::new();
+        dirty_ev.observe(VarId(2), 0);
+        let mut arena = TableArena::initialize(&g, &pots, &dirty_ev);
+        assert!(arena.matches(&g));
+        arena.reset(&g, &pots, &ev);
+
+        let fresh = TableArena::initialize(&g, &pots, &ev);
+        let (a, b) = (arena.into_tables(), fresh.into_tables());
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(x.approx_eq(y, 0.0), "buffer {i} differs after reset");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn reset_rejects_foreign_graph() {
+        let (g, pots) = two_clique_graph();
+        let mut arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        // a graph with different buffer domains
+        let d0 = Domain::new(vec![Variable::binary(VarId(5)), Variable::binary(VarId(6))]).unwrap();
+        let d1 = Domain::new(vec![Variable::binary(VarId(6)), Variable::binary(VarId(7))]).unwrap();
+        let shape = TreeShape::new(vec![d0, d1], &[(0, 1)], 0).unwrap();
+        let other = TaskGraph::from_shape(&shape);
+        assert!(!arena.matches(&other));
+        arena.reset(&other, &pots, &EvidenceSet::new());
     }
 
     #[test]

@@ -40,7 +40,10 @@ struct LocalList {
     idle: AtomicBool,
 }
 
-struct Shared<'g> {
+/// Everything one scheduler **job** shares between workers. Built per
+/// propagation by [`run_collaborative`] or [`crate::CollabPool::run`];
+/// the pool hands workers a raw pointer to this for the job's duration.
+pub(crate) struct Shared<'g> {
     graph: &'g TaskGraph,
     arena: &'g TableArena,
     cfg: &'g SchedulerConfig,
@@ -52,6 +55,61 @@ struct Shared<'g> {
     remaining: AtomicUsize,
     partitioned: AtomicUsize,
     subtasks: AtomicUsize,
+}
+
+impl<'g> Shared<'g> {
+    /// Prepares a job for `p` workers: dependency counters, one local
+    /// ready list per worker, and the initially-ready tasks distributed
+    /// round-robin (Line 1 of Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph and arena disagree on buffer count.
+    pub(crate) fn prepare(
+        graph: &'g TaskGraph,
+        arena: &'g TableArena,
+        cfg: &'g SchedulerConfig,
+        p: usize,
+    ) -> Self {
+        assert_eq!(
+            graph.buffers().len(),
+            arena.len(),
+            "arena was not initialized for this graph"
+        );
+        let shared = Shared {
+            graph,
+            arena,
+            cfg,
+            deps: (0..graph.num_tasks())
+                .map(|t| AtomicU32::new(graph.dependency_degree(TaskId(t))))
+                .collect(),
+            lls: (0..p)
+                .map(|_| LocalList {
+                    queue: Mutex::new(VecDeque::new()),
+                    weight: AtomicU64::new(0),
+                    idle: AtomicBool::new(false),
+                })
+                .collect(),
+            records: Mutex::new(Vec::new()),
+            remaining: AtomicUsize::new(graph.num_tasks()),
+            partitioned: AtomicUsize::new(0),
+            subtasks: AtomicUsize::new(0),
+        };
+        for (i, t) in graph.initial_ready().into_iter().enumerate() {
+            let w = graph.task(t).weight;
+            let ll = &shared.lls[i % p];
+            ll.queue.lock().push_back(Exec::Static(t));
+            ll.weight.fetch_add(w, Ordering::Relaxed);
+        }
+        shared
+    }
+
+    /// Folds the job-wide counters into `report` after all workers
+    /// finished.
+    pub(crate) fn finish_into(&self, report: &mut RunReport) {
+        report.partitioned_tasks = self.partitioned.load(Ordering::Relaxed);
+        report.subtasks_spawned = self.subtasks.load(Ordering::Relaxed);
+    }
 }
 
 /// Runs two-phase evidence propagation: every task of `graph` executes
@@ -80,72 +138,22 @@ struct Shared<'g> {
 /// # Panics
 ///
 /// Panics if the graph and arena disagree on buffer count.
+///
+/// This is the *spawn-per-query* path: it builds a one-shot
+/// [`crate::CollabPool`], runs the single job, and tears the pool down —
+/// paying `cfg.num_threads` thread spawns and joins per call. Services
+/// answering many queries should hold a [`crate::CollabPool`] and call
+/// [`crate::CollabPool::run`] directly to amortize that cost.
 pub fn run_collaborative(
     graph: &TaskGraph,
     arena: &TableArena,
     cfg: &SchedulerConfig,
 ) -> RunReport {
-    assert_eq!(
-        graph.buffers().len(),
-        arena.len(),
-        "arena was not initialized for this graph"
-    );
-    let p = cfg.num_threads.max(1);
-    let mut report = RunReport {
-        threads: vec![ThreadStats::default(); p],
-        ..Default::default()
-    };
-    if graph.num_tasks() == 0 {
-        return report;
-    }
-
-    let shared = Shared {
-        graph,
-        arena,
-        cfg,
-        deps: (0..graph.num_tasks())
-            .map(|t| AtomicU32::new(graph.dependency_degree(TaskId(t))))
-            .collect(),
-        lls: (0..p)
-            .map(|_| LocalList {
-                queue: Mutex::new(VecDeque::new()),
-                weight: AtomicU64::new(0),
-                idle: AtomicBool::new(false),
-            })
-            .collect(),
-        records: Mutex::new(Vec::new()),
-        remaining: AtomicUsize::new(graph.num_tasks()),
-        partitioned: AtomicUsize::new(0),
-        subtasks: AtomicUsize::new(0),
-    };
-
-    // Line 1 of Algorithm 2: evenly distribute the initially-ready tasks.
-    for (i, t) in graph.initial_ready().into_iter().enumerate() {
-        let w = graph.task(t).weight;
-        let ll = &shared.lls[i % p];
-        ll.queue.lock().push_back(Exec::Static(t));
-        ll.weight.fetch_add(w, Ordering::Relaxed);
-    }
-
-    let wall_start = Instant::now();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for i in 0..p {
-            let sh = &shared;
-            handles.push(scope.spawn(move || worker(sh, i)));
-        }
-        for (i, h) in handles.into_iter().enumerate() {
-            report.threads[i] = h.join().expect("worker threads do not panic");
-        }
-    });
-    report.wall = wall_start.elapsed();
-    report.partitioned_tasks = shared.partitioned.load(Ordering::Relaxed);
-    report.subtasks_spawned = shared.subtasks.load(Ordering::Relaxed);
-    report
+    crate::CollabPool::new(cfg.num_threads).run(graph, arena, cfg)
 }
 
 /// The per-thread loop: Fetch → (Partition) → Execute → Allocate.
-fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
+pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
     let start = Instant::now();
     let mut stats = ThreadStats::default();
     let backoff = Backoff::new();
@@ -167,11 +175,14 @@ fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
             None => {
                 if let Some(e) = sh.cfg.work_stealing.then(|| steal(sh, id)).flatten() {
                     sh.lls[id].idle.store(false, Ordering::Relaxed);
+                    stats.steals += 1;
                     backoff.reset();
                     e
                 } else {
                     sh.lls[id].idle.store(true, Ordering::Relaxed);
+                    let spin_start = Instant::now();
                     backoff.snooze();
+                    stats.idle_spin += spin_start.elapsed();
                     continue;
                 }
             }
@@ -207,7 +218,8 @@ fn exec_weight(sh: &Shared<'_>, e: Exec) -> u64 {
 
 /// Allocate module: give a ready task to the thread with the smallest
 /// weight counter (`arg min_t W_t`, Line 7 of Algorithm 2).
-fn allocate(sh: &Shared<'_>, e: Exec, w: u64) {
+fn allocate(sh: &Shared<'_>, e: Exec, w: u64, stats: &mut ThreadStats) {
+    stats.allocations += 1;
     let j = (0..sh.lls.len())
         .min_by_key(|&j| {
             (
@@ -253,6 +265,7 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                             sh,
                             Exec::Part { rec, part },
                             record.ranges[part].len() as u64,
+                            stats,
                         );
                     }
                     // first subtask runs here, now
@@ -264,7 +277,7 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                     // access to its destination buffer (TaskGraph::validate).
                     unsafe { exec_full(&task.kind, sh.arena) };
                     record_exec(stats, t0, task.weight);
-                    complete_static(sh, t);
+                    complete_static(sh, t, stats);
                 }
             }
         }
@@ -308,13 +321,15 @@ fn run_part(
                     s.max_marginalize_range_into(range, d)
                         .expect("separator domain nests in clique domain");
                     for p in record.partials.lock().drain(..) {
-                        d.max_assign(&p).expect("partials share the separator domain");
+                        d.max_assign(&p)
+                            .expect("partials share the separator domain");
                     }
                 } else {
                     s.marginalize_range_into(range, d)
                         .expect("separator domain nests in clique domain");
                     for p in record.partials.lock().drain(..) {
-                        d.add_assign(&p).expect("partials share the separator domain");
+                        d.add_assign(&p)
+                            .expect("partials share the separator domain");
                     }
                 }
             } else {
@@ -322,6 +337,7 @@ fn run_part(
                 // SAFETY: concurrent subtasks only read src.
                 let s = unsafe { sh.arena.get(src) };
                 let spec = &sh.graph.buffers()[dst.index()];
+                stats.tables_allocated += 1;
                 let mut partial = PotentialTable::zeros(spec.domain.clone());
                 if max {
                     s.max_marginalize_range_into(range, &mut partial)
@@ -360,23 +376,24 @@ fn run_part(
     record_exec(stats, t0, range.len() as u64);
 
     if is_final {
-        complete_static(sh, record.task);
+        complete_static(sh, record.task, stats);
     } else if record.final_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
         // combiner becomes ready
         allocate(
             sh,
             Exec::Part { rec, part: n - 1 },
             record.ranges[n - 1].len() as u64,
+            stats,
         );
     }
 }
 
 /// A static task is semantically done: decrease successors' dependency
 /// degrees (allocating any that reach zero) and the remaining counter.
-fn complete_static(sh: &Shared<'_>, t: TaskId) {
+fn complete_static(sh: &Shared<'_>, t: TaskId, stats: &mut ThreadStats) {
     for &s in sh.graph.successors(t) {
         if sh.deps[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
-            allocate(sh, Exec::Static(s), sh.graph.task(s).weight);
+            allocate(sh, Exec::Static(s), sh.graph.task(s).weight, stats);
         }
     }
     sh.remaining.fetch_sub(1, Ordering::AcqRel);
@@ -544,10 +561,8 @@ mod tests {
         // star-ish tree: many leaves → concurrent chains
         use evprop_potential::{Domain, VarId, Variable};
         let k = 8usize;
-        let mut domains = vec![Domain::new(
-            (0..k as u32).map(|i| Variable::binary(VarId(i))).collect(),
-        )
-        .unwrap()];
+        let mut domains =
+            vec![Domain::new((0..k as u32).map(|i| Variable::binary(VarId(i))).collect()).unwrap()];
         for i in 0..k as u32 {
             domains.push(Domain::new(vec![Variable::binary(VarId(i))]).unwrap());
         }

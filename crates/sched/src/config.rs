@@ -49,9 +49,7 @@ impl SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig::with_threads(
-            std::thread::available_parallelism().map_or(1, |n| n.get()),
-        )
+        SchedulerConfig::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 }
 

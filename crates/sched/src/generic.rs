@@ -181,9 +181,7 @@ impl<'scope> DagBuilder<'scope> {
                         let mine = lls[id].queue.lock().pop_front();
                         let t = match mine {
                             Some(t) => {
-                                lls[id]
-                                    .weight
-                                    .fetch_sub(nodes[t].weight, Ordering::Relaxed);
+                                lls[id].weight.fetch_sub(nodes[t].weight, Ordering::Relaxed);
                                 lls[id].idle.store(false, Ordering::Relaxed);
                                 backoff.reset();
                                 t
@@ -191,9 +189,10 @@ impl<'scope> DagBuilder<'scope> {
                             None => {
                                 let stolen = stealing
                                     .then(|| {
-                                        let victim = (0..p).filter(|&j| j != id).max_by_key(
-                                            |&j| lls[j].weight.load(Ordering::Relaxed),
-                                        )?;
+                                        let victim =
+                                            (0..p).filter(|&j| j != id).max_by_key(|&j| {
+                                                lls[j].weight.load(Ordering::Relaxed)
+                                            })?;
                                         let t = lls[victim].queue.lock().pop_back()?;
                                         lls[victim]
                                             .weight

@@ -31,10 +31,12 @@ mod arena;
 mod collab;
 mod config;
 mod generic;
+mod pool;
 mod stats;
 
 pub use arena::TableArena;
 pub use collab::run_collaborative;
 pub use config::SchedulerConfig;
 pub use generic::{DagBuilder, DagTaskId};
+pub use pool::CollabPool;
 pub use stats::{RunReport, ThreadStats};

@@ -1,0 +1,322 @@
+//! Persistent worker pool: spawn threads once, run many jobs.
+//!
+//! [`run_collaborative`](crate::run_collaborative) spawns and joins
+//! `num_threads` OS threads for every propagation. That is fine for a
+//! one-off calibration but dominates latency when a service answers a
+//! stream of queries over one compiled junction tree. [`CollabPool`]
+//! keeps the workers alive between jobs: they park on a condvar, a job
+//! submission bumps an epoch and wakes them, and the submitter blocks
+//! until every worker has checked back in — the compile-once,
+//! serve-many half of the scheduler.
+//!
+//! # Safety model
+//!
+//! [`CollabPool::run`] borrows a [`Shared`] job descriptor on its own
+//! stack and hands workers a lifetime-erased pointer to it (a `usize`
+//! in the job slot). This is the classic scoped-thread pattern routed
+//! through a pool instead of `std::thread::scope`:
+//!
+//! * `run` does not return until every worker has decremented the
+//!   job's `active` count under the slot mutex, so the `Shared` (and
+//!   the `&TaskGraph`/`&TableArena`/`&SchedulerConfig` inside it)
+//!   strictly outlives all worker access.
+//! * Workers read the pointer only between observing the new epoch and
+//!   decrementing `active`, both under the same mutex, so the
+//!   mutex/condvar handshake carries the happens-before edges in both
+//!   directions (job visible to workers; results visible to the
+//!   submitter).
+//! * An internal submission lock serializes concurrent `run` calls, so
+//!   at most one job's pointer is ever live in the slot.
+
+use crate::collab::{worker, Shared};
+use crate::{RunReport, SchedulerConfig, TableArena, ThreadStats};
+use evprop_taskgraph::TaskGraph;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The job slot workers and submitter rendezvous over.
+struct Slot {
+    /// Bumped once per submitted job; workers use it to detect fresh
+    /// work after spurious wakeups.
+    epoch: u64,
+    /// Lifetime-erased `*const Shared<'_>` of the current job, if one
+    /// is running.
+    job: Option<usize>,
+    /// Workers still executing the current job.
+    active: usize,
+    /// Per-worker statistics for the current job.
+    results: Vec<ThreadStats>,
+    shutdown: bool,
+}
+
+struct Inner {
+    slot: Mutex<Slot>,
+    /// Workers wait here for the next epoch.
+    job_cv: Condvar,
+    /// The submitter waits here for `active == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of collaborative-scheduler workers.
+///
+/// Construct once, then call [`run`](Self::run) per propagation; the
+/// pool's thread count (not `cfg.num_threads`) decides the worker
+/// count of every job. Dropping the pool shuts the workers down and
+/// joins them.
+///
+/// ```
+/// use evprop_bayesnet::networks;
+/// use evprop_jtree::JunctionTree;
+/// use evprop_potential::EvidenceSet;
+/// use evprop_sched::{CollabPool, SchedulerConfig, TableArena};
+/// use evprop_taskgraph::TaskGraph;
+///
+/// let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+/// let graph = TaskGraph::from_shape(jt.shape());
+/// let pool = CollabPool::new(2);
+/// let cfg = SchedulerConfig::with_threads(2);
+/// for _ in 0..3 {
+///     let arena = TableArena::initialize(&graph, jt.potentials(), &EvidenceSet::new());
+///     let report = pool.run(&graph, &arena, &cfg);
+///     assert_eq!(report.threads.len(), 2);
+/// }
+/// ```
+pub struct CollabPool {
+    inner: Arc<Inner>,
+    /// Serializes `run` calls: only one job may occupy the slot.
+    submit: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl CollabPool {
+    /// Spawns `num_threads` (at least 1) parked workers.
+    pub fn new(num_threads: usize) -> Self {
+        let p = num_threads.max(1);
+        let inner = Arc::new(Inner {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                active: 0,
+                results: vec![ThreadStats::default(); p],
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..p)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("evprop-worker-{id}"))
+                    .spawn(move || worker_loop(&inner, id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        CollabPool {
+            inner,
+            submit: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Number of worker threads (every job runs on exactly this many).
+    pub fn num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one propagation job on the resident workers and blocks
+    /// until it completes. Semantics match
+    /// [`run_collaborative`](crate::run_collaborative), except the
+    /// worker count is the pool's, and `report.wall` excludes thread
+    /// spawn (there is none).
+    ///
+    /// Concurrent calls from different threads are serialized
+    /// internally; jobs never interleave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph and arena disagree on buffer count.
+    pub fn run(&self, graph: &TaskGraph, arena: &TableArena, cfg: &SchedulerConfig) -> RunReport {
+        let p = self.num_threads();
+        let mut report = RunReport {
+            threads: vec![ThreadStats::default(); p],
+            ..Default::default()
+        };
+        assert_eq!(
+            graph.buffers().len(),
+            arena.len(),
+            "arena was not initialized for this graph"
+        );
+        if graph.num_tasks() == 0 {
+            return report;
+        }
+
+        let _submission = self.submit.lock();
+        let shared = Shared::prepare(graph, arena, cfg, p);
+
+        let wall_start = Instant::now();
+        {
+            let mut slot = self.inner.slot.lock();
+            slot.job = Some(&shared as *const Shared<'_> as usize);
+            slot.active = p;
+            slot.epoch += 1;
+            self.inner.job_cv.notify_all();
+            while slot.active > 0 {
+                self.inner.done_cv.wait(&mut slot);
+            }
+            slot.job = None;
+            report.threads.clone_from_slice(&slot.results);
+        }
+        report.wall = wall_start.elapsed();
+        shared.finish_into(&mut report);
+        report
+    }
+}
+
+impl std::fmt::Debug for CollabPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollabPool")
+            .field("num_threads", &self.num_threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for CollabPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.inner.slot.lock();
+            slot.shutdown = true;
+            self.inner.job_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What a resident worker does for its whole life: park, wake on a new
+/// epoch, run the job, report back, park again.
+fn worker_loop(inner: &Inner, id: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = inner.slot.lock();
+            while !slot.shutdown && slot.epoch == seen_epoch {
+                inner.job_cv.wait(&mut slot);
+            }
+            if slot.shutdown {
+                return;
+            }
+            seen_epoch = slot.epoch;
+            slot.job.expect("a fresh epoch always carries a job")
+        };
+
+        // SAFETY: `run` blocks until this worker decrements `active`
+        // below, so the `Shared` behind the pointer is alive for the
+        // whole dereference; the slot mutex ordered its construction
+        // before our read. The erased lifetime never escapes this
+        // scope.
+        let stats = {
+            let sh = unsafe { &*(job as *const Shared<'_>) };
+            worker(sh, id)
+        };
+
+        let mut slot = inner.slot.lock();
+        slot.results[id] = stats;
+        slot.active -= 1;
+        if slot.active == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks;
+    use evprop_jtree::JunctionTree;
+    use evprop_potential::EvidenceSet;
+
+    fn asia_graph() -> (TaskGraph, Vec<evprop_potential::PotentialTable>) {
+        let jt = JunctionTree::from_network(&networks::asia()).unwrap();
+        let g = TaskGraph::from_shape(jt.shape());
+        (g, jt.potentials().to_vec())
+    }
+
+    #[test]
+    fn pool_runs_many_jobs_on_same_workers() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(3);
+        let cfg = SchedulerConfig::with_threads(3);
+        let mut reference: Option<Vec<evprop_potential::PotentialTable>> = None;
+        for _ in 0..5 {
+            let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+            let report = pool.run(&g, &arena, &cfg);
+            assert_eq!(report.threads.len(), 3);
+            let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+            assert!(executed >= g.num_tasks());
+            let tables = arena.into_tables();
+            match &reference {
+                None => reference = Some(tables),
+                Some(r) => {
+                    for (a, b) in r.iter().zip(&tables) {
+                        assert!(a.approx_eq(b, 1e-12));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_thread_count_wins_over_cfg() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        // cfg asks for 8; the pool only has (and reports) 2.
+        let cfg = SchedulerConfig::with_threads(8);
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let report = pool.run(&g, &arena, &cfg);
+        assert_eq!(report.threads.len(), 2);
+    }
+
+    #[test]
+    fn pool_handles_empty_graph() {
+        let d = evprop_potential::Domain::new(vec![evprop_potential::Variable::binary(
+            evprop_potential::VarId(0),
+        )])
+        .unwrap();
+        let shape = evprop_jtree::TreeShape::new(vec![d.clone()], &[], 0).unwrap();
+        let jt = JunctionTree::from_parts(shape, vec![evprop_potential::PotentialTable::ones(d)])
+            .unwrap();
+        let g = TaskGraph::from_shape(jt.shape());
+        let arena = TableArena::initialize(&g, jt.potentials(), &EvidenceSet::new());
+        let pool = CollabPool::new(4);
+        let report = pool.run(&g, &arena, &SchedulerConfig::with_threads(4));
+        assert!(report.threads.iter().all(|t| t.tasks_executed == 0));
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        // &CollabPool is Sync: submissions from several threads serialize.
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        let cfg = SchedulerConfig::with_threads(2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+                    let report = pool.run(&g, &arena, &cfg);
+                    let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+                    assert!(executed >= g.num_tasks());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = CollabPool::new(2);
+        drop(pool); // must not hang
+    }
+}

@@ -11,10 +11,24 @@ pub struct ThreadStats {
     /// Time spent in the scheduler itself: fetching, allocating,
     /// partitioning, waiting.
     pub overhead: Duration,
+    /// The part of `overhead` spent spinning with an empty ready list
+    /// (and, with stealing on, nothing to steal) — the cost a persistent
+    /// pool must keep low between a job's dependency waves.
+    pub idle_spin: Duration,
     /// Number of (sub)tasks executed.
     pub tasks_executed: usize,
     /// Total weight (table entries processed) executed.
     pub weight_executed: u64,
+    /// Tasks this thread obtained by stealing from a victim's list.
+    pub steals: u64,
+    /// Ready (sub)tasks this thread handed to a local list (the
+    /// Allocate module ran here).
+    pub allocations: u64,
+    /// Fresh `PotentialTable`s this thread allocated during execution
+    /// (partial tables of partitioned marginalizations) — `0` on the
+    /// steady-state pooled path for unpartitioned runs, and the metric
+    /// the arena-reuse work drives down.
+    pub tables_allocated: u64,
 }
 
 impl ThreadStats {
@@ -29,12 +43,14 @@ impl ThreadStats {
     }
 }
 
-/// Outcome of one scheduler run.
+/// Outcome of one scheduler run (one **job** on a pool).
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
     /// Per-thread statistics, indexed by worker id.
     pub threads: Vec<ThreadStats>,
-    /// Wall-clock time of the parallel section.
+    /// Wall-clock time of the parallel section: for a pooled run this is
+    /// the per-job wall time (handoff to last worker done), excluding
+    /// thread spawn — which a one-shot run pays inside this figure.
     pub wall: Duration,
     /// How many tasks the Partition module split.
     pub partitioned_tasks: usize,
@@ -43,6 +59,27 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Total successful steals across threads.
+    pub fn total_steals(&self) -> u64 {
+        self.threads.iter().map(|t| t.steals).sum()
+    }
+
+    /// Total Allocate-module placements across threads.
+    pub fn total_allocations(&self) -> u64 {
+        self.threads.iter().map(|t| t.allocations).sum()
+    }
+
+    /// Total fresh tables allocated during execution across threads.
+    pub fn total_tables_allocated(&self) -> u64 {
+        self.threads.iter().map(|t| t.tables_allocated).sum()
+    }
+
+    /// Total time threads spent spinning idle (see
+    /// [`ThreadStats::idle_spin`]).
+    pub fn total_idle_spin(&self) -> Duration {
+        self.threads.iter().map(|t| t.idle_spin).sum()
+    }
+
     /// Load imbalance: max over threads of `weight_executed` divided by
     /// the mean (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {

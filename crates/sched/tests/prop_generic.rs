@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// depends on (kept sparse).
 fn arb_dag() -> impl Strategy<Value = Vec<Vec<usize>>> {
     (1usize..60).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::vec(0usize..usize::MAX, 0..4), n)
-            .prop_map(|raw| {
+        proptest::collection::vec(proptest::collection::vec(0usize..usize::MAX, 0..4), n).prop_map(
+            |raw| {
                 raw.into_iter()
                     .enumerate()
                     .map(|(i, deps)| {
@@ -22,7 +22,8 @@ fn arb_dag() -> impl Strategy<Value = Vec<Vec<usize>>> {
                         d
                     })
                     .collect()
-            })
+            },
+        )
     })
 }
 

@@ -57,7 +57,11 @@ pub fn render_gantt(trace: &[TraceEvent], cores: usize, width: usize) -> String 
             .collect();
         let _ = writeln!(out, "core {c:>2} |{row}|");
     }
-    let _ = writeln!(out, "         0{}{makespan} units", " ".repeat(width.saturating_sub(1)));
+    let _ = writeln!(
+        out,
+        "         0{}{makespan} units",
+        " ".repeat(width.saturating_sub(1))
+    );
     out
 }
 

@@ -53,8 +53,8 @@ mod report;
 mod serial_policies;
 
 pub use collab_sim::{simulate_collaborative_traced, TraceEvent};
-pub use gantt::render_gantt;
 pub use cost::CostModel;
+pub use gantt::render_gantt;
 pub use report::{CoreStats, SimReport};
 
 use evprop_taskgraph::TaskGraph;

@@ -215,8 +215,11 @@ impl TaskGraph {
 
         // ---------------- distribute phase (preorder) ----------------
         let mut mul_down_of: Vec<Option<TaskId>> = vec![None; n];
-        let distribute_cliques: &[evprop_jtree::CliqueId] =
-            if include_distribute { shape.preorder() } else { &[] };
+        let distribute_cliques: &[evprop_jtree::CliqueId] = if include_distribute {
+            shape.preorder()
+        } else {
+            &[]
+        };
         for &c in distribute_cliques.iter() {
             let Some(p) = shape.parent(c) else { continue };
             let eb = edge_bufs[c.index()].expect("non-root cliques have edge buffers");
@@ -337,10 +340,8 @@ mod tests {
 
     fn star(k: usize) -> TreeShape {
         // center {0..k}, leaf i = {i}
-        let mut domains = vec![Domain::new(
-            (0..k as u32).map(|i| Variable::binary(VarId(i))).collect(),
-        )
-        .unwrap()];
+        let mut domains =
+            vec![Domain::new((0..k as u32).map(|i| Variable::binary(VarId(i))).collect()).unwrap()];
         for i in 0..k as u32 {
             domains.push(dom(&[i]));
         }

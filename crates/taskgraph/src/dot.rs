@@ -13,13 +13,22 @@ impl TaskGraph {
     /// dot -Tsvg graph.dot -o graph.svg
     /// ```
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph tasks {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
         for phase in [Phase::Collect, Phase::Distribute] {
             let _ = writeln!(
                 out,
                 "  subgraph cluster_{} {{\n    label=\"{}\";",
-                if phase == Phase::Collect { "collect" } else { "distribute" },
-                if phase == Phase::Collect { "collect (leaves to root)" } else { "distribute (root to leaves)" },
+                if phase == Phase::Collect {
+                    "collect"
+                } else {
+                    "distribute"
+                },
+                if phase == Phase::Collect {
+                    "collect (leaves to root)"
+                } else {
+                    "distribute (root to leaves)"
+                },
             );
             for (i, t) in self.tasks.iter().enumerate() {
                 if t.phase == phase {
@@ -53,10 +62,8 @@ mod tests {
 
     #[test]
     fn dot_contains_every_task_and_edge() {
-        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))])
-            .unwrap();
-        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))])
-            .unwrap();
+        let d0 = Domain::new(vec![Variable::binary(VarId(0)), Variable::binary(VarId(1))]).unwrap();
+        let d1 = Domain::new(vec![Variable::binary(VarId(1)), Variable::binary(VarId(2))]).unwrap();
         let shape = TreeShape::new(vec![d0, d1], &[(0, 1)], 0).unwrap();
         let g = TaskGraph::from_shape(&shape);
         let dot = g.to_dot();

@@ -56,12 +56,10 @@ pub fn execute_full(kind: &TaskKind, arena: &mut [PotentialTable]) {
             d.fill(0.0);
             let range = EntryRange::full(s[0].len());
             if max {
-                s[0]
-                    .max_marginalize_range_into(range, d)
+                s[0].max_marginalize_range_into(range, d)
                     .expect("separator domain nests in clique domain");
             } else {
-                s[0]
-                    .marginalize_range_into(range, d)
+                s[0].marginalize_range_into(range, d)
                     .expect("separator domain nests in clique domain");
             }
         }
@@ -72,13 +70,13 @@ pub fn execute_full(kind: &TaskKind, arena: &mut [PotentialTable]) {
         }
         TaskKind::Extend { src, dst } => {
             let (d, s) = write_and_read(arena, dst.index(), &[src.index()]);
-            s[0]
-                .extend_range_into(EntryRange::full(d.len()), d)
+            s[0].extend_range_into(EntryRange::full(d.len()), d)
                 .expect("separator domain nests in clique domain");
         }
         TaskKind::Multiply { src, dst } => {
             let (d, s) = write_and_read(arena, dst.index(), &[src.index()]);
-            d.multiply_assign(s[0]).expect("extended ratio matches clique domain");
+            d.multiply_assign(s[0])
+                .expect("extended ratio matches clique domain");
         }
     }
 }
@@ -101,12 +99,12 @@ pub fn execute_range(kind: &TaskKind, range: EntryRange, arena: &mut [PotentialT
             let (d, s) = write_and_read(arena, dst.index(), &[num.index(), den.index()]);
             d.data_mut()[range.start..range.end]
                 .copy_from_slice(&s[0].data()[range.start..range.end]);
-            d.divide_assign_range(range, s[1]).expect("separator domains agree");
+            d.divide_assign_range(range, s[1])
+                .expect("separator domains agree");
         }
         TaskKind::Extend { src, dst } => {
             let (d, s) = write_and_read(arena, dst.index(), &[src.index()]);
-            s[0]
-                .extend_range_into(range, d)
+            s[0].extend_range_into(range, d)
                 .expect("separator domain nests in clique domain");
         }
         TaskKind::Multiply { src, dst } => {

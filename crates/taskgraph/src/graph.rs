@@ -255,6 +255,22 @@ impl TaskGraph {
         self.clique_buffers[c.index()]
     }
 
+    /// The first **clique-initialized** buffer whose domain contains
+    /// `var`, or `None` when no clique covers it. Engines use this to
+    /// route evidence: hard evidence must land in at least one clique,
+    /// and each soft likelihood is multiplied into exactly the clique
+    /// returned here (applying it to more than one would double-count
+    /// the observation).
+    pub fn clique_buffer_containing(&self, var: evprop_potential::VarId) -> Option<BufferId> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .find(|(_, spec)| {
+                matches!(spec.init, BufferInit::CliquePotential(_)) && spec.domain.contains(var)
+            })
+            .map(|(i, _)| BufferId(i))
+    }
+
     /// Tasks with dependency degree zero — schedulable immediately.
     pub fn initial_ready(&self) -> Vec<TaskId> {
         (0..self.num_tasks())
@@ -271,7 +287,9 @@ impl TaskGraph {
     /// Weight of the heaviest dependency chain — the critical work
     /// `T_∞`; `W / T_∞` bounds achievable speedup.
     pub fn critical_path_weight(&self) -> u64 {
-        let order = self.topological_order().expect("graphs built here are acyclic");
+        let order = self
+            .topological_order()
+            .expect("graphs built here are acyclic");
         let mut longest = vec![0u64; self.num_tasks()];
         let mut best = 0;
         for &t in &order {
@@ -340,7 +358,10 @@ impl TaskGraph {
                         dst: shift_buf(dst),
                     },
                 };
-                tasks.push(Task { kind, ..task.clone() });
+                tasks.push(Task {
+                    kind,
+                    ..task.clone()
+                });
             }
             for s in &self.succ {
                 succ.push(s.iter().map(|x| TaskId(x.index() + copy * t)).collect());
@@ -384,7 +405,9 @@ impl TaskGraph {
     /// Levels for level-synchronous (OpenMP-style) execution: task `t` is
     /// in level `1 + max(level of predecessors)`.
     pub fn levels(&self) -> Vec<Vec<TaskId>> {
-        let order = self.topological_order().expect("graphs built here are acyclic");
+        let order = self
+            .topological_order()
+            .expect("graphs built here are acyclic");
         let mut level = vec![0usize; self.num_tasks()];
         let mut max_level = 0;
         for &t in &order {

@@ -86,8 +86,8 @@ pub fn random_tree(params: &TreeParams) -> TreeShape {
         vars
     };
 
-    let mut domains = vec![Domain::new(fresh(params.width, params.states))
-        .expect("fresh ids are distinct")];
+    let mut domains =
+        vec![Domain::new(fresh(params.width, params.states)).expect("fresh ids are distinct")];
     let mut edges = Vec::with_capacity(params.num_cliques - 1);
 
     // breadth-first frontier of cliques that may still receive children
@@ -137,8 +137,7 @@ pub fn materialize(shape: &TreeShape, seed: u64) -> JunctionTree {
             PotentialTable::from_data(d.clone(), data).expect("length matches domain")
         })
         .collect();
-    JunctionTree::from_parts(shape.clone(), potentials)
-        .expect("shape and potentials share domains")
+    JunctionTree::from_parts(shape.clone(), potentials).expect("shape and potentials share domains")
 }
 
 #[cfg(test)]
@@ -174,10 +173,10 @@ mod tests {
             assert_eq!(a.parent(c), b.parent(c));
         }
         let c = random_tree(&TreeParams::new(40, 5, 2, 3).with_seed(12));
-        let same_structure =
-            (0..40).all(|i| a.parent(evprop_jtree::CliqueId(i)) == c.parent(evprop_jtree::CliqueId(i)));
-        let same_domains =
-            (0..40).all(|i| a.domain(evprop_jtree::CliqueId(i)) == c.domain(evprop_jtree::CliqueId(i)));
+        let same_structure = (0..40)
+            .all(|i| a.parent(evprop_jtree::CliqueId(i)) == c.parent(evprop_jtree::CliqueId(i)));
+        let same_domains = (0..40)
+            .all(|i| a.domain(evprop_jtree::CliqueId(i)) == c.domain(evprop_jtree::CliqueId(i)));
         assert!(!(same_structure && same_domains), "seeds should differ");
     }
 

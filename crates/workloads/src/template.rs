@@ -75,8 +75,7 @@ pub fn fig4_template(b: usize, n_cliques: usize, width: usize) -> TreeShape {
         }
     }
 
-    let shape =
-        TreeShape::new(domains, &edges, root).expect("template construction yields a tree");
+    let shape = TreeShape::new(domains, &edges, root).expect("template construction yields a tree");
     debug_assert!(shape.validate().is_ok());
     shape
 }
@@ -132,11 +131,7 @@ mod tests {
             let mut prev = hub;
             let mut cur = head;
             loop {
-                let next = shape
-                    .neighbors(cur)
-                    .iter()
-                    .copied()
-                    .find(|&x| x != prev);
+                let next = shape.neighbors(cur).iter().copied().find(|&x| x != prev);
                 match next {
                     Some(n) => {
                         prev = cur;

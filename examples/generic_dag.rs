@@ -72,7 +72,11 @@ fn main() {
             seq[i * N + j] = up.min(left) + cost + 1;
         }
     }
-    assert_eq!(answer, seq[N * N - 1], "parallel result must match sequential");
+    assert_eq!(
+        answer,
+        seq[N * N - 1],
+        "parallel result must match sequential"
+    );
     println!("matches the sequential recurrence");
 
     for (t, stats) in report.threads.iter().enumerate() {
@@ -81,5 +85,9 @@ fn main() {
             stats.tasks_executed, stats.weight_executed
         );
     }
-    println!("wall: {:?}, load imbalance {:.3}", report.wall, report.imbalance());
+    println!(
+        "wall: {:?}, load imbalance {:.3}",
+        report.wall,
+        report.imbalance()
+    );
 }

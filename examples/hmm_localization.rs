@@ -32,7 +32,9 @@ fn main() -> Result<(), EngineError> {
     let hmm = HiddenMarkovModel::new(pi, a, b);
 
     // The robot actually sweeps right; sensors are noisy around that.
-    let readings: Vec<usize> = (0..STEPS).map(|t| (t + usize::from(t % 4 == 2)) % CELLS).collect();
+    let readings: Vec<usize> = (0..STEPS)
+        .map(|t| (t + usize::from(t % 4 == 2)) % CELLS)
+        .collect();
     println!("sensor readings: {readings:?}");
 
     // junction-tree smoothing over the unrolled 2·T-variable network
@@ -51,12 +53,16 @@ fn main() -> Result<(), EngineError> {
     #[allow(clippy::needless_range_loop)]
     for t in 0..STEPS {
         let m = calibrated.marginal(HiddenMarkovModel::hidden_var(t))?;
-        let jt_best = (0..CELLS).max_by(|&x, &y| m.data()[x].total_cmp(&m.data()[y])).expect("nonempty");
+        let jt_best = (0..CELLS)
+            .max_by(|&x, &y| m.data()[x].total_cmp(&m.data()[y]))
+            .expect("nonempty");
         let fb_best = (0..CELLS)
             .max_by(|&x, &y| gamma[t][x].total_cmp(&gamma[t][y]))
             .expect("nonempty");
         assert_eq!(jt_best, fb_best);
-        let bar: String = (0..(m.data()[jt_best] * 30.0) as usize).map(|_| '#').collect();
+        let bar: String = (0..(m.data()[jt_best] * 30.0) as usize)
+            .map(|_| '#')
+            .collect();
         println!(
             "  t={t:>2}: cell {jt_best} ({:.3} | {:.3}) {bar}",
             m.data()[jt_best],

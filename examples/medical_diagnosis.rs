@@ -12,17 +12,28 @@ use evprop::bayesnet::networks::{asia, asia_vars};
 use evprop::core::{CollaborativeEngine, EngineError, InferenceSession};
 use evprop::potential::{EvidenceSet, VarId};
 
-fn report(session: &InferenceSession, engine: &CollaborativeEngine, ev: &EvidenceSet, label: &str) -> Result<(), EngineError> {
+fn report(
+    session: &InferenceSession,
+    engine: &CollaborativeEngine,
+    ev: &EvidenceSet,
+    label: &str,
+) -> Result<(), EngineError> {
     let (_, tub, _, lung, bronc, ..) = asia_vars();
-    let diseases: [(&str, VarId); 3] =
-        [("tuberculosis", tub), ("lung cancer", lung), ("bronchitis", bronc)];
+    let diseases: [(&str, VarId); 3] = [
+        ("tuberculosis", tub),
+        ("lung cancer", lung),
+        ("bronchitis", bronc),
+    ];
     println!("\n== {label} ==");
     let calibrated = session.propagate(engine, ev)?;
     for (name, var) in diseases {
         let m = calibrated.marginal(var)?;
         println!("  P({name:<12} | evidence) = {:.4}", m.data()[1]);
     }
-    println!("  P(evidence) = {:.6}", calibrated.probability_of_evidence());
+    println!(
+        "  P(evidence) = {:.6}",
+        calibrated.probability_of_evidence()
+    );
     Ok(())
 }
 

@@ -33,11 +33,22 @@ fn main() -> Result<(), EngineError> {
     ev.observe(xray, 1);
 
     let mpe = session.most_probable_explanation(&engine, &ev)?;
-    println!("most probable joint explanation (P = {:.3e}):", mpe.probability);
+    println!(
+        "most probable joint explanation (P = {:.3e}):",
+        mpe.probability
+    );
     for (var, name) in names {
         let state = mpe.state_of(var).expect("all variables assigned");
-        let mark = if ev.state_of(var).is_some() { " (observed)" } else { "" };
-        println!("  {name:<14} = {}{}", if state == 1 { "yes" } else { "no" }, mark);
+        let mark = if ev.state_of(var).is_some() {
+            " (observed)"
+        } else {
+            ""
+        };
+        println!(
+            "  {name:<14} = {}{}",
+            if state == 1 { "yes" } else { "no" },
+            mark
+        );
     }
 
     // Contrast with the per-variable posteriors: the MPE is a *joint*

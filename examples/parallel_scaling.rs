@@ -29,7 +29,10 @@ fn main() -> Result<(), EngineError> {
     let session = InferenceSession::from_junction_tree(jt);
     let evidence = EvidenceSet::new();
 
-    println!("\nreal threads on this host ({} hardware cores):", std::thread::available_parallelism().map_or(1, |n| n.get()));
+    println!(
+        "\nreal threads on this host ({} hardware cores):",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     let mut t1 = None;
     for threads in [1usize, 2, 4, 8] {
         let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(threads));

@@ -50,8 +50,7 @@ fn main() -> Result<(), EngineError> {
     evidence.observe(wet, 1);
 
     let sequential = session.posterior(&SequentialEngine, rain, &evidence)?;
-    let parallel =
-        session.posterior(&CollaborativeEngine::with_threads(4), rain, &evidence)?;
+    let parallel = session.posterior(&CollaborativeEngine::with_threads(4), rain, &evidence)?;
 
     println!(
         "P(Rain | WetGrass)   sequential: {:.4}   collaborative(4 threads): {:.4}",

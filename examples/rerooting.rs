@@ -47,7 +47,12 @@ fn main() {
         let g_new = TaskGraph::from_shape(&rerooted);
         print!("    rerooting speedup by cores:");
         for cores in [1usize, 2, 4, 8] {
-            let t_orig = simulate(&g_orig, Policy::collaborative_unpartitioned(), cores, &model);
+            let t_orig = simulate(
+                &g_orig,
+                Policy::collaborative_unpartitioned(),
+                cores,
+                &model,
+            );
             let t_new = simulate(&g_new, Policy::collaborative_unpartitioned(), cores, &model);
             print!(
                 "  P={cores}: {:.2}",

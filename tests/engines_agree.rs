@@ -11,7 +11,10 @@ use evprop::sched::SchedulerConfig;
 use evprop::workloads::{materialize, random_tree, TreeParams};
 
 fn tree(seed: u64, n: usize, w: usize, r: usize, k: usize) -> evprop::jtree::JunctionTree {
-    materialize(&random_tree(&TreeParams::new(n, w, r, k).with_seed(seed)), seed)
+    materialize(
+        &random_tree(&TreeParams::new(n, w, r, k).with_seed(seed)),
+        seed,
+    )
 }
 
 #[test]
@@ -48,7 +51,9 @@ fn stealing_matches_sequential() {
         .propagate(&jt, &EvidenceSet::new())
         .expect("sequential run");
     let engine = CollaborativeEngine::new(
-        SchedulerConfig::with_threads(4).with_delta(128).with_stealing(),
+        SchedulerConfig::with_threads(4)
+            .with_delta(128)
+            .with_stealing(),
     );
     let got = engine.propagate(&jt, &EvidenceSet::new()).expect("run");
     assert!(got.max_relative_divergence(&reference) < 1e-9);
@@ -65,11 +70,17 @@ fn loop_parallel_baselines_match_sequential() {
         let omp = OpenMpStyleEngine::new(threads)
             .propagate(&jt, &ev)
             .expect("openmp run");
-        assert!(omp.max_relative_divergence(&reference) < 1e-9, "omp {threads}");
+        assert!(
+            omp.max_relative_divergence(&reference) < 1e-9,
+            "omp {threads}"
+        );
         let dp = DataParallelEngine::new(threads)
             .propagate(&jt, &ev)
             .expect("dp run");
-        assert!(dp.max_relative_divergence(&reference) < 1e-9, "dp {threads}");
+        assert!(
+            dp.max_relative_divergence(&reference) < 1e-9,
+            "dp {threads}"
+        );
     }
 }
 
@@ -86,7 +97,10 @@ fn evidence_count_does_not_affect_agreement() {
         }
         let reference = SequentialEngine.propagate(&jt, &ev).expect("sequential");
         let got = engine.propagate(&jt, &ev).expect("collaborative");
-        assert!(got.max_relative_divergence(&reference) < 1e-9, "n_ev {n_ev}");
+        assert!(
+            got.max_relative_divergence(&reference) < 1e-9,
+            "n_ev {n_ev}"
+        );
     }
 }
 
@@ -112,7 +126,8 @@ fn max_propagation_engines_agree() {
         .propagate_graph(&jt, &g, &EvidenceSet::new())
         .expect("sequential max run");
     for threads in [2usize, 4] {
-        let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(threads).with_delta(64));
+        let engine =
+            CollaborativeEngine::new(SchedulerConfig::with_threads(threads).with_delta(64));
         let got = engine
             .propagate_graph(&jt, &g, &EvidenceSet::new())
             .expect("collaborative max run");
@@ -161,13 +176,14 @@ fn batched_max_propagation_matches_individual() {
         })
         .collect();
     let engine = CollaborativeEngine::new(SchedulerConfig::with_threads(3).with_delta(16));
-    let batch = engine.propagate_batch(&jt, &g, &evidences).expect("batch runs");
+    let batch = engine
+        .propagate_batch(&jt, &g, &evidences)
+        .expect("batch runs");
     for (i, ev) in evidences.iter().enumerate() {
-        let single = SequentialEngine.propagate_graph(&jt, &g, ev).expect("single");
-        assert!(
-            batch[i].max_relative_divergence(&single) < 1e-9,
-            "case {i}"
-        );
+        let single = SequentialEngine
+            .propagate_graph(&jt, &g, ev)
+            .expect("single");
+        assert!(batch[i].max_relative_divergence(&single) < 1e-9, "case {i}");
     }
 }
 
@@ -186,7 +202,10 @@ fn qmr_network_compiles_and_engines_agree() {
     let mut ev = EvidenceSet::new();
     ev.observe(VarId(15), 1); // a symptom
     let mut reference: Option<Vec<f64>> = None;
-    for h in [EliminationHeuristic::MinFill, EliminationHeuristic::MinDegree] {
+    for h in [
+        EliminationHeuristic::MinFill,
+        EliminationHeuristic::MinDegree,
+    ] {
         let jt = JunctionTree::from_network_with(&net, h).expect("compiles");
         jt.shape().validate().expect("valid tree");
         let cal = SequentialEngine.propagate(&jt, &ev).expect("propagates");

@@ -1,0 +1,125 @@
+//! Property tests for the serving path: a pooled session must behave
+//! like a pure function of (network, query) — no state may leak from
+//! one query into the next through the recycled arenas or the resident
+//! workers.
+
+use evprop::bayesnet::{random_network, RandomNetworkConfig};
+use evprop::core::{InferenceSession, Query, QueryBatch, SequentialEngine};
+use evprop::potential::{EvidenceSet, VarId};
+use evprop::sched::SchedulerConfig;
+use proptest::prelude::*;
+
+/// Deterministically expands draw values into a query sequence over a
+/// network with `n_vars` variables.
+fn make_queries(net: &evprop::bayesnet::BayesianNetwork, draws: &[usize]) -> QueryBatch {
+    let n_vars = net.num_vars();
+    draws
+        .iter()
+        .map(|&d| {
+            let target = VarId((d % n_vars) as u32);
+            let mut ev = EvidenceSet::new();
+            let obs = VarId(((d / 7) % n_vars) as u32);
+            if obs != target && d % 3 != 0 {
+                ev.observe(obs, (d / 11) % net.var(obs).cardinality());
+            }
+            Query::new(target, ev)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same pooled session answering the same randomized query
+    /// sequence twice yields bit-identical posteriors (warm arenas and
+    /// resident workers included), and both passes agree with the
+    /// sequential engine.
+    #[test]
+    fn pooled_serving_is_stateless_across_queries(
+        seed in 0u64..5000,
+        n_vars in 4usize..10,
+        max_parents in 1usize..4,
+        threads in 1usize..4,
+        draws in proptest::collection::vec(0usize..10_000, 3..10),
+    ) {
+        let cfg = RandomNetworkConfig {
+            num_vars: n_vars,
+            max_parents,
+            cardinality: (2, 3),
+            seed,
+        };
+        let net = random_network(&cfg).expect("valid network");
+        let session = InferenceSession::from_network(&net).expect("compiles");
+        // δ-partitioning off: partial-table combination order is the one
+        // nondeterministic float reduction, and bit-identity is the point
+        session.pooled_engine_with(
+            SchedulerConfig::with_threads(threads).without_partitioning(),
+        );
+        let queries = make_queries(&net, &draws);
+
+        let serve = |qs: &QueryBatch| -> Vec<Option<Vec<f64>>> {
+            qs.iter()
+                .map(|q| {
+                    session
+                        .posterior_pooled(q.target, &q.evidence)
+                        .ok()
+                        .map(|t| t.data().to_vec())
+                })
+                .collect()
+        };
+        let first = serve(&queries);
+        let second = serve(&queries);
+        prop_assert_eq!(&first, &second, "state leaked between queries");
+
+        for (q, got) in queries.iter().zip(&first) {
+            let want = session.posterior(&SequentialEngine, q.target, &q.evidence);
+            match (got, want) {
+                (Some(g), Ok(w)) => {
+                    for (a, b) in g.iter().zip(w.data()) {
+                        prop_assert!((a - b).abs() < 1e-9, "diverges from sequential");
+                    }
+                }
+                (None, Err(_)) => {} // both reject (impossible evidence)
+                (g, w) => prop_assert!(
+                    false,
+                    "pooled and sequential disagree on answerability: {:?} vs {:?}",
+                    g.is_some(),
+                    w.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// `posterior_batch` is equivalent to issuing the queries one at a
+    /// time on the same session.
+    #[test]
+    fn batch_equals_individual_queries(
+        seed in 0u64..5000,
+        n_vars in 4usize..8,
+        draws in proptest::collection::vec(0usize..10_000, 2..6),
+    ) {
+        let cfg = RandomNetworkConfig {
+            num_vars: n_vars,
+            max_parents: 2,
+            cardinality: (2, 3),
+            seed,
+        };
+        let net = random_network(&cfg).expect("valid network");
+        let session = InferenceSession::from_network(&net).expect("compiles");
+        session.pooled_engine_with(SchedulerConfig::with_threads(2).without_partitioning());
+        let queries = make_queries(&net, &draws);
+        // keep only answerable queries: the batch API aborts on error
+        let queries: QueryBatch = queries
+            .into_iter()
+            .filter(|q| session.posterior_pooled(q.target, &q.evidence).is_ok())
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let batch = session.posterior_batch(&queries).expect("all answerable");
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let single = session.posterior_pooled(q.target, &q.evidence).unwrap();
+            prop_assert_eq!(got.data(), single.data());
+        }
+    }
+}

@@ -95,7 +95,10 @@ fn fig9_small_table_outlier() {
     let s_small = speedup(&small, Policy::collaborative(), 8, &model);
     let s_large = speedup(&large, Policy::collaborative(), 8, &model);
     assert!(s_large > 7.5, "large {s_large}");
-    assert!(s_small < s_large - 1.0, "small {s_small} vs large {s_large}");
+    assert!(
+        s_small < s_large - 1.0,
+        "small {s_small} vs large {s_large}"
+    );
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The build container has no access to crates.io; the schedulers only
+//! use [`utils::Backoff`], so that is all this crate provides, with the
+//! same spin-then-yield escalation strategy as upstream.
+
+#![warn(missing_docs)]
+
+/// Utilities for concurrent programming.
+pub mod utils {
+    use std::cell::Cell;
+
+    /// Exponential backoff for spin loops: busy-spin with `spin_loop`
+    /// hints while the wait is short, escalate to `yield_now` once it
+    /// is not. Methods take `&self` (interior mutability), matching
+    /// upstream crossbeam.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    /// Spin for `2^step` hint instructions up to this step, …
+    const SPIN_LIMIT: u32 = 6;
+    /// … then yield the thread; `is_completed` turns true here.
+    const YIELD_LIMIT: u32 = 10;
+
+    impl Backoff {
+        /// A fresh backoff at the cheapest step.
+        pub fn new() -> Self {
+            Backoff { step: Cell::new(0) }
+        }
+
+        /// Resets to the cheapest step (call after useful work).
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backs off without yielding: pure spin hints.
+        pub fn spin(&self) {
+            let step = self.step.get();
+            for _ in 0..1u32 << step.min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if step <= SPIN_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        /// Backs off, yielding the thread once spinning has been
+        /// escalated past [`SPIN_LIMIT`].
+        pub fn snooze(&self) {
+            let step = self.step.get();
+            if step <= SPIN_LIMIT {
+                for _ in 0..1u32 << step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        /// `true` once backoff has escalated far enough that callers
+        /// should park instead of spinning.
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::Backoff;
+
+    #[test]
+    fn escalates_to_completed() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin();
+    }
+}

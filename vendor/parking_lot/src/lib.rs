@@ -1,0 +1,216 @@
+//! Offline stand-in for the `parking_lot` crate (0.12 API subset).
+//!
+//! The build container has no access to crates.io, so this wraps
+//! `std::sync` primitives behind parking_lot's poison-free API: `lock()`
+//! returns the guard directly, recovering the data if a previous holder
+//! panicked (parking_lot has no poisoning at all; recovering is the
+//! closest std equivalent).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{self, PoisonError};
+
+/// A guard releasing the mutex on drop. Alias of the std guard so
+/// deref/debug behave identically.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion primitive with parking_lot's poison-free `lock`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tries to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Read guard alias of the std guard.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Write guard alias of the std guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// A reader-writer lock with parking_lot's poison-free API.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, atomically releasing and re-acquiring the
+    /// guard's mutex (parking_lot signature: mutates the guard in place).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Runs `f` on the guard by value: std's `Condvar::wait` consumes the
+/// guard, parking_lot's borrows it, so bridge with a take-and-put.
+fn replace_guard<T, F>(slot: &mut MutexGuard<'_, T>, f: F)
+where
+    F: for<'g> FnOnce(MutexGuard<'g, T>) -> MutexGuard<'g, T>,
+{
+    /// Aborts if dropped: between the `read` and the `write` below, a
+    /// panic would leave `slot` owning an already-dropped guard and
+    /// unwinding would double-release the mutex.
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    // SAFETY: exactly one live copy of the guard exists at any point:
+    // the value read out is passed to `f` by value, and a fresh guard is
+    // written back before the bomb is defused.
+    unsafe {
+        let bomb = Bomb;
+        let guard = std::ptr::read(slot);
+        let new_guard = f(guard);
+        std::ptr::write(slot, new_guard);
+        std::mem::forget(bomb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut started = m.lock();
+        while !*started {
+            cv.wait(&mut started);
+        }
+        drop(started);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lock_recovers_after_panic() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}
