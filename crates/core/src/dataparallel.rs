@@ -48,6 +48,10 @@ impl Engine for DataParallelEngine {
         evidence: &EvidenceSet,
     ) -> Result<Calibrated> {
         let arena = TableArena::initialize(graph, jt.potentials(), evidence);
+        // SAFETY: this propagation is the arena's only user; workers
+        // access buffers only through the view's disjoint windows, and
+        // every scope below joins before the next primitive starts.
+        let view = unsafe { arena.job_view() };
         let p = self.threads;
         let order = graph
             .topological_order()
@@ -57,15 +61,15 @@ impl Engine for DataParallelEngine {
             let task = graph.task(t);
             let partials = if p == 1 {
                 // SAFETY: single-threaded.
-                vec![unsafe { exec_share(task, 0, 1, &arena) }]
+                vec![unsafe { exec_share(graph, task, 0, 1, &view) }]
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..p)
                         .map(|i| {
-                            let arena_ref = &arena;
+                            let view_ref = &view;
                             // SAFETY: this primitive is the only work in
                             // flight; worker shares are disjoint.
-                            scope.spawn(move || unsafe { exec_share(task, i, p, arena_ref) })
+                            scope.spawn(move || unsafe { exec_share(graph, task, i, p, view_ref) })
                         })
                         .collect();
                     handles
@@ -75,9 +79,10 @@ impl Engine for DataParallelEngine {
                 })
             };
             // SAFETY: all workers joined.
-            unsafe { combine_shares(task, partials, &arena) };
+            unsafe { combine_shares(task, partials, &view) };
         }
 
+        drop(view);
         Ok(collect_cliques(jt, graph, arena.into_tables()))
     }
 }

@@ -5,7 +5,7 @@ use crate::par_exec::{combine_shares, exec_share};
 use crate::{Calibrated, Engine, Result};
 use evprop_jtree::JunctionTree;
 use evprop_potential::{EvidenceSet, PotentialTable};
-use evprop_sched::TableArena;
+use evprop_sched::{ArenaView, TableArena};
 use evprop_taskgraph::{TaskGraph, TaskId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,7 +40,7 @@ impl OpenMpStyleEngine {
 
 struct PoolState<'a> {
     graph: &'a TaskGraph,
-    arena: &'a TableArena,
+    view: &'a ArenaView<'a>,
     current: Mutex<Option<TaskId>>,
     partials: Vec<Mutex<Option<PotentialTable>>>,
     start: Barrier,
@@ -60,6 +60,10 @@ impl Engine for OpenMpStyleEngine {
         evidence: &EvidenceSet,
     ) -> Result<Calibrated> {
         let arena = TableArena::initialize(graph, jt.potentials(), evidence);
+        // SAFETY: this propagation is the arena's only user; workers
+        // access buffers only through the view's disjoint windows, and
+        // the barriers serialize primitives against the combiner.
+        let view = unsafe { arena.job_view() };
         let p = self.threads;
         let order = graph
             .topological_order()
@@ -70,15 +74,16 @@ impl Engine for OpenMpStyleEngine {
             for &t in &order {
                 let task = graph.task(t);
                 // SAFETY: single-threaded here.
-                let partial = unsafe { exec_share(task, 0, 1, &arena) };
-                unsafe { combine_shares(task, vec![partial], &arena) };
+                let partial = unsafe { exec_share(graph, task, 0, 1, &view) };
+                unsafe { combine_shares(task, vec![partial], &view) };
             }
+            drop(view);
             return Ok(collect_cliques(jt, graph, arena.into_tables()));
         }
 
         let state = PoolState {
             graph,
-            arena: &arena,
+            view: &view,
             current: Mutex::new(None),
             partials: (0..p).map(|_| Mutex::new(None)).collect(),
             start: Barrier::new(p + 1),
@@ -98,7 +103,7 @@ impl Engine for OpenMpStyleEngine {
                     let task = st.graph.task(t);
                     // SAFETY: the main thread serializes primitives; this
                     // worker's share is disjoint from its siblings'.
-                    let partial = unsafe { exec_share(task, i, p, st.arena) };
+                    let partial = unsafe { exec_share(st.graph, task, i, p, st.view) };
                     *st.partials[i].lock() = partial;
                     st.done.wait();
                 });
@@ -112,12 +117,13 @@ impl Engine for OpenMpStyleEngine {
                 let partials: Vec<Option<PotentialTable>> =
                     state.partials.iter().map(|s| s.lock().take()).collect();
                 // SAFETY: all workers are parked between barriers.
-                unsafe { combine_shares(task, partials, &arena) };
+                unsafe { combine_shares(task, partials, &view) };
             }
             state.stop.store(true, Ordering::Release);
             state.start.wait(); // release workers into shutdown
         });
 
+        drop(view);
         Ok(collect_cliques(jt, graph, arena.into_tables()))
     }
 }

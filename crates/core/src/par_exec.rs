@@ -1,8 +1,14 @@
 //! Shared helpers for the two intra-primitive (loop-parallel) baselines.
+//!
+//! Like the collaborative scheduler, the baselines never hand a worker a
+//! reference to an arena table: each propagation derives one
+//! [`ArenaView`] up front and workers touch buffers only through
+//! disjoint windows over their own [`EntryRange`] — see the safety model
+//! in `evprop_sched::arena`.
 
-use evprop_potential::{EntryRange, PotentialTable};
-use evprop_sched::TableArena;
-use evprop_taskgraph::{Task, TaskKind};
+use evprop_potential::{raw, EntryRange, PotentialTable};
+use evprop_sched::ArenaView;
+use evprop_taskgraph::{Task, TaskGraph, TaskKind};
 
 /// Worker `i` of `p`'s slice of a length-`len` loop (contiguous, evenly
 /// sized, covering exactly `0..len`).
@@ -21,49 +27,67 @@ pub(crate) fn worker_range(len: usize, i: usize, p: usize) -> EntryRange {
 /// Caller must guarantee (via sequential task order plus disjoint worker
 /// ranges) that no other thread writes the buffers this share touches.
 pub(crate) unsafe fn exec_share(
+    graph: &TaskGraph,
     task: &Task,
     i: usize,
     p: usize,
-    arena: &TableArena,
+    view: &ArenaView<'_>,
 ) -> Option<PotentialTable> {
+    let buffers = graph.buffers();
     match task.kind {
         TaskKind::Marginalize { src, dst, max } => {
-            let s = arena.get(src);
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = view.read_full(src);
             let range = worker_range(s.len(), i, p);
-            let spec_domain = arena.get(dst).domain().clone();
-            let mut partial = PotentialTable::zeros(spec_domain);
+            let mut partial = PotentialTable::zeros(dst_domain.clone());
             if max {
-                s.max_marginalize_range_into(range, &mut partial)
-                    .expect("separator domain nests in clique domain");
+                raw::max_marginalize_range_into_raw(
+                    src_domain,
+                    &s,
+                    range,
+                    dst_domain,
+                    partial.data_mut(),
+                )
+                .expect("separator domain nests in clique domain");
             } else {
-                s.marginalize_range_into(range, &mut partial)
-                    .expect("separator domain nests in clique domain");
+                raw::marginalize_range_into_raw(
+                    src_domain,
+                    &s,
+                    range,
+                    dst_domain,
+                    partial.data_mut(),
+                )
+                .expect("separator domain nests in clique domain");
             }
             Some(partial)
         }
         TaskKind::Divide { num, den, dst } => {
-            let d = arena.get_mut(dst);
-            let range = worker_range(d.len(), i, p);
-            let (nm, dn) = (arena.get(num), arena.get(den));
-            d.data_mut()[range.start..range.end]
-                .copy_from_slice(&nm.data()[range.start..range.end]);
-            d.divide_assign_range(range, dn)
+            let nm = view.read_full(num);
+            let dn = view.read_full(den);
+            let range = worker_range(nm.len(), i, p);
+            let mut d = view.write_range(dst, range);
+            raw::divide_range_into(&nm, &dn, range, d.as_mut_slice())
                 .expect("separator domains agree");
             None
         }
         TaskKind::Extend { src, dst } => {
-            let d = arena.get_mut(dst);
-            let range = worker_range(d.len(), i, p);
-            arena
-                .get(src)
-                .extend_range_into(range, d)
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = view.read_full(src);
+            let range = worker_range(view.buffer_len(dst), i, p);
+            let mut d = view.write_range(dst, range);
+            raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("separator domain nests in clique domain");
             None
         }
         TaskKind::Multiply { src, dst } => {
-            let d = arena.get_mut(dst);
-            let range = worker_range(d.len(), i, p);
-            d.multiply_assign_range(range, arena.get(src))
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = view.read_full(src);
+            let range = worker_range(view.buffer_len(dst), i, p);
+            let mut d = view.write_range(dst, range);
+            raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("extended ratio matches clique domain");
             None
         }
@@ -72,6 +96,8 @@ pub(crate) unsafe fn exec_share(
 
 /// Combines marginalization partials into the destination buffer
 /// (no-op for other primitives, whose worker writes were disjoint).
+/// `partials` is indexed by worker, so the fold order — and thus the
+/// result, FP addition being non-associative — is identical across runs.
 ///
 /// # Safety
 ///
@@ -79,17 +105,18 @@ pub(crate) unsafe fn exec_share(
 pub(crate) unsafe fn combine_shares(
     task: &Task,
     partials: Vec<Option<PotentialTable>>,
-    arena: &TableArena,
+    view: &ArenaView<'_>,
 ) {
     if let TaskKind::Marginalize { dst, max, .. } = task.kind {
-        let d = arena.get_mut(dst);
-        d.fill(0.0);
+        let mut d = view.write_full(dst);
+        let out = d.as_mut_slice();
+        out.fill(0.0);
         for partial in partials.into_iter().flatten() {
             if max {
-                d.max_assign(&partial)
+                raw::max_assign_raw(out, partial.data())
                     .expect("partials share the separator domain");
             } else {
-                d.add_assign(&partial)
+                raw::add_assign_raw(out, partial.data())
                     .expect("partials share the separator domain");
             }
         }

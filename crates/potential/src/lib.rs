@@ -43,6 +43,7 @@ mod evidence;
 mod index;
 mod max_primitives;
 mod primitives;
+pub mod raw;
 mod table;
 mod var;
 

@@ -6,7 +6,6 @@
 //! marginalization changes — `Σ` becomes `max` — and partitioned
 //! partial results combine by elementwise `max` instead of addition.
 
-use crate::index::AxisWalker;
 use crate::{EntryRange, PotentialError, PotentialTable, Result};
 
 impl PotentialTable {
@@ -37,29 +36,14 @@ impl PotentialTable {
         range: EntryRange,
         out: &mut PotentialTable,
     ) -> Result<()> {
-        for v in out.domain().vars() {
-            if !self.domain().contains(v.id()) {
-                return Err(PotentialError::NotSubdomain { missing: v.id() });
-            }
-        }
-        if range.start > range.end || range.end > self.len() {
-            return Err(PotentialError::BadRange {
-                start: range.start,
-                end: range.end,
-                len: self.len(),
-            });
-        }
-        let mut w = AxisWalker::new(self.domain(), self.domain().strides_in(out.domain()));
-        w.seek(self.domain(), range.start);
-        let dst = out.data_mut();
-        for &v in &self.data()[range.start..range.end] {
-            let slot = &mut dst[w.target_index()];
-            if v > *slot {
-                *slot = v;
-            }
-            w.advance();
-        }
-        Ok(())
+        let (dst_domain, dst) = out.parts_mut();
+        crate::raw::max_marginalize_range_into_raw(
+            self.domain(),
+            self.data(),
+            range,
+            dst_domain,
+            dst,
+        )
     }
 
     /// Elementwise maximum over identical domains; the combining step for

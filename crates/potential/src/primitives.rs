@@ -17,7 +17,6 @@
 //! "combined (for extension, multiplication and division) or added (for
 //! marginalization)" rule.
 
-use crate::index::AxisWalker;
 use crate::{Domain, PotentialError, PotentialTable, Result};
 
 /// Which node-level primitive a task performs (§5.1, Fig. 2).
@@ -112,15 +111,6 @@ impl EntryRange {
     }
 }
 
-fn require_subdomain(sub: &Domain, sup: &Domain) -> Result<()> {
-    for v in sub.vars() {
-        if !sup.contains(v.id()) {
-            return Err(PotentialError::NotSubdomain { missing: v.id() });
-        }
-    }
-    Ok(())
-}
-
 /// Hugin-convention division: `0/0 = 0`; any `x/0` is also mapped to 0
 /// (such entries are unreachable in a consistent propagation — a zero in
 /// an original separator forces zeros in the updated one).
@@ -172,16 +162,8 @@ impl PotentialTable {
         range: EntryRange,
         out: &mut PotentialTable,
     ) -> Result<()> {
-        require_subdomain(out.domain(), self.domain())?;
-        range.validate(self.len())?;
-        let mut w = AxisWalker::new(self.domain(), self.domain().strides_in(out.domain()));
-        w.seek(self.domain(), range.start);
-        let dst = out.data_mut();
-        for &v in &self.data()[range.start..range.end] {
-            dst[w.target_index()] += v;
-            w.advance();
-        }
-        Ok(())
+        let (dst_domain, dst) = out.parts_mut();
+        crate::raw::marginalize_range_into_raw(self.domain(), self.data(), range, dst_domain, dst)
     }
 
     // ----------------------------------------------------------------
@@ -209,16 +191,10 @@ impl PotentialTable {
     /// [`PotentialError::NotSubdomain`] if this domain ⊄ `out`'s domain;
     /// [`PotentialError::BadRange`] for an out-of-bounds range.
     pub fn extend_range_into(&self, range: EntryRange, out: &mut PotentialTable) -> Result<()> {
-        require_subdomain(self.domain(), out.domain())?;
-        range.validate(out.len())?;
-        let mut w = AxisWalker::new(out.domain(), out.domain().strides_in(self.domain()));
-        w.seek(out.domain(), range.start);
-        let src = self.data();
-        for slot in &mut out.data_mut()[range.start..range.end] {
-            *slot = src[w.target_index()];
-            w.advance();
-        }
-        Ok(())
+        let (dst_domain, dst) = out.parts_mut();
+        range.validate(dst.len())?;
+        let window = &mut dst[range.start..range.end];
+        crate::raw::extend_range_into_raw(self.domain(), self.data(), dst_domain, range, window)
     }
 
     // ----------------------------------------------------------------
@@ -248,16 +224,10 @@ impl PotentialTable {
         range: EntryRange,
         other: &PotentialTable,
     ) -> Result<()> {
-        require_subdomain(other.domain(), self.domain())?;
-        range.validate(self.len())?;
-        let mut w = AxisWalker::new(self.domain(), self.domain().strides_in(other.domain()));
-        w.seek(self.domain(), range.start);
-        let src = other.data();
-        for slot in &mut self.data_mut()[range.start..range.end] {
-            *slot *= src[w.target_index()];
-            w.advance();
-        }
-        Ok(())
+        let (dst_domain, dst) = self.parts_mut();
+        range.validate(dst.len())?;
+        let window = &mut dst[range.start..range.end];
+        crate::raw::multiply_range_into(other.domain(), other.data(), dst_domain, range, window)
     }
 
     /// General product over the union domain, used when assembling initial

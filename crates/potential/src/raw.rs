@@ -1,0 +1,404 @@
+//! Raw-slice forms of the node-level primitives.
+//!
+//! The collaborative scheduler's Partition module (§6 of the paper) lets
+//! several threads work on *disjoint entry ranges of the same
+//! destination buffer* at once. Sound Rust for that pattern must never
+//! materialize a `&mut PotentialTable` (or even a `&PotentialTable`) for
+//! a buffer that another thread partially owns — a reference claims the
+//! whole object. The functions here therefore operate on **domains plus
+//! plain `f64` slices**: the scheduler derives each subtask's window
+//! (`&mut [f64]` over exactly its [`EntryRange`]) from a raw base
+//! pointer, and hands the *shape* of the buffer separately, straight
+//! from the task graph's buffer specs.
+//!
+//! Conventions shared by every function:
+//!
+//! * `range` is an **absolute** half-open entry range of the partitioned
+//!   buffer (the destination for divide/extend/multiply, the source for
+//!   marginalization);
+//! * `out` is a window of exactly `range.len()` entries, aliasing the
+//!   partitioned buffer's `range.start..range.end` (or, for
+//!   marginalization, the whole private/destination table);
+//! * full source buffers are passed as complete slices — sources are
+//!   never written concurrently (the task DAG orders writers), so shared
+//!   slices over them are sound.
+//!
+//! The `PotentialTable` `*_range` methods are thin wrappers over these
+//! functions, so the sequential engines and the partitioned scheduler
+//! execute literally the same arithmetic.
+
+use crate::index::AxisWalker;
+use crate::primitives::safe_div;
+use crate::{Domain, EntryRange, PotentialError, Result};
+
+fn check_range(range: EntryRange, len: usize) -> Result<()> {
+    if range.start > range.end || range.end > len {
+        return Err(PotentialError::BadRange {
+            start: range.start,
+            end: range.end,
+            len,
+        });
+    }
+    Ok(())
+}
+
+fn check_window(out: &[f64], range: EntryRange) -> Result<()> {
+    if out.len() != range.len() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: range.len(),
+            found: out.len(),
+        });
+    }
+    Ok(())
+}
+
+fn check_subdomain(sub: &Domain, sup: &Domain) -> Result<()> {
+    for v in sub.vars() {
+        if !sup.contains(v.id()) {
+            return Err(PotentialError::NotSubdomain { missing: v.id() });
+        }
+    }
+    Ok(())
+}
+
+/// **Division** over a destination window: `out[i] =
+/// num[range.start + i] / den[range.start + i]` with the Hugin
+/// convention `0/0 = 0`. `num` and `den` are full same-domain buffers
+/// (domains are checked upstream by the task-graph builder; here only
+/// lengths can be validated).
+///
+/// # Errors
+///
+/// [`PotentialError::BadRange`] if `range` exceeds `num`;
+/// [`PotentialError::DataSizeMismatch`] if `den` and `num` disagree on
+/// length or `out` is not exactly `range.len()` entries.
+pub fn divide_range_into(
+    num: &[f64],
+    den: &[f64],
+    range: EntryRange,
+    out: &mut [f64],
+) -> Result<()> {
+    check_range(range, num.len())?;
+    if den.len() != num.len() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: num.len(),
+            found: den.len(),
+        });
+    }
+    check_window(out, range)?;
+    let nm = &num[range.start..range.end];
+    let dn = &den[range.start..range.end];
+    for ((slot, &n), &d) in out.iter_mut().zip(nm).zip(dn) {
+        *slot = safe_div(n, d);
+    }
+    Ok(())
+}
+
+/// **Extension** into a destination window: fills `out` (aliasing
+/// `range` of a buffer over `dst_domain`) with the replicated source
+/// table (`src` over `src_domain`, a subdomain of `dst_domain`).
+///
+/// # Errors
+///
+/// [`PotentialError::NotSubdomain`] if `src_domain` ⊄ `dst_domain`;
+/// [`PotentialError::BadRange`] if `range` exceeds `dst_domain.size()`;
+/// [`PotentialError::DataSizeMismatch`] on a wrong-length slice.
+pub fn extend_range_into_raw(
+    src_domain: &Domain,
+    src: &[f64],
+    dst_domain: &Domain,
+    range: EntryRange,
+    out: &mut [f64],
+) -> Result<()> {
+    check_subdomain(src_domain, dst_domain)?;
+    check_range(range, dst_domain.size())?;
+    check_window(out, range)?;
+    if src.len() != src_domain.size() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: src_domain.size(),
+            found: src.len(),
+        });
+    }
+    let mut w = AxisWalker::new(dst_domain, dst_domain.strides_in(src_domain));
+    w.seek(dst_domain, range.start);
+    for slot in out.iter_mut() {
+        *slot = src[w.target_index()];
+        w.advance();
+    }
+    Ok(())
+}
+
+/// **Multiplication** over a destination window: `out[i] *=
+/// src[project(range.start + i)]`, where `src` (over `src_domain`, a
+/// subdomain of `dst_domain`) is projected onto each destination entry.
+///
+/// # Errors
+///
+/// Same conditions as [`extend_range_into_raw`].
+pub fn multiply_range_into(
+    src_domain: &Domain,
+    src: &[f64],
+    dst_domain: &Domain,
+    range: EntryRange,
+    out: &mut [f64],
+) -> Result<()> {
+    check_subdomain(src_domain, dst_domain)?;
+    check_range(range, dst_domain.size())?;
+    check_window(out, range)?;
+    if src.len() != src_domain.size() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: src_domain.size(),
+            found: src.len(),
+        });
+    }
+    let mut w = AxisWalker::new(dst_domain, dst_domain.strides_in(src_domain));
+    w.seek(dst_domain, range.start);
+    for slot in out.iter_mut() {
+        *slot *= src[w.target_index()];
+        w.advance();
+    }
+    Ok(())
+}
+
+/// **Marginalization** of a source range: accumulates (`+=`) the source
+/// entries in `range` of `src` (over `src_domain`) into the full
+/// destination table `dst` (over `dst_domain` ⊆ `src_domain`). The
+/// caller zeroes `dst` beforehand; partials from disjoint ranges add to
+/// the complete marginal.
+///
+/// # Errors
+///
+/// [`PotentialError::NotSubdomain`] if `dst_domain` ⊄ `src_domain`;
+/// [`PotentialError::BadRange`] if `range` exceeds `src`;
+/// [`PotentialError::DataSizeMismatch`] on a wrong-length slice.
+pub fn marginalize_range_into_raw(
+    src_domain: &Domain,
+    src: &[f64],
+    range: EntryRange,
+    dst_domain: &Domain,
+    dst: &mut [f64],
+) -> Result<()> {
+    check_subdomain(dst_domain, src_domain)?;
+    check_range(range, src.len())?;
+    if src.len() != src_domain.size() || dst.len() != dst_domain.size() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: src_domain.size(),
+            found: src.len(),
+        });
+    }
+    let mut w = AxisWalker::new(src_domain, src_domain.strides_in(dst_domain));
+    w.seek(src_domain, range.start);
+    for &v in &src[range.start..range.end] {
+        dst[w.target_index()] += v;
+        w.advance();
+    }
+    Ok(())
+}
+
+/// Max-marginalization of a source range: like
+/// [`marginalize_range_into_raw`] but folding with elementwise `max`
+/// instead of `+` (the max-product algebra of MPE propagation). `dst`
+/// should start at zero, the identity for non-negative potentials.
+///
+/// # Errors
+///
+/// Same conditions as [`marginalize_range_into_raw`].
+pub fn max_marginalize_range_into_raw(
+    src_domain: &Domain,
+    src: &[f64],
+    range: EntryRange,
+    dst_domain: &Domain,
+    dst: &mut [f64],
+) -> Result<()> {
+    check_subdomain(dst_domain, src_domain)?;
+    check_range(range, src.len())?;
+    if src.len() != src_domain.size() || dst.len() != dst_domain.size() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: src_domain.size(),
+            found: src.len(),
+        });
+    }
+    let mut w = AxisWalker::new(src_domain, src_domain.strides_in(dst_domain));
+    w.seek(src_domain, range.start);
+    for &v in &src[range.start..range.end] {
+        let slot = &mut dst[w.target_index()];
+        if v > *slot {
+            *slot = v;
+        }
+        w.advance();
+    }
+    Ok(())
+}
+
+/// Entrywise `dst[i] += src[i]` — the sum-product combining step for
+/// partitioned marginalization partials, on raw slices.
+///
+/// # Errors
+///
+/// [`PotentialError::DataSizeMismatch`] if lengths differ.
+pub fn add_assign_raw(dst: &mut [f64], src: &[f64]) -> Result<()> {
+    if dst.len() != src.len() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: dst.len(),
+            found: src.len(),
+        });
+    }
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a += b;
+    }
+    Ok(())
+}
+
+/// Entrywise `dst[i] = max(dst[i], src[i])` — the max-product combining
+/// step for partitioned max-marginalization partials, on raw slices.
+///
+/// # Errors
+///
+/// [`PotentialError::DataSizeMismatch`] if lengths differ.
+pub fn max_assign_raw(dst: &mut [f64], src: &[f64]) -> Result<()> {
+    if dst.len() != src.len() {
+        return Err(PotentialError::DataSizeMismatch {
+            expected: dst.len(),
+            found: src.len(),
+        });
+    }
+    for (a, &b) in dst.iter_mut().zip(src) {
+        if b > *a {
+            *a = b;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PotentialTable, VarId, Variable};
+
+    fn dom(spec: &[(u32, usize)]) -> Domain {
+        Domain::new(
+            spec.iter()
+                .map(|&(id, c)| Variable::new(VarId(id), c))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn table(spec: &[(u32, usize)], data: Vec<f64>) -> PotentialTable {
+        PotentialTable::from_data(dom(spec), data).unwrap()
+    }
+
+    #[test]
+    fn divide_windows_match_whole() {
+        let num = table(&[(0, 2), (1, 2)], vec![1., 4., 0., 9.]);
+        let den = table(&[(0, 2), (1, 2)], vec![2., 2., 0., 3.]);
+        let mut whole = num.clone();
+        whole.divide_assign(&den).unwrap();
+        let mut pieced = vec![0.0; num.len()];
+        for r in EntryRange::split(num.len(), 3) {
+            divide_range_into(num.data(), den.data(), r, &mut pieced[r.start..r.end]).unwrap();
+        }
+        assert_eq!(pieced, whole.data());
+    }
+
+    #[test]
+    fn extend_windows_match_whole() {
+        let sep = table(&[(2, 2)], vec![7., 9.]);
+        let target = dom(&[(0, 2), (2, 2)]);
+        let whole = sep.extend(&target).unwrap();
+        let mut pieced = vec![0.0; target.size()];
+        for r in EntryRange::split(target.size(), 3) {
+            extend_range_into_raw(
+                sep.domain(),
+                sep.data(),
+                &target,
+                r,
+                &mut pieced[r.start..r.end],
+            )
+            .unwrap();
+        }
+        assert_eq!(pieced, whole.data());
+    }
+
+    #[test]
+    fn multiply_windows_match_whole() {
+        let base = table(&[(0, 2), (1, 2), (2, 2)], (1..=8).map(f64::from).collect());
+        let factor = table(&[(0, 2), (2, 2)], vec![2., 3., 5., 7.]);
+        let mut whole = base.clone();
+        whole.multiply_assign(&factor).unwrap();
+        let mut pieced = base.data().to_vec();
+        for r in EntryRange::split(base.len(), 3) {
+            multiply_range_into(
+                factor.domain(),
+                factor.data(),
+                base.domain(),
+                r,
+                &mut pieced[r.start..r.end],
+            )
+            .unwrap();
+        }
+        assert_eq!(pieced, whole.data());
+    }
+
+    #[test]
+    fn marginalize_raw_partials_add_to_whole() {
+        let t = table(&[(0, 2), (1, 2), (2, 2)], (1..=8).map(f64::from).collect());
+        let target = dom(&[(1, 2)]);
+        let whole = t.marginalize(&target).unwrap();
+        let mut acc = vec![0.0; target.size()];
+        for r in EntryRange::split(t.len(), 3) {
+            let mut part = vec![0.0; target.size()];
+            marginalize_range_into_raw(t.domain(), t.data(), r, &target, &mut part).unwrap();
+            add_assign_raw(&mut acc, &part).unwrap();
+        }
+        assert_eq!(acc, whole.data());
+    }
+
+    #[test]
+    fn max_marginalize_raw_partials_max_to_whole() {
+        let t = table(
+            &[(0, 2), (1, 2), (2, 2)],
+            vec![8., 1., 6., 2., 7., 3., 5., 4.],
+        );
+        let target = dom(&[(1, 2)]);
+        let whole = t.max_marginalize(&target).unwrap();
+        let mut acc = vec![0.0; target.size()];
+        for r in EntryRange::split(t.len(), 3) {
+            let mut part = vec![0.0; target.size()];
+            max_marginalize_range_into_raw(t.domain(), t.data(), r, &target, &mut part).unwrap();
+            max_assign_raw(&mut acc, &part).unwrap();
+        }
+        assert_eq!(acc, whole.data());
+    }
+
+    #[test]
+    fn window_length_is_validated() {
+        let num = [1.0, 2.0];
+        let den = [1.0, 1.0];
+        let mut out = [0.0; 3]; // wrong: range covers 2 entries
+        let err = divide_range_into(&num, &den, EntryRange { start: 0, end: 2 }, &mut out);
+        assert!(matches!(err, Err(PotentialError::DataSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_ranges_are_rejected() {
+        let d = dom(&[(0, 2)]);
+        let src = [1.0, 2.0];
+        let mut out = [0.0; 3];
+        let err = extend_range_into_raw(&d, &src, &d, EntryRange { start: 0, end: 3 }, &mut out);
+        assert!(matches!(err, Err(PotentialError::BadRange { .. })));
+        let err =
+            marginalize_range_into_raw(&d, &src, EntryRange { start: 1, end: 0 }, &d, &mut out);
+        assert!(matches!(err, Err(PotentialError::BadRange { .. })));
+    }
+
+    #[test]
+    fn not_subdomain_is_rejected() {
+        let big = dom(&[(0, 2)]);
+        let other = dom(&[(5, 2)]);
+        let src = [1.0, 2.0];
+        let mut out = [0.0, 0.0];
+        let err = multiply_range_into(&other, &src, &big, EntryRange::full(2), &mut out);
+        assert!(matches!(err, Err(PotentialError::NotSubdomain { .. })));
+    }
+}

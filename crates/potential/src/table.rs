@@ -91,6 +91,14 @@ impl PotentialTable {
         &mut self.data
     }
 
+    /// Domain and mutable entries borrowed at once — lets the `*_range`
+    /// methods delegate to the [`crate::raw`] functions without fighting
+    /// the borrow checker.
+    #[inline]
+    pub(crate) fn parts_mut(&mut self) -> (&Domain, &mut [f64]) {
+        (&self.domain, &mut self.data)
+    }
+
     /// Number of entries (`domain().size()`).
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,8 +1,8 @@
 //! The collaborative scheduling algorithm (Algorithm 2 of the paper).
 
-use crate::{RunReport, SchedulerConfig, TableArena, ThreadStats};
+use crate::{ArenaView, RunReport, SchedulerConfig, TableArena, ThreadStats};
 use crossbeam::utils::Backoff;
-use evprop_potential::{EntryRange, PotentialTable};
+use evprop_potential::{raw, EntryRange, PotentialTable};
 use evprop_taskgraph::{TaskGraph, TaskId, TaskKind};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -13,10 +13,18 @@ use std::time::{Duration, Instant};
 /// A schedulable unit: a static graph task, or one subtask of a
 /// partitioned task (`part` indexes into the record's range list; the
 /// last part is the combiner that inherits the original successors).
+///
+/// A `Part` carries its weight (its range length) inline so the Fetch,
+/// Steal and Allocate modules never have to consult the global record
+/// list just to keep weight counters accurate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Exec {
     Static(TaskId),
-    Part { rec: usize, part: usize },
+    Part {
+        rec: usize,
+        part: usize,
+        weight: u64,
+    },
 }
 
 /// Runtime record of one partitioned task (the paper's `T̂_1 … T̂_n`).
@@ -26,11 +34,19 @@ struct Record {
     /// Subtasks the combiner still waits for (`n − 1` initially).
     final_deps: AtomicU32,
     /// Private partial tables produced by marginalization subtasks,
-    /// added together by the combiner.
-    partials: Mutex<Vec<PotentialTable>>,
+    /// tagged with their part index. The combiner folds them in part
+    /// order, so the combined result is bitwise identical no matter
+    /// which threads ran which subtask in which interleaving.
+    partials: Mutex<Vec<(usize, PotentialTable)>>,
 }
 
 /// One thread's local ready list (LL) with its weight counter.
+///
+/// The weight counter is kept consistent with the queue *under the
+/// queue's lock*: every push adds the unit's weight after enqueueing and
+/// every pop subtracts it before releasing the lock, so a unit is never
+/// counted twice (or subtracted twice by a racing thief) no matter how
+/// fetches and steals interleave.
 struct LocalList {
     queue: Mutex<VecDeque<Exec>>,
     weight: AtomicU64,
@@ -40,12 +56,22 @@ struct LocalList {
     idle: AtomicBool,
 }
 
+impl LocalList {
+    fn push_back(&self, e: Exec, w: u64) {
+        let mut q = self.queue.lock();
+        q.push_back(e);
+        self.weight.fetch_add(w, Ordering::Relaxed);
+    }
+}
+
 /// Everything one scheduler **job** shares between workers. Built per
 /// propagation by [`run_collaborative`] or [`crate::CollabPool::run`];
 /// the pool hands workers a raw pointer to this for the job's duration.
 pub(crate) struct Shared<'g> {
     graph: &'g TaskGraph,
-    arena: &'g TableArena,
+    /// The job's window-granting view of the arena; see the safety model
+    /// in [`crate::arena`]. Workers never touch the tables directly.
+    view: ArenaView<'g>,
     cfg: &'g SchedulerConfig,
     /// Remaining dependency degree per static task.
     deps: Vec<AtomicU32>,
@@ -59,13 +85,24 @@ pub(crate) struct Shared<'g> {
 
 impl<'g> Shared<'g> {
     /// Prepares a job for `p` workers: dependency counters, one local
-    /// ready list per worker, and the initially-ready tasks distributed
-    /// round-robin (Line 1 of Algorithm 2).
+    /// ready list per worker, and the initially-ready tasks placed by
+    /// the same weight-aware rule the Allocate module uses (`arg min_t
+    /// W_t`, Line 7 of Algorithm 2) — round-robin would hand one thread
+    /// several heavy roots while another starts idle.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the *serialized jobs* invariant for the
+    /// lifetime of the returned `Shared`: it is the arena's only user,
+    /// and nothing accesses the arena except through this job's view
+    /// (see [`TableArena::job_view`]). [`crate::CollabPool::run`]
+    /// guarantees this with its submission lock and completion
+    /// handshake.
     ///
     /// # Panics
     ///
     /// Panics if the graph and arena disagree on buffer count.
-    pub(crate) fn prepare(
+    pub(crate) unsafe fn prepare(
         graph: &'g TaskGraph,
         arena: &'g TableArena,
         cfg: &'g SchedulerConfig,
@@ -78,7 +115,9 @@ impl<'g> Shared<'g> {
         );
         let shared = Shared {
             graph,
-            arena,
+            // SAFETY: forwarded to our caller — sole arena user for the
+            // lifetime of this job.
+            view: arena.job_view(),
             cfg,
             deps: (0..graph.num_tasks())
                 .map(|t| AtomicU32::new(graph.dependency_degree(TaskId(t))))
@@ -95,11 +134,9 @@ impl<'g> Shared<'g> {
             partitioned: AtomicUsize::new(0),
             subtasks: AtomicUsize::new(0),
         };
-        for (i, t) in graph.initial_ready().into_iter().enumerate() {
+        for t in graph.initial_ready() {
             let w = graph.task(t).weight;
-            let ll = &shared.lls[i % p];
-            ll.queue.lock().push_back(Exec::Static(t));
-            ll.weight.fetch_add(w, Ordering::Relaxed);
+            shared.lls[least_loaded(&shared.lls)].push_back(Exec::Static(t), w);
         }
         shared
     }
@@ -109,6 +146,23 @@ impl<'g> Shared<'g> {
     pub(crate) fn finish_into(&self, report: &mut RunReport) {
         report.partitioned_tasks = self.partitioned.load(Ordering::Relaxed);
         report.subtasks_spawned = self.subtasks.load(Ordering::Relaxed);
+    }
+
+    /// Post-job invariant: every ready list is empty and every weight
+    /// counter is back at zero. A leftover queue entry means a lost
+    /// task; a nonzero weight means a bookkeeping leak that would skew
+    /// every Allocate decision of the *next* job on a reused pool.
+    pub(crate) fn assert_drained(&self) {
+        for (i, ll) in self.lls.iter().enumerate() {
+            let q = ll.queue.lock();
+            assert!(
+                q.is_empty(),
+                "thread {i}'s ready list still holds {} entries after the job",
+                q.len()
+            );
+            let w = ll.weight.load(Ordering::Relaxed);
+            assert_eq!(w, 0, "thread {i}'s weight counter leaked {w} after the job");
+        }
     }
 }
 
@@ -162,12 +216,8 @@ pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
             break;
         }
         // Fetch: head of own LL.
-        let mine = sh.lls[id].queue.lock().pop_front();
-        let e = match mine {
+        let e = match pop_front(sh, id) {
             Some(e) => {
-                sh.lls[id]
-                    .weight
-                    .fetch_sub(exec_weight(sh, e), Ordering::Relaxed);
                 sh.lls[id].idle.store(false, Ordering::Relaxed);
                 backoff.reset();
                 e
@@ -193,44 +243,62 @@ pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
     stats
 }
 
-/// Work-stealing extension: pop from the tail of the heaviest victim
-/// (keeping the victim's weight counter consistent).
+/// Pops the head of thread `id`'s LL, keeping the weight counter
+/// consistent under the queue lock.
+fn pop_front(sh: &Shared<'_>, id: usize) -> Option<Exec> {
+    let ll = &sh.lls[id];
+    let mut q = ll.queue.lock();
+    let e = q.pop_front()?;
+    ll.weight
+        .fetch_sub(exec_weight(sh.graph, e), Ordering::Relaxed);
+    Some(e)
+}
+
+/// Work-stealing extension: pop from the tail of the heaviest victim.
+/// The weight is recomputed from the unit actually popped, under the
+/// victim's queue lock — subtracting a weight read *before* the pop
+/// could double-subtract when a racing fetch drains the same entry.
 fn steal(sh: &Shared<'_>, thief: usize) -> Option<Exec> {
     let victim = (0..sh.lls.len())
         .filter(|&j| j != thief)
         .max_by_key(|&j| sh.lls[j].weight.load(Ordering::Relaxed))?;
-    let e = sh.lls[victim].queue.lock().pop_back()?;
-    sh.lls[victim]
-        .weight
-        .fetch_sub(exec_weight(sh, e), Ordering::Relaxed);
+    let ll = &sh.lls[victim];
+    let mut q = ll.queue.lock();
+    let e = q.pop_back()?;
+    ll.weight
+        .fetch_sub(exec_weight(sh.graph, e), Ordering::Relaxed);
     Some(e)
 }
 
-fn exec_weight(sh: &Shared<'_>, e: Exec) -> u64 {
+/// A unit's weight without any global lookup: static weights live in the
+/// graph, subtask weights ride inline in the token.
+fn exec_weight(graph: &TaskGraph, e: Exec) -> u64 {
     match e {
-        Exec::Static(t) => sh.graph.task(t).weight,
-        Exec::Part { rec, part } => {
-            let r = sh.records.lock()[rec].clone();
-            r.ranges[part].len() as u64
-        }
+        Exec::Static(t) => graph.task(t).weight,
+        Exec::Part { weight, .. } => weight,
     }
+}
+
+/// The Allocate target: the thread with the smallest weight counter,
+/// preferring idle threads on ties (then lowest id). Shared by the
+/// Allocate module and the initial distribution in [`Shared::prepare`].
+fn least_loaded(lls: &[LocalList]) -> usize {
+    (0..lls.len())
+        .min_by_key(|&j| {
+            (
+                lls[j].weight.load(Ordering::Relaxed),
+                !lls[j].idle.load(Ordering::Relaxed),
+                j,
+            )
+        })
+        .expect("at least one thread")
 }
 
 /// Allocate module: give a ready task to the thread with the smallest
 /// weight counter (`arg min_t W_t`, Line 7 of Algorithm 2).
 fn allocate(sh: &Shared<'_>, e: Exec, w: u64, stats: &mut ThreadStats) {
     stats.allocations += 1;
-    let j = (0..sh.lls.len())
-        .min_by_key(|&j| {
-            (
-                sh.lls[j].weight.load(Ordering::Relaxed),
-                !sh.lls[j].idle.load(Ordering::Relaxed),
-                j,
-            )
-        })
-        .expect("at least one thread");
-    sh.lls[j].weight.fetch_add(w, Ordering::Relaxed);
-    sh.lls[j].queue.lock().push_back(e);
+    sh.lls[least_loaded(&sh.lls)].push_back(e, w);
 }
 
 /// Executes one unit and performs the Allocate bookkeeping for whatever
@@ -261,12 +329,8 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                     sh.subtasks.fetch_add(n, Ordering::Relaxed);
                     // middle subtasks spread across threads
                     for part in 1..n - 1 {
-                        allocate(
-                            sh,
-                            Exec::Part { rec, part },
-                            record.ranges[part].len() as u64,
-                            stats,
-                        );
+                        let weight = record.ranges[part].len() as u64;
+                        allocate(sh, Exec::Part { rec, part, weight }, weight, stats);
                     }
                     // first subtask runs here, now
                     run_part(sh, id, rec, &record, 0, stats);
@@ -274,14 +338,16 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                 _ => {
                     let t0 = Instant::now();
                     // SAFETY: the task DAG gives this task exclusive
-                    // access to its destination buffer (TaskGraph::validate).
-                    unsafe { exec_full(&task.kind, sh.arena) };
+                    // access to its destination buffer
+                    // (TaskGraph::validate) and orders every writer of
+                    // its sources before it.
+                    unsafe { exec_full(sh, &task.kind) };
                     record_exec(stats, t0, task.weight);
                     complete_static(sh, t, stats);
                 }
             }
         }
-        Exec::Part { rec, part } => {
+        Exec::Part { rec, part, .. } => {
             let record = sh.records.lock()[rec].clone();
             run_part(sh, id, rec, &record, part, stats);
         }
@@ -295,6 +361,14 @@ fn record_exec(stats: &mut ThreadStats, t0: Instant, weight: u64) {
 }
 
 /// Executes subtask `part` of a partitioned task.
+///
+/// Every arena access goes through a window of the job's [`ArenaView`]:
+/// a subtask owns exactly its own [`EntryRange`] of the destination
+/// (never a reference to the table), sibling ranges are disjoint by
+/// construction ([`EntryRange::split`]), and sources are shared
+/// read-only windows — the Rust-visible shape of the paper's
+/// "concurrent writes to one table are fine because ranges are
+/// disjoint" argument.
 fn run_part(
     sh: &Shared<'_>,
     _id: usize,
@@ -307,69 +381,96 @@ fn run_part(
     let range = record.ranges[part];
     let task = sh.graph.task(record.task);
     let is_final = part == n - 1;
+    let buffers = sh.graph.buffers();
 
     let t0 = Instant::now();
     match task.kind {
         TaskKind::Marginalize { src, dst, max } => {
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            // SAFETY: the task DAG orders every writer of src before
+            // this task; sibling subtasks only read src (overlapping
+            // shared windows are fine).
+            let s = unsafe { sh.view.read_full(src) };
             if is_final {
                 // SAFETY: all sibling subtasks have completed (final_deps
-                // reached 0), so this task is the sole accessor of dst.
-                let d = unsafe { sh.arena.get_mut(dst) };
-                let s = unsafe { sh.arena.get(src) };
-                d.fill(0.0);
+                // reached 0), so this subtask is the sole accessor of dst.
+                let mut d = unsafe { sh.view.write_full(dst) };
+                let out = d.as_mut_slice();
+                out.fill(0.0);
                 if max {
-                    s.max_marginalize_range_into(range, d)
+                    raw::max_marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
                         .expect("separator domain nests in clique domain");
-                    for p in record.partials.lock().drain(..) {
-                        d.max_assign(&p)
-                            .expect("partials share the separator domain");
-                    }
                 } else {
-                    s.marginalize_range_into(range, d)
+                    raw::marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
                         .expect("separator domain nests in clique domain");
-                    for p in record.partials.lock().drain(..) {
-                        d.add_assign(&p)
+                }
+                // Fold partials in part order: the combined marginal is
+                // then bitwise reproducible across thread counts and
+                // schedules (FP addition is not associative, so an
+                // arrival-order fold would not be).
+                let mut parts = record.partials.lock();
+                parts.sort_unstable_by_key(|&(i, _)| i);
+                for (_, p) in parts.drain(..) {
+                    if max {
+                        raw::max_assign_raw(out, p.data())
+                            .expect("partials share the separator domain");
+                    } else {
+                        raw::add_assign_raw(out, p.data())
                             .expect("partials share the separator domain");
                     }
                 }
             } else {
-                // private partial table; only the arena *source* is read
-                // SAFETY: concurrent subtasks only read src.
-                let s = unsafe { sh.arena.get(src) };
-                let spec = &sh.graph.buffers()[dst.index()];
+                // private partial table; only the arena source is read
                 stats.tables_allocated += 1;
-                let mut partial = PotentialTable::zeros(spec.domain.clone());
+                let mut partial = PotentialTable::zeros(dst_domain.clone());
                 if max {
-                    s.max_marginalize_range_into(range, &mut partial)
-                        .expect("separator domain nests in clique domain");
+                    raw::max_marginalize_range_into_raw(
+                        src_domain,
+                        &s,
+                        range,
+                        dst_domain,
+                        partial.data_mut(),
+                    )
+                    .expect("separator domain nests in clique domain");
                 } else {
-                    s.marginalize_range_into(range, &mut partial)
-                        .expect("separator domain nests in clique domain");
+                    raw::marginalize_range_into_raw(
+                        src_domain,
+                        &s,
+                        range,
+                        dst_domain,
+                        partial.data_mut(),
+                    )
+                    .expect("separator domain nests in clique domain");
                 }
-                record.partials.lock().push(partial);
+                record.partials.lock().push((part, partial));
             }
         }
         TaskKind::Divide { num, den, dst } => {
-            // SAFETY: sibling subtasks write disjoint dst ranges.
-            let d = unsafe { sh.arena.get_mut(dst) };
-            let (nm, dn) = unsafe { (sh.arena.get(num), sh.arena.get(den)) };
-            d.data_mut()[range.start..range.end]
-                .copy_from_slice(&nm.data()[range.start..range.end]);
-            d.divide_assign_range(range, dn)
+            // SAFETY: sibling subtasks own disjoint dst windows; num and
+            // den are only read, ordered after their writers by the DAG.
+            let nm = unsafe { sh.view.read_full(num) };
+            let dn = unsafe { sh.view.read_full(den) };
+            let mut d = unsafe { sh.view.write_range(dst, range) };
+            raw::divide_range_into(&nm, &dn, range, d.as_mut_slice())
                 .expect("separator domains agree");
         }
         TaskKind::Extend { src, dst } => {
-            // SAFETY: sibling subtasks write disjoint dst ranges.
-            let d = unsafe { sh.arena.get_mut(dst) };
-            let s = unsafe { sh.arena.get(src) };
-            s.extend_range_into(range, d)
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            // SAFETY: as for Divide — disjoint dst windows, read-only src.
+            let s = unsafe { sh.view.read_full(src) };
+            let mut d = unsafe { sh.view.write_range(dst, range) };
+            raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("separator domain nests in clique domain");
         }
         TaskKind::Multiply { src, dst } => {
-            // SAFETY: sibling subtasks write disjoint dst ranges.
-            let d = unsafe { sh.arena.get_mut(dst) };
-            let s = unsafe { sh.arena.get(src) };
-            d.multiply_assign_range(range, s)
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            // SAFETY: as for Divide — disjoint dst windows, read-only src.
+            let s = unsafe { sh.view.read_full(src) };
+            let mut d = unsafe { sh.view.write_range(dst, range) };
+            raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("extended ratio matches clique domain");
         }
     }
@@ -379,10 +480,15 @@ fn run_part(
         complete_static(sh, record.task, stats);
     } else if record.final_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
         // combiner becomes ready
+        let weight = record.ranges[n - 1].len() as u64;
         allocate(
             sh,
-            Exec::Part { rec, part: n - 1 },
-            record.ranges[n - 1].len() as u64,
+            Exec::Part {
+                rec,
+                part: n - 1,
+                weight,
+            },
+            weight,
             stats,
         );
     }
@@ -399,45 +505,57 @@ fn complete_static(sh: &Shared<'_>, t: TaskId, stats: &mut ThreadStats) {
     sh.remaining.fetch_sub(1, Ordering::AcqRel);
 }
 
-/// Whole-task execution against the arena; mirrors
-/// `evprop_taskgraph::execute_full`, which the sequential engine uses —
-/// keeping both paths trivially comparable.
+/// Whole-task execution through the job's view; runs the same raw
+/// primitives as the partitioned path (over the full range), so the
+/// partitioned and unpartitioned schedules compute literally the same
+/// arithmetic.
 ///
 /// # Safety
 ///
 /// Caller must hold (via the task DAG) exclusive access to the task's
 /// destination buffer and shared access to its sources.
-unsafe fn exec_full(kind: &TaskKind, arena: &TableArena) {
+unsafe fn exec_full(sh: &Shared<'_>, kind: &TaskKind) {
+    let buffers = sh.graph.buffers();
     match *kind {
         TaskKind::Marginalize { src, dst, max } => {
-            let d = arena.get_mut(dst);
-            let s = arena.get(src);
-            d.fill(0.0);
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = sh.view.read_full(src);
+            let mut d = sh.view.write_full(dst);
+            let out = d.as_mut_slice();
+            out.fill(0.0);
             let range = EntryRange::full(s.len());
             if max {
-                s.max_marginalize_range_into(range, d)
+                raw::max_marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
                     .expect("separator domain nests in clique domain");
             } else {
-                s.marginalize_range_into(range, d)
+                raw::marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
                     .expect("separator domain nests in clique domain");
             }
         }
         TaskKind::Divide { num, den, dst } => {
-            let d = arena.get_mut(dst);
-            let (nm, dn) = (arena.get(num), arena.get(den));
-            d.data_mut().copy_from_slice(nm.data());
-            d.divide_assign(dn).expect("separator domains agree");
+            let nm = sh.view.read_full(num);
+            let dn = sh.view.read_full(den);
+            let mut d = sh.view.write_full(dst);
+            raw::divide_range_into(&nm, &dn, EntryRange::full(nm.len()), d.as_mut_slice())
+                .expect("separator domains agree");
         }
         TaskKind::Extend { src, dst } => {
-            let d = arena.get_mut(dst);
-            let s = arena.get(src);
-            s.extend_range_into(EntryRange::full(d.len()), d)
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = sh.view.read_full(src);
+            let mut d = sh.view.write_full(dst);
+            let range = EntryRange::full(d.len());
+            raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("separator domain nests in clique domain");
         }
         TaskKind::Multiply { src, dst } => {
-            let d = arena.get_mut(dst);
-            let s = arena.get(src);
-            d.multiply_assign(s)
+            let src_domain = &buffers[src.index()].domain;
+            let dst_domain = &buffers[dst.index()].domain;
+            let s = sh.view.read_full(src);
+            let mut d = sh.view.write_full(dst);
+            let range = EntryRange::full(d.len());
+            raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("extended ratio matches clique domain");
         }
     }
@@ -579,5 +697,58 @@ mod tests {
         let report = run_collaborative(&g, &arena, &cfg);
         let total: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
         assert_eq!(total, g.num_tasks());
+    }
+
+    /// Regression for the weight-accounting races: after a job with
+    /// aggressive partitioning *and* stealing, every LL must be empty
+    /// and every weight counter exactly zero. A double-subtract in
+    /// `steal` (or a fetch/steal race on one entry) leaves a counter
+    /// wrapped or nonzero and fails here.
+    #[test]
+    fn weights_drain_to_zero_after_run() {
+        let (g, pots) = asia_setup();
+        for (threads, delta, stealing) in [(1, None, false), (4, Some(1), true), (8, Some(2), true)]
+        {
+            let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+            let mut cfg = SchedulerConfig::with_threads(threads);
+            cfg.partition_threshold = delta;
+            cfg.work_stealing = stealing;
+            // SAFETY: this test is the arena's only user; workers are
+            // joined by the scope before `assert_drained` runs.
+            let sh = unsafe { Shared::prepare(&g, &arena, &cfg, threads) };
+            std::thread::scope(|s| {
+                for id in 0..threads {
+                    let shr = &sh;
+                    s.spawn(move || worker(shr, id));
+                }
+            });
+            sh.assert_drained();
+        }
+    }
+
+    /// The weight-aware initial distribution: with one worker far ahead
+    /// in weight, new roots must land on the lighter workers first.
+    #[test]
+    fn prepare_distributes_roots_by_weight() {
+        let (g, pots) = asia_setup();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let cfg = SchedulerConfig::with_threads(2);
+        // SAFETY: sole user of the arena; no workers run in this test.
+        let sh = unsafe { Shared::prepare(&g, &arena, &cfg, 2) };
+        let weights: Vec<u64> = sh
+            .lls
+            .iter()
+            .map(|ll| ll.weight.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = g.initial_ready().iter().map(|&t| g.task(t).weight).sum();
+        assert_eq!(weights.iter().sum::<u64>(), total);
+        // least-loaded placement keeps the gap below the heaviest root
+        let heaviest = g
+            .initial_ready()
+            .iter()
+            .map(|&t| g.task(t).weight)
+            .max()
+            .unwrap_or(0);
+        assert!(weights[0].abs_diff(weights[1]) <= heaviest);
     }
 }

@@ -34,7 +34,7 @@ mod generic;
 mod pool;
 mod stats;
 
-pub use arena::TableArena;
+pub use arena::{ArenaView, RangeView, ReadView, TableArena};
 pub use collab::run_collaborative;
 pub use config::SchedulerConfig;
 pub use generic::{DagBuilder, DagTaskId};

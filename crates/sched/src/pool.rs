@@ -154,7 +154,11 @@ impl CollabPool {
         }
 
         let _submission = self.submit.lock();
-        let shared = Shared::prepare(graph, arena, cfg, p);
+        // SAFETY: the submission lock makes this job the arena's only
+        // user until `run` returns — no other job can derive a view or
+        // touch the buffers — and the completion handshake below joins
+        // every worker access before we drop `shared`.
+        let shared = unsafe { Shared::prepare(graph, arena, cfg, p) };
 
         let wall_start = Instant::now();
         {
@@ -170,6 +174,10 @@ impl CollabPool {
             report.threads.clone_from_slice(&slot.results);
         }
         report.wall = wall_start.elapsed();
+        // Catch scheduler bookkeeping leaks (lost tasks, weight-counter
+        // drift) at the end of every job while testing.
+        #[cfg(debug_assertions)]
+        shared.assert_drained();
         shared.finish_into(&mut report);
         report
     }
