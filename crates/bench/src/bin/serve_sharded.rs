@@ -1,0 +1,340 @@
+//! Sharded-serving benchmark (extension): how should a fixed thread
+//! budget be split across shards?
+//!
+//! For each seed workload (asia, student, random_w8) and a total
+//! budget of `T` worker threads, measures:
+//!
+//! * **single-pool baseline** — one [`PooledEngine`] with `T` threads,
+//!   one closed-loop client (the PR-2 serving path, no queue);
+//! * **shard layouts** — a [`ShardedRuntime`] at `1×T`, `2×(T/2)`,
+//!   `T×1`, each driven closed-loop by one client thread per shard;
+//! * **open-loop overload** — a producer firing the whole stream at a
+//!   deliberately tiny admission queue via `try_submit`, demonstrating
+//!   bounded queue depth and load shedding under overload.
+//!
+//! Prints a CSV-ish summary and writes `BENCH_serve_sharded.json`.
+//! Throughput numbers are wall-clock on whatever cores the host
+//! exposes (`host_cores` in the JSON) — on a single-core container
+//! the layouts mostly measure scheduling overhead, not parallelism.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin serve_sharded
+//! ```
+
+use evprop_bayesnet::networks;
+use evprop_core::{InferenceSession, PooledEngine, Query};
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_sched::SchedulerConfig;
+use evprop_serve::{RuntimeConfig, RuntimeStats, ServeError, ShardedRuntime};
+use evprop_workloads::{random_tree, TreeParams};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Total worker-thread budget split across layouts.
+const THREAD_BUDGET: usize = 4;
+/// Queue depth for the overload leg — small enough that an open-loop
+/// producer saturates it instantly.
+const OVERLOAD_DEPTH: usize = 8;
+
+struct Workload {
+    name: &'static str,
+    session: Arc<InferenceSession>,
+    num_vars: u32,
+    queries: usize,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let asia = networks::asia();
+    out.push(Workload {
+        name: "asia",
+        num_vars: asia.num_vars() as u32,
+        session: Arc::new(InferenceSession::from_network(&asia).unwrap()),
+        queries: 400,
+    });
+    let student = networks::student();
+    out.push(Workload {
+        name: "student",
+        num_vars: student.num_vars() as u32,
+        session: Arc::new(InferenceSession::from_network(&student).unwrap()),
+        queries: 400,
+    });
+    let shape = random_tree(&TreeParams::new(64, 8, 2, 4).with_seed(0xF9));
+    let jt = JunctionTree::from_parts(
+        shape.clone(),
+        shape
+            .domains()
+            .iter()
+            .map(|d| {
+                let mut t = evprop_potential::PotentialTable::ones(d.clone());
+                t.fill(0.5);
+                t
+            })
+            .collect(),
+    )
+    .unwrap();
+    let num_vars = shape
+        .domains()
+        .iter()
+        .flat_map(|d| d.vars().iter().map(|v| v.id().0))
+        .max()
+        .unwrap()
+        + 1;
+    out.push(Workload {
+        name: "random_w8",
+        num_vars,
+        session: Arc::new(InferenceSession::from_junction_tree(jt)),
+        queries: 100,
+    });
+    out
+}
+
+/// The same deterministic stream as `serve_throughput`.
+fn query_stream(w: &Workload, seed: u64) -> Vec<Query> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let in_tree = |v: u32| {
+        w.session
+            .junction_tree()
+            .clique_containing(VarId(v))
+            .is_some()
+    };
+    let vars: Vec<u32> = (0..w.num_vars).filter(|&v| in_tree(v)).collect();
+    (0..w.queries)
+        .map(|_| {
+            let target = vars[rng.gen_range(0..vars.len())];
+            let mut ev = EvidenceSet::new();
+            if vars.len() > 1 {
+                let mut obs = target;
+                while obs == target {
+                    obs = vars[rng.gen_range(0..vars.len())];
+                }
+                ev.observe(VarId(obs), 0);
+            }
+            Query::new(VarId(target), ev)
+        })
+        .collect()
+}
+
+/// One closed-loop client on a dedicated single-shard pool — the PR-2
+/// serving baseline the sharded runtime must not regress.
+fn run_single_pool(w: &Workload, queries: &[Query]) -> (f64, f64) {
+    let engine = PooledEngine::new(SchedulerConfig::with_threads(THREAD_BUDGET));
+    let jt = w.session.junction_tree();
+    let graph = w.session.task_graph();
+    engine
+        .posterior(jt, graph, queries[0].target, &queries[0].evidence)
+        .expect("warmup");
+    let start = Instant::now();
+    for q in queries {
+        engine
+            .posterior(jt, graph, q.target, &q.evidence)
+            .expect("stream queries are answerable");
+    }
+    let total = start.elapsed().as_secs_f64();
+    (queries.len() as f64 / total.max(1e-12), total)
+}
+
+struct LayoutResult {
+    shards: usize,
+    threads_per_shard: usize,
+    qps: f64,
+    total_secs: f64,
+    stats: RuntimeStats,
+}
+
+/// Closed loop: one client thread per shard, each driving its slice of
+/// the stream submit-and-wait.
+fn run_layout(
+    w: &Workload,
+    queries: &[Query],
+    shards: usize,
+    threads_per_shard: usize,
+) -> LayoutResult {
+    let session =
+        InferenceSession::from_junction_tree_unrerooted(w.session.junction_tree().clone());
+    let rt = Arc::new(ShardedRuntime::new(
+        session,
+        RuntimeConfig::new(shards, threads_per_shard),
+    ));
+    // Warm every shard's arena cache outside the timed region.
+    for _ in 0..shards * 2 {
+        rt.query(queries[0].clone()).expect("warmup");
+    }
+    let start = Instant::now();
+    let clients: Vec<_> = (0..shards)
+        .map(|c| {
+            let rt = Arc::clone(&rt);
+            let slice: Vec<Query> = queries.iter().skip(c).step_by(shards).cloned().collect();
+            std::thread::spawn(move || {
+                for q in slice {
+                    rt.query(q).expect("stream queries are answerable");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let total = start.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    rt.shutdown();
+    LayoutResult {
+        shards,
+        threads_per_shard,
+        qps: queries.len() as f64 / total.max(1e-12),
+        total_secs: total,
+        stats,
+    }
+}
+
+struct OverloadResult {
+    offered: usize,
+    admitted: usize,
+    rejected: usize,
+    high_water: usize,
+    qps_admitted: f64,
+}
+
+/// Open loop: fire the whole stream at a tiny queue without waiting.
+fn run_overload(w: &Workload, queries: &[Query]) -> OverloadResult {
+    let session =
+        InferenceSession::from_junction_tree_unrerooted(w.session.junction_tree().clone());
+    let rt = Arc::new(ShardedRuntime::new(
+        session,
+        RuntimeConfig::new(THREAD_BUDGET, 1).with_queue_depth(OVERLOAD_DEPTH),
+    ));
+    rt.query(queries[0].clone()).expect("warmup");
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for q in queries {
+        match rt.try_submit(q.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    let admitted = tickets.len();
+    for t in tickets {
+        t.wait().expect("admitted queries are answerable");
+    }
+    let total = start.elapsed().as_secs_f64();
+    let high_water = rt.stats().queue_high_water;
+    assert!(
+        high_water <= OVERLOAD_DEPTH,
+        "queue exceeded its bound: {high_water} > {OVERLOAD_DEPTH}"
+    );
+    rt.shutdown();
+    OverloadResult {
+        offered: queries.len(),
+        admitted,
+        rejected,
+        high_water,
+        qps_admitted: admitted as f64 / total.max(1e-12),
+    }
+}
+
+fn layouts_for(budget: usize) -> Vec<(usize, usize)> {
+    let mut out = vec![(1, budget)];
+    if budget >= 4 {
+        out.push((2, budget / 2));
+    }
+    out.push((budget, 1));
+    out
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# sharded serving: layouts of a {THREAD_BUDGET}-thread budget ({host_cores} host cores)"
+    );
+    evprop_bench::header(&[
+        "workload", "layout", "qps", "p50_us", "p99_us", "queue_hw", "arenas",
+    ]);
+
+    let mut json_workloads = Vec::new();
+    for w in workloads() {
+        let queries = query_stream(&w, 0xC0FFEE);
+        let (pool_qps, pool_secs) = run_single_pool(&w, &queries);
+        println!("{},single_pool_1x{THREAD_BUDGET},{pool_qps:.0},,,,", w.name);
+
+        let mut json_layouts = Vec::new();
+        for (shards, threads_per_shard) in layouts_for(THREAD_BUDGET) {
+            let r = run_layout(&w, &queries, shards, threads_per_shard);
+            let arenas: u64 = r.stats.shards.iter().map(|s| s.arenas_allocated).sum();
+            println!(
+                "{},sharded_{}x{},{:.0},{:.0},{:.0},{},{}",
+                w.name,
+                r.shards,
+                r.threads_per_shard,
+                r.qps,
+                r.stats.p50.as_micros(),
+                r.stats.p99.as_micros(),
+                r.stats.queue_high_water,
+                arenas
+            );
+            json_layouts.push(format!(
+                concat!(
+                    "        {{\"shards\": {}, \"threads_per_shard\": {}, ",
+                    "\"qps\": {:.1}, \"total_secs\": {:.4}, ",
+                    "\"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, ",
+                    "\"queue_high_water\": {}, \"arenas_allocated\": {}}}"
+                ),
+                r.shards,
+                r.threads_per_shard,
+                r.qps,
+                r.total_secs,
+                r.stats.p50.as_micros(),
+                r.stats.p95.as_micros(),
+                r.stats.p99.as_micros(),
+                r.stats.queue_high_water,
+                arenas
+            ));
+        }
+
+        let o = run_overload(&w, &queries);
+        println!(
+            "{},overload_{}x1_depth{},{:.0},,,{},",
+            w.name, THREAD_BUDGET, OVERLOAD_DEPTH, o.qps_admitted, o.high_water
+        );
+        json_workloads.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"queries\": {},\n",
+                "     \"single_pool\": {{\"threads\": {}, \"qps\": {:.1}, \"total_secs\": {:.4}}},\n",
+                "     \"layouts\": [\n{}\n     ],\n",
+                "     \"overload\": {{\"shards\": {}, \"queue_depth\": {}, \"offered\": {}, ",
+                "\"admitted\": {}, \"rejected\": {}, \"queue_high_water\": {}, ",
+                "\"qps_admitted\": {:.1}, \"bounded\": {}}}}}"
+            ),
+            w.name,
+            queries.len(),
+            THREAD_BUDGET,
+            pool_qps,
+            pool_secs,
+            json_layouts.join(",\n"),
+            THREAD_BUDGET,
+            OVERLOAD_DEPTH,
+            o.offered,
+            o.admitted,
+            o.rejected,
+            o.high_water,
+            o.qps_admitted,
+            o.high_water <= OVERLOAD_DEPTH
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"serve_sharded\",\n",
+            "  \"thread_budget\": {},\n  \"host_cores\": {},\n",
+            "  \"workloads\": [\n{}\n  ]\n}}\n"
+        ),
+        THREAD_BUDGET,
+        host_cores,
+        json_workloads.join(",\n")
+    );
+    std::fs::write("BENCH_serve_sharded.json", &json).expect("write BENCH_serve_sharded.json");
+    println!("# wrote BENCH_serve_sharded.json");
+}

@@ -6,6 +6,7 @@
 //! evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine E] [--threads N]
 //! evprop export <sprinkler|asia|student>
 //! evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
+//! evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M]
 //! evprop simulate --cliques N --width W --states R --degree K [--cores P]...
 //! ```
 
@@ -29,6 +30,7 @@ const USAGE: &str = "usage:
   evprop export <sprinkler|asia|student>
   evprop dot <file.bif> [--tasks]
   evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
+  evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B]
   evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]";
 
 fn main() -> ExitCode {
@@ -297,6 +299,9 @@ fn random_queries(net: &evprop_bayesnet::BayesianNetwork, n: usize, seed: u64) -
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("serve needs a file".to_string())?;
     let bif = load(path)?;
+    if let Some(addr) = flag_value(args, "--listen") {
+        return cmd_serve_listen(bif, addr, args);
+    }
     let queries = match flag_value(args, "--queries") {
         Some(v) => v
             .parse::<usize>()
@@ -351,6 +356,46 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `evprop serve <file.bif> --listen ADDR`: boot the sharded runtime
+/// and answer newline-delimited JSON queries over TCP until killed.
+fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), String> {
+    use evprop_serve::{RuntimeConfig, ShardedRuntime, TcpServer};
+    use std::sync::Arc;
+
+    let parse_flag = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, flag) {
+            Some(v) => v.parse().map_err(|_| format!("bad {flag} '{v}'")),
+            None => Ok(default),
+        }
+    };
+    let shards = parse_flag("--shards", 2)?;
+    let threads_per_shard = parse_flag("--threads-per-shard", 1)?;
+    let mut config = RuntimeConfig::new(shards.max(1), threads_per_shard.max(1))
+        .with_queue_depth(parse_flag("--queue-depth", 64)?.max(1))
+        .with_max_batch(parse_flag("--batch", 8)?.max(1));
+    if args.iter().any(|a| a == "--no-partitioning") {
+        config = config.without_partitioning();
+    }
+
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    let runtime = Arc::new(ShardedRuntime::new(session, config));
+    let names = Arc::new(bif);
+    let server = TcpServer::bind(addr, Arc::clone(&runtime), names)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on {} [{} shard(s) x {} thread(s), queue depth {}, batch {}]",
+        server.local_addr(),
+        runtime.config().shards,
+        runtime.config().threads_per_shard,
+        runtime.config().queue_depth,
+        runtime.config().max_batch,
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

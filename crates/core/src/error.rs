@@ -18,6 +18,10 @@ pub enum EngineError {
     Jtree(JtreeError),
     /// A potential-table operation failed.
     Potential(PotentialError),
+    /// A scheduler worker thread panicked while executing the job. The
+    /// pool survives (panics are contained per job), but this query
+    /// produced no result.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +35,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Jtree(e) => write!(f, "junction tree error: {e}"),
             EngineError::Potential(e) => write!(f, "potential-table error: {e}"),
+            EngineError::WorkerPanicked(msg) => {
+                write!(f, "worker thread panicked during the job: {msg}")
+            }
         }
     }
 }

@@ -54,6 +54,7 @@ mod par_exec;
 mod pooled;
 mod sequential;
 mod session;
+mod shard;
 
 pub use calibrated::Calibrated;
 pub use collaborative::CollaborativeEngine;
@@ -65,6 +66,7 @@ pub use openmp::OpenMpStyleEngine;
 pub use pooled::PooledEngine;
 pub use sequential::SequentialEngine;
 pub use session::{InferenceSession, Query, QueryBatch};
+pub use shard::ShardState;
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,24 +1,21 @@
 //! Compile-once, serve-many: the collaborative scheduler behind a
 //! persistent worker pool with recycled table arenas.
 
-use crate::{Calibrated, Engine, Result};
+use crate::{Calibrated, Engine, Result, ShardState};
 use evprop_jtree::JunctionTree;
 use evprop_potential::{EvidenceSet, PotentialTable, VarId};
-use evprop_sched::{CollabPool, RunReport, SchedulerConfig, TableArena};
+use evprop_sched::{RunReport, SchedulerConfig};
 use evprop_taskgraph::TaskGraph;
-use parking_lot::Mutex;
-
-/// Arenas kept warm between queries. Jobs are serialized on the pool,
-/// so one arena per concurrently-used task graph (sum-product,
-/// max-product, the occasional collect-only graph) is plenty.
-const MAX_CACHED_ARENAS: usize = 4;
 
 /// A [`CollaborativeEngine`](crate::CollaborativeEngine) variant for
 /// services: worker threads are spawned **once** (a resident
-/// [`CollabPool`]) and table arenas are **recycled** across queries
-/// ([`TableArena::reset`] instead of a fresh allocation), so the
-/// steady-state cost of a query is the propagation itself — no thread
-/// spawn, no buffer allocation.
+/// [`evprop_sched::CollabPool`]) and table arenas are **recycled**
+/// across queries ([`evprop_sched::TableArena::reset`] instead of a
+/// fresh allocation), so the steady-state cost of a query is the
+/// propagation itself — no thread spawn, no buffer allocation.
+///
+/// Internally this is exactly one [`ShardState`]; the sharded serving
+/// runtime (`evprop-serve`) runs N of them side by side.
 ///
 /// # Example
 ///
@@ -39,20 +36,14 @@ const MAX_CACHED_ARENAS: usize = 4;
 /// # Ok::<(), evprop_core::EngineError>(())
 /// ```
 pub struct PooledEngine {
-    pool: CollabPool,
-    config: SchedulerConfig,
-    /// Recycled arenas, matched back to graphs by buffer layout.
-    arenas: Mutex<Vec<TableArena>>,
-    last_report: Mutex<Option<RunReport>>,
+    shard: ShardState,
 }
 
 impl std::fmt::Debug for PooledEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PooledEngine")
-            .field("pool", &self.pool)
-            .field("config", &self.config)
-            .field("cached_arenas", &self.arenas.lock().len())
-            .finish_non_exhaustive()
+            .field("shard", &self.shard)
+            .finish()
     }
 }
 
@@ -60,10 +51,7 @@ impl PooledEngine {
     /// An engine with resident `config.num_threads` workers.
     pub fn new(config: SchedulerConfig) -> Self {
         PooledEngine {
-            pool: CollabPool::new(config.num_threads),
-            config,
-            arenas: Mutex::new(Vec::new()),
-            last_report: Mutex::new(None),
+            shard: ShardState::new(config),
         }
     }
 
@@ -74,12 +62,18 @@ impl PooledEngine {
 
     /// The scheduler configuration.
     pub fn config(&self) -> &SchedulerConfig {
-        &self.config
+        self.shard.config()
     }
 
     /// Number of resident worker threads.
     pub fn num_threads(&self) -> usize {
-        self.pool.num_threads()
+        self.shard.num_threads()
+    }
+
+    /// The underlying shard, for callers that want arena-level control
+    /// ([`ShardState::checkout`] / [`ShardState::posterior_on`]).
+    pub fn shard(&self) -> &ShardState {
+        &self.shard
     }
 
     /// Per-thread statistics of the most recent job, if any. On the
@@ -87,56 +81,20 @@ impl PooledEngine {
     /// `total_tables_allocated` stays 0 for unpartitioned steady-state
     /// queries — the two numbers this engine exists to shrink.
     pub fn last_report(&self) -> Option<RunReport> {
-        self.last_report.lock().clone()
-    }
-
-    /// Takes a warm arena matching `graph` from the cache (resetting it
-    /// in place), or allocates a fresh one on a cold start.
-    fn checkout(
-        &self,
-        graph: &TaskGraph,
-        clique_potentials: &[PotentialTable],
-        evidence: &EvidenceSet,
-    ) -> TableArena {
-        let cached = {
-            let mut cache = self.arenas.lock();
-            cache
-                .iter()
-                .position(|a| a.matches(graph))
-                .map(|i| cache.swap_remove(i))
-        };
-        match cached {
-            Some(mut arena) => {
-                arena.reset(graph, clique_potentials, evidence);
-                arena
-            }
-            None => TableArena::initialize(graph, clique_potentials, evidence),
-        }
-    }
-
-    /// Returns an arena to the cache for the next query.
-    fn recycle(&self, arena: TableArena) {
-        let mut cache = self.arenas.lock();
-        if cache.len() < MAX_CACHED_ARENAS {
-            cache.push(arena);
-        }
-    }
-
-    /// Runs one job on the resident pool and stores its report.
-    fn run_job(&self, graph: &TaskGraph, arena: &TableArena) {
-        let report = self.pool.run(graph, arena, &self.config);
-        *self.last_report.lock() = Some(report);
+        self.shard.last_report()
     }
 
     /// Posterior marginal of `var` without materializing a full
     /// [`Calibrated`]: propagates, marginalizes straight out of the
-    /// arena buffer of a clique covering `var`, and recycles the arena —
-    /// the only allocation on a warm path is the returned marginal.
+    /// arena buffer of the smallest clique covering `var`, and recycles
+    /// the arena — the only allocation on a warm path is the returned
+    /// marginal.
     ///
     /// # Errors
     ///
     /// [`crate::EngineError::VariableNotInTree`] if no clique covers
-    /// `var`; [`crate::EngineError::ImpossibleEvidence`] if `P(e) = 0`.
+    /// `var`; [`crate::EngineError::ImpossibleEvidence`] if `P(e) = 0`;
+    /// [`crate::EngineError::WorkerPanicked`] if a worker died mid-job.
     pub fn posterior(
         &self,
         jt: &JunctionTree,
@@ -144,28 +102,14 @@ impl PooledEngine {
         var: VarId,
         evidence: &EvidenceSet,
     ) -> Result<PotentialTable> {
-        let target = jt
-            .clique_containing(var)
-            .ok_or(crate::EngineError::VariableNotInTree(var))?;
-        let mut arena = self.checkout(graph, jt.potentials(), evidence);
-        self.run_job(graph, &arena);
-        let table = &arena.tables_mut()[graph.clique_buffer(target).index()];
-        let sub = table.domain().project(&[var]);
-        let marginal = table.marginalize(&sub);
-        self.recycle(arena);
-        let mut m = marginal?;
-        if m.sum() <= 0.0 {
-            return Err(crate::EngineError::ImpossibleEvidence);
-        }
-        m.normalize();
-        Ok(m)
+        self.shard.posterior(jt, graph, var, evidence)
     }
 
-    /// Answers a batch of queries, reusing **one** arena slot across
-    /// the whole batch: each query resets the arena in place, runs as
-    /// one pool job, and yields its normalized posterior. Queries run
-    /// back-to-back on the resident workers; results are in input
-    /// order.
+    /// Answers a batch of queries, reusing **one** arena (and its
+    /// evidence-scratch buffers) across the whole batch: each query
+    /// resets the arena in place, runs as one pool job, and yields its
+    /// normalized posterior. Queries run back-to-back on the resident
+    /// workers; results are in input order.
     ///
     /// # Errors
     ///
@@ -177,11 +121,7 @@ impl PooledEngine {
         graph: &TaskGraph,
         queries: &[crate::Query],
     ) -> Result<Vec<PotentialTable>> {
-        let mut out = Vec::with_capacity(queries.len());
-        for q in queries {
-            out.push(self.posterior(jt, graph, q.target, &q.evidence)?);
-        }
-        Ok(out)
+        self.shard.posterior_batch(jt, graph, queries)
     }
 }
 
@@ -196,16 +136,7 @@ impl Engine for PooledEngine {
         graph: &TaskGraph,
         evidence: &EvidenceSet,
     ) -> Result<Calibrated> {
-        let mut arena = self.checkout(graph, jt.potentials(), evidence);
-        self.run_job(graph, &arena);
-        // Clone the calibrated clique tables out instead of consuming
-        // the arena — the buffers stay allocated for the next query.
-        let tables = arena.tables_mut();
-        let cliques: Vec<PotentialTable> = (0..jt.num_cliques())
-            .map(|c| tables[graph.clique_buffer(evprop_jtree::CliqueId(c)).index()].clone())
-            .collect();
-        self.recycle(arena);
-        Ok(Calibrated::new(jt.shape().clone(), cliques))
+        self.shard.calibrate(jt, graph, evidence)
     }
 }
 
@@ -244,7 +175,8 @@ mod tests {
             let report = engine.last_report().unwrap();
             assert_eq!(report.total_tables_allocated(), 0);
         }
-        assert_eq!(engine.arenas.lock().len(), 1);
+        assert_eq!(engine.shard.cached_arenas(), 1);
+        assert_eq!(engine.shard.arenas_allocated(), 1);
     }
 
     #[test]

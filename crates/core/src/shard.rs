@@ -1,0 +1,330 @@
+//! The reusable core of a serving shard: one resident worker pool plus
+//! a cache of recycled table arenas.
+//!
+//! [`ShardState`] is the engine-agnostic building block that both
+//! [`PooledEngine`](crate::PooledEngine) (one shard behind the
+//! [`Engine`](crate::Engine) trait) and the `evprop-serve` sharded
+//! runtime (N shards, each owning one `ShardState`) are built from.
+//! The serialized-jobs arena invariant holds *per shard*: a shard's
+//! pool runs one job at a time, so its arenas are never aliased across
+//! concurrent jobs.
+
+use crate::{Calibrated, EngineError, Result};
+use evprop_jtree::{CliqueId, JunctionTree};
+use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+use evprop_sched::{CollabPool, RunReport, SchedulerConfig, TableArena};
+use evprop_taskgraph::TaskGraph;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Arenas kept warm between queries. Jobs are serialized on the pool,
+/// so one arena per concurrently-used task graph (sum-product,
+/// max-product, the occasional collect-only graph) is plenty.
+const MAX_CACHED_ARENAS: usize = 4;
+
+/// One serving shard: a resident [`CollabPool`] and recycled
+/// [`TableArena`]s, answering queries with zero steady-state table
+/// allocation.
+///
+/// All methods take `&self`; concurrent callers are serialized on the
+/// pool's submission lock, which is exactly the invariant the arena's
+/// `unsafe impl Sync` relies on.
+pub struct ShardState {
+    pool: CollabPool,
+    config: SchedulerConfig,
+    /// Recycled arenas, matched back to graphs by buffer layout.
+    arenas: Mutex<Vec<TableArena>>,
+    last_report: Mutex<Option<RunReport>>,
+    /// Cold-start arena allocations since construction — stays flat in
+    /// steady state, which the serving tests assert.
+    arenas_allocated: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardState")
+            .field("pool", &self.pool)
+            .field("config", &self.config)
+            .field("cached_arenas", &self.arenas.lock().len())
+            .field("arenas_allocated", &self.arenas_allocated())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardState {
+    /// A shard with resident `config.num_threads` workers.
+    pub fn new(config: SchedulerConfig) -> Self {
+        ShardState {
+            pool: CollabPool::new(config.num_threads),
+            config,
+            arenas: Mutex::new(Vec::new()),
+            last_report: Mutex::new(None),
+            arenas_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// A shard with `threads` resident workers and default δ.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(SchedulerConfig::with_threads(threads))
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Number of resident worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Per-thread statistics of the most recent job, if any.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// Cold-start arena allocations since construction. A warm shard
+    /// answering queries for graphs it has seen before does not move
+    /// this counter.
+    pub fn arenas_allocated(&self) -> u64 {
+        self.arenas_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Number of arenas currently parked in the recycle cache.
+    pub fn cached_arenas(&self) -> usize {
+        self.arenas.lock().len()
+    }
+
+    /// Takes a warm arena matching `graph` from the cache, or allocates
+    /// a fresh one (initialized with empty evidence) on a cold start.
+    /// The caller is expected to [`TableArena::reset`] it with the
+    /// query's evidence — [`ShardState::posterior_on`] does — and hand
+    /// it back via [`ShardState::recycle`].
+    pub fn checkout(&self, graph: &TaskGraph, clique_potentials: &[PotentialTable]) -> TableArena {
+        let cached = {
+            let mut cache = self.arenas.lock();
+            cache
+                .iter()
+                .position(|a| a.matches(graph))
+                .map(|i| cache.swap_remove(i))
+        };
+        cached.unwrap_or_else(|| {
+            self.arenas_allocated.fetch_add(1, Ordering::Relaxed);
+            TableArena::initialize(graph, clique_potentials, &EvidenceSet::new())
+        })
+    }
+
+    /// Returns an arena to the cache for the next query.
+    pub fn recycle(&self, arena: TableArena) {
+        let mut cache = self.arenas.lock();
+        if cache.len() < MAX_CACHED_ARENAS {
+            cache.push(arena);
+        }
+    }
+
+    /// Runs one job on the resident pool and stores its report.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] if a worker thread panicked; the
+    /// pool itself stays usable, but the arena's contents are
+    /// unspecified (the next `reset` reinitializes them).
+    pub fn run_job(&self, graph: &TaskGraph, arena: &TableArena) -> Result<()> {
+        match self.pool.run(graph, arena, &self.config) {
+            Ok(report) => {
+                *self.last_report.lock() = Some(report);
+                Ok(())
+            }
+            Err(panic) => Err(EngineError::WorkerPanicked(panic.message().to_string())),
+        }
+    }
+
+    /// Answers one query **on a caller-held arena**: resets the arena
+    /// with the query's evidence, propagates, and marginalizes `var`
+    /// straight out of the buffer of the smallest clique covering it —
+    /// the same clique [`Calibrated::marginal`] picks, so results are
+    /// bit-identical to the sequential path on unpartitioned runs.
+    ///
+    /// This is the batch building block: checking out one arena and
+    /// calling this per query reuses the evidence-scratch buffers for
+    /// the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::VariableNotInTree`] if no clique covers `var`;
+    /// [`EngineError::ImpossibleEvidence`] if `P(e) = 0`;
+    /// [`EngineError::WorkerPanicked`] if a worker died mid-job.
+    pub fn posterior_on(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        arena: &mut TableArena,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        let target = (0..jt.num_cliques())
+            .map(CliqueId)
+            .filter(|&c| jt.shape().domain(c).contains(var))
+            .min_by_key(|&c| jt.shape().domain(c).size())
+            .ok_or(EngineError::VariableNotInTree(var))?;
+        arena.reset(graph, jt.potentials(), evidence);
+        self.run_job(graph, arena)?;
+        let table = &arena.tables_mut()[graph.clique_buffer(target).index()];
+        let sub = table.domain().project(&[var]);
+        let mut m = table.marginalize(&sub)?;
+        if m.sum() <= 0.0 {
+            return Err(EngineError::ImpossibleEvidence);
+        }
+        m.normalize();
+        Ok(m)
+    }
+
+    /// Checkout–answer–recycle convenience for a single query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardState::posterior_on`].
+    pub fn posterior(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        let mut arena = self.checkout(graph, jt.potentials());
+        let result = self.posterior_on(jt, graph, &mut arena, var, evidence);
+        self.recycle(arena);
+        result
+    }
+
+    /// Answers a batch of queries reusing **one** arena across the
+    /// whole batch: the arena (and its evidence-scratch buffers) is
+    /// checked out once, each query resets it in place, and it is
+    /// recycled at the end. Results are in input order.
+    ///
+    /// # Errors
+    ///
+    /// Per-query errors as in [`ShardState::posterior_on`]; the first
+    /// error aborts the batch.
+    pub fn posterior_batch(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        queries: &[crate::Query],
+    ) -> Result<Vec<PotentialTable>> {
+        let mut arena = self.checkout(graph, jt.potentials());
+        let mut out = Vec::with_capacity(queries.len());
+        let mut first_err = None;
+        for q in queries {
+            match self.posterior_on(jt, graph, &mut arena, q.target, &q.evidence) {
+                Ok(m) => out.push(m),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.recycle(arena);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Full calibration: propagates and clones every clique table out
+    /// into a [`Calibrated`], leaving the arena in the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] if a worker died mid-job.
+    pub fn calibrate(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        evidence: &EvidenceSet,
+    ) -> Result<Calibrated> {
+        let mut arena = self.checkout(graph, jt.potentials());
+        arena.reset(graph, jt.potentials(), evidence);
+        if let Err(e) = self.run_job(graph, &arena) {
+            self.recycle(arena);
+            return Err(e);
+        }
+        // Clone the calibrated clique tables out instead of consuming
+        // the arena — the buffers stay allocated for the next query.
+        let tables = arena.tables_mut();
+        let cliques: Vec<PotentialTable> = (0..jt.num_cliques())
+            .map(|c| tables[graph.clique_buffer(CliqueId(c)).index()].clone())
+            .collect();
+        self.recycle(arena);
+        Ok(Calibrated::new(jt.shape().clone(), cliques))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use crate::{Query, SequentialEngine};
+    use evprop_bayesnet::networks;
+
+    #[test]
+    fn shard_posterior_bit_identical_to_sequential() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let shard = ShardState::new(SchedulerConfig::with_threads(2).without_partitioning());
+        for state in 0..2 {
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(7), state);
+            let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+            for v in 0..8u32 {
+                let got = shard.posterior(&jt, &graph, VarId(v), &ev).unwrap();
+                let want = reference.marginal(VarId(v)).unwrap();
+                assert_eq!(got.data(), want.data(), "V{v} state {state}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reuses_one_arena_with_zero_steady_state_allocation() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let shard = ShardState::new(SchedulerConfig::with_threads(2).without_partitioning());
+        let queries: Vec<Query> = (0..6u32)
+            .map(|i| {
+                let mut ev = EvidenceSet::new();
+                ev.observe(VarId(7), (i % 2) as usize);
+                Query::new(VarId(i % 3), ev)
+            })
+            .collect();
+        let batch = shard.posterior_batch(&jt, &graph, &queries).unwrap();
+        assert_eq!(batch.len(), 6);
+        // The whole batch checked out exactly one arena …
+        assert_eq!(shard.arenas_allocated(), 1);
+        // … and a second batch on the warm shard allocates none.
+        shard.posterior_batch(&jt, &graph, &queries).unwrap();
+        assert_eq!(shard.arenas_allocated(), 1);
+        assert_eq!(shard.last_report().unwrap().total_tables_allocated(), 0);
+    }
+
+    #[test]
+    fn batch_error_recycles_arena() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let shard = ShardState::with_threads(2);
+        let queries = vec![
+            Query::new(VarId(3), EvidenceSet::new()),
+            Query::new(VarId(99), EvidenceSet::new()), // not in tree
+        ];
+        let err = shard.posterior_batch(&jt, &graph, &queries).unwrap_err();
+        assert!(matches!(err, EngineError::VariableNotInTree(_)));
+        // The arena went back to the cache despite the error.
+        assert_eq!(shard.cached_arenas(), 1);
+        assert!(shard
+            .posterior(&jt, &graph, VarId(3), &EvidenceSet::new())
+            .is_ok());
+        assert_eq!(shard.arenas_allocated(), 1);
+    }
+}

@@ -81,6 +81,11 @@ pub(crate) struct Shared<'g> {
     remaining: AtomicUsize,
     partitioned: AtomicUsize,
     subtasks: AtomicUsize,
+    /// Set when a worker panicked mid-job: the job's bookkeeping is
+    /// unrecoverable (the panicked task's successors will never become
+    /// ready), so every other worker must stop waiting for `remaining`
+    /// to hit zero and bail out instead of spinning forever.
+    aborted: AtomicBool,
 }
 
 impl<'g> Shared<'g> {
@@ -133,6 +138,7 @@ impl<'g> Shared<'g> {
             remaining: AtomicUsize::new(graph.num_tasks()),
             partitioned: AtomicUsize::new(0),
             subtasks: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
         };
         for t in graph.initial_ready() {
             let w = graph.task(t).weight;
@@ -146,6 +152,19 @@ impl<'g> Shared<'g> {
     pub(crate) fn finish_into(&self, report: &mut RunReport) {
         report.partitioned_tasks = self.partitioned.load(Ordering::Relaxed);
         report.subtasks_spawned = self.subtasks.load(Ordering::Relaxed);
+    }
+
+    /// Marks the job as unrecoverable (a worker panicked). Release
+    /// ordering pairs with the Acquire load in the worker loop: a
+    /// worker observing the flag also observes that no more of this
+    /// job's tasks will complete.
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`Shared::abort`] ran.
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
     }
 
     /// Post-job invariant: every ready list is empty and every weight
@@ -197,13 +216,16 @@ impl<'g> Shared<'g> {
 /// [`crate::CollabPool`], runs the single job, and tears the pool down —
 /// paying `cfg.num_threads` thread spawns and joins per call. Services
 /// answering many queries should hold a [`crate::CollabPool`] and call
-/// [`crate::CollabPool::run`] directly to amortize that cost.
+/// [`crate::CollabPool::run`] directly to amortize that cost (and to
+/// observe worker panics as an `Err` instead of the re-panic here).
 pub fn run_collaborative(
     graph: &TaskGraph,
     arena: &TableArena,
     cfg: &SchedulerConfig,
 ) -> RunReport {
-    crate::CollabPool::new(cfg.num_threads).run(graph, arena, cfg)
+    crate::CollabPool::new(cfg.num_threads)
+        .run(graph, arena, cfg)
+        .unwrap_or_else(|p| panic!("{p}"))
 }
 
 /// The per-thread loop: Fetch → (Partition) → Execute → Allocate.
@@ -212,7 +234,7 @@ pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
     let mut stats = ThreadStats::default();
     let backoff = Backoff::new();
     loop {
-        if sh.remaining.load(Ordering::Acquire) == 0 {
+        if sh.remaining.load(Ordering::Acquire) == 0 || sh.is_aborted() {
             break;
         }
         // Fetch: head of own LL.
@@ -306,6 +328,13 @@ fn allocate(sh: &Shared<'_>, e: Exec, w: u64, stats: &mut ThreadStats) {
 fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
     match e {
         Exec::Static(t) => {
+            // Test-only fault injection: poison one task to exercise the
+            // pool's panic containment (a real panic here would be a bug
+            // in a primitive or an OOM inside a partial-table allocation).
+            #[cfg(test)]
+            if sh.cfg.poison_task == Some(t.index()) {
+                panic!("injected poison: task {} panicked", t.index());
+            }
             let task = sh.graph.task(t);
             let len = task.weight as usize;
             match sh.cfg.partition_threshold {

@@ -14,6 +14,10 @@ pub struct SchedulerConfig {
     /// *tail* of the heaviest-loaded victim's ready list instead of
     /// spinning. Off by default — the paper's scheduler does not steal.
     pub work_stealing: bool,
+    /// Test-only fault injection: the static task at this index panics
+    /// when executed, exercising the pool's panic containment.
+    #[cfg(test)]
+    pub(crate) poison_task: Option<usize>,
 }
 
 impl SchedulerConfig {
@@ -24,6 +28,8 @@ impl SchedulerConfig {
             num_threads,
             partition_threshold: Some(4096),
             work_stealing: false,
+            #[cfg(test)]
+            poison_task: None,
         }
     }
 

@@ -38,5 +38,5 @@ pub use arena::{ArenaView, RangeView, ReadView, TableArena};
 pub use collab::run_collaborative;
 pub use config::SchedulerConfig;
 pub use generic::{DagBuilder, DagTaskId};
-pub use pool::CollabPool;
+pub use pool::{CollabPool, JobPanic};
 pub use stats::{RunReport, ThreadStats};

@@ -27,14 +27,49 @@
 //!   submitter).
 //! * An internal submission lock serializes concurrent `run` calls, so
 //!   at most one job's pointer is ever live in the slot.
+//!
+//! # Panic containment
+//!
+//! A panic inside a worker job (a bug in a primitive, an OOM in a
+//! partial-table allocation, injected poison in tests) must not hang
+//! the submitter or kill the pool: the worker loop catches the unwind,
+//! marks the job aborted so sibling workers stop waiting for tasks that
+//! will never complete, and checks back in; `run` then returns the
+//! panic as a [`JobPanic`] error instead of blocking forever. The pool
+//! itself stays usable — the next job starts from a fresh job
+//! descriptor — though the *arena* of the failed job is left in an
+//! unspecified intermediate state and must be re-initialized (or
+//! discarded) by the caller before reuse.
 
 use crate::collab::{worker, Shared};
 use crate::{RunReport, SchedulerConfig, TableArena, ThreadStats};
 use evprop_taskgraph::TaskGraph;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// A worker thread panicked while executing a pool job. Carries the
+/// panic payload's message when it was a string (the common case).
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    message: String,
+}
+
+impl JobPanic {
+    /// The panic payload's message, if one could be extracted.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker thread panicked during the job: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
 
 /// The job slot workers and submitter rendezvous over.
 struct Slot {
@@ -48,6 +83,8 @@ struct Slot {
     active: usize,
     /// Per-worker statistics for the current job.
     results: Vec<ThreadStats>,
+    /// Message of the first worker panic in the current job, if any.
+    panic: Option<String>,
     shutdown: bool,
 }
 
@@ -79,7 +116,7 @@ struct Inner {
 /// let cfg = SchedulerConfig::with_threads(2);
 /// for _ in 0..3 {
 ///     let arena = TableArena::initialize(&graph, jt.potentials(), &EvidenceSet::new());
-///     let report = pool.run(&graph, &arena, &cfg);
+///     let report = pool.run(&graph, &arena, &cfg).expect("no worker panicked");
 ///     assert_eq!(report.threads.len(), 2);
 /// }
 /// ```
@@ -100,6 +137,7 @@ impl CollabPool {
                 job: None,
                 active: 0,
                 results: vec![ThreadStats::default(); p],
+                panic: None,
                 shutdown: false,
             }),
             job_cv: Condvar::new(),
@@ -135,10 +173,46 @@ impl CollabPool {
     /// Concurrent calls from different threads are serialized
     /// internally; jobs never interleave.
     ///
+    /// # Errors
+    ///
+    /// [`JobPanic`] when a worker panicked mid-job. The pool remains
+    /// usable for subsequent jobs, but the arena's buffers are in an
+    /// unspecified intermediate state — re-initialize or discard it.
+    ///
     /// # Panics
     ///
     /// Panics if the graph and arena disagree on buffer count.
-    pub fn run(&self, graph: &TaskGraph, arena: &TableArena, cfg: &SchedulerConfig) -> RunReport {
+    pub fn run(
+        &self,
+        graph: &TaskGraph,
+        arena: &TableArena,
+        cfg: &SchedulerConfig,
+    ) -> Result<RunReport, JobPanic> {
+        let submission = self.submit.lock();
+        self.run_locked(submission, graph, arena, cfg)
+    }
+
+    /// Non-blocking variant of [`CollabPool::run`]: returns `None`
+    /// without running anything when another submitter currently holds
+    /// the pool (instead of queueing behind it). Lets a caller that owns
+    /// several pools route a job to an idle one.
+    pub fn try_run(
+        &self,
+        graph: &TaskGraph,
+        arena: &TableArena,
+        cfg: &SchedulerConfig,
+    ) -> Option<Result<RunReport, JobPanic>> {
+        let submission = self.submit.try_lock()?;
+        Some(self.run_locked(submission, graph, arena, cfg))
+    }
+
+    fn run_locked(
+        &self,
+        _submission: MutexGuard<'_, ()>,
+        graph: &TaskGraph,
+        arena: &TableArena,
+        cfg: &SchedulerConfig,
+    ) -> Result<RunReport, JobPanic> {
         let p = self.num_threads();
         let mut report = RunReport {
             threads: vec![ThreadStats::default(); p],
@@ -150,21 +224,21 @@ impl CollabPool {
             "arena was not initialized for this graph"
         );
         if graph.num_tasks() == 0 {
-            return report;
+            return Ok(report);
         }
 
-        let _submission = self.submit.lock();
         // SAFETY: the submission lock makes this job the arena's only
-        // user until `run` returns — no other job can derive a view or
+        // user until we return — no other job can derive a view or
         // touch the buffers — and the completion handshake below joins
         // every worker access before we drop `shared`.
         let shared = unsafe { Shared::prepare(graph, arena, cfg, p) };
 
         let wall_start = Instant::now();
-        {
+        let panicked = {
             let mut slot = self.inner.slot.lock();
             slot.job = Some(&shared as *const Shared<'_> as usize);
             slot.active = p;
+            slot.panic = None;
             slot.epoch += 1;
             self.inner.job_cv.notify_all();
             while slot.active > 0 {
@@ -172,14 +246,21 @@ impl CollabPool {
             }
             slot.job = None;
             report.threads.clone_from_slice(&slot.results);
-        }
+            slot.panic.take()
+        };
         report.wall = wall_start.elapsed();
+        if let Some(message) = panicked {
+            // The aborted job left tasks in ready lists and nonzero
+            // weight counters; `shared` (and all of them) drops here, so
+            // nothing leaks into the next job.
+            return Err(JobPanic { message });
+        }
         // Catch scheduler bookkeeping leaks (lost tasks, weight-counter
         // drift) at the end of every job while testing.
         #[cfg(debug_assertions)]
         shared.assert_drained();
         shared.finish_into(&mut report);
-        report
+        Ok(report)
     }
 }
 
@@ -226,18 +307,44 @@ fn worker_loop(inner: &Inner, id: usize) {
         // whole dereference; the slot mutex ordered its construction
         // before our read. The erased lifetime never escapes this
         // scope.
-        let stats = {
-            let sh = unsafe { &*(job as *const Shared<'_>) };
-            worker(sh, id)
-        };
+        let sh = unsafe { &*(job as *const Shared<'_>) };
+        // Contain panics from inside the job: letting one unwind through
+        // this loop would kill the thread *without* decrementing
+        // `active`, hanging the submitter forever. Unwinding drops every
+        // live window (unregistering it from the debug overlap checker)
+        // before the catch.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(sh, id)));
+        if result.is_err() {
+            // Sibling workers must stop waiting for tasks the panicked
+            // one will never complete.
+            sh.abort();
+        }
 
         let mut slot = inner.slot.lock();
-        slot.results[id] = stats;
+        match result {
+            Ok(stats) => slot.results[id] = stats,
+            Err(payload) => {
+                slot.results[id] = ThreadStats::default();
+                if slot.panic.is_none() {
+                    slot.panic = Some(panic_message(payload.as_ref()));
+                }
+            }
+        }
         slot.active -= 1;
         if slot.active == 0 {
             inner.done_cv.notify_all();
         }
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>")
+        .to_string()
 }
 
 #[cfg(test)]
@@ -261,7 +368,7 @@ mod tests {
         let mut reference: Option<Vec<evprop_potential::PotentialTable>> = None;
         for _ in 0..5 {
             let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
-            let report = pool.run(&g, &arena, &cfg);
+            let report = pool.run(&g, &arena, &cfg).unwrap();
             assert_eq!(report.threads.len(), 3);
             let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
             assert!(executed >= g.num_tasks());
@@ -284,7 +391,7 @@ mod tests {
         // cfg asks for 8; the pool only has (and reports) 2.
         let cfg = SchedulerConfig::with_threads(8);
         let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
-        let report = pool.run(&g, &arena, &cfg);
+        let report = pool.run(&g, &arena, &cfg).unwrap();
         assert_eq!(report.threads.len(), 2);
     }
 
@@ -300,7 +407,9 @@ mod tests {
         let g = TaskGraph::from_shape(jt.shape());
         let arena = TableArena::initialize(&g, jt.potentials(), &EvidenceSet::new());
         let pool = CollabPool::new(4);
-        let report = pool.run(&g, &arena, &SchedulerConfig::with_threads(4));
+        let report = pool
+            .run(&g, &arena, &SchedulerConfig::with_threads(4))
+            .unwrap();
         assert!(report.threads.iter().all(|t| t.tasks_executed == 0));
     }
 
@@ -314,7 +423,7 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
-                    let report = pool.run(&g, &arena, &cfg);
+                    let report = pool.run(&g, &arena, &cfg).unwrap();
                     let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
                     assert!(executed >= g.num_tasks());
                 });
@@ -326,5 +435,62 @@ mod tests {
     fn drop_joins_workers() {
         let pool = CollabPool::new(2);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn try_run_executes_when_pool_is_idle() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        let cfg = SchedulerConfig::with_threads(2);
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let report = pool.try_run(&g, &arena, &cfg).expect("pool idle").unwrap();
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert!(executed >= g.num_tasks());
+    }
+
+    /// A panic inside a worker job must surface as `Err` from `run` —
+    /// not hang the submitter, not deadlock sibling workers — and the
+    /// pool must stay fully usable for the next job. This is the
+    /// robustness a long-running serving runtime leans on.
+    #[test]
+    fn poisoned_job_errors_instead_of_deadlocking() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(3);
+        let mut cfg = SchedulerConfig::with_threads(3);
+        cfg.poison_task = Some(0); // task 0 always exists and panics
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let err = pool
+            .run(&g, &arena, &cfg)
+            .expect_err("the poisoned task must fail the job");
+        assert!(
+            err.message().contains("injected poison"),
+            "unexpected panic message: {err}"
+        );
+
+        // The pool survives: a clean job on the same workers succeeds
+        // (with a *fresh* arena — the failed job's buffers are dirty).
+        cfg.poison_task = None;
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let report = pool.run(&g, &arena, &cfg).expect("clean job succeeds");
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert!(executed >= g.num_tasks());
+    }
+
+    /// Back-to-back poisoned jobs: every submission returns (no hang),
+    /// and interleaved clean jobs keep working.
+    #[test]
+    fn pool_survives_repeated_poisoned_jobs() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        for round in 0..3 {
+            let mut cfg = SchedulerConfig::with_threads(2);
+            cfg.poison_task = Some(round % g.num_tasks());
+            let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+            assert!(pool.run(&g, &arena, &cfg).is_err(), "round {round}");
+
+            let cfg = SchedulerConfig::with_threads(2);
+            let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+            assert!(pool.run(&g, &arena, &cfg).is_ok(), "round {round}");
+        }
     }
 }

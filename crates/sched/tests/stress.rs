@@ -63,7 +63,7 @@ fn thousands_of_tiny_delta_propagations_match_oracle() {
                 let oracle = seq.into_tables();
 
                 par.reset(&graph, jt.potentials(), &ev);
-                pool.run(&graph, &par, &cfg);
+                pool.run(&graph, &par, &cfg).expect("no worker panicked");
                 // the arena outlives the job, so peek without consuming
                 for (i, (want, have)) in oracle.iter().zip(par.tables_mut()).enumerate() {
                     assert!(

@@ -1,0 +1,181 @@
+//! `evprop-loadgen` — deterministic TCP load generator for `evprop
+//! serve --listen`.
+//!
+//! ```text
+//! evprop-loadgen <file.bif> --addr HOST:PORT --queries N
+//!                [--seed S] [--connections C] [--out FILE] [--open-loop]
+//! ```
+//!
+//! Generates the same pseudo-random query stream for a given
+//! `(file, N, seed)` triple, drives it over `C` connections
+//! (round-robin), and writes one response line per request — in
+//! request order per connection — to `--out` (default stdout). With a
+//! single connection the output is fully deterministic, which the CI
+//! smoke test diffs against a golden file.
+//!
+//! Closed loop (default): each connection waits for a response before
+//! sending its next request, and the summary reports end-to-end
+//! latency. Open loop (`--open-loop`): each connection writes all its
+//! requests up front and drains responses afterwards — the overload
+//! pattern that exercises the server-side admission queue.
+
+use evprop_bayesnet::bif::{self, BifNetwork};
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage:
+  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The same deterministic query scheme as `evprop serve`: one target,
+/// at most one hard-evidence observation, target and evidence distinct.
+fn request_lines(bif: &BifNetwork, n: usize, seed: u64) -> Vec<String> {
+    let net = &bif.network;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vars = net.num_vars() as u32;
+    (0..n)
+        .map(|_| {
+            let target = rng.gen_range(0..vars);
+            let mut line = format!(r#"{{"target": "{}""#, bif.var_names[target as usize]);
+            if vars > 1 {
+                let mut obs = rng.gen_range(0..vars);
+                while obs == target {
+                    obs = rng.gen_range(0..vars);
+                }
+                let card = net.var(evprop_potential::VarId(obs)).cardinality();
+                let state = rng.gen_range(0..card);
+                line.push_str(&format!(
+                    r#", "evidence": {{"{}": "{}"}}"#,
+                    bif.var_names[obs as usize], bif.state_names[obs as usize][state]
+                ));
+            }
+            line.push('}');
+            line
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("loadgen needs a BIF file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let bif = bif::parse(&src).map_err(|e| e.to_string())?;
+
+    let addr = flag_value(args, "--addr").ok_or("--addr HOST:PORT is required")?;
+    let queries: usize = flag_value(args, "--queries")
+        .ok_or("--queries N is required")?
+        .parse()
+        .map_err(|_| "--queries must be a number".to_string())?;
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "--seed must be a number".to_string())?;
+    let connections: usize = flag_value(args, "--connections")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--connections must be a number".to_string())?;
+    if connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+
+    let lines = request_lines(&bif, queries, seed);
+    // Round-robin split keeps per-connection order deterministic.
+    let per_conn: Vec<Vec<String>> = (0..connections)
+        .map(|c| lines.iter().skip(c).step_by(connections).cloned().collect())
+        .collect();
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for batch in per_conn {
+        let addr = addr.to_string();
+        workers.push(std::thread::spawn(move || drive(&addr, &batch, open_loop)));
+    }
+    let mut responses: Vec<Vec<String>> = Vec::new();
+    for w in workers {
+        responses.push(w.join().map_err(|_| "connection thread panicked")??);
+    }
+    let elapsed = started.elapsed();
+
+    let mut out: Box<dyn Write> = match flag_value(args, "--out") {
+        Some(file) => Box::new(BufWriter::new(
+            std::fs::File::create(file).map_err(|e| format!("cannot create '{file}': {e}"))?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+    let total: usize = responses.iter().map(Vec::len).sum();
+    for conn in &responses {
+        for line in conn {
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "loadgen: {} responses over {} connection(s) in {:.3}s ({:.0} q/s, {})",
+        total,
+        connections,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        if open_loop {
+            "open loop"
+        } else {
+            "closed loop"
+        },
+    );
+    Ok(())
+}
+
+/// Drives one connection; returns its responses in request order.
+fn drive(addr: &str, requests: &[String], open_loop: bool) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+
+    let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    if open_loop {
+        for req in requests {
+            writeln!(writer, "{req}").map_err(|e| e.to_string())?;
+        }
+        writer.flush().map_err(|e| e.to_string())?;
+        for _ in requests {
+            responses.push(read_line(&mut reader)?);
+        }
+    } else {
+        for req in requests {
+            writeln!(writer, "{req}").map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
+            responses.push(read_line(&mut reader)?);
+        }
+    }
+    Ok(responses)
+}

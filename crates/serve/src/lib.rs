@@ -1,0 +1,48 @@
+//! **evprop-serve** — sharded concurrent-query serving runtime with
+//! admission control and a TCP front-end.
+//!
+//! The engines in `evprop-core` answer one propagation at a time: a
+//! [`ShardState`](evprop_core::ShardState) serializes jobs on its
+//! worker pool because the shared table arena demands it. This crate
+//! turns that single-file engine into a *service*:
+//!
+//! * [`ShardedRuntime`] — N shards, each its own pool + recycled
+//!   arenas, so N queries run concurrently while each shard keeps the
+//!   serialized-jobs invariant locally;
+//! * [`AdmissionQueue`] — a bounded MPMC queue in front of the shards:
+//!   producers block ([`ShardedRuntime::submit`]) or shed load
+//!   ([`ShardedRuntime::try_submit`] → [`ServeError::Overloaded`])
+//!   when it fills, and dispatchers micro-batch what they drain;
+//! * [`RuntimeStats`] — per-shard and aggregate serving metrics
+//!   (served/errors, approximate p50/p95/p99 latency, busy/idle time,
+//!   queue high-water);
+//! * [`TcpServer`] — a std-only newline-delimited-JSON front-end
+//!   (`evprop serve --listen ADDR`), thread-per-connection.
+//!
+//! ```
+//! use evprop_bayesnet::networks;
+//! use evprop_core::{InferenceSession, Query};
+//! use evprop_potential::{EvidenceSet, VarId};
+//! use evprop_serve::{RuntimeConfig, ShardedRuntime};
+//!
+//! let session = InferenceSession::from_network(&networks::asia())?;
+//! let rt = ShardedRuntime::new(session, RuntimeConfig::new(2, 1));
+//! let marginal = rt.query(Query::new(VarId(3), EvidenceSet::new()))?;
+//! assert!((marginal.sum() - 1.0).abs() < 1e-9);
+//! # Ok::<(), evprop_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod protocol;
+mod queue;
+mod runtime;
+mod server;
+
+pub use metrics::{LatencyHistogram, RuntimeStats, ShardStats};
+pub use protocol::{format_error, format_response, parse_request, ModelNames, NumericNames};
+pub use queue::{AdmissionQueue, PushError};
+pub use runtime::{RuntimeConfig, ServeError, ServeResult, ShardedRuntime, Ticket};
+pub use server::TcpServer;

@@ -1,0 +1,227 @@
+//! Lock-free serving metrics: a log₂-bucketed latency histogram plus
+//! per-shard counters, snapshotted into plain structs on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets. Bucket `i` holds samples whose nanosecond
+/// value has bit length `i` (bucket 0 is the zero sample), so the
+/// covered range tops out far beyond any plausible query latency.
+const BUCKETS: usize = 64;
+
+/// A concurrent latency histogram with power-of-two buckets.
+///
+/// Recording is two relaxed atomic increments — cheap enough to sit on
+/// the per-query hot path. Quantiles are approximate (upper bound of
+/// the bucket containing the rank), which is plenty for p50/p95/p99
+/// over latencies spanning orders of magnitude.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            sum_nanos: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize % BUCKETS
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero if nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the rank. Zero if nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        quantile_of(&snapshot, q)
+    }
+
+    /// The raw bucket counts, for merging into aggregates.
+    pub(crate) fn snapshot_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// Quantile over raw log₂ bucket counts (shared by per-shard and
+/// merged aggregate views).
+pub(crate) fn quantile_of(counts: &[u64], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // upper bound of bucket i: all values of bit length i
+            let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            return Duration::from_nanos(upper);
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// Live counters of one shard, updated by its dispatcher thread.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    pub served: AtomicU64,
+    pub errors: AtomicU64,
+    pub batches: AtomicU64,
+    pub busy_nanos: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+impl ShardMetrics {
+    pub fn snapshot(&self, shard: usize, arenas_allocated: u64, wall: Duration) -> ShardStats {
+        let busy = Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed));
+        ShardStats {
+            shard,
+            served: self.served.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            busy,
+            idle: wall.saturating_sub(busy),
+            mean_latency: self.latency.mean(),
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+            arenas_allocated,
+        }
+    }
+}
+
+/// A point-in-time view of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Queries answered (including per-query errors).
+    pub served: u64,
+    /// Queries answered with an error.
+    pub errors: u64,
+    /// Dispatch rounds (each covers a micro-batch of ≥ 1 queries).
+    pub batches: u64,
+    /// Time spent inside dispatch rounds.
+    pub busy: Duration,
+    /// Runtime lifetime minus busy time.
+    pub idle: Duration,
+    /// Mean enqueue-to-answer latency.
+    pub mean_latency: Duration,
+    /// Median enqueue-to-answer latency (approximate).
+    pub p50: Duration,
+    /// 95th-percentile latency (approximate).
+    pub p95: Duration,
+    /// 99th-percentile latency (approximate).
+    pub p99: Duration,
+    /// Cold-start arena allocations on this shard.
+    pub arenas_allocated: u64,
+}
+
+/// A point-in-time view of the whole runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeStats {
+    /// Per-shard views, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Total queries answered across shards.
+    pub served: u64,
+    /// Total queries answered with an error.
+    pub errors: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Deepest the admission queue has ever been.
+    pub queue_high_water: usize,
+    /// Mean enqueue-to-answer latency across shards.
+    pub mean_latency: Duration,
+    /// Aggregate median latency (approximate).
+    pub p50: Duration,
+    /// Aggregate 95th-percentile latency (approximate).
+    pub p95: Duration,
+    /// Aggregate 99th-percentile latency (approximate).
+    pub p99: Duration,
+    /// Time since the runtime started.
+    pub uptime: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketing() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // p50 falls in the bucket of the 40 µs sample: [32768, 65535] ns
+        assert!(p50 >= Duration::from_micros(40) && p50 < Duration::from_micros(80));
+        // p99 falls in the 5 ms sample's bucket
+        assert!(p99 >= Duration::from_micros(5000));
+        assert!(h.mean() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_sample_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+}

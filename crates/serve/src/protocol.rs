@@ -1,0 +1,567 @@
+//! The wire protocol of the TCP front-end: newline-delimited JSON,
+//! one request and one response per line.
+//!
+//! Request:
+//!
+//! ```json
+//! {"target": "dysp", "evidence": {"asia": "yes", "smoke": 1}, "likelihood": {"xray": [0.4, 0.8]}}
+//! ```
+//!
+//! `target` is a variable name (or numeric id); `evidence` values are
+//! state names (or numeric indices); `likelihood` attaches soft
+//! evidence as per-state weights. Response:
+//!
+//! ```json
+//! {"target": "dysp", "states": ["yes", "no"], "marginal": [0.43, 0.57]}
+//! ```
+//!
+//! or `{"error": "..."}`. The parser below is a deliberately tiny
+//! recursive-descent JSON reader — the build environment is offline,
+//! so no serde — covering exactly the grammar the protocol uses.
+
+use evprop_bayesnet::bif::BifNetwork;
+use evprop_bayesnet::BayesianNetwork;
+use evprop_core::Query;
+use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+
+/// Symbolic variable/state addressing for a served model.
+///
+/// The runtime works on [`VarId`]s; the wire protocol works on names.
+/// Implementations bridge the two — [`BifNetwork`] for models loaded
+/// from BIF files, [`NumericNames`] as the fallback for programmatic
+/// networks.
+pub trait ModelNames {
+    /// Number of variables in the model.
+    fn num_vars(&self) -> usize;
+    /// Resolves a variable name to its id.
+    fn var_id(&self, name: &str) -> Option<VarId>;
+    /// The name of a variable.
+    fn var_name(&self, var: VarId) -> String;
+    /// Number of states of a variable.
+    fn num_states(&self, var: VarId) -> usize;
+    /// Resolves a state name of a variable to its index.
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize>;
+    /// The name of a variable's state.
+    fn state_name(&self, var: VarId, state: usize) -> String;
+}
+
+impl ModelNames for BifNetwork {
+    fn num_vars(&self) -> usize {
+        self.network.num_vars()
+    }
+
+    fn var_id(&self, name: &str) -> Option<VarId> {
+        BifNetwork::var_id(self, name)
+    }
+
+    fn var_name(&self, var: VarId) -> String {
+        BifNetwork::var_name(self, var).to_string()
+    }
+
+    fn num_states(&self, var: VarId) -> usize {
+        self.state_names[var.index()].len()
+    }
+
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
+        self.state_names[var.index()]
+            .iter()
+            .position(|s| s == state)
+    }
+
+    fn state_name(&self, var: VarId, state: usize) -> String {
+        BifNetwork::state_name(self, var, state).to_string()
+    }
+}
+
+/// Positional naming (`v0`, `v1`, … with states `0`, `1`, …) for
+/// networks that carry no symbolic names.
+#[derive(Clone, Debug)]
+pub struct NumericNames {
+    cardinalities: Vec<usize>,
+}
+
+impl NumericNames {
+    /// Names every variable of `net` positionally.
+    pub fn of(net: &BayesianNetwork) -> Self {
+        NumericNames {
+            cardinalities: (0..net.num_vars())
+                .map(|i| net.var(VarId(i as u32)).cardinality())
+                .collect(),
+        }
+    }
+}
+
+impl ModelNames for NumericNames {
+    fn num_vars(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    fn var_id(&self, name: &str) -> Option<VarId> {
+        let digits = name.strip_prefix('v').unwrap_or(name);
+        let i: usize = digits.parse().ok()?;
+        (i < self.cardinalities.len()).then_some(VarId(i as u32))
+    }
+
+    fn var_name(&self, var: VarId) -> String {
+        format!("v{}", var.index())
+    }
+
+    fn num_states(&self, var: VarId) -> usize {
+        self.cardinalities[var.index()]
+    }
+
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
+        let i: usize = state.parse().ok()?;
+        (i < self.cardinalities[var.index()]).then_some(i)
+    }
+
+    fn state_name(&self, _var: VarId, state: usize) -> String {
+        state.to_string()
+    }
+}
+
+// ---------------------------------------------------------------- JSON
+
+/// A parsed JSON value (protocol subset: no exponents beyond `f64`'s
+/// own parser, no unicode escapes beyond BMP `\uXXXX`).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // copy one UTF-8 scalar verbatim
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+pub(crate) fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser::new(src);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+// ------------------------------------------------------------ requests
+
+fn resolve_var(names: &dyn ModelNames, v: &Json) -> Result<VarId, String> {
+    match v {
+        Json::Str(name) => names
+            .var_id(name)
+            .ok_or_else(|| format!("unknown variable '{name}'")),
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && (*n as usize) < names.num_vars() => {
+            Ok(VarId(*n as u32))
+        }
+        other => Err(format!("bad variable reference: {other:?}")),
+    }
+}
+
+fn resolve_state(names: &dyn ModelNames, var: VarId, v: &Json) -> Result<usize, String> {
+    let card = names.num_states(var);
+    match v {
+        Json::Str(state) => names.state_index(var, state).ok_or_else(|| {
+            format!(
+                "unknown state '{state}' of variable '{}'",
+                names.var_name(var)
+            )
+        }),
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && (*n as usize) < card => Ok(*n as usize),
+        other => Err(format!("bad state reference: {other:?}")),
+    }
+}
+
+/// Parses one request line into a [`Query`].
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON, unknown names, or
+/// out-of-range indices — intended to be echoed back via
+/// [`format_error`].
+pub fn parse_request(line: &str, names: &dyn ModelNames) -> Result<Query, String> {
+    let v = parse_json(line)?;
+    let target = resolve_var(
+        names,
+        v.get("target").ok_or("request is missing \"target\"")?,
+    )?;
+    let mut evidence = EvidenceSet::new();
+    if let Some(obj) = v.get("evidence") {
+        let Json::Obj(fields) = obj else {
+            return Err("\"evidence\" must be an object".to_string());
+        };
+        for (var_name, state) in fields {
+            let var = resolve_var(names, &Json::Str(var_name.clone()))?;
+            let s = resolve_state(names, var, state)?;
+            evidence.observe(var, s);
+        }
+    }
+    if let Some(obj) = v.get("likelihood") {
+        let Json::Obj(fields) = obj else {
+            return Err("\"likelihood\" must be an object".to_string());
+        };
+        for (var_name, weights) in fields {
+            let var = resolve_var(names, &Json::Str(var_name.clone()))?;
+            let Json::Arr(items) = weights else {
+                return Err(format!("likelihood of '{var_name}' must be an array"));
+            };
+            if items.len() != names.num_states(var) {
+                return Err(format!(
+                    "likelihood of '{var_name}' needs {} weights, got {}",
+                    names.num_states(var),
+                    items.len()
+                ));
+            }
+            let ws: Vec<f64> = items
+                .iter()
+                .map(|w| match w {
+                    Json::Num(x) if *x >= 0.0 => Ok(*x),
+                    other => Err(format!("bad likelihood weight: {other:?}")),
+                })
+                .collect::<Result<_, _>>()?;
+            evidence.observe_likelihood(var, ws);
+        }
+    }
+    Ok(Query::new(target, evidence))
+}
+
+// ----------------------------------------------------------- responses
+
+/// Formats a successful answer as one response line (no trailing
+/// newline). Floats use Rust's shortest-roundtrip formatting, so the
+/// output is deterministic — the golden-file smoke test depends on it.
+pub fn format_response(names: &dyn ModelNames, target: VarId, marginal: &PotentialTable) -> String {
+    let mut out = String::from("{\"target\":\"");
+    escape_into(&mut out, &names.var_name(target));
+    out.push_str("\",\"states\":[");
+    for s in 0..names.num_states(target) {
+        if s > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, &names.state_name(target, s));
+        out.push('"');
+    }
+    out.push_str("],\"marginal\":[");
+    for (i, p) in marginal.data().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{p}"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Formats an error as one response line (no trailing newline).
+pub fn format_error(message: &str) -> String {
+    let mut out = String::from("{\"error\":\"");
+    escape_into(&mut out, message);
+    out.push_str("\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks;
+
+    fn asia_names() -> NumericNames {
+        NumericNames::of(&networks::asia())
+    }
+
+    #[test]
+    fn parses_full_request_with_numeric_names() {
+        let names = asia_names();
+        let q = parse_request(
+            r#"{"target": "v3", "evidence": {"v7": 1, "v0": "0"}, "likelihood": {"v6": [0.4, 0.8]}}"#,
+            &names,
+        )
+        .unwrap();
+        assert_eq!(q.target, VarId(3));
+        assert_eq!(q.evidence.state_of(VarId(7)), Some(1));
+        assert_eq!(q.evidence.state_of(VarId(0)), Some(0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let names = asia_names();
+        assert!(parse_request("not json", &names).is_err());
+        assert!(parse_request("{}", &names).is_err());
+        assert!(parse_request(r#"{"target": "nope"}"#, &names).is_err());
+        assert!(parse_request(r#"{"target": "v1", "evidence": {"v2": 99}}"#, &names).is_err());
+        assert!(
+            parse_request(r#"{"target": "v1", "likelihood": {"v2": [0.5]}}"#, &names).is_err(),
+            "wrong weight count must be rejected"
+        );
+        assert!(parse_request(r#"{"target": "v1"} trailing"#, &names).is_err());
+    }
+
+    #[test]
+    fn bif_names_resolve_symbolically() {
+        let bif = evprop_bayesnet::bif::with_generated_names(networks::asia(), "asia");
+        let q = parse_request(
+            &format!(
+                r#"{{"target": "{}", "evidence": {{"{}": "{}"}}}}"#,
+                ModelNames::var_name(&bif, VarId(3)),
+                ModelNames::var_name(&bif, VarId(7)),
+                ModelNames::state_name(&bif, VarId(7), 1),
+            ),
+            &bif,
+        )
+        .unwrap();
+        assert_eq!(q.target, VarId(3));
+        assert_eq!(q.evidence.state_of(VarId(7)), Some(1));
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_parser() {
+        let names = asia_names();
+        let session = evprop_core::InferenceSession::from_network(&networks::asia()).unwrap();
+        let m = session
+            .posterior(
+                &evprop_core::SequentialEngine,
+                VarId(3),
+                &EvidenceSet::new(),
+            )
+            .unwrap();
+        let line = format_response(&names, VarId(3), &m);
+        let v = parse_json(&line).unwrap();
+        let Some(Json::Arr(probs)) = v.get("marginal") else {
+            panic!("missing marginal: {line}");
+        };
+        let got: Vec<f64> = probs
+            .iter()
+            .map(|p| match p {
+                Json::Num(x) => *x,
+                _ => panic!("non-numeric marginal"),
+            })
+            .collect();
+        assert_eq!(got, m.data(), "shortest-roundtrip floats survive");
+        assert_eq!(v.get("target"), Some(&Json::Str("v3".into())));
+    }
+
+    #[test]
+    fn error_formatting_escapes_quotes() {
+        let line = format_error(r#"bad "thing" happened"#);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(
+            v.get("error"),
+            Some(&Json::Str(r#"bad "thing" happened"#.into()))
+        );
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\nyA"}, "d": null, "e": true}"#)
+            .unwrap();
+        let Some(Json::Arr(a)) = v.get("a") else {
+            panic!()
+        };
+        assert_eq!(a[2], Json::Num(-300.0));
+        let Some(b) = v.get("b") else { panic!() };
+        assert_eq!(b.get("c"), Some(&Json::Str("x\nyA".into())));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Bounded MPMC admission queue with blocking and non-blocking ends.
+//!
+//! This is the runtime's backpressure mechanism: the queue has a fixed
+//! capacity, producers either block ([`AdmissionQueue::push`]) or get
+//! an immediate rejection ([`AdmissionQueue::try_push`]) when it is
+//! full, and shard dispatchers consume from the other end. Closing the
+//! queue rejects new work but lets consumers drain what was already
+//! admitted, so every admitted query is answered even during shutdown.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a non-blocking push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load or retry.
+    Full,
+    /// The queue is closed; no new work is admitted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Deepest the queue has ever been — the backpressure witness.
+    high_water: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("AdmissionQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &st.items.len())
+            .field("closed", &st.closed)
+            .field("high_water", &st.high_water)
+            .finish()
+    }
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().high_water
+    }
+
+    /// Blocking push: waits while the queue is full. Returns the item
+    /// back if the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                st.high_water = st.high_water.max(st.items.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking push: fails immediately with [`PushError::Full`]
+    /// under backpressure instead of waiting.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err((item, PushError::Closed));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        st.items.push_back(item);
+        st.high_water = st.high_water.max(st.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits for an item. Returns `None` only once the
+    /// queue is closed **and** drained — consumers can treat `None` as
+    /// "shut down now".
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Moves up to `max` immediately-available items into `out` without
+    /// blocking — the micro-batching hook: a dispatcher pops one item,
+    /// then drains whatever else is already waiting.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut st = self.state.lock();
+        let n = max.min(st.items.len());
+        for _ in 0..n {
+            out.push(st.items.pop_front().expect("len checked"));
+        }
+        if n > 0 {
+            self.not_full.notify_all();
+        }
+        n
+    }
+
+    /// Closes the queue: new pushes fail, queued items remain poppable,
+    /// and blocked producers/consumers wake up.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`AdmissionQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_high_water() {
+        let q = AdmissionQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(9).unwrap();
+        assert_eq!(q.high_water(), 3); // never deeper than 3
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+    }
+
+    #[test]
+    fn try_push_sheds_load_when_full() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, err) = q.try_push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = AdmissionQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3).unwrap_err(), 3);
+        assert_eq!(q.try_push(4).unwrap_err().1, PushError::Closed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_pop() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        t.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.drain_into(&mut out, 10), 2);
+        assert_eq!(q.drain_into(&mut out, 10), 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The sharded serving runtime: N shards, each owning one
+//! [`ShardState`] (resident worker pool + recycled arenas), fed from a
+//! single bounded admission queue.
+//!
+//! # Why shards
+//!
+//! One [`ShardState`] serializes jobs on its pool — that is the arena
+//! safety invariant — so a single shard answers one query at a time no
+//! matter how many clients connect. Sharding multiplies the serving
+//! capacity: K shards answer K queries concurrently, each on its own
+//! pool and arenas, so the serialized-jobs invariant still holds *per
+//! shard*. The same total thread budget can be split depth-first
+//! (1 shard × P threads: lowest single-query latency) or width-first
+//! (P shards × 1 thread: highest throughput under concurrent load);
+//! [`RuntimeConfig`] makes the split explicit.
+//!
+//! # Dataflow
+//!
+//! Clients [`submit`](ShardedRuntime::submit) queries into the
+//! admission queue (blocking on backpressure, or failing fast via
+//! [`try_submit`](ShardedRuntime::try_submit)) and get a [`Ticket`].
+//! Each shard runs one dispatcher thread: pop a job, opportunistically
+//! drain up to `max_batch - 1` more (micro-batching amortizes the
+//! arena checkout), answer them all on one arena, fulfill the tickets.
+
+use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
+use crate::queue::{AdmissionQueue, PushError};
+use evprop_core::{EngineError, InferenceSession, Query, ShardState};
+use evprop_potential::PotentialTable;
+use evprop_sched::SchedulerConfig;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to serving clients.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The admission queue is full (only from the non-blocking path).
+    Overloaded,
+    /// The runtime is shutting down; no new queries are admitted.
+    ShuttingDown,
+    /// The query was answered with an engine error.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "admission queue full: query rejected"),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Result alias for serving calls.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Shape of the runtime: how many shards, how the thread budget is
+/// split, and how admission control behaves.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of shards (independent pools). Must be ≥ 1.
+    pub shards: usize,
+    /// Worker threads per shard. Total budget = `shards ×
+    /// threads_per_shard` (+ one lightweight dispatcher per shard).
+    pub threads_per_shard: usize,
+    /// Admission-queue capacity: queries beyond this block (or are
+    /// rejected on the non-blocking path).
+    pub queue_depth: usize,
+    /// Max queries a dispatcher answers per arena checkout (≥ 1).
+    /// Micro-batching amortizes checkout and keeps a hot arena.
+    pub max_batch: usize,
+    /// Partition threshold δ forwarded to each shard's scheduler.
+    pub delta: Option<usize>,
+    /// Work-stealing flag forwarded to each shard's scheduler.
+    pub work_stealing: bool,
+}
+
+impl RuntimeConfig {
+    /// `shards × threads_per_shard` with serving-friendly defaults
+    /// (queue depth 64, micro-batches of up to 8, default δ).
+    pub fn new(shards: usize, threads_per_shard: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(threads_per_shard >= 1, "need at least one thread per shard");
+        RuntimeConfig {
+            shards,
+            threads_per_shard,
+            queue_depth: 64,
+            max_batch: 8,
+            delta: Some(4096),
+            work_stealing: false,
+        }
+    }
+
+    /// Sets the admission-queue capacity (builder-style).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be positive");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the micro-batch cap (builder-style); 1 disables batching.
+    pub fn with_max_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "max batch must be positive");
+        self.max_batch = batch;
+        self
+    }
+
+    /// Disables δ-partitioning on every shard (builder-style). Partial
+    /// propagations then run "literally the same arithmetic" as the
+    /// sequential engine, making answers bit-identical to it.
+    pub fn without_partitioning(mut self) -> Self {
+        self.delta = None;
+        self
+    }
+
+    /// Sets the partition threshold δ on every shard (builder-style).
+    pub fn with_delta(mut self, delta: usize) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Enables work stealing on every shard (builder-style).
+    pub fn with_stealing(mut self) -> Self {
+        self.work_stealing = true;
+        self
+    }
+
+    fn scheduler(&self) -> SchedulerConfig {
+        let mut cfg = SchedulerConfig::with_threads(self.threads_per_shard);
+        cfg.partition_threshold = self.delta;
+        cfg.work_stealing = self.work_stealing;
+        cfg
+    }
+}
+
+/// One-shot rendezvous between a dispatcher and a waiting client.
+#[derive(Debug)]
+struct ResponseSlot {
+    result: Mutex<Option<ServeResult<PotentialTable>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: ServeResult<PotentialTable>) {
+        *self.result.lock() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> ServeResult<PotentialTable> {
+        let mut guard = self.result.lock();
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            self.ready.wait(&mut guard);
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult<PotentialTable>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.result.lock();
+        loop {
+            if let Some(r) = guard.take() {
+                return Some(r);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            // The vendored Condvar has no timed wait; poll in short
+            // slices. Fine for the test-facing timeout path.
+            drop(guard);
+            std::thread::sleep(Duration::from_millis(1));
+            guard = self.result.lock();
+        }
+    }
+}
+
+/// Handle for one in-flight query: redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the query is answered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Engine`] if the query itself failed.
+    pub fn wait(self) -> ServeResult<PotentialTable> {
+        self.slot.wait()
+    }
+
+    /// Waits up to `timeout`; `None` means still in flight (the ticket
+    /// is consumed — intended for tests and best-effort clients).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<ServeResult<PotentialTable>> {
+        self.slot.wait_timeout(timeout)
+    }
+}
+
+/// A query travelling through the admission queue.
+struct Job {
+    query: Query,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+struct Shard {
+    state: ShardState,
+    metrics: ShardMetrics,
+}
+
+struct Inner {
+    session: InferenceSession,
+    queue: AdmissionQueue<Job>,
+    shards: Vec<Shard>,
+    max_batch: usize,
+    started: Instant,
+}
+
+/// The sharded serving runtime. See the [module docs](self).
+pub struct ShardedRuntime {
+    inner: Arc<Inner>,
+    dispatchers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    config: RuntimeConfig,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("config", &self.config)
+            .field("queue", &self.inner.queue)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedRuntime {
+    /// Boots the runtime: builds `config.shards` shards (each spawning
+    /// its resident worker pool) and one dispatcher thread per shard.
+    pub fn new(session: InferenceSession, config: RuntimeConfig) -> Self {
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                state: ShardState::new(config.scheduler()),
+                metrics: ShardMetrics::default(),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            session,
+            queue: AdmissionQueue::new(config.queue_depth),
+            shards,
+            max_batch: config.max_batch,
+            started: Instant::now(),
+        });
+        let dispatchers = (0..config.shards)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("evprop-shard-{idx}"))
+                    .spawn(move || dispatcher(&inner, idx))
+                    .expect("spawn dispatcher thread")
+            })
+            .collect();
+        ShardedRuntime {
+            inner,
+            dispatchers: Mutex::new(dispatchers),
+            config,
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The compiled model this runtime serves.
+    pub fn session(&self) -> &InferenceSession {
+        &self.inner.session
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Submits a query, blocking while the admission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] if the runtime is stopping.
+    pub fn submit(&self, query: Query) -> ServeResult<Ticket> {
+        let slot = Arc::new(ResponseSlot::new());
+        let job = Job {
+            query,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        match self.inner.queue.push(job) {
+            Ok(()) => Ok(Ticket { slot }),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits without blocking: backpressure surfaces as
+    /// [`ServeError::Overloaded`] instead of a wait.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full;
+    /// [`ServeError::ShuttingDown`] if the runtime is stopping.
+    pub fn try_submit(&self, query: Query) -> ServeResult<Ticket> {
+        let slot = Arc::new(ResponseSlot::new());
+        let job = Job {
+            query,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        match self.inner.queue.try_push(job) {
+            Ok(()) => Ok(Ticket { slot }),
+            Err((_, PushError::Full)) => Err(ServeError::Overloaded),
+            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit-and-wait convenience (closed-loop client).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::submit`] and [`Ticket::wait`].
+    pub fn query(&self, query: Query) -> ServeResult<PotentialTable> {
+        self.submit(query)?.wait()
+    }
+
+    /// A point-in-time statistics snapshot across all shards.
+    pub fn stats(&self) -> RuntimeStats {
+        let wall = self.inner.started.elapsed();
+        let shards: Vec<_> = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.metrics.snapshot(i, s.state.arenas_allocated(), wall))
+            .collect();
+        let mut merged = vec![0u64; 64];
+        let mut sum_nanos = 0u64;
+        for s in &self.inner.shards {
+            for (m, c) in merged.iter_mut().zip(s.metrics.latency.snapshot_counts()) {
+                *m += c;
+            }
+            sum_nanos += s.metrics.latency.sum_nanos();
+        }
+        let served: u64 = shards.iter().map(|s| s.served).sum();
+        RuntimeStats {
+            served,
+            errors: shards.iter().map(|s| s.errors).sum(),
+            queue_depth: self.inner.queue.len(),
+            queue_high_water: self.inner.queue.high_water(),
+            mean_latency: sum_nanos
+                .checked_div(served)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+            p50: quantile_of(&merged, 0.50),
+            p95: quantile_of(&merged, 0.95),
+            p99: quantile_of(&merged, 0.99),
+            uptime: wall,
+            shards,
+        }
+    }
+
+    /// Stops admission, answers everything already queued, and joins
+    /// the dispatcher threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let handles: Vec<_> = self.dispatchers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Shard dispatcher loop: pop → drain a micro-batch → answer on one
+/// arena → fulfill tickets. Exits when the queue is closed and empty.
+fn dispatcher(inner: &Inner, idx: usize) {
+    let shard = &inner.shards[idx];
+    let jt = inner.session.junction_tree();
+    let graph = inner.session.task_graph();
+    let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
+    while let Some(first) = inner.queue.pop() {
+        batch.push(first);
+        if inner.max_batch > 1 {
+            inner.queue.drain_into(&mut batch, inner.max_batch - 1);
+        }
+        let round = Instant::now();
+        let mut arena = shard.state.checkout(graph, jt.potentials());
+        for job in batch.drain(..) {
+            let result = shard
+                .state
+                .posterior_on(jt, graph, &mut arena, job.query.target, &job.query.evidence)
+                .map_err(ServeError::Engine);
+            use std::sync::atomic::Ordering::Relaxed;
+            shard.metrics.served.fetch_add(1, Relaxed);
+            if result.is_err() {
+                shard.metrics.errors.fetch_add(1, Relaxed);
+            }
+            shard.metrics.latency.record(job.enqueued.elapsed());
+            job.slot.fulfill(result);
+        }
+        shard.state.recycle(arena);
+        use std::sync::atomic::Ordering::Relaxed;
+        shard.metrics.batches.fetch_add(1, Relaxed);
+        shard.metrics.busy_nanos.fetch_add(
+            u64::try_from(round.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Relaxed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks;
+    use evprop_core::SequentialEngine;
+    use evprop_potential::{EvidenceSet, VarId};
+
+    fn asia_runtime(config: RuntimeConfig) -> ShardedRuntime {
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        ShardedRuntime::new(session, config)
+    }
+
+    #[test]
+    fn answers_match_sequential_bitwise() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1).without_partitioning());
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        for state in 0..2 {
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(7), state);
+            let want_all = session.propagate(&SequentialEngine, &ev).unwrap();
+            for v in 0..8u32 {
+                let got = rt.query(Query::new(VarId(v), ev.clone())).unwrap();
+                let want = want_all.marginal(VarId(v)).unwrap();
+                assert_eq!(got.data(), want.data(), "V{v} state {state}");
+            }
+        }
+    }
+
+    #[test]
+    fn tickets_resolve_out_of_order_submissions() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1));
+        let tickets: Vec<(u32, Ticket)> = (0..6u32)
+            .map(|i| {
+                let mut ev = EvidenceSet::new();
+                ev.observe(VarId(7), (i % 2) as usize);
+                (i, rt.submit(Query::new(VarId(i % 3), ev)).unwrap())
+            })
+            .collect();
+        for (i, t) in tickets {
+            let m = t.wait().unwrap_or_else(|e| panic!("query {i}: {e}"));
+            assert!((m.sum() - 1.0).abs() < 1e-9);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.served, 6);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.queue_high_water <= rt.config().queue_depth);
+    }
+
+    #[test]
+    fn per_query_errors_do_not_poison_the_batch() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1));
+        let bad = rt
+            .submit(Query::new(VarId(99), EvidenceSet::new()))
+            .unwrap();
+        let good = rt.submit(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        assert!(matches!(
+            bad.wait(),
+            Err(ServeError::Engine(EngineError::VariableNotInTree(_)))
+        ));
+        assert!(good.wait().is_ok());
+        let stats = rt.stats();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_answers_queued() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1));
+        let t = rt.submit(Query::new(VarId(2), EvidenceSet::new())).unwrap();
+        rt.shutdown();
+        assert!(t.wait().is_ok());
+        assert!(matches!(
+            rt.submit(Query::new(VarId(2), EvidenceSet::new())),
+            Err(ServeError::ShuttingDown)
+        ));
+        assert!(matches!(
+            rt.try_submit(Query::new(VarId(2), EvidenceSet::new())),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn steady_state_allocates_no_new_arenas() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1).without_partitioning());
+        // Warm every shard: more queries than shards × batch.
+        for _ in 0..40 {
+            rt.query(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        }
+        let warm: u64 = rt.stats().shards.iter().map(|s| s.arenas_allocated).sum();
+        for _ in 0..40 {
+            rt.query(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        }
+        let after: u64 = rt.stats().shards.iter().map(|s| s.arenas_allocated).sum();
+        assert_eq!(warm, after, "warm serving must not allocate arenas");
+        // Each shard allocated at most one arena for this single graph.
+        assert!(after <= 2, "got {after}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1).with_max_batch(4));
+        for i in 0..10u32 {
+            rt.query(Query::new(VarId(i % 8), EvidenceSet::new()))
+                .unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.served, 10);
+        let per_shard: u64 = stats.shards.iter().map(|s| s.served).sum();
+        assert_eq!(per_shard, 10);
+        let batches: u64 = stats.shards.iter().map(|s| s.batches).sum();
+        assert!((1..=10).contains(&batches));
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99);
+        assert!(stats.mean_latency > Duration::ZERO);
+        for s in &stats.shards {
+            assert!(s.busy + s.idle <= stats.uptime + Duration::from_millis(50));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! std-only TCP front-end: newline-delimited JSON over
+//! thread-per-connection, answering on a shared [`ShardedRuntime`].
+//!
+//! One request line in, one response line out, in order, per
+//! connection. Connections are independent — K clients drive K shards
+//! concurrently. Shutdown closes the listener (via a wake-up connect)
+//! and every tracked connection, so [`TcpServer::stop`] returns
+//! promptly even with idle clients attached.
+
+use crate::protocol::{format_error, format_response, parse_request, ModelNames};
+use crate::runtime::ShardedRuntime;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Shared {
+    runtime: Arc<ShardedRuntime>,
+    names: Arc<dyn ModelNames + Send + Sync>,
+    stop: AtomicBool,
+    /// Clones of live connection streams, so `stop` can shut them down
+    /// and unblock their handler threads mid-read.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running TCP front-end; dropping (or [`TcpServer::stop`]) shuts it
+/// down.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn bind(
+        addr: &str,
+        runtime: Arc<ShardedRuntime>,
+        names: Arc<dyn ModelNames + Send + Sync>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime,
+            names,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("evprop-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(TcpServer {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects clients, and joins the accept
+    /// thread. Idempotent; does **not** shut down the runtime (it may
+    /// be shared).
+    pub fn stop(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` by connecting once; the loop re-checks the
+        // stop flag before handling the connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("evprop-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = answer_line(trimmed, shared);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// One request line → one response line (no trailing newline).
+fn answer_line(line: &str, shared: &Shared) -> String {
+    match parse_request(line, shared.names.as_ref()) {
+        Ok(query) => {
+            let target = query.target;
+            match shared.runtime.query(query) {
+                Ok(marginal) => format_response(shared.names.as_ref(), target, &marginal),
+                Err(e) => format_error(&e.to_string()),
+            }
+        }
+        Err(msg) => format_error(&msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NumericNames;
+    use crate::runtime::RuntimeConfig;
+    use evprop_bayesnet::networks;
+    use evprop_core::{InferenceSession, SequentialEngine};
+    use evprop_potential::{EvidenceSet, VarId};
+
+    fn boot() -> (TcpServer, SocketAddr) {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let runtime = Arc::new(ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(2, 1).without_partitioning(),
+        ));
+        let names = Arc::new(NumericNames::of(&net));
+        let server = TcpServer::bind("127.0.0.1:0", runtime, names).unwrap();
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    fn roundtrip(stream: &TcpStream, request: &str) -> String {
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        writeln!(w, "{request}").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_queries_and_errors_over_tcp() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+
+        let response = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        // The answer must match the sequential engine bit-for-bit.
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(7), 1);
+        let want = session.posterior(&SequentialEngine, VarId(3), &ev).unwrap();
+        let expected = format_response(&NumericNames::of(&networks::asia()), VarId(3), &want);
+        assert_eq!(response, expected);
+
+        let err = roundtrip(&stream, r#"{"target": "bogus"}"#);
+        assert!(err.contains("\"error\""), "got: {err}");
+
+        // The connection survives the error and keeps answering.
+        let again = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        assert_eq!(again, expected);
+
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_connections_are_isolated() {
+        let (mut server, addr) = boot();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let req = format!(r#"{{"target": "v{}", "evidence": {{"v7": 1}}}}"#, i % 8);
+                    let resp = roundtrip(&stream, &req);
+                    assert!(resp.contains("\"marginal\""), "got: {resp}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_unblocks_idle_clients() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+        // An idle client is mid-read when the server stops.
+        let reader = std::thread::spawn(move || {
+            let mut r = BufReader::new(stream);
+            let mut line = String::new();
+            r.read_line(&mut line) // unblocked by the shutdown
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        server.stop();
+        let n = reader.join().unwrap().unwrap_or(0);
+        assert_eq!(n, 0, "client read should see EOF");
+    }
+}

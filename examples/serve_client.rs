@@ -1,0 +1,68 @@
+//! End-to-end serving demo: boot the sharded runtime behind the TCP
+//! front-end, then talk to it like any external client would — one
+//! JSON request per line, one JSON response per line.
+//!
+//! ```text
+//! cargo run --example serve_client
+//! ```
+//!
+//! In production the server side is `evprop serve net.bif --listen
+//! 0.0.0.0:7878 --shards 4` and the client is anything that can speak
+//! newline-delimited JSON over TCP (`nc`, a browser backend, the
+//! bundled `evprop-loadgen`).
+
+use evprop::bayesnet::networks;
+use evprop::core::{InferenceSession, Query};
+use evprop::potential::{EvidenceSet, VarId};
+use evprop::serve::{NumericNames, RuntimeConfig, ShardedRuntime, TcpServer};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server side: compile the Asia network once, shard the serving
+    // capacity 2 × 1 (two concurrent queries), bind an ephemeral port.
+    let session = InferenceSession::from_network(&networks::asia())?;
+    let runtime = Arc::new(ShardedRuntime::new(session, RuntimeConfig::new(2, 1)));
+    let names = Arc::new(NumericNames::of(&networks::asia()));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&runtime), names)?;
+    println!("server listening on {}", server.local_addr());
+
+    // Client side: a plain TcpStream speaking the line protocol.
+    let stream = TcpStream::connect(server.local_addr())?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    for request in [
+        // P(lung cancer | dyspnoea)  — variables addressed as v<i>
+        r#"{"target": "v3", "evidence": {"v7": 1}}"#,
+        // soft evidence: a noisy X-ray detector
+        r#"{"target": "v3", "likelihood": {"v6": [0.4, 0.8]}}"#,
+        // malformed on purpose: the server answers with an error line
+        r#"{"target": "not_a_variable"}"#,
+    ] {
+        writeln!(writer, "{request}")?;
+        writer.flush()?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        println!("request : {request}");
+        println!("response: {}", response.trim_end());
+    }
+
+    // The same queries are also available in-process, skipping TCP:
+    let mut ev = EvidenceSet::new();
+    ev.observe(VarId(7), 1);
+    let marginal = runtime.query(Query::new(VarId(3), ev))?;
+    println!("in-process marginal: {:?}", marginal.data());
+
+    let stats = runtime.stats();
+    println!(
+        "served {} queries across {} shards (p50 {:?}, p99 {:?})",
+        stats.served,
+        stats.shards.len(),
+        stats.p50,
+        stats.p99
+    );
+    server.stop();
+    runtime.shutdown();
+    Ok(())
+}

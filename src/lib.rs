@@ -50,6 +50,8 @@ pub use evprop_jtree as jtree;
 pub use evprop_potential as potential;
 /// The collaborative scheduler on OS threads.
 pub use evprop_sched as sched;
+/// Sharded serving runtime: admission control, metrics, TCP front-end.
+pub use evprop_serve as serve;
 /// The discrete-event multicore simulator (virtual-time speedups).
 pub use evprop_simcore as simcore;
 /// Task definition and dependency-graph construction.

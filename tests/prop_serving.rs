@@ -7,6 +7,7 @@ use evprop::bayesnet::{random_network, RandomNetworkConfig};
 use evprop::core::{InferenceSession, Query, QueryBatch, SequentialEngine};
 use evprop::potential::{EvidenceSet, VarId};
 use evprop::sched::SchedulerConfig;
+use evprop::serve::{RuntimeConfig, ShardedRuntime};
 use proptest::prelude::*;
 
 /// Deterministically expands draw values into a query sequence over a
@@ -121,5 +122,67 @@ proptest! {
             let single = session.posterior_pooled(q.target, &q.evidence).unwrap();
             prop_assert_eq!(got.data(), single.data());
         }
+    }
+
+    /// A [`ShardedRuntime`] with K shards answering a randomized query
+    /// mix — interleaved across shards however the dispatchers race —
+    /// returns marginals bit-identical to the [`SequentialEngine`],
+    /// regardless of shard count, micro-batch size, or the concurrent
+    /// submission order.
+    #[test]
+    fn sharded_runtime_is_bit_identical_to_sequential(
+        seed in 0u64..5000,
+        n_vars in 4usize..10,
+        shards in 1usize..4,
+        threads_per_shard in 1usize..3,
+        max_batch in 1usize..5,
+        draws in proptest::collection::vec(0usize..10_000, 4..12),
+    ) {
+        let cfg = RandomNetworkConfig {
+            num_vars: n_vars,
+            max_parents: 2,
+            cardinality: (2, 3),
+            seed,
+        };
+        let net = random_network(&cfg).expect("valid network");
+        let session = InferenceSession::from_network(&net).expect("compiles");
+        // The runtime re-roots identically (same Algorithm 1 on the
+        // same tree), so sequential answers are comparable bit-for-bit.
+        let reference = InferenceSession::from_network(&net).expect("compiles");
+        let rt = ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(shards, threads_per_shard)
+                .without_partitioning()
+                .with_max_batch(max_batch),
+        );
+        let queries = make_queries(&net, &draws);
+
+        // Submit everything up front: jobs pile into the admission
+        // queue and the K dispatchers race for micro-batches, so the
+        // per-shard interleaving varies run to run. Answers must not.
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| rt.submit(q.clone()).expect("runtime accepting"))
+            .collect();
+        for (q, ticket) in queries.iter().zip(tickets) {
+            let got = ticket.wait();
+            let want = reference.posterior(&SequentialEngine, q.target, &q.evidence);
+            match (got, want) {
+                (Ok(g), Ok(w)) => prop_assert_eq!(
+                    g.data(), w.data(),
+                    "shard answer diverged from sequential"
+                ),
+                (Err(_), Err(_)) => {} // both reject (impossible evidence)
+                (g, w) => prop_assert!(
+                    false,
+                    "sharded and sequential disagree on answerability: {:?} vs {:?}",
+                    g.is_ok(),
+                    w.is_ok()
+                ),
+            }
+        }
+        let stats = rt.stats();
+        prop_assert_eq!(stats.served, queries.len() as u64);
+        prop_assert!(stats.queue_high_water <= rt.config().queue_depth);
     }
 }
