@@ -1,0 +1,152 @@
+//! Tracing-overhead benchmark: what does compiling the recording hooks
+//! in cost when nobody is listening?
+//!
+//! The `trace` cargo feature compiles span-recording hooks into the
+//! scheduler hot path. Their steady-state cost with no sink attached
+//! must stay under 2% — the budget that lets the feature ship enabled
+//! in the CLI binary. This bin measures three configurations of the
+//! same pooled-engine query stream:
+//!
+//! * **baseline** — hooks compiled out (run without `--features trace`);
+//! * **idle** — hooks compiled in, no sink attached (the branch cost);
+//! * **active** — hooks compiled in, a sink attached and recording.
+//!
+//! One binary cannot hold both compile configurations, so run it twice
+//! and the runs merge their halves into one `BENCH_trace_overhead.json`:
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin trace_overhead
+//! cargo run -p evprop-bench --release --bin trace_overhead --features trace
+//! ```
+
+use evprop_core::PooledEngine;
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_sched::SchedulerConfig;
+use evprop_serve::{parse_json, Json};
+use evprop_taskgraph::TaskGraph;
+use evprop_workloads::{materialize, random_tree, TreeParams};
+use std::time::Instant;
+
+const THREADS: usize = 4;
+const QUERIES: usize = 200;
+const REPEATS: usize = 9;
+const OUT: &str = "BENCH_trace_overhead.json";
+
+/// Median queries/s over [`REPEATS`] timed batches of [`QUERIES`].
+fn measure_qps(engine: &PooledEngine, jt: &JunctionTree, graph: &TaskGraph) -> f64 {
+    let ev = EvidenceSet::new();
+    let mut rates = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..QUERIES {
+            engine
+                .posterior(jt, graph, VarId(0), &ev)
+                .expect("stream queries are answerable");
+        }
+        rates.push(QUERIES as f64 / start.elapsed().as_secs_f64().max(1e-12));
+    }
+    rates.sort_by(f64::total_cmp);
+    rates[REPEATS / 2]
+}
+
+fn json_num(v: Option<&Json>) -> Option<f64> {
+    match v {
+        Some(Json::Num(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |x| format!("{x:.1}"))
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let traced_build = cfg!(feature = "trace");
+    let shape = random_tree(&TreeParams::new(64, 9, 2, 3).with_seed(0xF9));
+    let jt = materialize(&shape, 0xF9);
+    let graph = TaskGraph::from_shape(&shape);
+    let engine = PooledEngine::new(SchedulerConfig::with_threads(THREADS));
+    engine
+        .posterior(&jt, &graph, VarId(0), &EvidenceSet::new())
+        .expect("warmup");
+
+    println!(
+        "# trace overhead: {} build, {} queries x {} repeats on {THREADS} threads ({host_cores} host cores)",
+        if traced_build { "traced" } else { "baseline" },
+        QUERIES,
+        REPEATS
+    );
+    // With hooks compiled in, this run measures "enabled but idle": no
+    // sink has ever been attached. Without them it is the baseline.
+    let measured = measure_qps(&engine, &jt, &graph);
+    println!(
+        "# {}: {measured:.0} queries/s",
+        if traced_build { "idle" } else { "baseline" }
+    );
+
+    #[cfg(feature = "trace")]
+    let active = {
+        let sink = std::sync::Arc::new(evprop_trace::TraceSink::for_workers(THREADS, 1 << 16));
+        engine.attach_trace(Some(std::sync::Arc::clone(&sink)));
+        let qps = measure_qps(&engine, &jt, &graph);
+        engine.attach_trace(None);
+        println!(
+            "# active: {qps:.0} queries/s ({} events recorded)",
+            sink.drain().total_events()
+        );
+        Some(qps)
+    };
+    #[cfg(not(feature = "trace"))]
+    let active: Option<f64> = None;
+
+    // Merge with the other configuration's half, if it already ran.
+    let old = std::fs::read_to_string(OUT)
+        .ok()
+        .and_then(|s| parse_json(&s).ok());
+    let prior = |key: &str| json_num(old.as_ref().and_then(|v| v.get(key)));
+    let (baseline_qps, idle_qps, active_qps) = if traced_build {
+        (prior("baseline_qps"), Some(measured), active)
+    } else {
+        (Some(measured), prior("idle_qps"), prior("active_qps"))
+    };
+    let overhead_pct = |vs: Option<f64>| match (baseline_qps, vs) {
+        (Some(b), Some(v)) if b > 0.0 => Some((b - v) / b * 100.0),
+        _ => None,
+    };
+    let idle_overhead = overhead_pct(idle_qps);
+    let active_overhead = overhead_pct(active_qps);
+    if let Some(pct) = idle_overhead {
+        println!(
+            "# idle overhead {pct:.2}% (budget 2%): {}",
+            if pct < 2.0 { "OK" } else { "OVER BUDGET" }
+        );
+    } else {
+        println!("# run the other configuration to complete the comparison");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"trace_overhead\",\n",
+            "  \"host_cores\": {},\n  \"threads\": {},\n",
+            "  \"queries_per_repeat\": {},\n  \"repeats\": {},\n",
+            "  \"workload\": \"random_tree(N=64,w=9,r=2,k=3)\",\n",
+            "  \"baseline_qps\": {},\n  \"idle_qps\": {},\n  \"active_qps\": {},\n",
+            "  \"idle_overhead_pct\": {},\n  \"active_overhead_pct\": {},\n",
+            "  \"idle_overhead_budget_pct\": 2.0,\n  \"idle_overhead_ok\": {}\n}}\n"
+        ),
+        host_cores,
+        THREADS,
+        QUERIES,
+        REPEATS,
+        fmt_opt(baseline_qps),
+        fmt_opt(idle_qps),
+        fmt_opt(active_qps),
+        idle_overhead.map_or("null".to_string(), |p| format!("{p:.3}")),
+        active_overhead.map_or("null".to_string(), |p| format!("{p:.3}")),
+        idle_overhead.is_none_or(|p| p < 2.0),
+    );
+    std::fs::write(OUT, &json).expect("write BENCH_trace_overhead.json");
+    println!("# wrote {OUT}");
+}

@@ -31,6 +31,9 @@ const USAGE: &str = "usage:
   evprop dot <file.bif> [--tasks]
   evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
   evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B]
+  evprop trace <file.bif> [--out FILE] [--threads P] [--delta D] [--runs N] [--stealing]
+  evprop trace --random [--cliques N] [--width W] [--states R] [--degree K] [--seed S] [--out FILE] ...
+  evprop trace-validate <trace.json>
   evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]";
 
 fn main() -> ExitCode {
@@ -70,6 +73,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("export") => cmd_export(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("trace-validate") => cmd_trace_validate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -398,6 +403,196 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
     }
 }
 
+/// `evprop trace`: run traced propagations on a model and export a
+/// Chrome-trace (Perfetto) timeline plus an analyzer summary.
+///
+/// The model is a BIF file, or `--random` for a materialized random
+/// clique tree (the workload generator the scaling experiments use).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use evprop_trace::{analyze, chrome_trace_json, TraceSink};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let get = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: '{v}'")),
+            None => Ok(default),
+        }
+    };
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => s.parse::<u64>().map_err(|_| format!("bad seed '{s}'"))?,
+        None => 0xF9,
+    };
+    let (jt, graph, label) = if args.iter().any(|a| a == "--random") {
+        let (n, w) = (get("--cliques", 64)?, get("--width", 8)?);
+        let (r, k) = (get("--states", 2)?, get("--degree", 3)?);
+        let shape = random_tree(&TreeParams::new(n, w, r, k).with_seed(seed));
+        let jt = evprop_workloads::materialize(&shape, seed);
+        let graph = TaskGraph::from_shape(&shape);
+        (jt, graph, format!("random tree N={n} w={w} r={r} k={k}"))
+    } else {
+        let path = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("trace needs a file or --random".to_string())?;
+        let bif = load(path)?;
+        let jt =
+            evprop_jtree::JunctionTree::from_network(&bif.network).map_err(|e| e.to_string())?;
+        let graph = TaskGraph::from_shape(jt.shape());
+        (jt, graph, bif.name.clone())
+    };
+
+    let threads = match flag_value(args, "--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("bad thread count '{t}'"))?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let runs = get("--runs", 4)?.max(1);
+    let mut cfg = evprop_sched::SchedulerConfig::with_threads(threads);
+    if let Some(d) = flag_value(args, "--delta") {
+        cfg.partition_threshold = Some(d.parse().map_err(|_| format!("bad --delta '{d}'"))?);
+    }
+    if args.iter().any(|a| a == "--no-partitioning") {
+        cfg.partition_threshold = None;
+    }
+    cfg.work_stealing = args.iter().any(|a| a == "--stealing");
+
+    let engine = PooledEngine::new(cfg);
+    // Ring capacity: every task yields at most a fetch/steal, a
+    // partition, and its subtask spans; pad generously so nothing drops.
+    let capacity = graph.num_tasks() * 8 * runs + 4096;
+    let sink = Arc::new(TraceSink::for_workers(threads, capacity));
+    engine.attach_trace(Some(Arc::clone(&sink)));
+
+    let ev = EvidenceSet::new();
+    let mut stats_busy = vec![Duration::ZERO; threads];
+    let mut wall_total = Duration::ZERO;
+    for _ in 0..runs {
+        engine
+            .propagate_graph(&jt, &graph, &ev)
+            .map_err(|e| e.to_string())?;
+        if let Some(report) = engine.last_report() {
+            wall_total += report.wall;
+            for (i, t) in report.threads.iter().enumerate() {
+                stats_busy[i] += t.busy;
+            }
+        }
+    }
+
+    let trace = sink.drain();
+    let out = flag_value(args, "--out").unwrap_or("trace.json");
+    std::fs::write(out, chrome_trace_json(&trace)).map_err(|e| format!("write {out}: {e}"))?;
+    let a = analyze(&trace);
+    println!(
+        "traced {label}: {runs} run(s) x {} tasks on {threads} thread(s)",
+        graph.num_tasks()
+    );
+    println!(
+        "wrote {out}: {} events, {} dropped — load it at https://ui.perfetto.dev",
+        trace.total_events(),
+        trace.total_dropped()
+    );
+    println!("thread   busy(us)   idle(us)  tasks  steals      weight");
+    let mut max_dev = 0.0f64;
+    for t in a.threads.iter().take(threads) {
+        println!(
+            "{:>6} {:>10} {:>10} {:>6} {:>7} {:>11}",
+            t.thread,
+            t.busy_ns / 1_000,
+            t.idle_ns / 1_000,
+            t.tasks,
+            t.steals,
+            t.weight
+        );
+        let stat_ns = stats_busy[t.thread].as_nanos() as f64;
+        if stat_ns > 0.0 {
+            max_dev = max_dev.max((t.busy_ns as f64 - stat_ns).abs() / stat_ns);
+        }
+    }
+    println!(
+        "busy agreement with ThreadStats: max deviation {:.3}%",
+        max_dev * 100.0
+    );
+    println!(
+        "jobs {}, imbalance {:.2} (max/mean weight), parallel efficiency {:.2}",
+        a.jobs, a.imbalance, a.parallel_efficiency
+    );
+    let cp = graph.critical_path_weight();
+    println!(
+        "critical-path estimate {:.3} ms/job ({} weight at {:.1} ns/entry) vs measured {:.3} ms/job",
+        a.critical_path_estimate_ns(cp) as f64 / 1e6,
+        cp,
+        a.ns_per_weight,
+        wall_total.as_secs_f64() * 1e3 / runs as f64
+    );
+    Ok(())
+}
+
+/// `evprop trace-validate <trace.json>`: structural checks on an
+/// exported Chrome-trace file — required fields present, per-thread
+/// timestamps monotone — so CI can gate on exporter correctness.
+fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
+    use evprop_serve::{parse_json, Json};
+    use std::collections::BTreeMap;
+
+    let path = args
+        .first()
+        .ok_or("trace-validate needs a trace.json file".to_string())?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let v = parse_json(&src).map_err(|e| format!("{path}: {e}"))?;
+    let Some(Json::Arr(events)) = v.get("traceEvents") else {
+        return Err(format!("{path}: missing \"traceEvents\" array"));
+    };
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| e.get(k).ok_or(format!("event {i}: missing \"{k}\""));
+        let Json::Str(ph) = field("ph")? else {
+            return Err(format!("event {i}: \"ph\" must be a string"));
+        };
+        if !matches!(field("name")?, Json::Str(_)) {
+            return Err(format!("event {i}: \"name\" must be a string"));
+        }
+        let Json::Num(tid) = field("tid")? else {
+            return Err(format!("event {i}: \"tid\" must be a number"));
+        };
+        if !matches!(field("pid")?, Json::Num(_)) {
+            return Err(format!("event {i}: \"pid\" must be a number"));
+        }
+        match ph.as_str() {
+            "M" => {} // metadata carries no timestamp
+            "X" | "i" => {
+                let Json::Num(ts) = field("ts")? else {
+                    return Err(format!("event {i}: \"ts\" must be a number"));
+                };
+                if *ph == *"X" && !matches!(field("dur")?, Json::Num(d) if *d >= 0.0) {
+                    return Err(format!("event {i}: \"dur\" must be a non-negative number"));
+                }
+                let key = *tid as u64;
+                if let Some(prev) = last_ts.get(&key) {
+                    if *ts < *prev {
+                        return Err(format!(
+                            "event {i}: ts {ts} goes backwards on tid {key} (prev {prev})"
+                        ));
+                    }
+                }
+                last_ts.insert(key, *ts);
+                spans += 1;
+            }
+            other => return Err(format!("event {i}: unexpected ph \"{other}\"")),
+        }
+    }
+    println!(
+        "{path}: OK — {} events ({spans} timed) across {} thread(s), per-thread timestamps monotone",
+        events.len(),
+        last_ts.len()
+    );
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let get = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name) {
@@ -564,6 +759,44 @@ mod tests {
         .unwrap();
         assert!(cmd_serve(&s(&[])).is_err());
         assert!(cmd_serve(&s(&[&f, "--queries", "x"])).is_err());
+    }
+
+    #[test]
+    fn trace_exports_and_validates() {
+        let dir = std::env::temp_dir().join("evprop-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_bif = dir.join("trace-asia.json").to_string_lossy().into_owned();
+        let out_rand = dir.join("trace-rand.json").to_string_lossy().into_owned();
+        let f = asia_file();
+        cmd_trace(&s(&[
+            &f,
+            "--threads",
+            "2",
+            "--runs",
+            "2",
+            "--out",
+            &out_bif,
+        ]))
+        .unwrap();
+        cmd_trace_validate(&s(&[&out_bif])).unwrap();
+        cmd_trace(&s(&[
+            "--random",
+            "--cliques",
+            "16",
+            "--width",
+            "6",
+            "--threads",
+            "2",
+            "--delta",
+            "256",
+            "--out",
+            &out_rand,
+        ]))
+        .unwrap();
+        cmd_trace_validate(&s(&[&out_rand])).unwrap();
+        assert!(cmd_trace(&s(&[])).is_err());
+        assert!(cmd_trace(&s(&["--out", "x.json"])).is_err());
+        assert!(cmd_trace_validate(&s(&["/nonexistent.json"])).is_err());
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl PooledEngine {
         &self.shard
     }
 
+    /// Attaches (or with `None`, detaches) a span sink recording this
+    /// engine's scheduler events, arena checkouts, and query spans.
+    /// See [`ShardState::attach_trace`].
+    #[cfg(feature = "trace")]
+    pub fn attach_trace(&self, sink: Option<std::sync::Arc<evprop_trace::TraceSink>>) {
+        self.shard.attach_trace(sink, 0);
+    }
+
     /// Per-thread statistics of the most recent job, if any. On the
     /// pooled path `wall` is per-job handoff-to-completion time and
     /// `total_tables_allocated` stays 0 for unpartitioned steady-state

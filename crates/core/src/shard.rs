@@ -38,6 +38,10 @@ pub struct ShardState {
     /// Cold-start arena allocations since construction — stays flat in
     /// steady state, which the serving tests assert.
     arenas_allocated: AtomicU64,
+    /// Attached span sink plus the shard index query spans are tagged
+    /// with; also forwarded to the pool for worker-level events.
+    #[cfg(feature = "trace")]
+    trace: Mutex<Option<(std::sync::Arc<evprop_trace::TraceSink>, u32)>>,
 }
 
 impl std::fmt::Debug for ShardState {
@@ -60,6 +64,27 @@ impl ShardState {
             arenas: Mutex::new(Vec::new()),
             last_report: Mutex::new(None),
             arenas_allocated: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Attaches (or with `None`, detaches) a span sink: the resident
+    /// pool's workers record scheduler events into it, and this shard
+    /// records arena checkouts and `Query` spans — tagged with
+    /// `shard` — on its control row. Size the sink with
+    /// [`evprop_trace::TraceSink::for_workers`]`(num_threads(), …)`.
+    #[cfg(feature = "trace")]
+    pub fn attach_trace(&self, sink: Option<std::sync::Arc<evprop_trace::TraceSink>>, shard: u32) {
+        self.pool.set_trace_sink(sink.clone());
+        *self.trace.lock() = sink.map(|s| (s, shard));
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_span(&self, kind: impl FnOnce(u32) -> evprop_trace::SpanKind, t0: std::time::Instant) {
+        if let Some((sink, shard)) = self.trace.lock().as_ref() {
+            sink.control()
+                .span(kind(*shard), sink.clock().ns_at(t0), sink.clock().now_ns());
         }
     }
 
@@ -101,6 +126,8 @@ impl ShardState {
     /// query's evidence — [`ShardState::posterior_on`] does — and hand
     /// it back via [`ShardState::recycle`].
     pub fn checkout(&self, graph: &TaskGraph, clique_potentials: &[PotentialTable]) -> TableArena {
+        #[cfg(feature = "trace")]
+        let t0 = std::time::Instant::now();
         let cached = {
             let mut cache = self.arenas.lock();
             cache
@@ -108,10 +135,22 @@ impl ShardState {
                 .position(|a| a.matches(graph))
                 .map(|i| cache.swap_remove(i))
         };
-        cached.unwrap_or_else(|| {
-            self.arenas_allocated.fetch_add(1, Ordering::Relaxed);
-            TableArena::initialize(graph, clique_potentials, &EvidenceSet::new())
-        })
+        let (arena, _fresh) = match cached {
+            Some(a) => (a, false),
+            None => {
+                self.arenas_allocated.fetch_add(1, Ordering::Relaxed);
+                (
+                    TableArena::initialize(graph, clique_potentials, &EvidenceSet::new()),
+                    true,
+                )
+            }
+        };
+        #[cfg(feature = "trace")]
+        self.trace_span(
+            |_| evprop_trace::SpanKind::ArenaCheckout { fresh: _fresh },
+            t0,
+        );
+        arena
     }
 
     /// Returns an arena to the cache for the next query.
@@ -155,6 +194,22 @@ impl ShardState {
     /// [`EngineError::ImpossibleEvidence`] if `P(e) = 0`;
     /// [`EngineError::WorkerPanicked`] if a worker died mid-job.
     pub fn posterior_on(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        arena: &mut TableArena,
+        var: VarId,
+        evidence: &EvidenceSet,
+    ) -> Result<PotentialTable> {
+        #[cfg(feature = "trace")]
+        let t0 = std::time::Instant::now();
+        let result = self.posterior_on_impl(jt, graph, arena, var, evidence);
+        #[cfg(feature = "trace")]
+        self.trace_span(|shard| evprop_trace::SpanKind::Query { shard }, t0);
+        result
+    }
+
+    fn posterior_on_impl(
         &self,
         jt: &JunctionTree,
         graph: &TaskGraph,

@@ -4,6 +4,8 @@ use crate::{ArenaView, RunReport, SchedulerConfig, TableArena, ThreadStats};
 use crossbeam::utils::Backoff;
 use evprop_potential::{raw, EntryRange, PotentialTable};
 use evprop_taskgraph::{TaskGraph, TaskId, TaskKind};
+#[cfg(feature = "trace")]
+use evprop_trace::{PrimitiveKind, SpanKind, TraceSink};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -86,6 +88,12 @@ pub(crate) struct Shared<'g> {
     /// ready), so every other worker must stop waiting for `remaining`
     /// to hit zero and bail out instead of spinning forever.
     aborted: AtomicBool,
+    /// Optional span sink: worker `id` records into row `id`, the
+    /// submitter records the job span on the control row. An `Arc`
+    /// (not a borrow) so attaching a sink never narrows the job
+    /// descriptor's `'g` lifetime.
+    #[cfg(feature = "trace")]
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl<'g> Shared<'g> {
@@ -139,6 +147,8 @@ impl<'g> Shared<'g> {
             partitioned: AtomicUsize::new(0),
             subtasks: AtomicUsize::new(0),
             aborted: AtomicBool::new(false),
+            #[cfg(feature = "trace")]
+            trace: None,
         };
         for t in graph.initial_ready() {
             let w = graph.task(t).weight;
@@ -167,6 +177,46 @@ impl<'g> Shared<'g> {
         self.aborted.load(Ordering::Acquire)
     }
 
+    /// Attaches the sink workers record into. Must happen before any
+    /// worker starts the job (the pool does it under its submission
+    /// lock, pre-handoff).
+    #[cfg(feature = "trace")]
+    pub(crate) fn set_trace(&mut self, sink: Option<Arc<TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// Records the whole-job span on the sink's control row.
+    #[cfg(feature = "trace")]
+    pub(crate) fn trace_job_span(&self, started: Instant, tasks: usize) {
+        if let Some(sink) = &self.trace {
+            sink.control().span(
+                SpanKind::Job {
+                    tasks: tasks as u32,
+                },
+                sink.clock().ns_at(started),
+                sink.clock().now_ns(),
+            );
+        }
+    }
+
+    /// The recording handle worker `id` threads through its loop.
+    #[cfg(feature = "trace")]
+    fn tracer(&self, id: usize) -> WorkerTracer<'_> {
+        WorkerTracer {
+            // Rows beyond the sink (a sink sized for fewer workers
+            // than the pool has) silently record nothing rather than
+            // panicking mid-job.
+            sink: self.trace.as_deref().filter(|s| id < s.rows()),
+            row: id,
+            idle_since: None,
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    fn tracer(&self, _id: usize) -> WorkerTracer {
+        WorkerTracer
+    }
+
     /// Post-job invariant: every ready list is empty and every weight
     /// counter is back at zero. A leftover queue entry means a lost
     /// task; a nonzero weight means a bookkeeping leak that would skew
@@ -183,6 +233,123 @@ impl<'g> Shared<'g> {
             assert_eq!(w, 0, "thread {i}'s weight counter leaked {w} after the job");
         }
     }
+}
+
+/// Per-worker recording handle: buffers the current idle stretch and
+/// forwards scheduler events to the worker's sink row. Without the
+/// `trace` feature it is a zero-sized type whose methods are empty —
+/// the hot path carries no tracing code at all.
+#[cfg(feature = "trace")]
+struct WorkerTracer<'s> {
+    sink: Option<&'s TraceSink>,
+    row: usize,
+    /// Start of the current contiguous idle stretch, so back-to-back
+    /// snoozes collapse into one `IdleSpin` span instead of flooding
+    /// the ring with one event per backoff step.
+    idle_since: Option<Instant>,
+}
+
+#[cfg(feature = "trace")]
+impl WorkerTracer<'_> {
+    fn fetch(&self) {
+        if let Some(s) = self.sink {
+            s.recorder(self.row)
+                .instant(SpanKind::Fetch, s.clock().now_ns());
+        }
+    }
+
+    fn steal(&self, victim: usize) {
+        if let Some(s) = self.sink {
+            s.recorder(self.row).instant(
+                SpanKind::Steal {
+                    victim: victim as u32,
+                },
+                s.clock().now_ns(),
+            );
+        }
+    }
+
+    fn idle_begin(&mut self, at: Instant) {
+        if self.sink.is_some() {
+            self.idle_since.get_or_insert(at);
+        }
+    }
+
+    fn work_resumed(&mut self) {
+        if let (Some(s), Some(t0)) = (self.sink, self.idle_since.take()) {
+            s.recorder(self.row)
+                .span(SpanKind::IdleSpin, s.clock().ns_at(t0), s.clock().now_ns());
+        }
+    }
+
+    fn partition(&self, kind: &TaskKind, parts: usize) {
+        if let Some(s) = self.sink {
+            let (buffer, _) = task_target(kind);
+            s.recorder(self.row).instant(
+                SpanKind::Partition {
+                    buffer,
+                    parts: parts as u32,
+                },
+                s.clock().now_ns(),
+            );
+        }
+    }
+
+    /// Records a task span from the *same* two instants the
+    /// `ThreadStats::busy` measurement used, so the analyzer's busy
+    /// totals and the stats agree exactly.
+    fn task(&self, kind: &TaskKind, weight: u64, part: Option<u32>, t0: Instant, t1: Instant) {
+        if let Some(s) = self.sink {
+            let (buffer, primitive) = task_target(kind);
+            s.recorder(self.row).span(
+                SpanKind::Task {
+                    buffer,
+                    primitive,
+                    weight,
+                    part,
+                },
+                s.clock().ns_at(t0),
+                s.clock().ns_at(t1),
+            );
+        }
+    }
+
+    fn finish(&mut self) {
+        self.work_resumed();
+    }
+}
+
+/// Destination buffer and primitive of a task kind, for span labels.
+#[cfg(feature = "trace")]
+fn task_target(kind: &TaskKind) -> (u32, PrimitiveKind) {
+    match *kind {
+        TaskKind::Marginalize { dst, max, .. } => (
+            dst.index() as u32,
+            if max {
+                PrimitiveKind::MaxMarginalize
+            } else {
+                PrimitiveKind::Marginalize
+            },
+        ),
+        TaskKind::Divide { dst, .. } => (dst.index() as u32, PrimitiveKind::Divide),
+        TaskKind::Extend { dst, .. } => (dst.index() as u32, PrimitiveKind::Extend),
+        TaskKind::Multiply { dst, .. } => (dst.index() as u32, PrimitiveKind::Multiply),
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+struct WorkerTracer;
+
+#[cfg(not(feature = "trace"))]
+impl WorkerTracer {
+    fn fetch(&self) {}
+    fn steal(&self, _victim: usize) {}
+    fn idle_begin(&mut self, _at: Instant) {}
+    fn work_resumed(&mut self) {}
+    fn partition(&self, _kind: &TaskKind, _parts: usize) {}
+    fn task(&self, _kind: &TaskKind, _weight: u64, _part: Option<u32>, _t0: Instant, _t1: Instant) {
+    }
+    fn finish(&mut self) {}
 }
 
 /// Runs two-phase evidence propagation: every task of `graph` executes
@@ -232,6 +399,7 @@ pub fn run_collaborative(
 pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
     let start = Instant::now();
     let mut stats = ThreadStats::default();
+    let mut tr = sh.tracer(id);
     let backoff = Backoff::new();
     loop {
         if sh.remaining.load(Ordering::Acquire) == 0 || sh.is_aborted() {
@@ -242,25 +410,31 @@ pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
             Some(e) => {
                 sh.lls[id].idle.store(false, Ordering::Relaxed);
                 backoff.reset();
+                tr.work_resumed();
+                tr.fetch();
                 e
             }
             None => {
-                if let Some(e) = sh.cfg.work_stealing.then(|| steal(sh, id)).flatten() {
+                if let Some((e, victim)) = sh.cfg.work_stealing.then(|| steal(sh, id)).flatten() {
                     sh.lls[id].idle.store(false, Ordering::Relaxed);
                     stats.steals += 1;
                     backoff.reset();
+                    tr.work_resumed();
+                    tr.steal(victim);
                     e
                 } else {
                     sh.lls[id].idle.store(true, Ordering::Relaxed);
                     let spin_start = Instant::now();
+                    tr.idle_begin(spin_start);
                     backoff.snooze();
                     stats.idle_spin += spin_start.elapsed();
                     continue;
                 }
             }
         };
-        process(sh, id, e, &mut stats);
+        process(sh, id, e, &mut stats, &tr);
     }
+    tr.finish();
     stats.overhead = start.elapsed().saturating_sub(stats.busy);
     stats
 }
@@ -276,11 +450,12 @@ fn pop_front(sh: &Shared<'_>, id: usize) -> Option<Exec> {
     Some(e)
 }
 
-/// Work-stealing extension: pop from the tail of the heaviest victim.
-/// The weight is recomputed from the unit actually popped, under the
-/// victim's queue lock — subtracting a weight read *before* the pop
-/// could double-subtract when a racing fetch drains the same entry.
-fn steal(sh: &Shared<'_>, thief: usize) -> Option<Exec> {
+/// Work-stealing extension: pop from the tail of the heaviest victim,
+/// returning the unit and the victim's id. The weight is recomputed
+/// from the unit actually popped, under the victim's queue lock —
+/// subtracting a weight read *before* the pop could double-subtract
+/// when a racing fetch drains the same entry.
+fn steal(sh: &Shared<'_>, thief: usize) -> Option<(Exec, usize)> {
     let victim = (0..sh.lls.len())
         .filter(|&j| j != thief)
         .max_by_key(|&j| sh.lls[j].weight.load(Ordering::Relaxed))?;
@@ -289,7 +464,7 @@ fn steal(sh: &Shared<'_>, thief: usize) -> Option<Exec> {
     let e = q.pop_back()?;
     ll.weight
         .fetch_sub(exec_weight(sh.graph, e), Ordering::Relaxed);
-    Some(e)
+    Some((e, victim))
 }
 
 /// A unit's weight without any global lookup: static weights live in the
@@ -325,7 +500,7 @@ fn allocate(sh: &Shared<'_>, e: Exec, w: u64, stats: &mut ThreadStats) {
 
 /// Executes one unit and performs the Allocate bookkeeping for whatever
 /// it unblocks.
-fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
+fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats, tr: &WorkerTracer) {
     match e {
         Exec::Static(t) => {
             // Test-only fault injection: poison one task to exercise the
@@ -356,13 +531,14 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                     };
                     sh.partitioned.fetch_add(1, Ordering::Relaxed);
                     sh.subtasks.fetch_add(n, Ordering::Relaxed);
+                    tr.partition(&task.kind, n);
                     // middle subtasks spread across threads
                     for part in 1..n - 1 {
                         let weight = record.ranges[part].len() as u64;
                         allocate(sh, Exec::Part { rec, part, weight }, weight, stats);
                     }
                     // first subtask runs here, now
-                    run_part(sh, id, rec, &record, 0, stats);
+                    run_part(sh, id, rec, &record, 0, stats, tr);
                 }
                 _ => {
                     let t0 = Instant::now();
@@ -371,22 +547,27 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats) {
                     // (TaskGraph::validate) and orders every writer of
                     // its sources before it.
                     unsafe { exec_full(sh, &task.kind) };
-                    record_exec(stats, t0, task.weight);
+                    let t1 = record_exec(stats, t0, task.weight);
+                    tr.task(&task.kind, task.weight, None, t0, t1);
                     complete_static(sh, t, stats);
                 }
             }
         }
         Exec::Part { rec, part, .. } => {
             let record = sh.records.lock()[rec].clone();
-            run_part(sh, id, rec, &record, part, stats);
+            run_part(sh, id, rec, &record, part, stats, tr);
         }
     }
 }
 
-fn record_exec(stats: &mut ThreadStats, t0: Instant, weight: u64) {
-    stats.busy += t0.elapsed();
+/// Books one executed unit into `stats`, returning the end instant so
+/// a trace span can reuse the exact same measurement.
+fn record_exec(stats: &mut ThreadStats, t0: Instant, weight: u64) -> Instant {
+    let t1 = Instant::now();
+    stats.busy += t1.duration_since(t0);
     stats.tasks_executed += 1;
     stats.weight_executed += weight;
+    t1
 }
 
 /// Executes subtask `part` of a partitioned task.
@@ -405,6 +586,7 @@ fn run_part(
     record: &Record,
     part: usize,
     stats: &mut ThreadStats,
+    tr: &WorkerTracer,
 ) {
     let n = record.ranges.len();
     let range = record.ranges[part];
@@ -503,7 +685,8 @@ fn run_part(
                 .expect("extended ratio matches clique domain");
         }
     }
-    record_exec(stats, t0, range.len() as u64);
+    let t1 = record_exec(stats, t0, range.len() as u64);
+    tr.task(&task.kind, range.len() as u64, Some(part as u32), t0, t1);
 
     if is_final {
         complete_static(sh, record.task, stats);

@@ -32,11 +32,13 @@ mod collab;
 mod config;
 mod generic;
 mod pool;
-mod stats;
 
 pub use arena::{ArenaView, RangeView, ReadView, TableArena};
 pub use collab::run_collaborative;
 pub use config::SchedulerConfig;
 pub use generic::{DagBuilder, DagTaskId};
 pub use pool::{CollabPool, JobPanic};
-pub use stats::{RunReport, ThreadStats};
+// The statistic types live in `evprop-trace` (shared with the serving
+// runtime's metrics and the timeline analyzer); re-exported here so
+// scheduler callers keep a single import path.
+pub use evprop_trace::{RunReport, ThreadStats};

@@ -124,6 +124,10 @@ pub struct CollabPool {
     inner: Arc<Inner>,
     /// Serializes `run` calls: only one job may occupy the slot.
     submit: Mutex<()>,
+    /// Sink attached to every subsequent job (worker rows + job spans
+    /// on the control row).
+    #[cfg(feature = "trace")]
+    trace: Mutex<Option<Arc<evprop_trace::TraceSink>>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -155,6 +159,8 @@ impl CollabPool {
         CollabPool {
             inner,
             submit: Mutex::new(()),
+            #[cfg(feature = "trace")]
+            trace: Mutex::new(None),
             handles,
         }
     }
@@ -162,6 +168,20 @@ impl CollabPool {
     /// Number of worker threads (every job runs on exactly this many).
     pub fn num_threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Attaches (or with `None`, detaches) a span sink recorded into by
+    /// every subsequent job: worker `id` writes scheduler events to row
+    /// `id`, and each job's overall span lands on the sink's control
+    /// row. Size the sink with
+    /// [`TraceSink::for_workers`](evprop_trace::TraceSink::for_workers)`(num_threads(), …)`;
+    /// worker rows beyond the sink record nothing.
+    ///
+    /// Takes effect from the next job (jobs already running keep the
+    /// sink they started with).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&self, sink: Option<Arc<evprop_trace::TraceSink>>) {
+        *self.trace.lock() = sink;
     }
 
     /// Runs one propagation job on the resident workers and blocks
@@ -232,6 +252,12 @@ impl CollabPool {
         // touch the buffers — and the completion handshake below joins
         // every worker access before we drop `shared`.
         let shared = unsafe { Shared::prepare(graph, arena, cfg, p) };
+        #[cfg(feature = "trace")]
+        let shared = {
+            let mut shared = shared;
+            shared.set_trace(self.trace.lock().clone());
+            shared
+        };
 
         let wall_start = Instant::now();
         let panicked = {
@@ -249,6 +275,8 @@ impl CollabPool {
             slot.panic.take()
         };
         report.wall = wall_start.elapsed();
+        #[cfg(feature = "trace")]
+        shared.trace_job_span(wall_start, graph.num_tasks());
         if let Some(message) = panicked {
             // The aborted job left tasks in ready lists and nonzero
             // weight counters; `shared` (and all of them) drops here, so

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! evprop-loadgen <file.bif> --addr HOST:PORT --queries N
-//!                [--seed S] [--connections C] [--out FILE] [--open-loop]
+//!                [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing]
 //! ```
 //!
 //! Generates the same pseudo-random query stream for a given
@@ -18,6 +18,12 @@
 //! latency. Open loop (`--open-loop`): each connection writes all its
 //! requests up front and drains responses afterwards — the overload
 //! pattern that exercises the server-side admission queue.
+//!
+//! `--timing` sets `"timing": true` on every request, so each success
+//! response carries the opt-in `queue_us`/`exec_us`/`shard` fields.
+//! Timed responses are *not* golden-comparable (the microsecond values
+//! vary run to run); the flag exists so smoke jobs can assert the
+//! fields appear on demand while the default stream stays byte-stable.
 
 use evprop_bayesnet::bif::{self, BifNetwork};
 use rand::{Rng, SeedableRng};
@@ -27,7 +33,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop]";
+  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +56,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 /// The same deterministic query scheme as `evprop serve`: one target,
 /// at most one hard-evidence observation, target and evidence distinct.
-fn request_lines(bif: &BifNetwork, n: usize, seed: u64) -> Vec<String> {
+fn request_lines(bif: &BifNetwork, n: usize, seed: u64, timing: bool) -> Vec<String> {
     let net = &bif.network;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let vars = net.num_vars() as u32;
@@ -69,6 +75,9 @@ fn request_lines(bif: &BifNetwork, n: usize, seed: u64) -> Vec<String> {
                     r#", "evidence": {{"{}": "{}"}}"#,
                     bif.var_names[obs as usize], bif.state_names[obs as usize][state]
                 ));
+            }
+            if timing {
+                line.push_str(r#", "timing": true"#);
             }
             line.push('}');
             line
@@ -98,8 +107,9 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("--connections must be at least 1".to_string());
     }
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let timing = args.iter().any(|a| a == "--timing");
 
-    let lines = request_lines(&bif, queries, seed);
+    let lines = request_lines(&bif, queries, seed, timing);
     // Round-robin split keeps per-connection order deterministic.
     let per_conn: Vec<Vec<String>> = (0..connections)
         .map(|c| lines.iter().skip(c).step_by(connections).cloned().collect())

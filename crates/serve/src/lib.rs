@@ -17,7 +17,10 @@
 //!   (served/errors, approximate p50/p95/p99 latency, busy/idle time,
 //!   queue high-water);
 //! * [`TcpServer`] — a std-only newline-delimited-JSON front-end
-//!   (`evprop serve --listen ADDR`), thread-per-connection.
+//!   (`evprop serve --listen ADDR`), thread-per-connection, with
+//!   introspection commands (`{"cmd": "stats"}`, `{"cmd": "trace"}`)
+//!   and opt-in per-query `queue_us`/`exec_us` timing (schema
+//!   documented on [`parse_request_line`]).
 //!
 //! ```
 //! use evprop_bayesnet::networks;
@@ -41,8 +44,13 @@ mod queue;
 mod runtime;
 mod server;
 
-pub use metrics::{LatencyHistogram, RuntimeStats, ShardStats};
-pub use protocol::{format_error, format_response, parse_request, ModelNames, NumericNames};
+pub use metrics::{quantile_of, Counter, LatencyHistogram, RuntimeStats, ShardStats};
+pub use protocol::{
+    format_error, format_response, format_response_timed, format_stats, format_trace, parse_json,
+    parse_request, parse_request_line, Json, ModelNames, NumericNames, Request,
+};
 pub use queue::{AdmissionQueue, PushError};
-pub use runtime::{RuntimeConfig, ServeError, ServeResult, ShardedRuntime, Ticket};
+pub use runtime::{
+    QuerySummary, QueryTiming, RuntimeConfig, ServeError, ServeResult, ShardedRuntime, Ticket,
+};
 pub use server::TcpServer;

@@ -1,131 +1,34 @@
-//! Lock-free serving metrics: a log₂-bucketed latency histogram plus
-//! per-shard counters, snapshotted into plain structs on demand.
+//! Serving metrics, backed by the shared metric primitives of
+//! `evprop-trace` ([`Counter`], [`LatencyHistogram`]): per-shard live
+//! counters updated by dispatcher threads, snapshotted into plain
+//! [`ShardStats`] / [`RuntimeStats`] structs on demand.
+//!
+//! Keeping the primitives in one crate means the scheduler's
+//! `ThreadStats`, the timeline analyzer, and these serving stats all
+//! count with the same implementation — the numbers cannot drift.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log₂ buckets. Bucket `i` holds samples whose nanosecond
-/// value has bit length `i` (bucket 0 is the zero sample), so the
-/// covered range tops out far beyond any plausible query latency.
-const BUCKETS: usize = 64;
-
-/// A concurrent latency histogram with power-of-two buckets.
-///
-/// Recording is two relaxed atomic increments — cheap enough to sit on
-/// the per-query hot path. Quantiles are approximate (upper bound of
-/// the bucket containing the rank), which is plenty for p50/p95/p99
-/// over latencies spanning orders of magnitude.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    sum_nanos: AtomicU64,
-    total: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: [const { AtomicU64::new(0) }; BUCKETS],
-            sum_nanos: AtomicU64::new(0),
-            total: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket(nanos: u64) -> usize {
-        (u64::BITS - nanos.leading_zeros()) as usize % BUCKETS
-    }
-
-    /// Records one sample.
-    pub fn record(&self, latency: Duration) {
-        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.counts[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency, or zero if nothing was recorded.
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / n)
-    }
-
-    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
-    /// bucket containing the rank. Zero if nothing was recorded.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let snapshot: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        quantile_of(&snapshot, q)
-    }
-
-    /// The raw bucket counts, for merging into aggregates.
-    pub(crate) fn snapshot_counts(&self) -> Vec<u64> {
-        self.counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    pub(crate) fn sum_nanos(&self) -> u64 {
-        self.sum_nanos.load(Ordering::Relaxed)
-    }
-}
-
-/// Quantile over raw log₂ bucket counts (shared by per-shard and
-/// merged aggregate views).
-pub(crate) fn quantile_of(counts: &[u64], q: f64) -> Duration {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-    let mut seen = 0;
-    for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            // upper bound of bucket i: all values of bit length i
-            let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-            return Duration::from_nanos(upper);
-        }
-    }
-    Duration::from_nanos(u64::MAX)
-}
+pub use evprop_trace::{quantile_of, Counter, LatencyHistogram};
 
 /// Live counters of one shard, updated by its dispatcher thread.
 #[derive(Debug, Default)]
 pub(crate) struct ShardMetrics {
-    pub served: AtomicU64,
-    pub errors: AtomicU64,
-    pub batches: AtomicU64,
-    pub busy_nanos: AtomicU64,
+    pub served: Counter,
+    pub errors: Counter,
+    pub batches: Counter,
+    pub busy_nanos: Counter,
     pub latency: LatencyHistogram,
 }
 
 impl ShardMetrics {
     pub fn snapshot(&self, shard: usize, arenas_allocated: u64, wall: Duration) -> ShardStats {
-        let busy = Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed));
+        let busy = Duration::from_nanos(self.busy_nanos.get());
         ShardStats {
             shard,
-            served: self.served.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+            served: self.served.get(),
+            errors: self.errors.get(),
+            batches: self.batches.get(),
             busy,
             idle: wall.saturating_sub(busy),
             mean_latency: self.latency.mean(),
@@ -194,34 +97,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_are_ordered_and_bracketing() {
-        let h = LatencyHistogram::new();
-        for micros in [10u64, 20, 40, 80, 5000] {
-            h.record(Duration::from_micros(micros));
+    fn shard_metrics_snapshot_uses_shared_primitives() {
+        let m = ShardMetrics::default();
+        m.served.add(3);
+        m.errors.incr();
+        m.batches.incr();
+        m.busy_nanos.add(1_500_000);
+        for micros in [10u64, 20, 40] {
+            m.latency.record(Duration::from_micros(micros));
         }
-        assert_eq!(h.count(), 5);
-        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
-        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
-        // p50 falls in the bucket of the 40 µs sample: [32768, 65535] ns
-        assert!(p50 >= Duration::from_micros(40) && p50 < Duration::from_micros(80));
-        // p99 falls in the 5 ms sample's bucket
-        assert!(p99 >= Duration::from_micros(5000));
-        assert!(h.mean() >= Duration::from_micros(1000));
+        let s = m.snapshot(1, 2, Duration::from_millis(10));
+        assert_eq!(s.shard, 1);
+        assert_eq!(s.served, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.busy, Duration::from_nanos(1_500_000));
+        assert_eq!(s.idle, Duration::from_millis(10) - s.busy);
+        assert_eq!(s.arenas_allocated, 2);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
     }
 
     #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-    }
-
-    #[test]
-    fn zero_duration_sample_lands_in_bucket_zero() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    fn idle_saturates_when_busy_exceeds_wall() {
+        let m = ShardMetrics::default();
+        m.busy_nanos.add(5_000);
+        let s = m.snapshot(0, 0, Duration::from_nanos(1_000));
+        assert_eq!(s.idle, Duration::ZERO);
     }
 }

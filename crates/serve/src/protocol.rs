@@ -1,7 +1,7 @@
 //! The wire protocol of the TCP front-end: newline-delimited JSON,
 //! one request and one response per line.
 //!
-//! Request:
+//! # Query requests
 //!
 //! ```json
 //! {"target": "dysp", "evidence": {"asia": "yes", "smoke": 1}, "likelihood": {"xray": [0.4, 0.8]}}
@@ -15,10 +15,51 @@
 //! {"target": "dysp", "states": ["yes", "no"], "marginal": [0.43, 0.57]}
 //! ```
 //!
-//! or `{"error": "..."}`. The parser below is a deliberately tiny
-//! recursive-descent JSON reader — the build environment is offline,
-//! so no serde — covering exactly the grammar the protocol uses.
+//! or `{"error": "..."}`. Adding `"timing": true` to a query request
+//! opts into a per-query timing pair on the success response —
+//! `"queue_us"` (admission-queue wait, integer microseconds) and
+//! `"exec_us"` (the propagation itself) plus the answering `"shard"`:
+//!
+//! ```json
+//! {"target": "dysp", "states": ["yes", "no"], "marginal": [0.43, 0.57], "queue_us": 104, "exec_us": 87, "shard": 0}
+//! ```
+//!
+//! Without the flag the response is byte-identical to the plain form,
+//! so golden transcripts stay stable.
+//!
+//! # Commands
+//!
+//! A request object carrying `"cmd"` instead of `"target"` is a
+//! command:
+//!
+//! * `{"cmd": "stats"}` — a live [`RuntimeStats`] snapshot:
+//!
+//!   ```json
+//!   {"stats": {"served": 12, "errors": 0, "queue_depth": 0,
+//!     "queue_high_water": 3, "uptime_us": 52417, "mean_latency_us": 131,
+//!     "p50_us": 131, "p95_us": 262, "p99_us": 262,
+//!     "shards": [{"shard": 0, "served": 6, "errors": 0, "batches": 4,
+//!       "busy_us": 410, "idle_us": 52007, "mean_latency_us": 120,
+//!       "p50_us": 131, "p95_us": 262, "p99_us": 262,
+//!       "arenas_allocated": 1}]}}
+//!   ```
+//!
+//! * `{"cmd": "trace"}` — summaries of the most recently completed
+//!   queries (oldest first, at most 64), each with its queue/exec
+//!   split:
+//!
+//!   ```json
+//!   {"trace": {"recent": [{"target": "dysp", "ok": true, "shard": 0,
+//!     "queue_us": 104, "exec_us": 87}]}}
+//!   ```
+//!
+//! All `*_us` fields are integer microseconds. The parser below is a
+//! deliberately tiny recursive-descent JSON reader — the build
+//! environment is offline, so no serde — covering exactly the grammar
+//! the protocol uses.
 
+use crate::metrics::RuntimeStats;
+use crate::runtime::{QuerySummary, QueryTiming};
 use evprop_bayesnet::bif::BifNetwork;
 use evprop_bayesnet::BayesianNetwork;
 use evprop_core::Query;
@@ -124,18 +165,28 @@ impl ModelNames for NumericNames {
 
 /// A parsed JSON value (protocol subset: no exponents beyond `f64`'s
 /// own parser, no unicode escapes beyond BMP `\uXXXX`).
+///
+/// Public so out-of-crate tooling (benchmarks, the golden smoke tests)
+/// can inspect protocol lines and merge JSON reports without serde.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (the protocol never needs integers wider than 2⁵³).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs (first match wins).
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Field lookup on an object; `None` on missing keys and non-objects.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -318,7 +369,12 @@ impl<'a> Parser<'a> {
     }
 }
 
-pub(crate) fn parse_json(src: &str) -> Result<Json, String> {
+/// Parses one complete JSON value (trailing characters are an error).
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the problem.
+pub fn parse_json(src: &str) -> Result<Json, String> {
     let mut p = Parser::new(src);
     let v = p.parse_value()?;
     p.skip_ws();
@@ -372,7 +428,51 @@ fn resolve_state(names: &dyn ModelNames, var: VarId, v: &Json) -> Result<usize, 
     }
 }
 
-/// Parses one request line into a [`Query`].
+/// One parsed request line: a query or an introspection command.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// An inference request, with `timing` set when the client opted
+    /// into the `queue_us`/`exec_us` pair on the response.
+    Query {
+        /// The query to answer.
+        query: Query,
+        /// Whether the response should carry the timing pair.
+        timing: bool,
+    },
+    /// `{"cmd": "stats"}` — a [`RuntimeStats`] snapshot.
+    Stats,
+    /// `{"cmd": "trace"}` — recent-query timing summaries.
+    Trace,
+}
+
+/// Parses one request line: either an inference query or a `"cmd"`
+/// request (`stats`, `trace`).
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON, unknown commands or
+/// names, or out-of-range indices — intended to be echoed back via
+/// [`format_error`].
+pub fn parse_request_line(line: &str, names: &dyn ModelNames) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    if let Some(cmd) = v.get("cmd") {
+        return match cmd {
+            Json::Str(c) if c == "stats" => Ok(Request::Stats),
+            Json::Str(c) if c == "trace" => Ok(Request::Trace),
+            other => Err(format!(
+                "unknown command {other:?} (expected \"stats\" or \"trace\")"
+            )),
+        };
+    }
+    let timing = matches!(v.get("timing"), Some(Json::Bool(true)));
+    Ok(Request::Query {
+        query: query_from_json(&v, names)?,
+        timing,
+    })
+}
+
+/// Parses one request line into a [`Query`] (queries only — commands
+/// are rejected; the TCP front-end uses [`parse_request_line`]).
 ///
 /// # Errors
 ///
@@ -381,6 +481,10 @@ fn resolve_state(names: &dyn ModelNames, var: VarId, v: &Json) -> Result<usize, 
 /// [`format_error`].
 pub fn parse_request(line: &str, names: &dyn ModelNames) -> Result<Query, String> {
     let v = parse_json(line)?;
+    query_from_json(&v, names)
+}
+
+fn query_from_json(v: &Json, names: &dyn ModelNames) -> Result<Query, String> {
     let target = resolve_var(
         names,
         v.get("target").ok_or("request is missing \"target\"")?,
@@ -453,11 +557,99 @@ pub fn format_response(names: &dyn ModelNames, target: VarId, marginal: &Potenti
     out
 }
 
+/// Formats a successful answer with the opt-in timing pair appended:
+/// the plain [`format_response`] line plus `"queue_us"`, `"exec_us"`,
+/// and `"shard"` fields (integer microseconds).
+pub fn format_response_timed(
+    names: &dyn ModelNames,
+    target: VarId,
+    marginal: &PotentialTable,
+    timing: &QueryTiming,
+) -> String {
+    let mut out = format_response(names, target, marginal);
+    out.pop(); // reopen the object: drop the trailing '}'
+    out.push_str(&format!(
+        ",\"queue_us\":{},\"exec_us\":{},\"shard\":{}}}",
+        micros(timing.queue),
+        micros(timing.exec),
+        timing.shard
+    ));
+    out
+}
+
 /// Formats an error as one response line (no trailing newline).
 pub fn format_error(message: &str) -> String {
     let mut out = String::from("{\"error\":\"");
     escape_into(&mut out, message);
     out.push_str("\"}");
+    out
+}
+
+fn micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Formats a [`RuntimeStats`] snapshot as one `{"stats": …}` response
+/// line (schema in the [module docs](self)).
+pub fn format_stats(stats: &RuntimeStats) -> String {
+    let mut out = format!(
+        "{{\"stats\":{{\"served\":{},\"errors\":{},\"queue_depth\":{},\
+         \"queue_high_water\":{},\"uptime_us\":{},\"mean_latency_us\":{},\
+         \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"shards\":[",
+        stats.served,
+        stats.errors,
+        stats.queue_depth,
+        stats.queue_high_water,
+        micros(stats.uptime),
+        micros(stats.mean_latency),
+        micros(stats.p50),
+        micros(stats.p95),
+        micros(stats.p99),
+    );
+    for (i, s) in stats.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{},\"served\":{},\"errors\":{},\"batches\":{},\
+             \"busy_us\":{},\"idle_us\":{},\"mean_latency_us\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"arenas_allocated\":{}}}",
+            s.shard,
+            s.served,
+            s.errors,
+            s.batches,
+            micros(s.busy),
+            micros(s.idle),
+            micros(s.mean_latency),
+            micros(s.p50),
+            micros(s.p95),
+            micros(s.p99),
+            s.arenas_allocated,
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Formats recent-query summaries as one `{"trace": …}` response line
+/// (schema in the [module docs](self)).
+pub fn format_trace(names: &dyn ModelNames, recent: &[QuerySummary]) -> String {
+    let mut out = String::from("{\"trace\":{\"recent\":[");
+    for (i, q) in recent.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"target\":\"");
+        escape_into(&mut out, &names.var_name(q.target));
+        out.push_str(&format!(
+            "\",\"ok\":{},\"shard\":{},\"queue_us\":{},\"exec_us\":{}}}",
+            q.ok,
+            q.timing.shard,
+            micros(q.timing.queue),
+            micros(q.timing.exec),
+        ));
+    }
+    out.push_str("]}}");
     out
 }
 

@@ -26,11 +26,16 @@
 use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
 use crate::queue::{AdmissionQueue, PushError};
 use evprop_core::{EngineError, InferenceSession, Query, ShardState};
-use evprop_potential::PotentialTable;
+use evprop_potential::{PotentialTable, VarId};
 use evprop_sched::SchedulerConfig;
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many completed queries the runtime remembers for the `trace`
+/// protocol command ([`ShardedRuntime::recent`]).
+const RECENT_CAP: usize = 64;
 
 /// Errors surfaced to serving clients.
 #[derive(Clone, Debug)]
@@ -150,10 +155,35 @@ impl RuntimeConfig {
     }
 }
 
+/// Where one answered query spent its time, measured by the shard
+/// dispatcher. All durations are wall-clock.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryTiming {
+    /// Enqueue to dispatch: admission-queue wait plus any time spent
+    /// behind earlier queries of the same micro-batch.
+    pub queue: Duration,
+    /// The propagation itself (`posterior_on` on the shard's arena).
+    pub exec: Duration,
+    /// Which shard answered.
+    pub shard: usize,
+}
+
+/// One entry of the recent-query ring ([`ShardedRuntime::recent`]):
+/// a completed query and where its time went.
+#[derive(Clone, Debug)]
+pub struct QuerySummary {
+    /// The queried variable.
+    pub target: VarId,
+    /// Whether the query succeeded.
+    pub ok: bool,
+    /// Queue/exec breakdown and the answering shard.
+    pub timing: QueryTiming,
+}
+
 /// One-shot rendezvous between a dispatcher and a waiting client.
 #[derive(Debug)]
 struct ResponseSlot {
-    result: Mutex<Option<ServeResult<PotentialTable>>>,
+    result: Mutex<Option<(ServeResult<PotentialTable>, QueryTiming)>>,
     ready: Condvar,
 }
 
@@ -165,12 +195,12 @@ impl ResponseSlot {
         }
     }
 
-    fn fulfill(&self, result: ServeResult<PotentialTable>) {
-        *self.result.lock() = Some(result);
+    fn fulfill(&self, result: ServeResult<PotentialTable>, timing: QueryTiming) {
+        *self.result.lock() = Some((result, timing));
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> ServeResult<PotentialTable> {
+    fn wait(&self) -> (ServeResult<PotentialTable>, QueryTiming) {
         let mut guard = self.result.lock();
         loop {
             if let Some(r) = guard.take() {
@@ -180,7 +210,10 @@ impl ResponseSlot {
         }
     }
 
-    fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult<PotentialTable>> {
+    fn wait_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Option<(ServeResult<PotentialTable>, QueryTiming)> {
         let deadline = Instant::now() + timeout;
         let mut guard = self.result.lock();
         loop {
@@ -212,13 +245,19 @@ impl Ticket {
     ///
     /// [`ServeError::Engine`] if the query itself failed.
     pub fn wait(self) -> ServeResult<PotentialTable> {
+        self.slot.wait().0
+    }
+
+    /// Blocks until the query is answered, also returning where its
+    /// time went (even when the answer is an error).
+    pub fn wait_timed(self) -> (ServeResult<PotentialTable>, QueryTiming) {
         self.slot.wait()
     }
 
     /// Waits up to `timeout`; `None` means still in flight (the ticket
     /// is consumed — intended for tests and best-effort clients).
     pub fn wait_timeout(self, timeout: Duration) -> Option<ServeResult<PotentialTable>> {
-        self.slot.wait_timeout(timeout)
+        self.slot.wait_timeout(timeout).map(|(r, _)| r)
     }
 }
 
@@ -240,6 +279,18 @@ struct Inner {
     shards: Vec<Shard>,
     max_batch: usize,
     started: Instant,
+    /// Ring of the last [`RECENT_CAP`] completed queries, oldest first.
+    recent: Mutex<VecDeque<QuerySummary>>,
+}
+
+impl Inner {
+    fn remember(&self, summary: QuerySummary) {
+        let mut ring = self.recent.lock();
+        if ring.len() == RECENT_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(summary);
+    }
 }
 
 /// The sharded serving runtime. See the [module docs](self).
@@ -274,6 +325,7 @@ impl ShardedRuntime {
             shards,
             max_batch: config.max_batch,
             started: Instant::now(),
+            recent: Mutex::new(VecDeque::with_capacity(RECENT_CAP)),
         });
         let dispatchers = (0..config.shards)
             .map(|idx| {
@@ -354,6 +406,39 @@ impl ShardedRuntime {
         self.submit(query)?.wait()
     }
 
+    /// Submit-and-wait with a queue/exec timing breakdown attached.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardedRuntime::query`]; timing is only reported for
+    /// answered queries.
+    pub fn query_timed(&self, query: Query) -> ServeResult<(PotentialTable, QueryTiming)> {
+        let (result, timing) = self.submit(query)?.wait_timed();
+        result.map(|table| (table, timing))
+    }
+
+    /// The most recently completed queries (oldest first, at most 64)
+    /// with their per-query queue/exec timing — the data behind the
+    /// TCP protocol's `{"cmd": "trace"}` command.
+    pub fn recent(&self) -> Vec<QuerySummary> {
+        self.inner.recent.lock().iter().cloned().collect()
+    }
+
+    /// Attaches (or with `None`, detaches) a span sink recording shard
+    /// `shard`'s scheduler events, arena checkouts, and query spans.
+    /// Size the sink with `TraceSink::for_workers(threads_per_shard,
+    /// …)`; takes effect from that shard's next dispatched query.
+    ///
+    /// # Panics
+    ///
+    /// If `shard` is out of range.
+    #[cfg(feature = "trace")]
+    pub fn attach_trace(&self, shard: usize, sink: Option<Arc<evprop_trace::TraceSink>>) {
+        self.inner.shards[shard]
+            .state
+            .attach_trace(sink, shard as u32);
+    }
+
     /// A point-in-time statistics snapshot across all shards.
     pub fn stats(&self) -> RuntimeStats {
         let wall = self.inner.started.elapsed();
@@ -421,25 +506,34 @@ fn dispatcher(inner: &Inner, idx: usize) {
         let round = Instant::now();
         let mut arena = shard.state.checkout(graph, jt.potentials());
         for job in batch.drain(..) {
+            let exec_start = Instant::now();
             let result = shard
                 .state
                 .posterior_on(jt, graph, &mut arena, job.query.target, &job.query.evidence)
                 .map_err(ServeError::Engine);
-            use std::sync::atomic::Ordering::Relaxed;
-            shard.metrics.served.fetch_add(1, Relaxed);
+            let timing = QueryTiming {
+                queue: exec_start.duration_since(job.enqueued),
+                exec: exec_start.elapsed(),
+                shard: idx,
+            };
+            shard.metrics.served.incr();
             if result.is_err() {
-                shard.metrics.errors.fetch_add(1, Relaxed);
+                shard.metrics.errors.incr();
             }
             shard.metrics.latency.record(job.enqueued.elapsed());
-            job.slot.fulfill(result);
+            inner.remember(QuerySummary {
+                target: job.query.target,
+                ok: result.is_ok(),
+                timing,
+            });
+            job.slot.fulfill(result, timing);
         }
         shard.state.recycle(arena);
-        use std::sync::atomic::Ordering::Relaxed;
-        shard.metrics.batches.fetch_add(1, Relaxed);
-        shard.metrics.busy_nanos.fetch_add(
-            u64::try_from(round.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            Relaxed,
-        );
+        shard.metrics.batches.incr();
+        shard
+            .metrics
+            .busy_nanos
+            .add(u64::try_from(round.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
@@ -539,6 +633,45 @@ mod tests {
         assert_eq!(warm, after, "warm serving must not allocate arenas");
         // Each shard allocated at most one arena for this single graph.
         assert!(after <= 2, "got {after}");
+    }
+
+    #[test]
+    fn query_timed_reports_sane_breakdown() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1));
+        let (m, t) = rt
+            .query_timed(Query::new(VarId(3), EvidenceSet::new()))
+            .unwrap();
+        assert!((m.sum() - 1.0).abs() < 1e-9);
+        assert!(t.shard < 2);
+        assert!(t.exec > Duration::ZERO);
+        assert!(t.queue < Duration::from_secs(60));
+        // Errors still resolve the ticket with timing attached.
+        let (bad, t) = rt
+            .submit(Query::new(VarId(99), EvidenceSet::new()))
+            .unwrap()
+            .wait_timed();
+        assert!(bad.is_err());
+        assert!(t.shard < 2);
+    }
+
+    #[test]
+    fn recent_ring_keeps_newest_in_order() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1));
+        for i in 0..(RECENT_CAP + 5) {
+            rt.query(Query::new(VarId((i % 3) as u32), EvidenceSet::new()))
+                .unwrap();
+        }
+        let _ = rt
+            .submit(Query::new(VarId(99), EvidenceSet::new()))
+            .unwrap()
+            .wait();
+        let recent = rt.recent();
+        assert_eq!(recent.len(), RECENT_CAP, "ring is capped");
+        // Newest entry is the failing query; everything else succeeded.
+        let last = recent.last().unwrap();
+        assert_eq!(last.target, VarId(99));
+        assert!(!last.ok);
+        assert!(recent[..RECENT_CAP - 1].iter().all(|q| q.ok));
     }
 
     #[test]

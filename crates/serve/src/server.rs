@@ -7,7 +7,10 @@
 //! and every tracked connection, so [`TcpServer::stop`] returns
 //! promptly even with idle clients attached.
 
-use crate::protocol::{format_error, format_response, parse_request, ModelNames};
+use crate::protocol::{
+    format_error, format_response, format_response_timed, format_stats, format_trace,
+    parse_request_line, ModelNames, Request,
+};
 use crate::runtime::ShardedRuntime;
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -147,12 +150,23 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// One request line → one response line (no trailing newline).
 fn answer_line(line: &str, shared: &Shared) -> String {
-    match parse_request(line, shared.names.as_ref()) {
-        Ok(query) => {
+    match parse_request_line(line, shared.names.as_ref()) {
+        Ok(Request::Stats) => format_stats(&shared.runtime.stats()),
+        Ok(Request::Trace) => format_trace(shared.names.as_ref(), &shared.runtime.recent()),
+        Ok(Request::Query { query, timing }) => {
             let target = query.target;
-            match shared.runtime.query(query) {
-                Ok(marginal) => format_response(shared.names.as_ref(), target, &marginal),
-                Err(e) => format_error(&e.to_string()),
+            if timing {
+                match shared.runtime.query_timed(query) {
+                    Ok((marginal, t)) => {
+                        format_response_timed(shared.names.as_ref(), target, &marginal, &t)
+                    }
+                    Err(e) => format_error(&e.to_string()),
+                }
+            } else {
+                match shared.runtime.query(query) {
+                    Ok(marginal) => format_response(shared.names.as_ref(), target, &marginal),
+                    Err(e) => format_error(&e.to_string()),
+                }
             }
         }
         Err(msg) => format_error(&msg),
@@ -231,6 +245,73 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        server.stop();
+    }
+
+    #[test]
+    fn timing_fields_are_opt_in() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+
+        // Default: byte-identical to the plain response (golden-stable).
+        let plain = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        assert!(!plain.contains("queue_us"), "got: {plain}");
+        assert!(!plain.contains("exec_us"), "got: {plain}");
+
+        // Opted in: same answer plus a sane timing pair.
+        let timed = roundtrip(
+            &stream,
+            r#"{"target": "v3", "evidence": {"v7": 1}, "timing": true}"#,
+        );
+        use crate::protocol::{parse_json, Json};
+        let v = parse_json(&timed).unwrap();
+        let plain_v = parse_json(&plain).unwrap();
+        assert_eq!(v.get("marginal"), plain_v.get("marginal"));
+        let Some(Json::Num(queue)) = v.get("queue_us") else {
+            panic!("missing queue_us: {timed}");
+        };
+        let Some(Json::Num(exec)) = v.get("exec_us") else {
+            panic!("missing exec_us: {timed}");
+        };
+        assert!(*queue >= 0.0 && *queue < 60_000_000.0, "queue_us {queue}");
+        assert!(*exec >= 0.0 && *exec < 60_000_000.0, "exec_us {exec}");
+        assert!(matches!(v.get("shard"), Some(Json::Num(_))), "{timed}");
+        server.stop();
+    }
+
+    #[test]
+    fn stats_and_trace_commands() {
+        use crate::protocol::{parse_json, Json};
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+        for _ in 0..3 {
+            roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        }
+
+        let stats_line = roundtrip(&stream, r#"{"cmd": "stats"}"#);
+        let v = parse_json(&stats_line).unwrap();
+        let stats = v.get("stats").expect("stats object");
+        assert_eq!(stats.get("served"), Some(&Json::Num(3.0)));
+        assert_eq!(stats.get("errors"), Some(&Json::Num(0.0)));
+        let Some(Json::Arr(shards)) = stats.get("shards") else {
+            panic!("missing shards: {stats_line}");
+        };
+        assert_eq!(shards.len(), 2);
+
+        let trace_line = roundtrip(&stream, r#"{"cmd": "trace"}"#);
+        let v = parse_json(&trace_line).unwrap();
+        let Some(Json::Arr(recent)) = v.get("trace").and_then(|t| t.get("recent")) else {
+            panic!("missing trace.recent: {trace_line}");
+        };
+        assert_eq!(recent.len(), 3);
+        for q in recent {
+            assert_eq!(q.get("target"), Some(&Json::Str("v3".into())));
+            assert_eq!(q.get("ok"), Some(&Json::Bool(true)));
+            assert!(matches!(q.get("exec_us"), Some(Json::Num(_))));
+        }
+
+        let err = roundtrip(&stream, r#"{"cmd": "nonsense"}"#);
+        assert!(err.contains("\"error\""), "got: {err}");
         server.stop();
     }
 

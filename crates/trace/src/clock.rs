@@ -1,0 +1,78 @@
+//! The shared monotonic clock every recorder timestamps against.
+
+use std::time::Instant;
+
+/// A monotonic clock with a fixed epoch.
+///
+/// All recorders of one [`TraceSink`](crate::TraceSink) share one
+/// clock, so timestamps from different threads are directly comparable
+/// and the exported timeline needs no per-thread skew correction.
+/// Reading the clock is one `Instant::now()` — no synchronization.
+#[derive(Debug)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceClock {
+    /// A clock whose epoch is *now*.
+    pub fn new() -> Self {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.ns_at(Instant::now())
+    }
+
+    /// Converts an [`Instant`] (e.g. one already taken for a
+    /// statistics measurement) to nanoseconds since the epoch, so a
+    /// span and the `ThreadStats` duration it mirrors are computed
+    /// from the *same* readings and agree exactly.
+    pub fn ns_at(&self, t: Instant) -> u64 {
+        u64::try_from(
+            t.checked_duration_since(self.epoch)
+                .unwrap_or_default()
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = TraceClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn instants_before_the_epoch_clamp_to_zero() {
+        let before = Instant::now();
+        let c = TraceClock::new();
+        assert_eq!(c.ns_at(before), 0);
+    }
+
+    #[test]
+    fn ns_at_matches_elapsed_arithmetic() {
+        let c = TraceClock::new();
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = Instant::now();
+        let span = c.ns_at(t1) - c.ns_at(t0);
+        let elapsed = u64::try_from((t1 - t0).as_nanos()).unwrap();
+        assert_eq!(span, elapsed);
+    }
+}

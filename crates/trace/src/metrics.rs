@@ -1,0 +1,207 @@
+//! Shared lock-free metric primitives: a relaxed atomic counter and a
+//! log₂-bucketed latency histogram.
+//!
+//! Both the scheduler's `ThreadStats` aggregation and the serving
+//! runtime's `RuntimeStats` are built on these types, so the two
+//! layers' numbers come from one implementation and cannot drift.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A relaxed atomic event counter.
+///
+/// All operations use `Ordering::Relaxed`: counters are monotone
+/// tallies read for reporting, never for synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets. Bucket `i` holds samples whose nanosecond
+/// value has bit length `i` (bucket 0 is the zero sample), so the
+/// covered range tops out far beyond any plausible query latency.
+const BUCKETS: usize = 64;
+
+/// A concurrent latency histogram with power-of-two buckets.
+///
+/// Recording is two relaxed atomic increments — cheap enough to sit on
+/// the per-query hot path. Quantiles are approximate (upper bound of
+/// the bucket containing the rank), which is plenty for p50/p95/p99
+/// over latencies spanning orders of magnitude.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            sum_nanos: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize % BUCKETS
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero if nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the rank. Zero if nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        quantile_of(&self.snapshot_counts(), q)
+    }
+
+    /// The raw bucket counts, for merging several histograms into an
+    /// aggregate view (feed the summed counts to [`quantile_of`]).
+    pub fn snapshot_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all recorded samples in nanoseconds, for aggregate means.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// Quantile over raw log₂ bucket counts (as produced by
+/// [`LatencyHistogram::snapshot_counts`], possibly summed across
+/// several histograms).
+pub fn quantile_of(counts: &[u64], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // upper bound of bucket i: all values of bit length i
+            let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            return Duration::from_nanos(upper);
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketing() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 40, 80, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // p50 falls in the bucket of the 40 µs sample: [32768, 65535] ns
+        assert!(p50 >= Duration::from_micros(40) && p50 < Duration::from_micros(80));
+        // p99 falls in the 5 ms sample's bucket
+        assert!(p99 >= Duration::from_micros(5000));
+        assert!(h.mean() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_sample_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn merged_counts_quantile_matches_single_histogram() {
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        let whole = LatencyHistogram::new();
+        for micros in [10u64, 20, 40, 80] {
+            a.record(Duration::from_micros(micros));
+            whole.record(Duration::from_micros(micros));
+        }
+        for micros in [160u64, 320] {
+            b.record(Duration::from_micros(micros));
+            whole.record(Duration::from_micros(micros));
+        }
+        let merged: Vec<u64> = a
+            .snapshot_counts()
+            .iter()
+            .zip(b.snapshot_counts())
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(quantile_of(&merged, 0.95), whole.quantile(0.95));
+        assert_eq!(a.sum_nanos() + b.sum_nanos(), whole.sum_nanos());
+    }
+}

@@ -1,0 +1,371 @@
+//! Per-thread span recorders and the sink that bundles them.
+//!
+//! Each worker thread owns one [`SpanRecorder`] row of a
+//! [`TraceSink`]; within a row, events never interleave across
+//! threads, so recording needs no cross-thread coordination beyond an
+//! uncontended mutex acquire (one atomic exchange on the single-writer
+//! fast path — the lock only ever contends with a concurrent
+//! [`TraceSink::drain`]). The ring buffer and the open-span stack are
+//! both preallocated: the hot path performs **zero allocations**, and
+//! overflow drops the *oldest* event while counting it in
+//! [`ThreadTrace::dropped_events`] rather than reallocating or
+//! corrupting the ring.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::clock::TraceClock;
+use crate::event::{SpanKind, TraceEvent};
+
+/// Default per-thread ring capacity (events). At ~40 bytes per event
+/// this bounds a recorder at well under a megabyte.
+pub const DEFAULT_CAPACITY: usize = 16 * 1024;
+
+/// Maximum nesting depth tracked per thread. Deeper `begin`s are
+/// still recorded but their depth saturates.
+const MAX_OPEN_SPANS: usize = 32;
+
+struct Ring {
+    /// Completed events, oldest first. Length is kept `<= capacity`
+    /// so pushes never reallocate.
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Open `begin`s awaiting their `end`, innermost last.
+    open: Vec<(SpanKind, u64)>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// One thread's event recorder: a fixed-capacity ring of completed
+/// spans plus a stack of open ones.
+///
+/// All methods take `&self`; a recorder is shared between its owning
+/// worker (writing) and the exporter (draining).
+pub struct SpanRecorder {
+    inner: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("SpanRecorder")
+            .field("events", &g.events.len())
+            .field("open", &g.open.len())
+            .field("dropped", &g.dropped)
+            .finish()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder holding at most `capacity` completed events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRecorder {
+            inner: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                capacity,
+                open: Vec::with_capacity(MAX_OPEN_SPANS),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Opens a span of `kind` starting at `start_ns`. Must be paired
+    /// with a later [`end`](Self::end) on the same thread.
+    pub fn begin(&self, kind: SpanKind, start_ns: u64) {
+        let mut g = self.inner.lock();
+        if g.open.len() < MAX_OPEN_SPANS {
+            g.open.push((kind, start_ns));
+        } else {
+            // Saturate rather than grow: record it immediately as a
+            // zero-length marker so nothing is silently lost.
+            let depth = MAX_OPEN_SPANS as u8;
+            g.push(TraceEvent {
+                kind,
+                start_ns,
+                end_ns: start_ns,
+                depth,
+            });
+        }
+    }
+
+    /// Closes the innermost open span at `end_ns`, committing it to
+    /// the ring. A stray `end` with no open span is ignored.
+    pub fn end(&self, end_ns: u64) {
+        let mut g = self.inner.lock();
+        if let Some((kind, start_ns)) = g.open.pop() {
+            let depth = g.open.len() as u8;
+            g.push(TraceEvent {
+                kind,
+                start_ns,
+                end_ns: end_ns.max(start_ns),
+                depth,
+            });
+        }
+    }
+
+    /// Records a complete span directly (both endpoints already
+    /// measured), nested under any currently open spans.
+    pub fn span(&self, kind: SpanKind, start_ns: u64, end_ns: u64) {
+        let mut g = self.inner.lock();
+        let depth = g.open.len().min(MAX_OPEN_SPANS) as u8;
+        g.push(TraceEvent {
+            kind,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            depth,
+        });
+    }
+
+    /// Records an instantaneous event (`start == end`) at `at_ns`.
+    pub fn instant(&self, kind: SpanKind, at_ns: u64) {
+        self.span(kind, at_ns, at_ns);
+    }
+
+    /// Number of spans currently open (begun but not ended).
+    pub fn open_spans(&self) -> usize {
+        self.inner.lock().open.len()
+    }
+
+    /// Takes all completed events out of the ring, sorted by start
+    /// time, plus the count of events dropped to overflow since the
+    /// last drain. Open spans are left on the stack and will commit
+    /// on their `end`.
+    pub fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let mut g = self.inner.lock();
+        let mut events: Vec<TraceEvent> = g.events.drain(..).collect();
+        let dropped = std::mem::take(&mut g.dropped);
+        drop(g);
+        // The ring holds events in completion order; parents complete
+        // after their children. Present them in start order instead.
+        events.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.end_ns)));
+        (events, dropped)
+    }
+}
+
+/// One thread's drained timeline.
+#[derive(Clone, Debug)]
+pub struct ThreadTrace {
+    /// The recorder row (worker index; the last row is the control
+    /// row of its sink).
+    pub thread: usize,
+    /// Completed events, sorted by `start_ns`.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the ring was full (oldest-first).
+    pub dropped_events: u64,
+}
+
+/// A drained snapshot of every recorder in a sink.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// One entry per recorder row, in row order.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Trace {
+    /// Total completed events across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events dropped to ring overflow across all threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped_events).sum()
+    }
+}
+
+/// A bundle of per-thread recorders sharing one clock.
+///
+/// Rows `0..p` belong to worker threads; by convention the final row
+/// (see [`control_row`](Self::control_row)) is the **control row**,
+/// used by whoever submits jobs (pool callers, serving shards) for
+/// job-, query- and checkout-level spans so they never contend with a
+/// worker's recorder.
+#[derive(Debug)]
+pub struct TraceSink {
+    clock: TraceClock,
+    recorders: Vec<SpanRecorder>,
+}
+
+impl TraceSink {
+    /// A sink with `rows` recorders of `capacity` events each.
+    pub fn new(rows: usize, capacity: usize) -> Self {
+        TraceSink {
+            clock: TraceClock::new(),
+            recorders: (0..rows.max(1))
+                .map(|_| SpanRecorder::new(capacity))
+                .collect(),
+        }
+    }
+
+    /// A sink sized for `p` worker threads: `p + 1` rows, the last
+    /// being the control row.
+    pub fn for_workers(p: usize, capacity: usize) -> Self {
+        Self::new(p + 1, capacity)
+    }
+
+    /// Number of recorder rows (workers + control).
+    pub fn rows(&self) -> usize {
+        self.recorders.len()
+    }
+
+    /// The shared clock all rows timestamp against.
+    pub fn clock(&self) -> &TraceClock {
+        &self.clock
+    }
+
+    /// The recorder for `row`.
+    pub fn recorder(&self, row: usize) -> &SpanRecorder {
+        &self.recorders[row]
+    }
+
+    /// Index of the control row (always the last).
+    pub fn control_row(&self) -> usize {
+        self.recorders.len() - 1
+    }
+
+    /// The control row's recorder.
+    pub fn control(&self) -> &SpanRecorder {
+        &self.recorders[self.control_row()]
+    }
+
+    /// Drains every row into a [`Trace`] snapshot.
+    pub fn drain(&self) -> Trace {
+        Trace {
+            threads: self
+                .recorders
+                .iter()
+                .enumerate()
+                .map(|(thread, r)| {
+                    let (events, dropped_events) = r.drain();
+                    ThreadTrace {
+                        thread,
+                        events,
+                        dropped_events,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PrimitiveKind;
+
+    fn task(weight: u64) -> SpanKind {
+        SpanKind::Task {
+            buffer: 0,
+            primitive: PrimitiveKind::Marginalize,
+            weight,
+            part: None,
+        }
+    }
+
+    #[test]
+    fn begin_end_nest_and_commit_in_start_order() {
+        let r = SpanRecorder::new(64);
+        r.begin(SpanKind::Job { tasks: 3 }, 10);
+        r.begin(task(5), 20);
+        r.end(30); // the task
+        assert_eq!(r.open_spans(), 1);
+        r.end(40); // the job
+        assert_eq!(r.open_spans(), 0);
+
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 2);
+        // Job started first, so it sorts first despite ending last.
+        assert_eq!(events[0].kind, SpanKind::Job { tasks: 3 });
+        assert_eq!((events[0].start_ns, events[0].end_ns), (10, 40));
+        assert_eq!(events[0].depth, 0);
+        assert_eq!((events[1].start_ns, events[1].end_ns), (20, 30));
+        assert_eq!(events[1].depth, 1);
+    }
+
+    #[test]
+    fn stray_end_is_ignored() {
+        let r = SpanRecorder::new(8);
+        r.end(5);
+        r.instant(SpanKind::Fetch, 7);
+        let (events, _) = r.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::Fetch);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let r = SpanRecorder::new(4);
+        for i in 0..10u64 {
+            r.span(task(i), i, i + 1);
+        }
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 6);
+        assert_eq!(events.len(), 4);
+        // The four *newest* events survive.
+        assert_eq!(events[0].start_ns, 6);
+        assert_eq!(events[3].start_ns, 9);
+    }
+
+    #[test]
+    fn drain_resets_the_dropped_counter() {
+        let r = SpanRecorder::new(2);
+        for i in 0..5u64 {
+            r.instant(SpanKind::Fetch, i);
+        }
+        assert_eq!(r.drain().1, 3);
+        r.instant(SpanKind::Fetch, 9);
+        assert_eq!(r.drain().1, 0);
+    }
+
+    #[test]
+    fn end_never_precedes_begin() {
+        let r = SpanRecorder::new(8);
+        r.begin(SpanKind::IdleSpin, 100);
+        r.end(90); // clock noise: clamp, don't underflow
+        let (events, _) = r.drain();
+        assert_eq!((events[0].start_ns, events[0].end_ns), (100, 100));
+    }
+
+    #[test]
+    fn sink_rows_are_independent_across_threads() {
+        let sink = std::sync::Arc::new(TraceSink::for_workers(4, 128));
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        sink.recorder(w).span(task(w as u64), i * 10, i * 10 + 5);
+                    }
+                });
+            }
+        });
+        sink.control().instant(SpanKind::Job { tasks: 1 }, 0);
+        let trace = sink.drain();
+        assert_eq!(trace.threads.len(), 5);
+        assert_eq!(sink.control_row(), 4);
+        for w in 0..4usize {
+            let t = &trace.threads[w];
+            assert_eq!(t.events.len(), 100);
+            // No cross-thread interleaving: every event in row w is w's.
+            assert!(t
+                .events
+                .iter()
+                .all(|e| matches!(e.kind, SpanKind::Task { weight, .. } if weight == w as u64)));
+        }
+        assert_eq!(trace.threads[4].events.len(), 1);
+        assert_eq!(trace.total_events(), 401);
+        assert_eq!(trace.total_dropped(), 0);
+    }
+}

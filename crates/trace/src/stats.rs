@@ -1,4 +1,8 @@
 //! Per-thread execution statistics (the measurements behind Fig. 8).
+//!
+//! These types live here — rather than in `evprop-sched`, which
+//! re-exports them — so the timeline analyzer, the serving runtime and
+//! the scheduler all report through one set of definitions.
 
 use std::time::Duration;
 
@@ -83,17 +87,25 @@ impl RunReport {
     /// Load imbalance: max over threads of `weight_executed` divided by
     /// the mean (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
-        if self.threads.is_empty() {
-            return 1.0;
-        }
         let weights: Vec<u64> = self.threads.iter().map(|t| t.weight_executed).collect();
-        let max = *weights.iter().max().unwrap() as f64;
-        let mean = weights.iter().sum::<u64>() as f64 / weights.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
+        imbalance_of(&weights)
+    }
+}
+
+/// Load imbalance of a per-thread weight distribution: `max / mean`
+/// (1.0 = perfectly balanced, 1.0 for empty or all-zero input). Used
+/// by both [`RunReport::imbalance`] and the timeline analyzer so the
+/// two scores are directly comparable.
+pub fn imbalance_of(weights: &[u64]) -> f64 {
+    if weights.is_empty() {
+        return 1.0;
+    }
+    let max = *weights.iter().max().unwrap() as f64;
+    let mean = weights.iter().sum::<u64>() as f64 / weights.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
     }
 }
 
@@ -148,5 +160,7 @@ mod tests {
         let r = RunReport::default();
         assert_eq!(r.imbalance(), 1.0);
         assert_eq!(r.partitioned_tasks, 0);
+        assert_eq!(imbalance_of(&[]), 1.0);
+        assert_eq!(imbalance_of(&[0, 0]), 1.0);
     }
 }

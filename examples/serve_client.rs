@@ -37,8 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r#"{"target": "v3", "evidence": {"v7": 1}}"#,
         // soft evidence: a noisy X-ray detector
         r#"{"target": "v3", "likelihood": {"v6": [0.4, 0.8]}}"#,
+        // opt-in timing: the response grows queue_us/exec_us/shard
+        r#"{"target": "v3", "evidence": {"v7": 1}, "timing": true}"#,
         // malformed on purpose: the server answers with an error line
         r#"{"target": "not_a_variable"}"#,
+        // introspection commands: live stats and recent-query timings
+        r#"{"cmd": "stats"}"#,
+        r#"{"cmd": "trace"}"#,
     ] {
         writeln!(writer, "{request}")?;
         writer.flush()?;

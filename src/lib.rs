@@ -56,5 +56,7 @@ pub use evprop_serve as serve;
 pub use evprop_simcore as simcore;
 /// Task definition and dependency-graph construction.
 pub use evprop_taskgraph as taskgraph;
+/// Span recording, Chrome-trace export, and timeline analysis.
+pub use evprop_trace as trace;
 /// Workload generators (Fig. 4 template, JT1–3, sweeps).
 pub use evprop_workloads as workloads;
