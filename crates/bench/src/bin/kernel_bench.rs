@@ -1,0 +1,249 @@
+//! Kernel micro-benchmark: compiled [`KernelPlan`] interpretation vs
+//! the per-call [`AxisWalker`](evprop_potential::AxisWalker) kernels.
+//!
+//! For synthetic binary cliques of width 2..=20 (table sizes 4..1M), a
+//! separator of half the variables, and partition grains
+//! δ ∈ {1, 64, 4096}, measures each cross-domain primitive both ways:
+//!
+//! * **planned** — plans compiled once per (domain pair, δ-range), then
+//!   interpreted repeatedly: the steady-state serving path, where the
+//!   [`PlanCache`](evprop_taskgraph::PlanCache) hands every subtask a
+//!   precompiled plan;
+//! * **walker** — the `*_walker` kernels, which re-derive the
+//!   mixed-radix index map on every call.
+//!
+//! Two separator layouts exercise both plan kinds: `low` keeps the
+//! leading variables (trailing scan axes absent → `Broadcast` blocks)
+//! and `high` keeps the trailing variables (`Contig` runs).
+//!
+//! Prints a CSV-ish summary, writes `BENCH_kernels.json`, and reports a
+//! headline geometric-mean speedup over the wide cliques (width ≥ 16)
+//! for EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin kernel_bench
+//! ```
+
+use evprop_potential::{raw, Domain, EntryRange, KernelPlan, VarId, Variable};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Clique widths (binary variables): table sizes 4 .. 2^20.
+const WIDTHS: [usize; 10] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20];
+/// Partition grains, mirroring the scheduler's δ sweep.
+const DELTAS: [usize; 3] = [1, 64, 4096];
+/// Rough entry-operation budget per timed side; reps are derived from
+/// it so small and large tables measure comparable wall time.
+const TARGET_OPS: usize = 1 << 21;
+/// Width at and above which the headline ratio is aggregated.
+const HEADLINE_WIDTH: usize = 16;
+
+const PRIMS: [&str; 4] = ["marg_sum", "marg_max", "extend", "multiply"];
+
+fn binary_domain(ids: impl Iterator<Item = u32>) -> Domain {
+    Domain::new(ids.map(|i| Variable::new(VarId(i), 2)).collect()).unwrap()
+}
+
+struct Cell {
+    width: usize,
+    layout: &'static str,
+    delta: usize,
+    prim: &'static str,
+    planned_ns_per_op: f64,
+    walker_ns_per_op: f64,
+}
+
+impl Cell {
+    fn ratio(&self) -> f64 {
+        self.walker_ns_per_op / self.planned_ns_per_op.max(1e-12)
+    }
+}
+
+/// Times `reps` repetitions of `pass`, returning ns per entry-op.
+fn time_ns_per_op(reps: usize, ops_per_pass: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warmup
+    let start = Instant::now();
+    for _ in 0..reps {
+        pass();
+    }
+    start.elapsed().as_nanos() as f64 / (reps * ops_per_pass) as f64
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench_cells(width: usize, layout: &'static str, out: &mut Vec<Cell>) {
+    let clique = binary_domain(0..width as u32);
+    let sep = match layout {
+        "low" => binary_domain(0..(width / 2) as u32),
+        _ => binary_domain((width / 2) as u32..width as u32),
+    };
+    let size = clique.size();
+    let reps = (TARGET_OPS / size).max(2);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED ^ width as u64);
+    let src: Vec<f64> = (0..size).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let sep_t: Vec<f64> = (0..sep.size()).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let mut dst = vec![0.0f64; sep.size()];
+    let mut big = vec![0.0f64; size];
+
+    for &delta in &DELTAS {
+        let ranges = EntryRange::split(size, delta);
+        // Compile once per range — this is exactly what the PlanCache
+        // amortizes; compile time is deliberately outside the timing.
+        let plans: Vec<KernelPlan> = ranges
+            .iter()
+            .map(|&r| KernelPlan::compile(&clique, &sep, r).unwrap())
+            .collect();
+
+        for prim in PRIMS {
+            let planned = match prim {
+                "marg_sum" => time_ns_per_op(reps, size, || {
+                    dst.fill(0.0);
+                    for p in &plans {
+                        p.marginalize_sum_into(&src, &mut dst).unwrap();
+                    }
+                    black_box(&dst);
+                }),
+                "marg_max" => time_ns_per_op(reps, size, || {
+                    dst.fill(0.0);
+                    for p in &plans {
+                        p.marginalize_max_into(&src, &mut dst).unwrap();
+                    }
+                    black_box(&dst);
+                }),
+                "extend" => time_ns_per_op(reps, size, || {
+                    for (p, r) in plans.iter().zip(&ranges) {
+                        p.extend_into(&sep_t, &mut big[r.start..r.end]).unwrap();
+                    }
+                    black_box(&big);
+                }),
+                _ => time_ns_per_op(reps, size, || {
+                    for (p, r) in plans.iter().zip(&ranges) {
+                        p.multiply_into(&sep_t, &mut big[r.start..r.end]).unwrap();
+                    }
+                    black_box(&big);
+                }),
+            };
+            let walker = match prim {
+                "marg_sum" => time_ns_per_op(reps, size, || {
+                    dst.fill(0.0);
+                    for &r in &ranges {
+                        raw::marginalize_range_into_walker(&clique, &src, r, &sep, &mut dst)
+                            .unwrap();
+                    }
+                    black_box(&dst);
+                }),
+                "marg_max" => time_ns_per_op(reps, size, || {
+                    dst.fill(0.0);
+                    for &r in &ranges {
+                        raw::max_marginalize_range_into_walker(&clique, &src, r, &sep, &mut dst)
+                            .unwrap();
+                    }
+                    black_box(&dst);
+                }),
+                "extend" => time_ns_per_op(reps, size, || {
+                    for &r in &ranges {
+                        raw::extend_range_into_walker(
+                            &sep,
+                            &sep_t,
+                            &clique,
+                            r,
+                            &mut big[r.start..r.end],
+                        )
+                        .unwrap();
+                    }
+                    black_box(&big);
+                }),
+                _ => time_ns_per_op(reps, size, || {
+                    for &r in &ranges {
+                        raw::multiply_range_into_walker(
+                            &sep,
+                            &sep_t,
+                            &clique,
+                            r,
+                            &mut big[r.start..r.end],
+                        )
+                        .unwrap();
+                    }
+                    black_box(&big);
+                }),
+            };
+            let cell = Cell {
+                width,
+                layout,
+                delta,
+                prim,
+                planned_ns_per_op: planned,
+                walker_ns_per_op: walker,
+            };
+            println!(
+                "{width},{layout},{delta},{prim},{planned:.3},{walker:.3},{:.2}",
+                cell.ratio()
+            );
+            out.push(cell);
+        }
+    }
+}
+
+fn main() {
+    println!("# planned vs walker kernels (binary cliques, separator = half the vars)");
+    evprop_bench::header(&[
+        "width",
+        "layout",
+        "delta",
+        "primitive",
+        "planned_ns_per_op",
+        "walker_ns_per_op",
+        "speedup",
+    ]);
+
+    let mut cells = Vec::new();
+    for &w in &WIDTHS {
+        for layout in ["low", "high"] {
+            bench_cells(w, layout, &mut cells);
+        }
+    }
+
+    let wide: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.width >= HEADLINE_WIDTH)
+        .map(Cell::ratio)
+        .collect();
+    let headline = (wide.iter().map(|r| r.ln()).sum::<f64>() / wide.len() as f64).exp();
+    println!("# headline: planned is {headline:.2}x the walker path (geomean, width >= {HEADLINE_WIDTH})");
+
+    let json_cells: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\"width\": {}, \"layout\": \"{}\", \"delta\": {}, ",
+                    "\"primitive\": \"{}\", \"planned_ns_per_op\": {:.4}, ",
+                    "\"walker_ns_per_op\": {:.4}, \"speedup\": {:.3}}}"
+                ),
+                c.width,
+                c.layout,
+                c.delta,
+                c.prim,
+                c.planned_ns_per_op,
+                c.walker_ns_per_op,
+                c.ratio()
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"kernel_bench\",\n",
+            "  \"target_ops_per_side\": {},\n",
+            "  \"headline_width\": {},\n",
+            "  \"headline_speedup_geomean\": {:.3},\n",
+            "  \"cells\": [\n{}\n  ]\n}}\n"
+        ),
+        TARGET_OPS,
+        HEADLINE_WIDTH,
+        headline,
+        json_cells.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("# wrote BENCH_kernels.json");
+}

@@ -152,10 +152,10 @@ fn run_layout(
     shards: usize,
     threads_per_shard: usize,
 ) -> LayoutResult {
-    let session =
-        InferenceSession::from_junction_tree_unrerooted(w.session.junction_tree().clone());
-    let rt = Arc::new(ShardedRuntime::new(
-        session,
+    // Every layout serves the same Arc<CompiledModel> the workload
+    // compiled once — no per-layout junction-tree or plan recompiles.
+    let rt = Arc::new(ShardedRuntime::from_model(
+        Arc::clone(w.session.model()),
         RuntimeConfig::new(shards, threads_per_shard),
     ));
     // Warm every shard's arena cache outside the timed region.
@@ -199,10 +199,8 @@ struct OverloadResult {
 
 /// Open loop: fire the whole stream at a tiny queue without waiting.
 fn run_overload(w: &Workload, queries: &[Query]) -> OverloadResult {
-    let session =
-        InferenceSession::from_junction_tree_unrerooted(w.session.junction_tree().clone());
-    let rt = Arc::new(ShardedRuntime::new(
-        session,
+    let rt = Arc::new(ShardedRuntime::from_model(
+        Arc::clone(w.session.model()),
         RuntimeConfig::new(THREAD_BUDGET, 1).with_queue_depth(OVERLOAD_DEPTH),
     ));
     rt.query(queries[0].clone()).expect("warmup");

@@ -48,6 +48,7 @@ mod collaborative;
 mod dataparallel;
 mod engine;
 mod error;
+mod model;
 mod mpe;
 mod openmp;
 mod par_exec;
@@ -61,6 +62,7 @@ pub use collaborative::CollaborativeEngine;
 pub use dataparallel::DataParallelEngine;
 pub use engine::Engine;
 pub use error::EngineError;
+pub use model::CompiledModel;
 pub use mpe::{decode_mpe, MostProbableExplanation};
 pub use openmp::OpenMpStyleEngine;
 pub use pooled::PooledEngine;

@@ -1,12 +1,12 @@
 //! End-to-end inference sessions: compile once, query many times.
 
-use crate::{Calibrated, Engine, PooledEngine, Result};
+use crate::{Calibrated, CompiledModel, Engine, PooledEngine, Result};
 use evprop_bayesnet::BayesianNetwork;
-use evprop_jtree::{select_root, JunctionTree, RootChoice};
+use evprop_jtree::{JunctionTree, RootChoice};
 use evprop_potential::{EvidenceSet, PotentialTable, VarId};
 use evprop_sched::SchedulerConfig;
 use evprop_taskgraph::{PropagationMode, TaskGraph};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One serving query: the variable whose posterior is wanted, under
 /// some evidence.
@@ -29,8 +29,9 @@ impl Query {
 /// resident pool by [`InferenceSession::posterior_batch`].
 pub type QueryBatch = Vec<Query>;
 
-/// A reusable inference pipeline: junction tree (re-rooted by
-/// Algorithm 1) plus its prebuilt task dependency graph.
+/// A reusable inference pipeline: an [`Arc`]-shared [`CompiledModel`]
+/// (junction tree re-rooted by Algorithm 1, task graph, interned
+/// kernel plans) plus this session's resident serving engine.
 ///
 /// # Example
 ///
@@ -46,11 +47,7 @@ pub type QueryBatch = Vec<Query>;
 /// ```
 #[derive(Debug)]
 pub struct InferenceSession {
-    jt: JunctionTree,
-    graph: TaskGraph,
-    root_choice: RootChoice,
-    /// Max-product task graph, built on first MPE query.
-    max_graph: OnceLock<TaskGraph>,
+    model: Arc<CompiledModel>,
     /// Resident serving engine, spawned on first pooled query.
     pooled: OnceLock<PooledEngine>,
 }
@@ -63,63 +60,56 @@ impl InferenceSession {
     ///
     /// Propagates junction-tree compilation errors.
     pub fn from_network(net: &BayesianNetwork) -> Result<Self> {
-        let jt = JunctionTree::from_network(net)?;
-        Ok(Self::from_junction_tree(jt))
+        Ok(Self::from_model(Arc::new(CompiledModel::from_network(
+            net,
+        )?)))
     }
 
     /// Wraps an existing junction tree, re-rooting it with Algorithm 1.
-    pub fn from_junction_tree(mut jt: JunctionTree) -> Self {
-        let root_choice = select_root(jt.shape());
-        jt.reroot(root_choice.root)
-            .expect("Algorithm 1 returns an in-range clique");
-        let graph = TaskGraph::from_shape(jt.shape());
-        InferenceSession {
-            jt,
-            graph,
-            root_choice,
-            max_graph: OnceLock::new(),
-            pooled: OnceLock::new(),
-        }
+    pub fn from_junction_tree(jt: JunctionTree) -> Self {
+        Self::from_model(Arc::new(CompiledModel::from_junction_tree(jt)))
     }
 
     /// Wraps an existing junction tree *without* re-rooting (the paper's
     /// "original tree" baseline in Fig. 5).
     pub fn from_junction_tree_unrerooted(jt: JunctionTree) -> Self {
-        let root_choice = RootChoice {
-            root: jt.shape().root(),
-            critical_path: evprop_jtree::critical_path_weight(jt.shape()),
-        };
-        let graph = TaskGraph::from_shape(jt.shape());
+        Self::from_model(Arc::new(CompiledModel::from_junction_tree_unrerooted(jt)))
+    }
+
+    /// A session serving an already-compiled model. The model stays
+    /// shared: sessions (and serving shards) built from clones of the
+    /// same `Arc` execute through one set of interned kernel plans.
+    pub fn from_model(model: Arc<CompiledModel>) -> Self {
         InferenceSession {
-            jt,
-            graph,
-            root_choice,
-            max_graph: OnceLock::new(),
+            model,
             pooled: OnceLock::new(),
         }
     }
 
+    /// The shared compiled model behind this session.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
     /// The junction tree (after any re-rooting).
     pub fn junction_tree(&self) -> &JunctionTree {
-        &self.jt
+        self.model.junction_tree()
     }
 
     /// The prebuilt task dependency graph.
     pub fn task_graph(&self) -> &TaskGraph {
-        &self.graph
+        self.model.graph()
     }
 
     /// The max-product task graph (same structure, max-marginalization),
     /// built lazily on the first MPE query.
     pub fn max_task_graph(&self) -> &TaskGraph {
-        self.max_graph.get_or_init(|| {
-            TaskGraph::from_shape_mode(self.jt.shape(), PropagationMode::MaxProduct)
-        })
+        self.model.max_graph()
     }
 
     /// The root selected at construction and its critical-path weight.
     pub fn root_choice(&self) -> RootChoice {
-        self.root_choice
+        self.model.root_choice()
     }
 
     /// Runs two-phase propagation with `engine`.
@@ -128,7 +118,7 @@ impl InferenceSession {
     ///
     /// See [`Engine::propagate_graph`].
     pub fn propagate(&self, engine: &dyn Engine, evidence: &EvidenceSet) -> Result<Calibrated> {
-        engine.propagate_graph(&self.jt, &self.graph, evidence)
+        engine.propagate_graph(self.junction_tree(), self.task_graph(), evidence)
     }
 
     /// Convenience: posterior marginal of one variable.
@@ -171,7 +161,7 @@ impl InferenceSession {
     /// See [`PooledEngine::posterior`].
     pub fn posterior_pooled(&self, var: VarId, evidence: &EvidenceSet) -> Result<PotentialTable> {
         self.pooled_engine()
-            .posterior(&self.jt, &self.graph, var, evidence)
+            .posterior(self.junction_tree(), self.task_graph(), var, evidence)
     }
 
     /// Answers a [`QueryBatch`] back-to-back on the resident pool,
@@ -183,7 +173,7 @@ impl InferenceSession {
     /// See [`PooledEngine::posterior_batch`].
     pub fn posterior_batch(&self, batch: &[Query]) -> Result<Vec<PotentialTable>> {
         self.pooled_engine()
-            .posterior_batch(&self.jt, &self.graph, batch)
+            .posterior_batch(self.junction_tree(), self.task_graph(), batch)
     }
 
     /// Posterior marginal via **collect-only propagation**: the tree is
@@ -204,15 +194,15 @@ impl InferenceSession {
         evidence: &EvidenceSet,
     ) -> Result<PotentialTable> {
         let target = self
-            .jt
+            .junction_tree()
             .clique_containing(var)
             .ok_or(crate::EngineError::VariableNotInTree(var))?;
-        let mut shape = self.jt.shape().clone();
+        let mut shape = self.junction_tree().shape().clone();
         shape
             .reroot(target)
             .expect("clique_containing returns in-range ids");
         let graph = TaskGraph::collect_only(&shape, PropagationMode::SumProduct);
-        let calibrated = engine.propagate_graph(&self.jt, &graph, evidence)?;
+        let calibrated = engine.propagate_graph(self.junction_tree(), &graph, evidence)?;
         // only the target clique is calibrated; marginalize from it
         let table = calibrated.clique(target);
         let sub = table.domain().project(&[var]);

@@ -88,6 +88,17 @@ impl ShardState {
         }
     }
 
+    /// Records `kind` as a zero-duration instant on the control row of
+    /// this shard's attached sink (no-op while detached) — how the
+    /// serving runtime drops counter snapshots, e.g. plan-cache
+    /// hit/miss totals, into exported timelines.
+    #[cfg(feature = "trace")]
+    pub fn trace_instant(&self, kind: evprop_trace::SpanKind) {
+        if let Some((sink, _)) = self.trace.lock().as_ref() {
+            sink.control().instant(kind, sink.clock().now_ns());
+        }
+    }
+
     /// A shard with `threads` resident workers and default δ.
     pub fn with_threads(threads: usize) -> Self {
         Self::new(SchedulerConfig::with_threads(threads))

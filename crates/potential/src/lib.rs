@@ -42,6 +42,7 @@ mod error;
 mod evidence;
 mod index;
 mod max_primitives;
+pub mod plan;
 mod primitives;
 pub mod raw;
 mod table;
@@ -51,6 +52,7 @@ pub use domain::Domain;
 pub use error::PotentialError;
 pub use evidence::{Evidence, EvidenceSet, Likelihood};
 pub use index::{Assignment, AxisWalker, Odometer};
+pub use plan::{KernelPlan, PlanKind};
 pub use primitives::{EntryRange, PrimitiveKind};
 pub use table::PotentialTable;
 pub use var::{VarId, Variable};

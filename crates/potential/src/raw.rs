@@ -26,8 +26,28 @@
 //! The `PotentialTable` `*_range` methods are thin wrappers over these
 //! functions, so the sequential engines and the partitioned scheduler
 //! execute literally the same arithmetic.
+//!
+//! # Two interchangeable backends
+//!
+//! Each cross-domain kernel exists in two forms that compute
+//! bit-identical results:
+//!
+//! * the **walker** form (`*_walker`), which derives the index mapping
+//!   on the fly with an [`AxisWalker`] — always compiled, used as the
+//!   differential-testing oracle; and
+//! * the **planned** form, which compiles a [`KernelPlan`]
+//!   (crate::plan::KernelPlan) and interprets it with slice-wise inner
+//!   loops.
+//!
+//! The public entry points (`extend_range_into_raw`, …) interpret a
+//! freshly compiled plan by default; building with the `plan-off`
+//! feature routes them back through the walker so both paths can be
+//! exercised by the full test suite. Hot paths (the scheduler) skip
+//! these entry points entirely and interpret *cached* plans.
 
 use crate::index::AxisWalker;
+#[cfg(not(feature = "plan-off"))]
+use crate::plan::KernelPlan;
 use crate::primitives::safe_div;
 use crate::{Domain, EntryRange, PotentialError, Result};
 
@@ -110,6 +130,28 @@ pub fn extend_range_into_raw(
     range: EntryRange,
     out: &mut [f64],
 ) -> Result<()> {
+    #[cfg(not(feature = "plan-off"))]
+    {
+        let plan = KernelPlan::compile(dst_domain, src_domain, range)?;
+        plan.extend_into(src, out)
+    }
+    #[cfg(feature = "plan-off")]
+    extend_range_into_walker(src_domain, src, dst_domain, range, out)
+}
+
+/// Walker form of [`extend_range_into_raw`]: same contract, index map
+/// derived per call with an [`AxisWalker`].
+///
+/// # Errors
+///
+/// Same conditions as [`extend_range_into_raw`].
+pub fn extend_range_into_walker(
+    src_domain: &Domain,
+    src: &[f64],
+    dst_domain: &Domain,
+    range: EntryRange,
+    out: &mut [f64],
+) -> Result<()> {
     check_subdomain(src_domain, dst_domain)?;
     check_range(range, dst_domain.size())?;
     check_window(out, range)?;
@@ -136,6 +178,28 @@ pub fn extend_range_into_raw(
 ///
 /// Same conditions as [`extend_range_into_raw`].
 pub fn multiply_range_into(
+    src_domain: &Domain,
+    src: &[f64],
+    dst_domain: &Domain,
+    range: EntryRange,
+    out: &mut [f64],
+) -> Result<()> {
+    #[cfg(not(feature = "plan-off"))]
+    {
+        let plan = KernelPlan::compile(dst_domain, src_domain, range)?;
+        plan.multiply_into(src, out)
+    }
+    #[cfg(feature = "plan-off")]
+    multiply_range_into_walker(src_domain, src, dst_domain, range, out)
+}
+
+/// Walker form of [`multiply_range_into`]: same contract, index map
+/// derived per call with an [`AxisWalker`].
+///
+/// # Errors
+///
+/// Same conditions as [`multiply_range_into`].
+pub fn multiply_range_into_walker(
     src_domain: &Domain,
     src: &[f64],
     dst_domain: &Domain,
@@ -178,6 +242,28 @@ pub fn marginalize_range_into_raw(
     dst_domain: &Domain,
     dst: &mut [f64],
 ) -> Result<()> {
+    #[cfg(not(feature = "plan-off"))]
+    {
+        let plan = KernelPlan::compile(src_domain, dst_domain, range)?;
+        plan.marginalize_sum_into(src, dst)
+    }
+    #[cfg(feature = "plan-off")]
+    marginalize_range_into_walker(src_domain, src, range, dst_domain, dst)
+}
+
+/// Walker form of [`marginalize_range_into_raw`]: same contract, index
+/// map derived per call with an [`AxisWalker`].
+///
+/// # Errors
+///
+/// Same conditions as [`marginalize_range_into_raw`].
+pub fn marginalize_range_into_walker(
+    src_domain: &Domain,
+    src: &[f64],
+    range: EntryRange,
+    dst_domain: &Domain,
+    dst: &mut [f64],
+) -> Result<()> {
     check_subdomain(dst_domain, src_domain)?;
     check_range(range, src.len())?;
     if src.len() != src_domain.size() || dst.len() != dst_domain.size() {
@@ -204,6 +290,28 @@ pub fn marginalize_range_into_raw(
 ///
 /// Same conditions as [`marginalize_range_into_raw`].
 pub fn max_marginalize_range_into_raw(
+    src_domain: &Domain,
+    src: &[f64],
+    range: EntryRange,
+    dst_domain: &Domain,
+    dst: &mut [f64],
+) -> Result<()> {
+    #[cfg(not(feature = "plan-off"))]
+    {
+        let plan = KernelPlan::compile(src_domain, dst_domain, range)?;
+        plan.marginalize_max_into(src, dst)
+    }
+    #[cfg(feature = "plan-off")]
+    max_marginalize_range_into_walker(src_domain, src, range, dst_domain, dst)
+}
+
+/// Walker form of [`max_marginalize_range_into_raw`]: same contract,
+/// index map derived per call with an [`AxisWalker`].
+///
+/// # Errors
+///
+/// Same conditions as [`max_marginalize_range_into_raw`].
+pub fn max_marginalize_range_into_walker(
     src_domain: &Domain,
     src: &[f64],
     range: EntryRange,

@@ -3,7 +3,7 @@
 use crate::{ArenaView, RunReport, SchedulerConfig, TableArena, ThreadStats};
 use crossbeam::utils::Backoff;
 use evprop_potential::{raw, EntryRange, PotentialTable};
-use evprop_taskgraph::{TaskGraph, TaskId, TaskKind};
+use evprop_taskgraph::{PlanId, TaskGraph, TaskId, TaskKind};
 #[cfg(feature = "trace")]
 use evprop_trace::{PrimitiveKind, SpanKind, TraceSink};
 use parking_lot::Mutex;
@@ -16,9 +16,12 @@ use std::time::{Duration, Instant};
 /// partitioned task (`part` indexes into the record's range list; the
 /// last part is the combiner that inherits the original successors).
 ///
-/// A `Part` carries its weight (its range length) inline so the Fetch,
-/// Steal and Allocate modules never have to consult the global record
-/// list just to keep weight counters accurate.
+/// A `Part` carries its weight (its plan's op count) inline so the
+/// Fetch, Steal and Allocate modules never have to consult the global
+/// record list just to keep weight counters accurate, and its interned
+/// [`PlanId`] so the executor runs the precompiled index map for its
+/// range instead of recomputing strides (`None` for Divide, which is
+/// contiguous on both sides and needs no plan).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Exec {
     Static(TaskId),
@@ -26,6 +29,7 @@ enum Exec {
         rec: usize,
         part: usize,
         weight: u64,
+        plan: Option<PlanId>,
     },
 }
 
@@ -511,7 +515,7 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats, tr: &Wo
                 panic!("injected poison: task {} panicked", t.index());
             }
             let task = sh.graph.task(t);
-            let len = task.weight as usize;
+            let len = sh.graph.partition_len(t);
             match sh.cfg.partition_threshold {
                 // Partition module: large task → subtasks of ≤ δ entries.
                 Some(delta) if len > delta => {
@@ -534,11 +538,22 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats, tr: &Wo
                     tr.partition(&task.kind, n);
                     // middle subtasks spread across threads
                     for part in 1..n - 1 {
-                        let weight = record.ranges[part].len() as u64;
-                        allocate(sh, Exec::Part { rec, part, weight }, weight, stats);
+                        let (plan, weight) = subtask_plan(sh, t, record.ranges[part]);
+                        allocate(
+                            sh,
+                            Exec::Part {
+                                rec,
+                                part,
+                                weight,
+                                plan,
+                            },
+                            weight,
+                            stats,
+                        );
                     }
                     // first subtask runs here, now
-                    run_part(sh, id, rec, &record, 0, stats, tr);
+                    let (plan, _) = subtask_plan(sh, t, record.ranges[0]);
+                    run_part(sh, id, rec, &record, 0, plan, stats, tr);
                 }
                 _ => {
                     let t0 = Instant::now();
@@ -546,18 +561,32 @@ fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats, tr: &Wo
                     // access to its destination buffer
                     // (TaskGraph::validate) and orders every writer of
                     // its sources before it.
-                    unsafe { exec_full(sh, &task.kind) };
+                    unsafe { exec_full(sh, t) };
                     let t1 = record_exec(stats, t0, task.weight);
                     tr.task(&task.kind, task.weight, None, t0, t1);
                     complete_static(sh, t, stats);
                 }
             }
         }
-        Exec::Part { rec, part, .. } => {
+        Exec::Part {
+            rec, part, plan, ..
+        } => {
             let record = sh.records.lock()[rec].clone();
-            run_part(sh, id, rec, &record, part, stats, tr);
+            run_part(sh, id, rec, &record, part, plan, stats, tr);
         }
     }
+}
+
+/// Interned plan id and plan op-count weight for one subtask range of
+/// task `t`. The graph's [`PlanCache`](evprop_taskgraph::PlanCache)
+/// memoizes ids by `(task, range)` without compiling — the program is
+/// built by whichever worker dereferences it first in `run_part`, and
+/// every later propagation hits both caches. A plan's `ops()` equals
+/// its range length by definition, so the weight never needs the
+/// compiled program; Divide carries no plan (contiguous on both sides)
+/// and gets the same range-length weight.
+fn subtask_plan(sh: &Shared<'_>, t: TaskId, range: EntryRange) -> (Option<PlanId>, u64) {
+    (sh.graph.ranged_plan_id(t, range), range.len() as u64)
 }
 
 /// Books one executed unit into `stats`, returning the end instant so
@@ -579,15 +608,24 @@ fn record_exec(stats: &mut ThreadStats, t0: Instant, weight: u64) -> Instant {
 /// read-only windows — the Rust-visible shape of the paper's
 /// "concurrent writes to one table are fine because ranges are
 /// disjoint" argument.
+///
+/// Cross-domain subtasks execute through the interned [`KernelPlan`]
+/// named by `plan` (compiled once per `(task, range)` and cached on the
+/// graph); with `plan-off` they run the stride-walking kernels instead,
+/// which compute bitwise-identical results.
+#[allow(clippy::too_many_arguments)]
 fn run_part(
     sh: &Shared<'_>,
     _id: usize,
     rec: usize,
     record: &Record,
     part: usize,
+    plan: Option<PlanId>,
     stats: &mut ThreadStats,
     tr: &WorkerTracer,
 ) {
+    #[cfg(feature = "plan-off")]
+    let _ = plan;
     let n = record.ranges.len();
     let range = record.ranges[part];
     let task = sh.graph.task(record.task);
@@ -597,8 +635,14 @@ fn run_part(
     let t0 = Instant::now();
     match task.kind {
         TaskKind::Marginalize { src, dst, max } => {
+            #[cfg(feature = "plan-off")]
             let src_domain = &buffers[src.index()].domain;
             let dst_domain = &buffers[dst.index()].domain;
+            #[cfg(not(feature = "plan-off"))]
+            let kplan = sh
+                .graph
+                .plans()
+                .get(plan.expect("marginalize subtasks carry a plan"));
             // SAFETY: the task DAG orders every writer of src before
             // this task; sibling subtasks only read src (overlapping
             // shared windows are fine).
@@ -609,6 +653,17 @@ fn run_part(
                 let mut d = unsafe { sh.view.write_full(dst) };
                 let out = d.as_mut_slice();
                 out.fill(0.0);
+                #[cfg(not(feature = "plan-off"))]
+                if max {
+                    kplan
+                        .marginalize_max_into(&s, out)
+                        .expect("plan was compiled for these buffers");
+                } else {
+                    kplan
+                        .marginalize_sum_into(&s, out)
+                        .expect("plan was compiled for these buffers");
+                }
+                #[cfg(feature = "plan-off")]
                 if max {
                     raw::max_marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
                         .expect("separator domain nests in clique domain");
@@ -635,6 +690,17 @@ fn run_part(
                 // private partial table; only the arena source is read
                 stats.tables_allocated += 1;
                 let mut partial = PotentialTable::zeros(dst_domain.clone());
+                #[cfg(not(feature = "plan-off"))]
+                if max {
+                    kplan
+                        .marginalize_max_into(&s, partial.data_mut())
+                        .expect("plan was compiled for these buffers");
+                } else {
+                    kplan
+                        .marginalize_sum_into(&s, partial.data_mut())
+                        .expect("plan was compiled for these buffers");
+                }
+                #[cfg(feature = "plan-off")]
                 if max {
                     raw::max_marginalize_range_into_raw(
                         src_domain,
@@ -667,20 +733,38 @@ fn run_part(
                 .expect("separator domains agree");
         }
         TaskKind::Extend { src, dst } => {
+            #[cfg(feature = "plan-off")]
             let src_domain = &buffers[src.index()].domain;
+            #[cfg(feature = "plan-off")]
             let dst_domain = &buffers[dst.index()].domain;
             // SAFETY: as for Divide — disjoint dst windows, read-only src.
             let s = unsafe { sh.view.read_full(src) };
             let mut d = unsafe { sh.view.write_range(dst, range) };
+            #[cfg(not(feature = "plan-off"))]
+            sh.graph
+                .plans()
+                .get(plan.expect("extend subtasks carry a plan"))
+                .extend_into(&s, d.as_mut_slice())
+                .expect("plan was compiled for these buffers");
+            #[cfg(feature = "plan-off")]
             raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("separator domain nests in clique domain");
         }
         TaskKind::Multiply { src, dst } => {
+            #[cfg(feature = "plan-off")]
             let src_domain = &buffers[src.index()].domain;
+            #[cfg(feature = "plan-off")]
             let dst_domain = &buffers[dst.index()].domain;
             // SAFETY: as for Divide — disjoint dst windows, read-only src.
             let s = unsafe { sh.view.read_full(src) };
             let mut d = unsafe { sh.view.write_range(dst, range) };
+            #[cfg(not(feature = "plan-off"))]
+            sh.graph
+                .plans()
+                .get(plan.expect("multiply subtasks carry a plan"))
+                .multiply_into(&s, d.as_mut_slice())
+                .expect("plan was compiled for these buffers");
+            #[cfg(feature = "plan-off")]
             raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
                 .expect("extended ratio matches clique domain");
         }
@@ -692,13 +776,14 @@ fn run_part(
         complete_static(sh, record.task, stats);
     } else if record.final_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
         // combiner becomes ready
-        let weight = record.ranges[n - 1].len() as u64;
+        let (plan, weight) = subtask_plan(sh, record.task, record.ranges[n - 1]);
         allocate(
             sh,
             Exec::Part {
                 rec,
                 part: n - 1,
                 weight,
+                plan,
             },
             weight,
             stats,
@@ -717,8 +802,9 @@ fn complete_static(sh: &Shared<'_>, t: TaskId, stats: &mut ThreadStats) {
     sh.remaining.fetch_sub(1, Ordering::AcqRel);
 }
 
-/// Whole-task execution through the job's view; runs the same raw
-/// primitives as the partitioned path (over the full range), so the
+/// Whole-task execution through the job's view: the task's interned
+/// full-range [`KernelPlan`] over the full range (or, with `plan-off`,
+/// the same raw walker primitives the partitioned path uses), so the
 /// partitioned and unpartitioned schedules compute literally the same
 /// arithmetic.
 ///
@@ -726,23 +812,42 @@ fn complete_static(sh: &Shared<'_>, t: TaskId, stats: &mut ThreadStats) {
 ///
 /// Caller must hold (via the task DAG) exclusive access to the task's
 /// destination buffer and shared access to its sources.
-unsafe fn exec_full(sh: &Shared<'_>, kind: &TaskKind) {
+unsafe fn exec_full(sh: &Shared<'_>, t: TaskId) {
+    #[cfg(feature = "plan-off")]
     let buffers = sh.graph.buffers();
-    match *kind {
+    #[cfg(not(feature = "plan-off"))]
+    let plan = |msg: &str| sh.graph.task_plan(t).expect(msg);
+    match sh.graph.task(t).kind {
         TaskKind::Marginalize { src, dst, max } => {
-            let src_domain = &buffers[src.index()].domain;
-            let dst_domain = &buffers[dst.index()].domain;
             let s = sh.view.read_full(src);
             let mut d = sh.view.write_full(dst);
             let out = d.as_mut_slice();
             out.fill(0.0);
-            let range = EntryRange::full(s.len());
-            if max {
-                raw::max_marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
-                    .expect("separator domain nests in clique domain");
-            } else {
-                raw::marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
-                    .expect("separator domain nests in clique domain");
+            #[cfg(not(feature = "plan-off"))]
+            {
+                let kplan = plan("marginalize tasks carry a plan");
+                if max {
+                    kplan
+                        .marginalize_max_into(&s, out)
+                        .expect("plan was compiled for these buffers");
+                } else {
+                    kplan
+                        .marginalize_sum_into(&s, out)
+                        .expect("plan was compiled for these buffers");
+                }
+            }
+            #[cfg(feature = "plan-off")]
+            {
+                let src_domain = &buffers[src.index()].domain;
+                let dst_domain = &buffers[dst.index()].domain;
+                let range = EntryRange::full(s.len());
+                if max {
+                    raw::max_marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
+                        .expect("separator domain nests in clique domain");
+                } else {
+                    raw::marginalize_range_into_raw(src_domain, &s, range, dst_domain, out)
+                        .expect("separator domain nests in clique domain");
+                }
             }
         }
         TaskKind::Divide { num, den, dst } => {
@@ -753,22 +858,36 @@ unsafe fn exec_full(sh: &Shared<'_>, kind: &TaskKind) {
                 .expect("separator domains agree");
         }
         TaskKind::Extend { src, dst } => {
-            let src_domain = &buffers[src.index()].domain;
-            let dst_domain = &buffers[dst.index()].domain;
             let s = sh.view.read_full(src);
             let mut d = sh.view.write_full(dst);
-            let range = EntryRange::full(d.len());
-            raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
-                .expect("separator domain nests in clique domain");
+            #[cfg(not(feature = "plan-off"))]
+            plan("extend tasks carry a plan")
+                .extend_into(&s, d.as_mut_slice())
+                .expect("plan was compiled for these buffers");
+            #[cfg(feature = "plan-off")]
+            {
+                let src_domain = &buffers[src.index()].domain;
+                let dst_domain = &buffers[dst.index()].domain;
+                let range = EntryRange::full(d.len());
+                raw::extend_range_into_raw(src_domain, &s, dst_domain, range, d.as_mut_slice())
+                    .expect("separator domain nests in clique domain");
+            }
         }
         TaskKind::Multiply { src, dst } => {
-            let src_domain = &buffers[src.index()].domain;
-            let dst_domain = &buffers[dst.index()].domain;
             let s = sh.view.read_full(src);
             let mut d = sh.view.write_full(dst);
-            let range = EntryRange::full(d.len());
-            raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
-                .expect("extended ratio matches clique domain");
+            #[cfg(not(feature = "plan-off"))]
+            plan("multiply tasks carry a plan")
+                .multiply_into(&s, d.as_mut_slice())
+                .expect("plan was compiled for these buffers");
+            #[cfg(feature = "plan-off")]
+            {
+                let src_domain = &buffers[src.index()].domain;
+                let dst_domain = &buffers[dst.index()].domain;
+                let range = EntryRange::full(d.len());
+                raw::multiply_range_into(src_domain, &s, dst_domain, range, d.as_mut_slice())
+                    .expect("extended ratio matches clique domain");
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! `ThreadStats`, the timeline analyzer, and these serving stats all
 //! count with the same implementation — the numbers cannot drift.
 
+use evprop_taskgraph::PlanCacheStats;
 use std::time::Duration;
 
 pub use evprop_trace::{quantile_of, Counter, LatencyHistogram};
@@ -90,6 +91,12 @@ pub struct RuntimeStats {
     pub p99: Duration,
     /// Time since the runtime started.
     pub uptime: Duration,
+    /// Kernel-plan cache counters of the served model (hits and misses
+    /// of the scheduler's δ-subrange lookups, plus distinct interned
+    /// plans). `None` when the snapshot source has no plan cache to
+    /// report; the stats protocol omits the field entirely in that
+    /// case, so existing consumers see byte-identical output.
+    pub plan_cache: Option<PlanCacheStats>,
 }
 
 #[cfg(test)]

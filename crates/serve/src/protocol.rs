@@ -590,7 +590,11 @@ fn micros(d: std::time::Duration) -> u64 {
 }
 
 /// Formats a [`RuntimeStats`] snapshot as one `{"stats": …}` response
-/// line (schema in the [module docs](self)).
+/// line (schema in the [module docs](self)). The kernel-plan cache
+/// counters are appended as a `"plan_cache"` object only when the
+/// snapshot carries them ([`RuntimeStats::plan_cache`] is `Some`);
+/// snapshots without them render byte-identically to the historical
+/// schema.
 pub fn format_stats(stats: &RuntimeStats) -> String {
     let mut out = format!(
         "{{\"stats\":{{\"served\":{},\"errors\":{},\"queue_depth\":{},\
@@ -627,7 +631,14 @@ pub fn format_stats(stats: &RuntimeStats) -> String {
             s.arenas_allocated,
         ));
     }
-    out.push_str("]}}");
+    out.push(']');
+    if let Some(p) = stats.plan_cache {
+        out.push_str(&format!(
+            ",\"plan_cache\":{{\"hits\":{},\"misses\":{},\"interned\":{}}}",
+            p.hits, p.misses, p.interned,
+        ));
+    }
+    out.push_str("}}");
     out
 }
 

@@ -25,7 +25,7 @@
 
 use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
 use crate::queue::{AdmissionQueue, PushError};
-use evprop_core::{EngineError, InferenceSession, Query, ShardState};
+use evprop_core::{CompiledModel, EngineError, InferenceSession, Query, ShardState};
 use evprop_potential::{PotentialTable, VarId};
 use evprop_sched::SchedulerConfig;
 use parking_lot::{Condvar, Mutex};
@@ -274,7 +274,10 @@ struct Shard {
 }
 
 struct Inner {
-    session: InferenceSession,
+    /// The one compiled model (domains + task graph + interned kernel
+    /// plans) every shard serves. Shards share this `Arc` — they never
+    /// copy the graph or recompile plans.
+    model: Arc<CompiledModel>,
     queue: AdmissionQueue<Job>,
     shards: Vec<Shard>,
     max_batch: usize,
@@ -310,9 +313,18 @@ impl std::fmt::Debug for ShardedRuntime {
 }
 
 impl ShardedRuntime {
-    /// Boots the runtime: builds `config.shards` shards (each spawning
-    /// its resident worker pool) and one dispatcher thread per shard.
+    /// Boots the runtime from a session, taking over its compiled
+    /// model. Convenience for [`ShardedRuntime::from_model`].
     pub fn new(session: InferenceSession, config: RuntimeConfig) -> Self {
+        Self::from_model(Arc::clone(session.model()), config)
+    }
+
+    /// Boots the runtime: builds `config.shards` shards (each spawning
+    /// its resident worker pool) and one dispatcher thread per shard,
+    /// all serving the **same** `Arc<CompiledModel>` — the compile step
+    /// (junction tree, task graph, kernel-plan interning) happened
+    /// exactly once, no matter how many shards or runtimes share it.
+    pub fn from_model(model: Arc<CompiledModel>, config: RuntimeConfig) -> Self {
         let shards = (0..config.shards)
             .map(|_| Shard {
                 state: ShardState::new(config.scheduler()),
@@ -320,7 +332,7 @@ impl ShardedRuntime {
             })
             .collect();
         let inner = Arc::new(Inner {
-            session,
+            model,
             queue: AdmissionQueue::new(config.queue_depth),
             shards,
             max_batch: config.max_batch,
@@ -348,9 +360,9 @@ impl ShardedRuntime {
         &self.config
     }
 
-    /// The compiled model this runtime serves.
-    pub fn session(&self) -> &InferenceSession {
-        &self.inner.session
+    /// The compiled model this runtime serves, shared by every shard.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.inner.model
     }
 
     /// Number of shards.
@@ -439,8 +451,23 @@ impl ShardedRuntime {
             .attach_trace(sink, shard as u32);
     }
 
-    /// A point-in-time statistics snapshot across all shards.
+    /// A point-in-time statistics snapshot across all shards, including
+    /// the shared model's kernel-plan cache counters. With the `trace`
+    /// feature, each snapshot also drops a `plan-cache` instant on the
+    /// control row of every attached shard sink, so exported timelines
+    /// carry the counter history alongside the scheduler spans.
     pub fn stats(&self) -> RuntimeStats {
+        let plan_cache = self.inner.model.plan_stats();
+        #[cfg(feature = "trace")]
+        for shard in &self.inner.shards {
+            shard
+                .state
+                .trace_instant(evprop_trace::SpanKind::PlanCache {
+                    hits: plan_cache.hits,
+                    misses: plan_cache.misses,
+                    interned: plan_cache.interned,
+                });
+        }
         let wall = self.inner.started.elapsed();
         let shards: Vec<_> = self
             .inner
@@ -471,6 +498,7 @@ impl ShardedRuntime {
             p99: quantile_of(&merged, 0.99),
             uptime: wall,
             shards,
+            plan_cache: Some(plan_cache),
         }
     }
 
@@ -495,8 +523,8 @@ impl Drop for ShardedRuntime {
 /// arena → fulfill tickets. Exits when the queue is closed and empty.
 fn dispatcher(inner: &Inner, idx: usize) {
     let shard = &inner.shards[idx];
-    let jt = inner.session.junction_tree();
-    let graph = inner.session.task_graph();
+    let jt = inner.model.junction_tree();
+    let graph = inner.model.graph();
     let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
     while let Some(first) = inner.queue.pop() {
         batch.push(first);

@@ -3,7 +3,9 @@
 use crate::graph::{
     BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskId, TaskKind,
 };
+use crate::plan_cache::PlanCache;
 use evprop_jtree::{CliqueId, TreeShape};
+use evprop_potential::EntryRange;
 
 /// Each junction-tree edge expands into 8 tasks: the 4-primitive chain of
 /// the collect message plus the 4-primitive chain of the distribute
@@ -79,6 +81,7 @@ impl TaskGraph {
             pred_count: Vec::new(),
             buffers: Vec::with_capacity(n * 8),
             clique_buffers: Vec::with_capacity(n),
+            plans: PlanCache::new(),
         };
 
         // clique potentials occupy buffers 0..n
@@ -141,8 +144,25 @@ impl TaskGraph {
             let Some(p) = shape.parent(c) else { continue };
             let eb = edge_bufs[c.index()].expect("non-root cliques have edge buffers");
             let sep_len = g.buffers[eb.sep_up.index()].domain.size() as u64;
-            let clique_len = shape.domain(c).size() as u64;
-            let parent_len = shape.domain(p).size() as u64;
+            let sep_dom = shape.parent_separator(c);
+            let clique_dom = shape.domain(c);
+            let parent_dom = shape.domain(p);
+
+            // Compile-once index maps for this edge's collect chain.
+            // Extension and the distribute-phase marginalization of the
+            // reverse message share these interned plans.
+            let marg_plan = g
+                .plans
+                .intern(clique_dom, sep_dom, EntryRange::full(clique_dom.size()))
+                .expect("separator domain nests in clique domain");
+            let ext_plan = g
+                .plans
+                .intern(parent_dom, sep_dom, EntryRange::full(parent_dom.size()))
+                .expect("separator domain nests in parent domain");
+            let mul_plan = g
+                .plans
+                .intern(parent_dom, parent_dom, EntryRange::full(parent_dom.size()))
+                .expect("a domain nests in itself");
 
             let marg = g.push_task(
                 Task {
@@ -151,9 +171,12 @@ impl TaskGraph {
                         dst: eb.sep_up,
                         max,
                     },
-                    weight: clique_len,
+                    // == the interned plan's ops(): one op per scan
+                    // entry, without forcing compilation at build time
+                    weight: clique_dom.size() as u64,
                     phase: Phase::Collect,
                     clique: c,
+                    plan: Some(marg_plan),
                 },
                 // clique c is ready once every child's collect message
                 // has been multiplied in
@@ -175,6 +198,7 @@ impl TaskGraph {
                     weight: sep_len,
                     phase: Phase::Collect,
                     clique: c,
+                    plan: None,
                 },
                 vec![marg],
             );
@@ -185,9 +209,10 @@ impl TaskGraph {
                         src: eb.ratio_up,
                         dst: eb.ext_up,
                     },
-                    weight: parent_len,
+                    weight: parent_dom.size() as u64,
                     phase: Phase::Collect,
                     clique: p,
+                    plan: Some(ext_plan),
                 },
                 vec![div],
             );
@@ -203,9 +228,10 @@ impl TaskGraph {
                         src: eb.ext_up,
                         dst: g.clique_buffers[p.index()],
                     },
-                    weight: parent_len,
+                    weight: parent_dom.size() as u64,
                     phase: Phase::Collect,
                     clique: p,
+                    plan: Some(mul_plan),
                 },
                 deps,
             );
@@ -225,8 +251,25 @@ impl TaskGraph {
             let eb = edge_bufs[c.index()].expect("non-root cliques have edge buffers");
             let down = eb.down.expect("distribute graphs allocate down buffers");
             let sep_len = g.buffers[down.sep_down.index()].domain.size() as u64;
-            let clique_len = shape.domain(c).size() as u64;
-            let parent_len = shape.domain(p).size() as u64;
+            let sep_dom = shape.parent_separator(c);
+            let clique_dom = shape.domain(c);
+            let parent_dom = shape.domain(p);
+
+            // The distribute chain's index maps mirror the collect
+            // chain's, so these interns are structural cache hits
+            // except for the child-side identity multiply.
+            let marg_plan = g
+                .plans
+                .intern(parent_dom, sep_dom, EntryRange::full(parent_dom.size()))
+                .expect("separator domain nests in parent domain");
+            let ext_plan = g
+                .plans
+                .intern(clique_dom, sep_dom, EntryRange::full(clique_dom.size()))
+                .expect("separator domain nests in clique domain");
+            let mul_plan = g
+                .plans
+                .intern(clique_dom, clique_dom, EntryRange::full(clique_dom.size()))
+                .expect("a domain nests in itself");
 
             // The parent is fully updated once (a) its last collect
             // multiply finished — `mul_up_chain[p]` transitively orders
@@ -244,9 +287,10 @@ impl TaskGraph {
                         dst: down.sep_down,
                         max,
                     },
-                    weight: parent_len,
+                    weight: parent_dom.size() as u64,
                     phase: Phase::Distribute,
                     clique: p,
+                    plan: Some(marg_plan),
                 },
                 deps,
             );
@@ -264,6 +308,7 @@ impl TaskGraph {
                     weight: sep_len,
                     phase: Phase::Distribute,
                     clique: c,
+                    plan: None,
                 },
                 vec![marg],
             );
@@ -274,9 +319,10 @@ impl TaskGraph {
                         src: down.ratio_down,
                         dst: down.ext_down,
                     },
-                    weight: clique_len,
+                    weight: clique_dom.size() as u64,
                     phase: Phase::Distribute,
                     clique: c,
+                    plan: Some(ext_plan),
                 },
                 vec![div],
             );
@@ -291,9 +337,10 @@ impl TaskGraph {
                         src: down.ext_down,
                         dst: g.clique_buffers[c.index()],
                     },
-                    weight: clique_len,
+                    weight: clique_dom.size() as u64,
                     phase: Phase::Distribute,
                     clique: c,
+                    plan: Some(mul_plan),
                 },
                 vec![ext],
             );
@@ -456,9 +503,26 @@ mod tests {
     }
 
     #[test]
-    fn weights_reflect_table_sizes() {
+    fn weights_derive_from_plan_op_counts() {
         let g = TaskGraph::from_shape(&path(3));
-        for t in g.tasks() {
+        for (i, t) in g.tasks().iter().enumerate() {
+            match t.plan {
+                // Cross-domain tasks: weight is the compiled plan's
+                // inner-loop op count, which equals the partitionable
+                // table's length (so cost calibrations are unchanged).
+                Some(id) => {
+                    assert_eq!(t.weight, g.plans().get(id).ops());
+                    assert_eq!(t.weight, g.partition_len(TaskId(i)) as u64);
+                }
+                // Divide has no cross-domain plan: separator length.
+                None => {
+                    assert_eq!(t.kind.primitive(), evprop_potential::PrimitiveKind::Divide);
+                    assert_eq!(
+                        t.weight,
+                        g.buffers()[t.kind.dst().index()].domain.size() as u64
+                    );
+                }
+            }
             match t.kind {
                 TaskKind::Marginalize { src, .. } => {
                     assert_eq!(t.weight, g.buffers()[src.index()].domain.size() as u64)
@@ -467,6 +531,50 @@ mod tests {
                     t.weight,
                     g.buffers()[t.kind.dst().index()].domain.size() as u64
                 ),
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_structurally_shared() {
+        // 8 tasks per edge, 6 of them planful (2 divides are not), but
+        // the collect marg / distribute ext of an edge share a plan, as
+        // do the collect ext / distribute marg — so a path graph
+        // interns 3-4 distinct plans per edge, not 6.
+        let g = TaskGraph::from_shape(&path(3));
+        let planful = g.tasks().iter().filter(|t| t.plan.is_some()).count();
+        assert_eq!(planful, 12);
+        assert!(
+            g.plans().len() < planful,
+            "interning should dedup: {} plans for {} planful tasks",
+            g.plans().len(),
+            planful
+        );
+        // Collect marginalize (clique→sep) and distribute extend
+        // (sep→clique over the same pair) share one interned plan.
+        let mut by_prim: Vec<Vec<crate::PlanId>> = vec![Vec::new(); 4];
+        for t in g.tasks() {
+            if let Some(id) = t.plan {
+                by_prim[t.kind.primitive() as usize].push(id);
+            }
+        }
+        let margs = &by_prim[evprop_potential::PrimitiveKind::Marginalize as usize];
+        let exts = &by_prim[evprop_potential::PrimitiveKind::Extend as usize];
+        assert!(margs.iter().any(|id| exts.contains(id)));
+    }
+
+    #[test]
+    fn replicated_graphs_share_plan_ids() {
+        let g = TaskGraph::from_shape(&path(3));
+        let batch = g.replicate(3);
+        assert_eq!(batch.plans().len(), g.plans().len());
+        for copy in 0..3 {
+            for (t, orig) in batch.tasks()[copy * g.num_tasks()..(copy + 1) * g.num_tasks()]
+                .iter()
+                .zip(g.tasks())
+            {
+                assert_eq!(t.plan, orig.plan);
+                assert_eq!(t.weight, orig.weight);
             }
         }
     }

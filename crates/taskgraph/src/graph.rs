@@ -1,9 +1,12 @@
 //! The task DAG data structures.
 
+use crate::plan_cache::{PlanCache, PlanId};
 use evprop_jtree::CliqueId;
-use evprop_potential::{Domain, PrimitiveKind};
+use evprop_potential::plan::KernelPlan;
+use evprop_potential::{Domain, EntryRange, PrimitiveKind};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a task in a [`TaskGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -163,15 +166,22 @@ impl TaskKind {
 pub struct Task {
     /// What to execute.
     pub kind: TaskKind,
-    /// Work size in table entries — the scheduler's load-balancing weight
-    /// and the simulator's cost driver. Equals the partitionable table's
-    /// length (source for marginalization, destination otherwise).
+    /// Work size — the scheduler's load-balancing weight and the
+    /// simulator's cost driver. Derived from the compiled plan's
+    /// inner-loop op count ([`KernelPlan::ops`]), which equals the
+    /// partitionable table's length (source for marginalization,
+    /// destination otherwise); `Divide` has no cross-domain plan and
+    /// keeps its separator length.
     pub weight: u64,
     /// Which propagation phase the task belongs to.
     pub phase: Phase,
     /// The clique whose update this task is part of (the *receiving*
     /// clique of the message).
     pub clique: CliqueId,
+    /// The interned full-range [`KernelPlan`] for this task's
+    /// cross-domain index map; `None` for `Divide`, which is
+    /// contiguous on both sides.
+    pub plan: Option<PlanId>,
 }
 
 /// Errors detected by [`TaskGraph::validate`].
@@ -210,6 +220,9 @@ pub struct TaskGraph {
     pub(crate) buffers: Vec<BufferSpec>,
     /// Buffer holding each clique's potential, indexed by clique id.
     pub(crate) clique_buffers: Vec<BufferId>,
+    /// Interned kernel plans compiled at build time (plus lazily
+    /// interned δ-subrange plans the scheduler adds at run time).
+    pub(crate) plans: PlanCache,
 }
 
 impl TaskGraph {
@@ -269,6 +282,80 @@ impl TaskGraph {
                 matches!(spec.init, BufferInit::CliquePotential(_)) && spec.domain.contains(var)
             })
             .map(|(i, _)| BufferId(i))
+    }
+
+    /// The graph's interned kernel-plan cache.
+    #[inline]
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The partitionable table's length for task `t` — the source for
+    /// marginalization, the destination otherwise. This is the length
+    /// the scheduler's Partition module splits into δ-sized subranges
+    /// (decoupled from [`Task::weight`], which is an op count).
+    pub fn partition_len(&self, t: TaskId) -> usize {
+        let task = &self.tasks[t.index()];
+        let buf = match task.kind {
+            TaskKind::Marginalize { src, .. } => src,
+            _ => task.kind.dst(),
+        };
+        self.buffers[buf.index()].domain.size()
+    }
+
+    /// The (scan, target) domains of task `t`'s cross-domain index
+    /// map: scan is walked linearly (marginalization source;
+    /// extension/multiplication destination), target is projected.
+    /// `None` for `Divide`, which never crosses domains.
+    pub fn scan_target_domains(&self, t: TaskId) -> Option<(&Domain, &Domain)> {
+        match self.tasks[t.index()].kind {
+            TaskKind::Marginalize { src, dst, .. } => Some((
+                &self.buffers[src.index()].domain,
+                &self.buffers[dst.index()].domain,
+            )),
+            TaskKind::Extend { src, dst } | TaskKind::Multiply { src, dst } => Some((
+                &self.buffers[dst.index()].domain,
+                &self.buffers[src.index()].domain,
+            )),
+            TaskKind::Divide { .. } => None,
+        }
+    }
+
+    /// The full-range compiled plan of task `t` (`None` for `Divide`).
+    pub fn task_plan(&self, t: TaskId) -> Option<Arc<KernelPlan>> {
+        self.tasks[t.index()].plan.map(|id| self.plans.get(id))
+    }
+
+    /// The compiled plan for subrange `range` of task `t`, interned on
+    /// first use and cached thereafter (`None` for `Divide`). This is
+    /// the execution-time lookup for δ-partitioned subtasks; use
+    /// [`ranged_plan_id`](Self::ranged_plan_id) when only the id (and
+    /// no compiled program) is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the task's partitionable table — the
+    /// scheduler only splits in-bounds ranges.
+    pub fn ranged_plan(&self, t: TaskId, range: EntryRange) -> Option<(PlanId, Arc<KernelPlan>)> {
+        let id = self.ranged_plan_id(t, range)?;
+        Some((id, self.plans.get(id)))
+    }
+
+    /// Interns (or re-keys) the plan shape for subrange `range` of task
+    /// `t` without compiling it — the scheduler's allocation-time path,
+    /// which needs only the id to stamp on a subtask. `None` for
+    /// `Divide`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the task's partitionable table.
+    pub fn ranged_plan_id(&self, t: TaskId, range: EntryRange) -> Option<PlanId> {
+        let (scan, target) = self.scan_target_domains(t)?;
+        let id = self
+            .plans
+            .for_task_range(t, scan, target, range)
+            .expect("scheduler ranges are in bounds for compiled domains");
+        Some(id)
     }
 
     /// Tasks with dependency degree zero — schedulable immediately.
@@ -375,6 +462,10 @@ impl TaskGraph {
             pred_count,
             buffers,
             clique_buffers: self.clique_buffers.clone(),
+            // Copies share domains, so the structurally interned plans
+            // (and the plan ids stored on the copied tasks) carry over
+            // unchanged.
+            plans: self.plans.clone(),
         }
     }
 

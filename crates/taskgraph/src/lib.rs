@@ -37,6 +37,7 @@ mod build;
 mod dot;
 mod execute;
 mod graph;
+mod plan_cache;
 
 pub use build::MESSAGE_TASKS_PER_EDGE;
 pub use execute::{execute_full, execute_range, write_and_read};
@@ -44,3 +45,4 @@ pub use graph::{
     BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskGraphError,
     TaskId, TaskKind,
 };
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanId};

@@ -108,7 +108,9 @@ pub fn analyze(trace: &Trace) -> TimelineAnalysis {
                 SpanKind::Fetch => tl.fetches += 1,
                 SpanKind::Job { .. } => jobs += 1,
                 SpanKind::Query { .. } => queries += 1,
-                SpanKind::Partition { .. } | SpanKind::ArenaCheckout { .. } => {}
+                SpanKind::Partition { .. }
+                | SpanKind::ArenaCheckout { .. }
+                | SpanKind::PlanCache { .. } => {}
             }
         }
         threads.push(tl);

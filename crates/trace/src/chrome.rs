@@ -27,6 +27,7 @@ fn event_name(kind: &SpanKind) -> &'static str {
         SpanKind::ArenaCheckout { .. } => "arena-checkout",
         SpanKind::Job { .. } => "job",
         SpanKind::Query { .. } => "query",
+        SpanKind::PlanCache { .. } => "plan-cache",
     }
 }
 
@@ -51,6 +52,14 @@ fn push_args(out: &mut String, e: &TraceEvent) {
         SpanKind::ArenaCheckout { fresh } => write!(out, "\"fresh\":{fresh},"),
         SpanKind::Job { tasks } => write!(out, "\"tasks\":{tasks},"),
         SpanKind::Query { shard } => write!(out, "\"shard\":{shard},"),
+        SpanKind::PlanCache {
+            hits,
+            misses,
+            interned,
+        } => write!(
+            out,
+            "\"hits\":{hits},\"misses\":{misses},\"interned\":{interned},"
+        ),
         SpanKind::Fetch | SpanKind::IdleSpin => Ok(()),
     };
     let _ = write!(out, "\"depth\":{}", e.depth);

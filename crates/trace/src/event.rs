@@ -78,6 +78,18 @@ pub enum SpanKind {
         /// The shard that answered it.
         shard: u32,
     },
+    /// A kernel-plan cache counter snapshot, recorded as an instant on
+    /// the control row (e.g. whenever the serving runtime takes a
+    /// stats snapshot), so exported timelines carry the cache's
+    /// hit/miss history alongside the scheduler spans.
+    PlanCache {
+        /// δ-subrange lookups answered from the memo.
+        hits: u64,
+        /// Lookups that had to compile (or re-key) a plan.
+        misses: u64,
+        /// Distinct interned plans at snapshot time.
+        interned: u64,
+    },
 }
 
 impl SpanKind {
@@ -92,6 +104,7 @@ impl SpanKind {
             SpanKind::ArenaCheckout { .. } => "arena",
             SpanKind::Job { .. } => "job",
             SpanKind::Query { .. } => "query",
+            SpanKind::PlanCache { .. } => "plan-cache",
         }
     }
 }
