@@ -34,7 +34,12 @@ const USAGE: &str = "usage:
   evprop trace <file.bif> [--out FILE] [--threads P] [--delta D] [--runs N] [--stealing]
   evprop trace --random [--cliques N] [--width W] [--states R] [--degree K] [--seed S] [--out FILE] ...
   evprop trace-validate <trace.json>
-  evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]";
+  evprop simulate --cliques N --width W --states R --degree K [--cores P]... [--policy collab|openmp|dp|pnl] [--gantt]
+
+global flags (any command):
+  --kernel-backend scalar|sse2|avx2|portable|auto
+      SIMD backend for the table kernels (default: auto-detect, or the
+      EVPROP_KERNEL_BACKEND env var); all backends are bit-identical";
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is closed early (`evprop query … | head`):
@@ -66,6 +71,8 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let args = apply_kernel_backend(args)?;
+    let args = &args[..];
     match args.first().map(String::as_str) {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
@@ -82,6 +89,40 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some(other) => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// Strips a global `--kernel-backend NAME` flag (accepted anywhere on
+/// the command line, before or after the subcommand), installs the
+/// named SIMD backend process-wide, and returns the remaining
+/// arguments. `auto` re-runs CPU detection explicitly; every backend
+/// computes bit-identical tables, so the flag only affects speed.
+fn apply_kernel_backend(args: &[String]) -> Result<Vec<String>, String> {
+    use evprop_potential::simd;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut chosen = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--kernel-backend" {
+            let name = args
+                .get(i + 1)
+                .ok_or("--kernel-backend needs scalar|sse2|avx2|portable|auto".to_string())?;
+            chosen = Some(name.clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if let Some(name) = chosen {
+        let be = if name == "auto" {
+            evprop_potential::KernelBackend::detect()
+        } else {
+            evprop_potential::KernelBackend::parse(&name)
+                .ok_or_else(|| format!("unknown kernel backend '{name}'"))?
+        };
+        simd::set_active(be).map_err(|e| e.to_string())?;
+    }
+    Ok(rest)
 }
 
 fn load(path: &str) -> Result<BifNetwork, String> {

@@ -37,14 +37,22 @@
 //! # Determinism
 //!
 //! Plan interpretation performs bit-for-bit the same floating-point
-//! operations in the same order as the walker kernels: contiguous
-//! segments do one `+=` per entry exactly like the walker, and
-//! broadcast reductions fold left-to-right starting from the
-//! destination slot's current value. The property tests in
-//! `tests/prop_plans.rs` and the unit suite below assert bitwise
-//! equality against the walker path.
+//! operations in the same order as the walker kernels: both execute
+//! their inner loops through the runtime-dispatched kernels in
+//! [`simd`](crate::simd), and every broadcast reduction follows the
+//! **canonical reduction-tree order** defined by
+//! [`raw::sum_canonical`](crate::raw::sum_canonical) /
+//! [`raw::fold_max_canonical`](crate::raw::fold_max_canonical) — a
+//! fixed 4-lane tree plus sequential tail, realized identically by the
+//! scalar, SSE2, AVX2 and `portable-simd` backends. The block sum is
+//! accumulated from `0.0` and then added onto the destination slot, so
+//! results are a function of the plan's segment geometry (hence of δ)
+//! but of *nothing else*: not the thread count, not the schedule, not
+//! the chosen backend. The property tests in `tests/prop_plans.rs` and
+//! the unit suite below assert bitwise equality against the walker path
+//! and across kernel backends.
 
-use crate::primitives::safe_div;
+use crate::simd::{self, KernelBackend};
 use crate::{AxisWalker, Domain, EntryRange, PotentialError, Result};
 
 /// How consecutive scan entries within a block map onto the target.
@@ -80,6 +88,36 @@ pub struct KernelPlan {
     segs: Vec<Segment>,
 }
 
+/// Computes the canonical block decomposition of `scan` relative to
+/// `tstrides` (its per-axis strides in the target domain, zero for
+/// absent axes): the maximal uniform suffix — all-present (contiguous
+/// target) or all-absent (constant target) — as a block length plus
+/// the [`PlanKind`]. An empty scan domain (size 1) degenerates to a
+/// single contiguous block.
+///
+/// Shared by [`KernelPlan::compile`] and the walker kernels in
+/// [`raw`](crate::raw), so both paths cut ranges into *identical*
+/// blocks and hand identical slices to the reduction kernels — a
+/// precondition of the bitwise walker-vs-plan oracle tests.
+pub(crate) fn uniform_suffix_block(scan: &Domain, tstrides: &[usize]) -> (usize, PlanKind) {
+    let width = scan.width();
+    let last_present = width > 0 && tstrides[width - 1] != 0;
+    let kind = if width == 0 || last_present {
+        PlanKind::Contig
+    } else {
+        PlanKind::Broadcast
+    };
+    let mut block = 1usize;
+    for pos in (0..width).rev() {
+        let present = tstrides[pos] != 0;
+        if present != last_present {
+            break;
+        }
+        block *= scan.vars()[pos].cardinality();
+    }
+    (block, kind)
+}
+
 impl KernelPlan {
     /// Compiles the plan mapping `range` of a table over `scan` onto a
     /// table over `target`.
@@ -108,24 +146,7 @@ impl KernelPlan {
         }
 
         let tstrides = scan.strides_in(target);
-        let width = scan.width();
-        // Maximal uniform suffix: all-present (contiguous target) or
-        // all-absent (constant target). An empty scan domain (size 1)
-        // degenerates to a single contiguous block.
-        let last_present = width > 0 && tstrides[width - 1] != 0;
-        let kind = if width == 0 || last_present {
-            PlanKind::Contig
-        } else {
-            PlanKind::Broadcast
-        };
-        let mut block = 1usize;
-        for pos in (0..width).rev() {
-            let present = tstrides[pos] != 0;
-            if present != last_present {
-                break;
-            }
-            block *= scan.vars()[pos].cardinality();
-        }
+        let (block, kind) = uniform_suffix_block(scan, &tstrides);
 
         let mut segs: Vec<Segment> = Vec::new();
         if !range.is_empty() {
@@ -218,40 +239,38 @@ impl KernelPlan {
     }
 
     /// Sum-marginalization: accumulates `src[range]` (full scan-domain
-    /// slice) into the full target table `dst` (`+=` per entry; the
-    /// caller zeroes `dst` before the first partial).
+    /// slice) into the full target table `dst` (the caller zeroes `dst`
+    /// before the first partial). Contiguous segments do one `+=` per
+    /// entry; broadcast segments reduce in the canonical order (see the
+    /// [module docs](self)) and add the block sum onto the slot. Runs
+    /// on the process-wide [`simd::active`] backend.
     ///
     /// # Errors
     ///
     /// [`PotentialError::DataSizeMismatch`] if `src` is not the scan
     /// table or `dst` not the target table.
     pub fn marginalize_sum_into(&self, src: &[f64], dst: &mut [f64]) -> Result<()> {
+        self.marginalize_sum_into_on(simd::active(), src, dst)
+    }
+
+    /// [`marginalize_sum_into`](Self::marginalize_sum_into) on an
+    /// explicit kernel backend — the differential-testing hook behind
+    /// the cross-backend bit-identity suite. All backends produce
+    /// identical bits, so this is never needed for correctness.
+    pub fn marginalize_sum_into_on(
+        &self,
+        be: KernelBackend,
+        src: &[f64],
+        dst: &mut [f64],
+    ) -> Result<()> {
         self.check_scan(src.len())?;
         self.check_target(dst.len())?;
-        let mut pos = self.range.start;
+        // One fused backend call per plan execution: the segment loop
+        // runs inside the feature-enabled kernel (see `simd`).
+        let win = &src[self.range.start..self.range.end];
         match self.kind {
-            PlanKind::Contig => {
-                for seg in &self.segs {
-                    let d = &mut dst[seg.target_base..seg.target_base + seg.len];
-                    let s = &src[pos..pos + seg.len];
-                    for (a, &b) in d.iter_mut().zip(s) {
-                        *a += b;
-                    }
-                    pos += seg.len;
-                }
-            }
-            PlanKind::Broadcast => {
-                for seg in &self.segs {
-                    // Left-to-right fold *starting from the slot* keeps
-                    // the addition order identical to the walker's.
-                    let mut acc = dst[seg.target_base];
-                    for &v in &src[pos..pos + seg.len] {
-                        acc += v;
-                    }
-                    dst[seg.target_base] = acc;
-                    pos += seg.len;
-                }
-            }
+            PlanKind::Contig => be.marg_sum_contig(&self.segs, win, dst),
+            PlanKind::Broadcast => be.marg_sum_broadcast(&self.segs, win, dst),
         }
         Ok(())
     }
@@ -263,34 +282,23 @@ impl KernelPlan {
     ///
     /// Same conditions as [`Self::marginalize_sum_into`].
     pub fn marginalize_max_into(&self, src: &[f64], dst: &mut [f64]) -> Result<()> {
+        self.marginalize_max_into_on(simd::active(), src, dst)
+    }
+
+    /// [`marginalize_max_into`](Self::marginalize_max_into) on an
+    /// explicit kernel backend (differential-testing hook).
+    pub fn marginalize_max_into_on(
+        &self,
+        be: KernelBackend,
+        src: &[f64],
+        dst: &mut [f64],
+    ) -> Result<()> {
         self.check_scan(src.len())?;
         self.check_target(dst.len())?;
-        let mut pos = self.range.start;
+        let win = &src[self.range.start..self.range.end];
         match self.kind {
-            PlanKind::Contig => {
-                for seg in &self.segs {
-                    let d = &mut dst[seg.target_base..seg.target_base + seg.len];
-                    let s = &src[pos..pos + seg.len];
-                    for (a, &b) in d.iter_mut().zip(s) {
-                        if b > *a {
-                            *a = b;
-                        }
-                    }
-                    pos += seg.len;
-                }
-            }
-            PlanKind::Broadcast => {
-                for seg in &self.segs {
-                    let mut acc = dst[seg.target_base];
-                    for &v in &src[pos..pos + seg.len] {
-                        if v > acc {
-                            acc = v;
-                        }
-                    }
-                    dst[seg.target_base] = acc;
-                    pos += seg.len;
-                }
-            }
+            PlanKind::Contig => be.marg_max_contig(&self.segs, win, dst),
+            PlanKind::Broadcast => be.marg_max_broadcast(&self.segs, win, dst),
         }
         Ok(())
     }
@@ -335,27 +343,10 @@ impl KernelPlan {
     pub fn multiply_into(&self, src: &[f64], out: &mut [f64]) -> Result<()> {
         self.check_target(src.len())?;
         self.check_window(out.len())?;
-        let mut pos = 0usize;
+        let be = simd::active();
         match self.kind {
-            PlanKind::Contig => {
-                for seg in &self.segs {
-                    let d = &mut out[pos..pos + seg.len];
-                    let s = &src[seg.target_base..seg.target_base + seg.len];
-                    for (a, &b) in d.iter_mut().zip(s) {
-                        *a *= b;
-                    }
-                    pos += seg.len;
-                }
-            }
-            PlanKind::Broadcast => {
-                for seg in &self.segs {
-                    let m = src[seg.target_base];
-                    for a in &mut out[pos..pos + seg.len] {
-                        *a *= m;
-                    }
-                    pos += seg.len;
-                }
-            }
+            PlanKind::Contig => be.mul_contig(&self.segs, src, out),
+            PlanKind::Broadcast => be.mul_broadcast(&self.segs, src, out),
         }
         Ok(())
     }
@@ -393,9 +384,7 @@ pub fn divide_planned(num: &[f64], den: &[f64], range: EntryRange, out: &mut [f6
     }
     let nm = &num[range.start..range.end];
     let dn = &den[range.start..range.end];
-    for ((slot, &n), &d) in out.iter_mut().zip(nm).zip(dn) {
-        *slot = safe_div(n, d);
-    }
+    simd::active().div_into(nm, dn, out);
     Ok(())
 }
 
@@ -661,22 +650,67 @@ mod tests {
     fn partials_over_split_ranges_compose() {
         // δ-partitioned plans over disjoint subranges must compose to
         // the full-range result — the invariant the scheduler leans on.
+        // Since the canonical reduction order groups each plan's blocks
+        // through a 4-lane tree, different δ cuts round differently in
+        // the last ulps: sums compose to within tight tolerance (and
+        // the engines only ever mix partials at one fixed δ, where
+        // determinism is bitwise — asserted by tests/prop_plans.rs);
+        // max is order-insensitive on this data, so it composes
+        // exactly.
         let scan = dom(&[(0, 2), (1, 3), (2, 2)]);
         let target = dom(&[(1, 3)]);
         let src = fill(scan.size(), 0xC3);
         let full = KernelPlan::compile(&scan, &target, EntryRange::full(scan.size())).unwrap();
-        let mut want = vec![0.0; target.size()];
-        full.marginalize_sum_into(&src, &mut want).unwrap();
+        let mut want_sum = vec![0.0; target.size()];
+        full.marginalize_sum_into(&src, &mut want_sum).unwrap();
+        let mut want_max = vec![0.0; target.size()];
+        full.marginalize_max_into(&src, &mut want_max).unwrap();
         for chunk in [1usize, 2, 5] {
             let mut acc = vec![0.0; target.size()];
+            let mut acc_max = vec![0.0; target.size()];
             for r in EntryRange::split(scan.size(), chunk) {
-                KernelPlan::compile(&scan, &target, r)
-                    .unwrap()
-                    .marginalize_sum_into(&src, &mut acc)
-                    .unwrap();
+                let p = KernelPlan::compile(&scan, &target, r).unwrap();
+                p.marginalize_sum_into(&src, &mut acc).unwrap();
+                p.marginalize_max_into(&src, &mut acc_max).unwrap();
             }
-            // Same left-to-right entry order, so bitwise equal.
-            assert_eq!(want, acc, "chunk {chunk}");
+            for (w, a) in want_sum.iter().zip(&acc) {
+                assert!((w - a).abs() <= 1e-12 * w.abs().max(1.0), "chunk {chunk}");
+            }
+            assert_eq!(want_max, acc_max, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn backends_interpret_plans_bit_identically() {
+        use crate::simd::KernelBackend;
+        for (scan, target) in cases() {
+            let src = fill(scan.size(), 0xE7);
+            for range in ranges(scan.size()) {
+                let plan = KernelPlan::compile(&scan, &target, range).unwrap();
+                let init = fill(target.size(), 0x53);
+                let mut want_sum = init.clone();
+                let mut want_max = init.clone();
+                plan.marginalize_sum_into_on(KernelBackend::Scalar, &src, &mut want_sum)
+                    .unwrap();
+                plan.marginalize_max_into_on(KernelBackend::Scalar, &src, &mut want_max)
+                    .unwrap();
+                for be in KernelBackend::available() {
+                    let mut got = init.clone();
+                    plan.marginalize_sum_into_on(be, &src, &mut got).unwrap();
+                    assert_eq!(
+                        want_sum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{be:?} sum range {range:?}"
+                    );
+                    let mut got = init.clone();
+                    plan.marginalize_max_into_on(be, &src, &mut got).unwrap();
+                    assert_eq!(
+                        want_max.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{be:?} max range {range:?}"
+                    );
+                }
+            }
         }
     }
 

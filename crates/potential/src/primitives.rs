@@ -286,9 +286,7 @@ impl PotentialTable {
         }
         range.validate(self.len())?;
         let src = &other.data()[range.start..range.end];
-        for (slot, &den) in self.data_mut()[range.start..range.end].iter_mut().zip(src) {
-            *slot = safe_div(*slot, den);
-        }
+        crate::simd::active().div_assign(&mut self.data_mut()[range.start..range.end], src);
         Ok(())
     }
 

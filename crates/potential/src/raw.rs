@@ -44,11 +44,24 @@
 //! feature routes them back through the walker so both paths can be
 //! exercised by the full test suite. Hot paths (the scheduler) skip
 //! these entry points entirely and interpret *cached* plans.
+//!
+//! # Canonical reduction order
+//!
+//! Both backends execute their inner loops through the runtime-
+//! dispatched kernels in [`simd`](crate::simd), and every broadcast
+//! reduction (a block of scan entries collapsing onto one separator
+//! slot) follows **one fixed reduction-tree order**, defined by
+//! [`sum_canonical`] and [`fold_max_canonical`] below. This is the
+//! determinism contract that lets scalar, SSE2, AVX2 and
+//! `portable-simd` kernels — and the walker and planned paths — produce
+//! bit-identical tables; see the [`simd`](crate::simd) module docs for
+//! the exact lane layout each backend uses to realize it.
 
 use crate::index::AxisWalker;
 #[cfg(not(feature = "plan-off"))]
 use crate::plan::KernelPlan;
-use crate::primitives::safe_div;
+use crate::plan::PlanKind;
+use crate::simd::{self, KernelBackend};
 use crate::{Domain, EntryRange, PotentialError, Result};
 
 fn check_range(range: EntryRange, len: usize) -> Result<()> {
@@ -81,6 +94,93 @@ fn check_subdomain(sub: &Domain, sup: &Domain) -> Result<()> {
     Ok(())
 }
 
+/// The **canonical sum order**: the scalar reference every kernel
+/// backend must reproduce bit-for-bit.
+///
+/// With `chunks = xs.len() / 4`, lane `j ∈ 0..4` accumulates
+/// `xs[4k + j]` for `k = 0..chunks` left to right; the lanes combine as
+/// `(l0 + l2) + (l1 + l3)`; the `len % 4` tail entries then add in
+/// sequentially. The total starts from `0.0` — callers fold it into
+/// their own accumulator (see [`reduce_add_into`]).
+pub fn sum_canonical(xs: &[f64]) -> f64 {
+    let mut it = xs.chunks_exact(4);
+    let mut total = 0.0;
+    if it.len() > 0 {
+        let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0, 0.0, 0.0);
+        for c in it.by_ref() {
+            l0 += c[0];
+            l1 += c[1];
+            l2 += c[2];
+            l3 += c[3];
+        }
+        total = (l0 + l2) + (l1 + l3);
+    }
+    for &x in it.remainder() {
+        total += x;
+    }
+    total
+}
+
+/// The **canonical max order**: folds `xs` into `init` with the same
+/// 4-lane tree as [`sum_canonical`], using the select
+/// `if x > m { m = x }` everywhere — on ties (`+0.0` vs `-0.0`) and
+/// NaNs the accumulator is kept, exactly the `maxpd` second-operand
+/// rule the intrinsic backends inherit.
+pub fn fold_max_canonical(init: f64, xs: &[f64]) -> f64 {
+    let mut it = xs.chunks_exact(4);
+    let mut acc = init;
+    if it.len() > 0 {
+        let first = it.next().expect("non-empty chunks");
+        let (mut m0, mut m1, mut m2, mut m3) = (first[0], first[1], first[2], first[3]);
+        for c in it.by_ref() {
+            if c[0] > m0 {
+                m0 = c[0];
+            }
+            if c[1] > m1 {
+                m1 = c[1];
+            }
+            if c[2] > m2 {
+                m2 = c[2];
+            }
+            if c[3] > m3 {
+                m3 = c[3];
+            }
+        }
+        let t0 = if m0 > m2 { m0 } else { m2 };
+        let t1 = if m1 > m3 { m1 } else { m3 };
+        let block = if t0 > t1 { t0 } else { t1 };
+        if block > acc {
+            acc = block;
+        }
+    }
+    for &x in it.remainder() {
+        if x > acc {
+            acc = x;
+        }
+    }
+    acc
+}
+
+/// Folds one broadcast block into its destination slot with the
+/// canonical sum order on the given backend. The single-entry fast
+/// path (`δ = 1` plans) is shared here so every backend performs the
+/// identical `+=` (not `+= (0.0 + x)`, which differs for `-0.0`).
+#[inline]
+pub fn reduce_add_into(be: KernelBackend, slot: &mut f64, xs: &[f64]) {
+    if let [x] = xs {
+        *slot += *x;
+    } else {
+        *slot += be.sum(xs);
+    }
+}
+
+/// Folds one broadcast block into its destination slot with the
+/// canonical max order on the given backend.
+#[inline]
+pub fn reduce_max_into(be: KernelBackend, slot: &mut f64, xs: &[f64]) {
+    *slot = be.fold_max(*slot, xs);
+}
+
 /// **Division** over a destination window: `out[i] =
 /// num[range.start + i] / den[range.start + i]` with the Hugin
 /// convention `0/0 = 0`. `num` and `den` are full same-domain buffers
@@ -108,9 +208,7 @@ pub fn divide_range_into(
     check_window(out, range)?;
     let nm = &num[range.start..range.end];
     let dn = &den[range.start..range.end];
-    for ((slot, &n), &d) in out.iter_mut().zip(nm).zip(dn) {
-        *slot = safe_div(n, d);
-    }
+    simd::active().div_into(nm, dn, out);
     Ok(())
 }
 
@@ -254,6 +352,12 @@ pub fn marginalize_range_into_raw(
 /// Walker form of [`marginalize_range_into_raw`]: same contract, index
 /// map derived per call with an [`AxisWalker`].
 ///
+/// The walker decomposes the range into the same maximal uniform-suffix
+/// blocks [`KernelPlan`](crate::KernelPlan) compiles to (seeking the
+/// walker once per block instead of advancing per entry), so that its
+/// broadcast reductions run the identical canonical-order kernels and
+/// stay a bitwise oracle for the planned path.
+///
 /// # Errors
 ///
 /// Same conditions as [`marginalize_range_into_raw`].
@@ -272,11 +376,20 @@ pub fn marginalize_range_into_walker(
             found: src.len(),
         });
     }
-    let mut w = AxisWalker::new(src_domain, src_domain.strides_in(dst_domain));
-    w.seek(src_domain, range.start);
-    for &v in &src[range.start..range.end] {
-        dst[w.target_index()] += v;
-        w.advance();
+    let tstrides = src_domain.strides_in(dst_domain);
+    let (block, kind) = crate::plan::uniform_suffix_block(src_domain, &tstrides);
+    let be = simd::active();
+    let mut w = AxisWalker::new(src_domain, tstrides);
+    let mut pos = range.start;
+    while pos < range.end {
+        let len = (pos - pos % block + block).min(range.end) - pos;
+        w.seek(src_domain, pos);
+        let base = w.target_index();
+        match kind {
+            PlanKind::Contig => be.add_assign(&mut dst[base..base + len], &src[pos..pos + len]),
+            PlanKind::Broadcast => reduce_add_into(be, &mut dst[base], &src[pos..pos + len]),
+        }
+        pos += len;
     }
     Ok(())
 }
@@ -306,7 +419,8 @@ pub fn max_marginalize_range_into_raw(
 }
 
 /// Walker form of [`max_marginalize_range_into_raw`]: same contract,
-/// index map derived per call with an [`AxisWalker`].
+/// index map derived per call with an [`AxisWalker`]. Decomposes into
+/// canonical blocks like [`marginalize_range_into_walker`].
 ///
 /// # Errors
 ///
@@ -326,14 +440,20 @@ pub fn max_marginalize_range_into_walker(
             found: src.len(),
         });
     }
-    let mut w = AxisWalker::new(src_domain, src_domain.strides_in(dst_domain));
-    w.seek(src_domain, range.start);
-    for &v in &src[range.start..range.end] {
-        let slot = &mut dst[w.target_index()];
-        if v > *slot {
-            *slot = v;
+    let tstrides = src_domain.strides_in(dst_domain);
+    let (block, kind) = crate::plan::uniform_suffix_block(src_domain, &tstrides);
+    let be = simd::active();
+    let mut w = AxisWalker::new(src_domain, tstrides);
+    let mut pos = range.start;
+    while pos < range.end {
+        let len = (pos - pos % block + block).min(range.end) - pos;
+        w.seek(src_domain, pos);
+        let base = w.target_index();
+        match kind {
+            PlanKind::Contig => be.max_assign(&mut dst[base..base + len], &src[pos..pos + len]),
+            PlanKind::Broadcast => reduce_max_into(be, &mut dst[base], &src[pos..pos + len]),
         }
-        w.advance();
+        pos += len;
     }
     Ok(())
 }
@@ -351,9 +471,7 @@ pub fn add_assign_raw(dst: &mut [f64], src: &[f64]) -> Result<()> {
             found: src.len(),
         });
     }
-    for (a, &b) in dst.iter_mut().zip(src) {
-        *a += b;
-    }
+    simd::active().add_assign(dst, src);
     Ok(())
 }
 
@@ -370,11 +488,7 @@ pub fn max_assign_raw(dst: &mut [f64], src: &[f64]) -> Result<()> {
             found: src.len(),
         });
     }
-    for (a, &b) in dst.iter_mut().zip(src) {
-        if b > *a {
-            *a = b;
-        }
-    }
+    simd::active().max_assign(dst, src);
     Ok(())
 }
 

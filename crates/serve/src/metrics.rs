@@ -97,6 +97,10 @@ pub struct RuntimeStats {
     /// report; the stats protocol omits the field entirely in that
     /// case, so existing consumers see byte-identical output.
     pub plan_cache: Option<PlanCacheStats>,
+    /// Stable name of the SIMD kernel backend answering queries
+    /// (`scalar`, `sse2`, `avx2`, `portable`). Every backend computes
+    /// bit-identical tables; this is purely observability.
+    pub kernel_backend: &'static str,
 }
 
 #[cfg(test)]

@@ -41,8 +41,14 @@
 //!     "shards": [{"shard": 0, "served": 6, "errors": 0, "batches": 4,
 //!       "busy_us": 410, "idle_us": 52007, "mean_latency_us": 120,
 //!       "p50_us": 131, "p95_us": 262, "p99_us": 262,
-//!       "arenas_allocated": 1}]}}
+//!       "arenas_allocated": 1}],
+//!     "kernel_backend": "avx2"}}
 //!   ```
+//!
+//!   `kernel_backend` names the SIMD kernel backend answering queries
+//!   (`scalar`, `sse2`, `avx2`, or `portable`); all backends compute
+//!   bit-identical tables. A `plan_cache` object with the kernel-plan
+//!   cache counters follows when the served model compiles plans.
 //!
 //! * `{"cmd": "trace"}` — summaries of the most recently completed
 //!   queries (oldest first, at most 64), each with its queue/exec
@@ -267,6 +273,19 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err("bad number"))
     }
 
+    /// Reads four hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let text = std::str::from_utf8(hex).expect("hex digits are ASCII");
+        u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
     fn parse_string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -289,18 +308,34 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
-                            );
+                            let code = self.hex4(self.pos + 1)?;
+                            let ch = match code {
+                                // A high surrogate must combine with a
+                                // following `\uDC00`–`\uDFFF` escape into
+                                // one supplementary-plane scalar; JSON has
+                                // no other way to escape astral chars.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 5..self.pos + 7)
+                                        != Some(&b"\\u"[..])
+                                    {
+                                        return Err(self.err("unpaired surrogate \\u escape"));
+                                    }
+                                    let low = self.hex4(self.pos + 7)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired surrogate \\u escape"));
+                                    }
+                                    self.pos += 6;
+                                    char::from_u32(
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00),
+                                    )
+                                    .expect("combined surrogate pair is a scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired surrogate \\u escape"))
+                                }
+                                _ => char::from_u32(code).expect("non-surrogate BMP scalar"),
+                            };
+                            out.push(ch);
                             self.pos += 4;
                         }
                         _ => return Err(self.err("bad escape")),
@@ -592,9 +627,10 @@ fn micros(d: std::time::Duration) -> u64 {
 /// Formats a [`RuntimeStats`] snapshot as one `{"stats": …}` response
 /// line (schema in the [module docs](self)). The kernel-plan cache
 /// counters are appended as a `"plan_cache"` object only when the
-/// snapshot carries them ([`RuntimeStats::plan_cache`] is `Some`);
-/// snapshots without them render byte-identically to the historical
-/// schema.
+/// snapshot carries them ([`RuntimeStats::plan_cache`] is `Some`).
+/// The `"kernel_backend"` field names the SIMD backend answering
+/// queries; every backend is bit-identical, so the field is purely
+/// observability.
 pub fn format_stats(stats: &RuntimeStats) -> String {
     let mut out = format!(
         "{{\"stats\":{{\"served\":{},\"errors\":{},\"queue_depth\":{},\
@@ -632,6 +668,7 @@ pub fn format_stats(stats: &RuntimeStats) -> String {
         ));
     }
     out.push(']');
+    out.push_str(&format!(",\"kernel_backend\":\"{}\"", stats.kernel_backend));
     if let Some(p) = stats.plan_cache {
         out.push_str(&format!(
             ",\"plan_cache\":{{\"hits\":{},\"misses\":{},\"interned\":{}}}",
@@ -752,6 +789,100 @@ mod tests {
             v.get("error"),
             Some(&Json::Str(r#"bad "thing" happened"#.into()))
         );
+    }
+
+    #[test]
+    fn unicode_escapes_combine_surrogate_pairs() {
+        // BMP escapes stand alone; astral chars arrive as a
+        // high/low surrogate pair that must combine into one scalar.
+        let v = parse_json(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Json::Str("A\u{e9}\u{1f600}".into()));
+        // The same scalar as raw UTF-8 parses identically.
+        assert_eq!(
+            parse_json("\"\u{1f600}\"").unwrap(),
+            Json::Str("\u{1f600}".into())
+        );
+        // Pair arithmetic at the plane edges.
+        assert_eq!(
+            parse_json(r#""\ud800\udc00""#).unwrap(),
+            Json::Str("\u{10000}".into())
+        );
+        assert_eq!(
+            parse_json(r#""\udbff\udfff""#).unwrap(),
+            Json::Str("\u{10ffff}".into())
+        );
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_rejected() {
+        for src in [
+            r#""\ud83d""#,       // lone high at end of string
+            r#""\ud83d rest""#,  // high followed by plain text
+            r#""\ud83d\u0041""#, // high + non-surrogate escape
+            r#""\ud83d\ud83d""#, // high paired with another high
+            r#""\ude00""#,       // lone low
+        ] {
+            let e = parse_json(src).unwrap_err();
+            assert!(e.contains("surrogate"), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn stats_line_carries_kernel_backend() {
+        let stats = RuntimeStats {
+            shards: vec![],
+            served: 3,
+            errors: 0,
+            queue_depth: 1,
+            queue_high_water: 2,
+            mean_latency: std::time::Duration::from_micros(5),
+            p50: std::time::Duration::from_micros(5),
+            p95: std::time::Duration::from_micros(9),
+            p99: std::time::Duration::from_micros(9),
+            uptime: std::time::Duration::from_millis(1),
+            plan_cache: None,
+            kernel_backend: "scalar",
+        };
+        let line = format_stats(&stats);
+        let v = parse_json(&line).unwrap();
+        let s = v.get("stats").expect("stats object");
+        assert_eq!(s.get("kernel_backend"), Some(&Json::Str("scalar".into())));
+        assert_eq!(s.get("served"), Some(&Json::Num(3.0)));
+        assert_eq!(s.get("plan_cache"), None);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Arbitrary strings: any scalar value — controls, quotes,
+        /// backslashes, astral chars (surrogate gaps filtered out).
+        fn arb_string() -> impl Strategy<Value = String> {
+            vec(0u32..0x11_0000, 0..40)
+                .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+        }
+
+        proptest! {
+            // Arbitrary strings survive escape → parse unchanged.
+            #[test]
+            fn error_strings_roundtrip_through_parser(s in arb_string()) {
+                let line = format_error(&s);
+                let v = parse_json(&line).unwrap();
+                prop_assert_eq!(v.get("error"), Some(&Json::Str(s)));
+            }
+
+            // Escaped surrogate pairs decode to exactly the scalar
+            // whose code units they are.
+            #[test]
+            fn surrogate_pairs_decode_to_their_scalar(c in 0x1_0000u32..=0x10_ffff) {
+                let ch = char::from_u32(c).unwrap();
+                let mut buf = [0u16; 2];
+                let units = ch.encode_utf16(&mut buf);
+                let src = format!(r#""\u{:04x}\u{:04x}""#, units[0], units[1]);
+                prop_assert_eq!(parse_json(&src).unwrap(), Json::Str(ch.to_string()));
+            }
+        }
     }
 
     #[test]

@@ -110,7 +110,8 @@ pub fn analyze(trace: &Trace) -> TimelineAnalysis {
                 SpanKind::Query { .. } => queries += 1,
                 SpanKind::Partition { .. }
                 | SpanKind::ArenaCheckout { .. }
-                | SpanKind::PlanCache { .. } => {}
+                | SpanKind::PlanCache { .. }
+                | SpanKind::KernelBackend { .. } => {}
             }
         }
         threads.push(tl);

@@ -28,6 +28,7 @@ fn event_name(kind: &SpanKind) -> &'static str {
         SpanKind::Job { .. } => "job",
         SpanKind::Query { .. } => "query",
         SpanKind::PlanCache { .. } => "plan-cache",
+        SpanKind::KernelBackend { .. } => "kernel-backend",
     }
 }
 
@@ -60,6 +61,7 @@ fn push_args(out: &mut String, e: &TraceEvent) {
             out,
             "\"hits\":{hits},\"misses\":{misses},\"interned\":{interned},"
         ),
+        SpanKind::KernelBackend { backend } => write!(out, "\"backend\":\"{backend}\","),
         SpanKind::Fetch | SpanKind::IdleSpin => Ok(()),
     };
     let _ = write!(out, "\"depth\":{}", e.depth);

@@ -90,6 +90,13 @@ pub enum SpanKind {
         /// Distinct interned plans at snapshot time.
         interned: u64,
     },
+    /// The active SIMD kernel backend, recorded as an instant on the
+    /// control row alongside stats snapshots so exported timelines
+    /// state which kernels produced them.
+    KernelBackend {
+        /// Stable backend name (`scalar`, `sse2`, `avx2`, `portable`).
+        backend: &'static str,
+    },
 }
 
 impl SpanKind {
@@ -105,6 +112,7 @@ impl SpanKind {
             SpanKind::Job { .. } => "job",
             SpanKind::Query { .. } => "query",
             SpanKind::PlanCache { .. } => "plan-cache",
+            SpanKind::KernelBackend { .. } => "kernel-backend",
         }
     }
 }

@@ -72,7 +72,12 @@ impl LatencyHistogram {
     }
 
     fn bucket(nanos: u64) -> usize {
-        (u64::BITS - nanos.leading_zeros()) as usize % BUCKETS
+        // Bit length 0..=64 clamped into 0..BUCKETS: a saturated
+        // u64::MAX sample (bit length 64) lands in the *top* bucket.
+        // (`% BUCKETS` here would wrap it into bucket 0 — the zero
+        // bucket — silently deflating every quantile under
+        // pathological latencies.)
+        ((u64::BITS - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     /// Records one sample.
@@ -131,8 +136,16 @@ pub fn quantile_of(counts: &[u64], q: f64) -> Duration {
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            // upper bound of bucket i: all values of bit length i
-            let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            // Upper bound of bucket i: all values of bit length i. The
+            // top bucket is a catch-all (it also holds clamped
+            // bit-length-64 samples), so its upper bound is u64::MAX.
+            let upper = if i == 0 {
+                0
+            } else if i >= BUCKETS - 1 {
+                u64::MAX
+            } else {
+                (1u64 << i) - 1
+            };
             return Duration::from_nanos(upper);
         }
     }
@@ -181,6 +194,49 @@ mod tests {
         h.record(Duration::ZERO);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn one_nanosecond_sample_lands_in_bucket_one() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        assert_eq!(h.snapshot_counts()[1], 1);
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn saturated_sample_lands_in_top_bucket_not_zero() {
+        // Duration::MAX saturates to u64::MAX nanoseconds — bit length
+        // 64, which the old `% BUCKETS` bucketing wrapped into the zero
+        // bucket, reporting p50/p95/p99 = 0 under pathological
+        // latencies. It must clamp into the top (catch-all) bucket.
+        let h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        let counts = h.snapshot_counts();
+        assert_eq!(counts[0], 0, "saturated sample wrapped to bucket 0");
+        assert_eq!(counts[BUCKETS - 1], 1);
+        assert_eq!(h.quantile(0.99), Duration::from_nanos(u64::MAX));
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_over_merged_edge_samples() {
+        // Merge snapshots containing both histogram edges (0 ns and a
+        // saturated sample): low quantiles see the zero bucket, high
+        // quantiles the catch-all top bucket.
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for _ in 0..9 {
+            a.record(Duration::ZERO);
+        }
+        b.record(Duration::MAX);
+        let merged: Vec<u64> = a
+            .snapshot_counts()
+            .iter()
+            .zip(b.snapshot_counts())
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(quantile_of(&merged, 0.5), Duration::ZERO);
+        assert_eq!(quantile_of(&merged, 0.99), Duration::from_nanos(u64::MAX));
     }
 
     #[test]
