@@ -1,0 +1,351 @@
+//! Incremental-session benchmark (extension): what does keeping
+//! calibrated tables resident between queries buy under evidence
+//! churn?
+//!
+//! Replays the same deterministic evidence-churn stream two ways over
+//! each workload:
+//!
+//! * **full reprop** — the stateless serving path: every query resets
+//!   the arena, absorbs the whole evidence set, and runs both
+//!   propagation phases (`ShardState::posterior_on`);
+//! * **incremental** — one resident [`IncrementalSession`]: evidence
+//!   deltas mark dirty cliques, each query executes only the
+//!   invalidated task-graph slice (with division updates along the
+//!   distribute path).
+//!
+//! The churn fraction sweeps {1 var, 5%, 25%, 100%} of the observable
+//! pool per step — from the interactive single-finding regime the
+//! session is built for, up to full-evidence turnover where
+//! incremental degenerates to roughly the full path. Evidence states
+//! come from the network's MPE assignment, so every churn subset has
+//! positive probability by construction. Each incremental answer is
+//! cross-checked against the full path (max |Δ| in the report).
+//!
+//! Prints a CSV-ish summary and writes `BENCH_incremental.json`.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin incremental_bench
+//! ```
+
+use evprop_bayesnet::networks;
+use evprop_core::{InferenceSession, SequentialEngine, ShardState};
+use evprop_incremental::IncrementalSession;
+use evprop_jtree::JunctionTree;
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_sched::SchedulerConfig;
+use evprop_workloads::{random_tree, TreeParams};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    session: InferenceSession,
+    steps: usize,
+}
+
+/// One churn regime: how many evidence variables change per step.
+#[derive(Clone, Copy)]
+enum Churn {
+    /// Exactly one variable per step (the interactive regime).
+    OneVar,
+    /// A fraction of the observable pool per step.
+    Fraction(f64),
+}
+
+impl Churn {
+    fn label(self) -> &'static str {
+        match self {
+            Churn::OneVar => "1var",
+            Churn::Fraction(f) if (f - 0.05).abs() < 1e-12 => "5%",
+            Churn::Fraction(f) if (f - 0.25).abs() < 1e-12 => "25%",
+            _ => "100%",
+        }
+    }
+
+    fn count(self, pool: usize) -> usize {
+        match self {
+            Churn::OneVar => 1,
+            Churn::Fraction(f) => ((pool as f64 * f).round() as usize).clamp(1, pool),
+        }
+    }
+}
+
+/// One step of the deterministic churn stream: evidence deltas (as the
+/// post-delta full evidence set plus the per-var toggles) and a query.
+struct Step {
+    /// Variables toggled this step (observe if unobserved, else retract).
+    toggles: Vec<VarId>,
+    /// Query target (never observed at query time).
+    target: VarId,
+}
+
+struct Cell {
+    qps: f64,
+    total_secs: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.push(Workload {
+        name: "asia",
+        session: InferenceSession::from_network(&networks::asia()).unwrap(),
+        steps: 120,
+    });
+    out.push(Workload {
+        name: "student",
+        session: InferenceSession::from_network(&networks::student()).unwrap(),
+        steps: 120,
+    });
+    // A tree in the paper's experimental range: wide tables and enough
+    // cliques that a single-finding dirty slice is a small fraction of
+    // the tree, so each full repropagation carries real work to skip.
+    let shape = random_tree(&TreeParams::new(256, 8, 2, 4).with_seed(0xF9));
+    let jt = JunctionTree::from_parts(
+        shape.clone(),
+        shape
+            .domains()
+            .iter()
+            .map(|d| {
+                let mut t = evprop_potential::PotentialTable::ones(d.clone());
+                t.fill(0.5);
+                t
+            })
+            .collect(),
+    )
+    .unwrap();
+    out.push(Workload {
+        name: "random_w8",
+        session: InferenceSession::from_junction_tree(jt),
+        steps: 40,
+    });
+    out
+}
+
+/// The variables of the junction tree, split into an observable pool
+/// and reserved query targets (every fourth variable), with the MPE
+/// state of each pool variable — any subset of an MPE assignment has
+/// positive probability, so every churn configuration is feasible.
+fn split_vars(w: &Workload) -> (Vec<(VarId, usize)>, Vec<VarId>) {
+    let mpe = w
+        .session
+        .most_probable_explanation(&SequentialEngine, &EvidenceSet::new())
+        .expect("empty-evidence MPE exists");
+    let mut pool = Vec::new();
+    let mut targets = Vec::new();
+    for (i, &(v, s)) in mpe.assignment.iter().enumerate() {
+        if i % 4 == 0 {
+            targets.push(v);
+        } else {
+            pool.push((v, s));
+        }
+    }
+    (pool, targets)
+}
+
+fn churn_stream(
+    pool: &[(VarId, usize)],
+    targets: &[VarId],
+    per_step: usize,
+    steps: usize,
+    seed: u64,
+) -> Vec<Step> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let mut toggles = Vec::with_capacity(per_step);
+            let mut picked = vec![false; pool.len()];
+            for _ in 0..per_step.min(pool.len()) {
+                let mut i = rng.gen_range(0..pool.len());
+                while picked[i] {
+                    i = rng.gen_range(0..pool.len());
+                }
+                picked[i] = true;
+                toggles.push(pool[i].0);
+            }
+            Step {
+                toggles,
+                target: targets[rng.gen_range(0..targets.len())],
+            }
+        })
+        .collect()
+}
+
+/// The stateless baseline: replay the stream answering every query
+/// with a full propagation on the shard's pool (the arena is checked
+/// out once and reset per query, exactly like the serving dispatcher).
+fn run_full(
+    w: &Workload,
+    pool: &[(VarId, usize)],
+    stream: &[Step],
+    shard: &ShardState,
+) -> (Cell, Vec<Vec<f64>>) {
+    let jt = w.session.junction_tree();
+    let graph = w.session.task_graph();
+    let state_of = |v: VarId| pool.iter().find(|(p, _)| *p == v).unwrap().1;
+    let mut ev = EvidenceSet::new();
+    let mut arena = shard.checkout(graph, jt.potentials());
+    // Warm outside the timed region: steady state is the serving regime.
+    shard
+        .posterior_on(jt, graph, &mut arena, stream[0].target, &ev)
+        .unwrap();
+    let mut answers = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for step in stream {
+        for &v in &step.toggles {
+            if ev.state_of(v).is_some() {
+                ev.retract(v);
+            } else {
+                ev.observe(v, state_of(v));
+            }
+        }
+        let m = shard
+            .posterior_on(jt, graph, &mut arena, step.target, &ev)
+            .expect("churn stream is feasible");
+        answers.push(m.data().to_vec());
+    }
+    let total = start.elapsed().as_secs_f64();
+    shard.recycle(arena);
+    (
+        Cell {
+            qps: stream.len() as f64 / total.max(1e-12),
+            total_secs: total,
+        },
+        answers,
+    )
+}
+
+/// The incremental path: one resident session, deltas + sliced queries.
+fn run_incremental(
+    w: &Workload,
+    pool: &[(VarId, usize)],
+    stream: &[Step],
+    shard: &ShardState,
+) -> (Cell, Vec<Vec<f64>>, evprop_incremental::SessionStats) {
+    let model = Arc::clone(w.session.model());
+    let state_of = |v: VarId| pool.iter().find(|(p, _)| *p == v).unwrap().1;
+    let mut session = IncrementalSession::new(model);
+    // Warm: first query pays the one full propagation.
+    session.query(shard, stream[0].target).unwrap();
+    let mut answers = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for step in stream {
+        for &v in &step.toggles {
+            if session.evidence().state_of(v).is_some() {
+                session.retract(v);
+            } else {
+                session.observe(v, state_of(v)).unwrap();
+            }
+        }
+        let (m, _) = session
+            .query(shard, step.target)
+            .expect("churn stream is feasible");
+        answers.push(m.data().to_vec());
+    }
+    let total = start.elapsed().as_secs_f64();
+    let stats = session.stats().clone();
+    (
+        Cell {
+            qps: stream.len() as f64 / total.max(1e-12),
+            total_secs: total,
+        },
+        answers,
+        stats,
+    )
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .min(8);
+    println!(
+        "# incremental sessions vs full repropagation under evidence churn ({threads} threads)"
+    );
+    evprop_bench::header(&[
+        "workload",
+        "churn",
+        "steps",
+        "full_qps",
+        "incremental_qps",
+        "speedup",
+        "cached/incr/full",
+        "max_abs_diff",
+    ]);
+
+    let churns = [
+        Churn::OneVar,
+        Churn::Fraction(0.05),
+        Churn::Fraction(0.25),
+        Churn::Fraction(1.0),
+    ];
+    let mut json_rows = Vec::new();
+    for w in workloads() {
+        let (pool, targets) = split_vars(&w);
+        let shard = ShardState::new(SchedulerConfig::with_threads(threads));
+        for churn in churns {
+            let per_step = churn.count(pool.len());
+            let stream = churn_stream(&pool, &targets, per_step, w.steps, 0xC0FFEE);
+            let (full, full_answers) = run_full(&w, &pool, &stream, &shard);
+            let (inc, inc_answers, stats) = run_incremental(&w, &pool, &stream, &shard);
+            let max_diff = full_answers
+                .iter()
+                .flatten()
+                .zip(inc_answers.iter().flatten())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_diff < 1e-9,
+                "{} {}: incremental diverged ({max_diff:e})",
+                w.name,
+                churn.label()
+            );
+            let speedup = inc.qps / full.qps;
+            println!(
+                "{},{},{},{:.0},{:.0},{:.2},{}/{}/{},{:.1e}",
+                w.name,
+                churn.label(),
+                stream.len(),
+                full.qps,
+                inc.qps,
+                speedup,
+                stats.cached,
+                stats.incremental,
+                stats.full,
+                max_diff
+            );
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"churn\": \"{}\", \"steps\": {}, ",
+                    "\"vars_per_step\": {}, \"threads\": {},\n",
+                    "     \"full_reprop\": {{\"qps\": {:.1}, \"total_secs\": {:.4}}},\n",
+                    "     \"incremental\": {{\"qps\": {:.1}, \"total_secs\": {:.4}, ",
+                    "\"cached\": {}, \"incremental\": {}, \"full\": {}, ",
+                    "\"stale_edges\": {}}},\n",
+                    "     \"incremental_speedup\": {:.3}, \"max_abs_diff\": {:.3e}}}"
+                ),
+                w.name,
+                churn.label(),
+                stream.len(),
+                per_step,
+                threads,
+                full.qps,
+                full.total_secs,
+                inc.qps,
+                inc.total_secs,
+                stats.cached,
+                stats.incremental,
+                stats.full,
+                stats.stale_edges,
+                speedup,
+                max_diff
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"incremental\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("# wrote BENCH_incremental.json");
+}

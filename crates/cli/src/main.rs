@@ -7,6 +7,7 @@
 //! evprop export <sprinkler|asia|student>
 //! evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
 //! evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M]
+//! evprop session-bench <file.bif> [--steps N] [--threads P] [--seed S]
 //! evprop simulate --cliques N --width W --states R --degree K [--cores P]...
 //! ```
 
@@ -31,6 +32,7 @@ const USAGE: &str = "usage:
   evprop dot <file.bif> [--tasks]
   evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
   evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B]
+  evprop session-bench <file.bif> [--steps N] [--threads P] [--seed S]
   evprop trace <file.bif> [--out FILE] [--threads P] [--delta D] [--runs N] [--stealing]
   evprop trace --random [--cliques N] [--width W] [--states R] [--degree K] [--seed S] [--out FILE] ...
   evprop trace-validate <trace.json>
@@ -80,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("export") => cmd_export(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("session-bench") => cmd_session_bench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("trace-validate") => cmd_trace_validate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
@@ -444,6 +447,128 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
     }
 }
 
+/// `evprop session-bench`: replay an interactive evidence-churn stream
+/// (toggle one finding, read one posterior, repeat) two ways — through
+/// a resident [`IncrementalSession`](evprop_incremental::IncrementalSession)
+/// and through stateless full repropagation — and report the speedup.
+/// Evidence states are drawn from the network's MPE assignment, so
+/// every configuration along the stream has positive probability.
+fn cmd_session_bench(args: &[String]) -> Result<(), String> {
+    use evprop_core::ShardState;
+    use evprop_incremental::IncrementalSession;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    let path = args
+        .first()
+        .ok_or("session-bench needs a file".to_string())?;
+    let bif = load(path)?;
+    let steps = match flag_value(args, "--steps") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad step count '{v}'"))?,
+        None => 200,
+    };
+    let threads = match flag_value(args, "--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("bad thread count '{t}'"))?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => s.parse::<u64>().map_err(|_| format!("bad seed '{s}'"))?,
+        None => 0xC0FFEE,
+    };
+    if steps == 0 {
+        return Err("--steps must be at least 1".to_string());
+    }
+
+    let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
+    let mpe = session
+        .most_probable_explanation(&SequentialEngine, &EvidenceSet::new())
+        .map_err(|e| e.to_string())?;
+    // Every fourth variable is reserved as a query target; the rest
+    // form the observable pool with their MPE states.
+    let mut pool = Vec::new();
+    let mut targets = Vec::new();
+    for (i, &(v, s)) in mpe.assignment.iter().enumerate() {
+        if i % 4 == 0 {
+            targets.push(v);
+        } else {
+            pool.push((v, s));
+        }
+    }
+    if pool.is_empty() || targets.is_empty() {
+        return Err("network too small for a churn stream".to_string());
+    }
+
+    // One toggle + one query per step, fixed ahead of both passes.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let stream: Vec<(usize, evprop_potential::VarId)> = (0..steps)
+        .map(|_| {
+            (
+                rng.gen_range(0..pool.len()),
+                targets[rng.gen_range(0..targets.len())],
+            )
+        })
+        .collect();
+
+    let shard = ShardState::new(evprop_sched::SchedulerConfig::with_threads(threads));
+    let jt = session.junction_tree();
+    let graph = session.task_graph();
+
+    // Stateless baseline: full repropagation per query.
+    let mut ev = EvidenceSet::new();
+    let mut arena = shard.checkout(graph, jt.potentials());
+    shard
+        .posterior_on(jt, graph, &mut arena, stream[0].1, &ev)
+        .map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    for &(slot, target) in &stream {
+        let (v, s) = pool[slot];
+        if ev.state_of(v).is_some() {
+            ev.retract(v);
+        } else {
+            ev.observe(v, s);
+        }
+        shard
+            .posterior_on(jt, graph, &mut arena, target, &ev)
+            .map_err(|e| e.to_string())?;
+    }
+    let full_secs = t0.elapsed().as_secs_f64();
+    shard.recycle(arena);
+
+    // Resident incremental session over the same stream.
+    let mut inc = IncrementalSession::new(Arc::clone(session.model()));
+    inc.query(&shard, stream[0].1).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    for &(slot, target) in &stream {
+        let (v, s) = pool[slot];
+        if inc.evidence().state_of(v).is_some() {
+            inc.retract(v);
+        } else {
+            inc.observe(v, s).map_err(|e| e.to_string())?;
+        }
+        inc.query(&shard, target).map_err(|e| e.to_string())?;
+    }
+    let inc_secs = t0.elapsed().as_secs_f64();
+
+    let full_qps = steps as f64 / full_secs.max(1e-12);
+    let inc_qps = steps as f64 / inc_secs.max(1e-12);
+    let stats = inc.stats();
+    println!(
+        "session-bench: {steps} single-finding steps on {} [{threads} thread(s)]",
+        path
+    );
+    println!("  full reprop:  {full_qps:.0} queries/s ({full_secs:.3} s)");
+    println!(
+        "  incremental:  {inc_qps:.0} queries/s ({inc_secs:.3} s) — {} cached, {} incremental, {} full ({} zero-separator)",
+        stats.cached, stats.incremental, stats.full, stats.full_zero_separator
+    );
+    println!("  speedup: {:.2}x", inc_qps / full_qps);
+    Ok(())
+}
+
 /// `evprop trace`: run traced propagations on a model and export a
 /// Chrome-trace (Perfetto) timeline plus an analyzer summary.
 ///
@@ -767,6 +892,22 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn session_bench_runs() {
+        cmd_session_bench(&s(&[
+            &asia_file(),
+            "--steps",
+            "20",
+            "--threads",
+            "1",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(cmd_session_bench(&s(&[&asia_file(), "--steps", "0"])).is_err());
+        assert!(cmd_session_bench(&s(&[])).is_err());
     }
 
     #[test]

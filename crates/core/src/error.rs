@@ -22,6 +22,15 @@ pub enum EngineError {
     /// pool survives (panics are contained per job), but this query
     /// produced no result.
     WorkerPanicked(String),
+    /// An observed state index is out of range for its variable.
+    InvalidEvidenceState {
+        /// The observed variable.
+        var: VarId,
+        /// The rejected state index.
+        state: usize,
+        /// The variable's state count.
+        cardinality: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +46,16 @@ impl fmt::Display for EngineError {
             EngineError::Potential(e) => write!(f, "potential-table error: {e}"),
             EngineError::WorkerPanicked(msg) => {
                 write!(f, "worker thread panicked during the job: {msg}")
+            }
+            EngineError::InvalidEvidenceState {
+                var,
+                state,
+                cardinality,
+            } => {
+                write!(
+                    f,
+                    "state {state} is out of range for variable {var} ({cardinality} states)"
+                )
             }
         }
     }

@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod calibrated;
+mod calibrated_state;
 mod collaborative;
 mod dataparallel;
 mod engine;
@@ -58,6 +59,7 @@ mod session;
 mod shard;
 
 pub use calibrated::Calibrated;
+pub use calibrated_state::CalibratedState;
 pub use collaborative::CollaborativeEngine;
 pub use dataparallel::DataParallelEngine;
 pub use engine::Engine;

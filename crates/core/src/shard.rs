@@ -189,6 +189,28 @@ impl ShardState {
         }
     }
 
+    /// Runs a **dirty-slice job** on the resident pool: `slice` must
+    /// share the full graph's buffer table (see
+    /// [`TaskGraph::incremental_slice`](evprop_taskgraph::TaskGraph::incremental_slice)),
+    /// and `arena` must hold the session's resident calibrated state
+    /// with the re-collected cliques already partially reset
+    /// ([`TableArena::reset_cliques`]). This is the incremental
+    /// engine's execution entry point; it differs from
+    /// [`ShardState::run_job`] only in documentation and in asserting
+    /// the buffer-layout contract eagerly.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WorkerPanicked`] if a worker thread panicked.
+    pub fn run_slice(&self, slice: &TaskGraph, arena: &TableArena) -> Result<()> {
+        assert_eq!(
+            slice.buffers().len(),
+            arena.len(),
+            "slice graphs must share the full graph's buffer table"
+        );
+        self.run_job(slice, arena)
+    }
+
     /// Answers one query **on a caller-held arena**: resets the arena
     /// with the query's evidence, propagates, and marginalizes `var`
     /// straight out of the buffer of the smallest clique covering it —

@@ -249,6 +249,32 @@ impl TreeShape {
         d
     }
 
+    /// The cliques on the path from the root down to `c`, in
+    /// root-first order (`c` included, the root included). The
+    /// incremental engine distributes along exactly this path.
+    pub fn path_from_root(&self, c: CliqueId) -> Vec<CliqueId> {
+        let mut path = vec![c];
+        let mut cur = c;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Every clique in the subtree rooted at `c` (c included), in
+    /// preorder.
+    pub fn subtree(&self, c: CliqueId) -> Vec<CliqueId> {
+        let mut out = Vec::new();
+        let mut stack = vec![c];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend(self.children(x).iter().rev().copied());
+        }
+        out
+    }
+
     /// Checks the running-intersection property: for every variable, the
     /// set of cliques containing it forms a connected subtree. Also
     /// rejects empty separators on trees with more than one clique.
@@ -395,6 +421,24 @@ mod tests {
             TreeShape::new(vec![dom(&[0]), dom(&[0])], &[(0, 5)], 0),
             Err(JtreeError::BadCliqueId(5))
         ));
+    }
+
+    #[test]
+    fn path_and_subtree_queries() {
+        let t = path4();
+        assert_eq!(
+            t.path_from_root(CliqueId(3)),
+            vec![CliqueId(0), CliqueId(1), CliqueId(2), CliqueId(3)]
+        );
+        assert_eq!(t.path_from_root(CliqueId(0)), vec![CliqueId(0)]);
+        assert_eq!(t.subtree(CliqueId(2)), vec![CliqueId(2), CliqueId(3)]);
+        assert_eq!(t.subtree(CliqueId(0)).len(), 4);
+        let mut r = path4();
+        r.reroot(CliqueId(3)).unwrap();
+        assert_eq!(
+            r.path_from_root(CliqueId(0)),
+            vec![CliqueId(3), CliqueId(2), CliqueId(1), CliqueId(0)]
+        );
     }
 
     #[test]

@@ -116,6 +116,29 @@ impl EvidenceSet {
         self
     }
 
+    /// Removes the hard observation of `var`, returning the state it
+    /// was pinned to, or `None` when `var` was not observed. Soft
+    /// likelihoods on `var` are removed too (retracting a finding
+    /// withdraws everything asserted about the variable).
+    pub fn retract(&mut self, var: VarId) -> Option<usize> {
+        self.soft.retain(|l| l.var != var);
+        let pos = self.items.iter().position(|e| e.var == var)?;
+        Some(self.items.remove(pos).state)
+    }
+
+    /// Merges `delta` into this set: every hard item and soft
+    /// likelihood of `delta` is observed here, replacing (never
+    /// duplicating) earlier entries for the same variable.
+    pub fn merge_delta(&mut self, delta: &EvidenceSet) -> &mut Self {
+        for e in &delta.items {
+            self.observe(e.var, e.state);
+        }
+        for l in &delta.soft {
+            self.observe_likelihood(l.var, l.weights.clone());
+        }
+        self
+    }
+
     /// The observed state of `var`, if any.
     pub fn state_of(&self, var: VarId) -> Option<usize> {
         self.items.iter().find(|e| e.var == var).map(|e| e.state)
@@ -292,6 +315,52 @@ mod tests {
         assert_eq!(ev.soft()[0].weights, vec![0.2, 0.8]);
         assert!(!ev.is_empty());
         assert_eq!(ev.len(), 0); // len counts hard evidence only
+    }
+
+    #[test]
+    fn retract_removes_hard_and_soft() {
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(1), 2);
+        ev.observe_likelihood(VarId(1), vec![0.5, 0.5, 1.0]);
+        ev.observe(VarId(2), 0);
+        assert_eq!(ev.retract(VarId(1)), Some(2));
+        assert_eq!(ev.len(), 1);
+        assert!(ev.soft().is_empty());
+        assert_eq!(ev.retract(VarId(1)), None);
+        assert_eq!(ev.retract(VarId(9)), None);
+        assert_eq!(ev.state_of(VarId(2)), Some(0));
+    }
+
+    #[test]
+    fn merge_delta_replaces_never_duplicates() {
+        let mut base = EvidenceSet::new();
+        base.observe(VarId(0), 0).observe(VarId(1), 1);
+        base.observe_likelihood(VarId(2), vec![0.9, 0.1]);
+        let mut delta = EvidenceSet::new();
+        delta.observe(VarId(1), 0).observe(VarId(3), 1);
+        delta.observe_likelihood(VarId(2), vec![0.2, 0.8]);
+        base.merge_delta(&delta);
+        assert_eq!(base.len(), 3); // V0, V1, V3 — V1 replaced, not duplicated
+        assert_eq!(base.state_of(VarId(1)), Some(0));
+        assert_eq!(base.state_of(VarId(3)), Some(1));
+        assert_eq!(base.soft().len(), 1);
+        assert_eq!(base.soft()[0].weights, vec![0.2, 0.8]);
+    }
+
+    /// Audit of the duplicate-variable contract: `observe` and
+    /// `observe_likelihood` REPLACE earlier entries for the same
+    /// variable — absorbing a set with a re-observed variable must
+    /// therefore restrict to the latest state only.
+    #[test]
+    fn duplicate_observation_audit_absorbs_latest_only() {
+        let d = Domain::new(vec![Variable::new(VarId(0), 3)]).unwrap();
+        let mut t = PotentialTable::ones(d);
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(0), 0);
+        ev.observe(VarId(0), 2); // replaces: only state 2 survives
+        assert_eq!(ev.iter().count(), 1);
+        ev.absorb_into(&mut t).unwrap();
+        assert_eq!(t.data(), &[0.0, 0.0, 1.0]);
     }
 
     #[test]

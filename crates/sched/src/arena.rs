@@ -87,6 +87,7 @@
 //!
 //! All `unsafe` access is confined to this module.
 
+use evprop_jtree::CliqueId;
 use evprop_potential::{EntryRange, EvidenceSet, PotentialTable};
 use evprop_taskgraph::{BufferId, BufferInit, TaskGraph};
 use std::cell::UnsafeCell;
@@ -197,6 +198,51 @@ impl TableArena {
             }
         }
         apply_soft_and_check(graph, evidence, &mut self.cells);
+    }
+
+    /// Re-initializes **only the clique buffers of `cliques`** in place:
+    /// each one copies its potential back from `clique_potentials`,
+    /// absorbs the hard items of `evidence`, and re-applies any soft
+    /// likelihood routed to it. Scratch buffers and every other clique
+    /// are left untouched — this is the incremental engine's partial
+    /// reset, run before a dirty-slice job so re-collected cliques
+    /// start from their raw potentials while clean subtrees keep their
+    /// cached messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena was not built for this graph (see
+    /// [`TableArena::matches`]) or on the evidence conditions of
+    /// [`TableArena::initialize`].
+    pub fn reset_cliques(
+        &mut self,
+        graph: &TaskGraph,
+        clique_potentials: &[PotentialTable],
+        evidence: &EvidenceSet,
+        cliques: &[CliqueId],
+    ) {
+        assert!(
+            self.matches(graph),
+            "arena layout does not match this task graph"
+        );
+        for &c in cliques {
+            let buf = graph.clique_buffer(c);
+            let t = self.cells[buf.index()].get_mut();
+            t.copy_from(&clique_potentials[c.index()])
+                .expect("matches() verified the domains");
+            evidence
+                .absorb_into(t)
+                .expect("evidence states are validated upstream");
+        }
+        for lk in evidence.soft() {
+            let target = graph
+                .clique_buffer_containing(lk.var)
+                .expect("soft-evidence variable appears in some clique");
+            if cliques.iter().any(|&c| graph.clique_buffer(c) == target) {
+                lk.apply_to(self.cells[target.index()].get_mut())
+                    .expect("likelihood length matches the variable");
+            }
+        }
     }
 
     /// Initializes a **batch** arena for `base.replicate(evidences.len())`:

@@ -4,6 +4,7 @@
 //! ```text
 //! evprop-loadgen <file.bif> --addr HOST:PORT --queries N
 //!                [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing]
+//!                [--session] [--transcript FILE]
 //! ```
 //!
 //! Generates the same pseudo-random query stream for a given
@@ -24,6 +25,18 @@
 //! Timed responses are *not* golden-comparable (the microsecond values
 //! vary run to run); the flag exists so smoke jobs can assert the
 //! fields appear on demand while the default stream stays byte-stable.
+//!
+//! `--session` switches each connection to the stateful protocol: it
+//! opens one incremental session, streams `--queries` evidence-churn
+//! steps (each a `session-set` or `session-retract` followed by a
+//! `session-query`), and closes the session. The `session-open` is
+//! always synchronous — the server assigns the id — and the remaining
+//! stream honours `--open-loop` like the stateless mode.
+//!
+//! `--transcript FILE` replays raw request lines from `FILE` verbatim
+//! over a single closed-loop connection instead of generating a
+//! stream — the CI session smoke test replays a scripted session
+//! transcript this way and diffs the responses against a golden file.
 
 use evprop_bayesnet::bif::{self, BifNetwork};
 use rand::{Rng, SeedableRng};
@@ -33,7 +46,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing]";
+  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing] [--session]
+  evprop-loadgen <file.bif> --addr HOST:PORT --transcript FILE [--out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,16 +99,55 @@ fn request_lines(bif: &BifNetwork, n: usize, seed: u64, timing: bool) -> Vec<Str
         .collect()
 }
 
+/// Deterministic session-churn bodies (no session id yet — the server
+/// assigns it at open time, and [`drive_session`] splices it in).
+/// Each step is an evidence delta (set, or retract once something is
+/// observed) followed by a posterior query on a different variable.
+fn session_step_lines(bif: &BifNetwork, n: usize, seed: u64) -> Vec<String> {
+    let net = &bif.network;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vars = net.num_vars() as u32;
+    let mut observed: Vec<u32> = Vec::new();
+    let mut lines = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        // Force a retraction when one more observation could use up
+        // every variable — a query target must stay unobserved.
+        let must_retract = observed.len() as u32 >= vars.saturating_sub(1);
+        let retract = !observed.is_empty() && (must_retract || rng.gen_bool(0.3));
+        if retract {
+            let var = observed.swap_remove(rng.gen_range(0..observed.len()));
+            lines.push(format!(
+                r#"{{"cmd": "session-retract", "session": @ID@, "var": "{}"}}"#,
+                bif.var_names[var as usize]
+            ));
+        } else {
+            let var = rng.gen_range(0..vars);
+            let card = net.var(evprop_potential::VarId(var)).cardinality();
+            let state = rng.gen_range(0..card);
+            if !observed.contains(&var) {
+                observed.push(var);
+            }
+            lines.push(format!(
+                r#"{{"cmd": "session-set", "session": @ID@, "var": "{}", "state": "{}"}}"#,
+                bif.var_names[var as usize], bif.state_names[var as usize][state]
+            ));
+        }
+        let free: Vec<u32> = (0..vars).filter(|v| !observed.contains(v)).collect();
+        let target = free[rng.gen_range(0..free.len())];
+        lines.push(format!(
+            r#"{{"cmd": "session-query", "session": @ID@, "target": "{}"}}"#,
+            bif.var_names[target as usize]
+        ));
+    }
+    lines
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("loadgen needs a BIF file")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let bif = bif::parse(&src).map_err(|e| e.to_string())?;
 
     let addr = flag_value(args, "--addr").ok_or("--addr HOST:PORT is required")?;
-    let queries: usize = flag_value(args, "--queries")
-        .ok_or("--queries N is required")?
-        .parse()
-        .map_err(|_| "--queries must be a number".to_string())?;
     let seed: u64 = flag_value(args, "--seed")
         .unwrap_or("42")
         .parse()
@@ -108,23 +161,56 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let open_loop = args.iter().any(|a| a == "--open-loop");
     let timing = args.iter().any(|a| a == "--timing");
-
-    let lines = request_lines(&bif, queries, seed, timing);
-    // Round-robin split keeps per-connection order deterministic.
-    let per_conn: Vec<Vec<String>> = (0..connections)
-        .map(|c| lines.iter().skip(c).step_by(connections).cloned().collect())
-        .collect();
+    let session_mode = args.iter().any(|a| a == "--session");
 
     let started = Instant::now();
-    let mut workers = Vec::new();
-    for batch in per_conn {
-        let addr = addr.to_string();
-        workers.push(std::thread::spawn(move || drive(&addr, &batch, open_loop)));
-    }
-    let mut responses: Vec<Vec<String>> = Vec::new();
-    for w in workers {
-        responses.push(w.join().map_err(|_| "connection thread panicked")??);
-    }
+    let (responses, label) = if let Some(file) = flag_value(args, "--transcript") {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read '{file}': {e}"))?;
+        let lines: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        // Replay is single-connection and closed-loop: the transcript's
+        // responses must be byte-reproducible.
+        (vec![drive(addr, &lines, false)?], "transcript replay")
+    } else {
+        let queries: usize = flag_value(args, "--queries")
+            .ok_or("--queries N is required")?
+            .parse()
+            .map_err(|_| "--queries must be a number".to_string())?;
+        let mut workers = Vec::new();
+        if session_mode {
+            for c in 0..connections {
+                let addr = addr.to_string();
+                // Distinct seed per connection: independent case streams.
+                let steps =
+                    session_step_lines(&bif, queries, seed ^ (c as u64).wrapping_mul(0x9E37));
+                workers.push(std::thread::spawn(move || {
+                    drive_session(&addr, &steps, open_loop)
+                }));
+            }
+        } else {
+            let lines = request_lines(&bif, queries, seed, timing);
+            // Round-robin split keeps per-connection order deterministic.
+            for c in 0..connections {
+                let addr = addr.to_string();
+                let batch: Vec<String> =
+                    lines.iter().skip(c).step_by(connections).cloned().collect();
+                workers.push(std::thread::spawn(move || drive(&addr, &batch, open_loop)));
+            }
+        }
+        let mut responses = Vec::new();
+        for w in workers {
+            responses.push(w.join().map_err(|_| "connection thread panicked")??);
+        }
+        (
+            responses,
+            if session_mode { "session" } else { "stateless" },
+        )
+    };
     let elapsed = started.elapsed();
 
     let mut out: Box<dyn Write> = match flag_value(args, "--out") {
@@ -142,9 +228,9 @@ fn run(args: &[String]) -> Result<(), String> {
     out.flush().map_err(|e| e.to_string())?;
 
     eprintln!(
-        "loadgen: {} responses over {} connection(s) in {:.3}s ({:.0} q/s, {})",
+        "loadgen: {} {label} responses over {} connection(s) in {:.3}s ({:.0} q/s, {})",
         total,
-        connections,
+        responses.len(),
         elapsed.as_secs_f64(),
         total as f64 / elapsed.as_secs_f64().max(1e-9),
         if open_loop {
@@ -163,15 +249,6 @@ fn drive(addr: &str, requests: &[String], open_loop: bool) -> Result<Vec<String>
     let mut reader = BufReader::new(stream);
     let mut responses = Vec::with_capacity(requests.len());
 
-    let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("server closed the connection".to_string());
-        }
-        Ok(line.trim_end().to_string())
-    };
-
     if open_loop {
         for req in requests {
             writeln!(writer, "{req}").map_err(|e| e.to_string())?;
@@ -188,4 +265,59 @@ fn drive(addr: &str, requests: &[String], open_loop: bool) -> Result<Vec<String>
         }
     }
     Ok(responses)
+}
+
+/// Drives one stateful connection: synchronous `session-open` (the
+/// server assigns the id), the churn stream with the id spliced in
+/// (closed- or open-loop), then a synchronous `session-close`.
+fn drive_session(addr: &str, steps: &[String], open_loop: bool) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(steps.len() + 2);
+
+    writeln!(writer, r#"{{"cmd": "session-open"}}"#).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let opened = read_line(&mut reader)?;
+    let id = opened
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|rest| rest.trim_end_matches('}').trim().parse::<u64>().ok())
+        .ok_or_else(|| format!("session-open failed: {opened}"))?;
+    responses.push(opened);
+
+    let requests: Vec<String> = steps
+        .iter()
+        .map(|l| l.replace("@ID@", &id.to_string()))
+        .collect();
+    if open_loop {
+        for req in &requests {
+            writeln!(writer, "{req}").map_err(|e| e.to_string())?;
+        }
+        writer.flush().map_err(|e| e.to_string())?;
+        for _ in &requests {
+            responses.push(read_line(&mut reader)?);
+        }
+    } else {
+        for req in &requests {
+            writeln!(writer, "{req}").map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
+            responses.push(read_line(&mut reader)?);
+        }
+    }
+
+    writeln!(writer, r#"{{"cmd": "session-close", "session": {id}}}"#)
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    responses.push(read_line(&mut reader)?);
+    Ok(responses)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("server closed the connection".to_string());
+    }
+    Ok(line.trim_end().to_string())
 }

@@ -20,7 +20,13 @@
 //!   (`evprop serve --listen ADDR`), thread-per-connection, with
 //!   introspection commands (`{"cmd": "stats"}`, `{"cmd": "trace"}`)
 //!   and opt-in per-query `queue_us`/`exec_us` timing (schema
-//!   documented on [`parse_request_line`]).
+//!   documented on [`parse_request_line`]);
+//! * **stateful sessions** — `session-open` / `session-set` /
+//!   `session-retract` / `session-query` / `session-close` protocol
+//!   commands backed by `evprop-incremental`: each open session pins
+//!   resident calibrated tables to one shard and answers repeat
+//!   queries by dirty-slice propagation instead of full repropagation
+//!   (bounded table, TTL eviction, counters on `{"cmd": "stats"}`).
 //!
 //! ```
 //! use evprop_bayesnet::networks;
@@ -43,10 +49,12 @@ mod protocol;
 mod queue;
 mod runtime;
 mod server;
+mod sessions;
 
 pub use metrics::{quantile_of, Counter, LatencyHistogram, RuntimeStats, ShardStats};
 pub use protocol::{
-    format_error, format_response, format_response_timed, format_stats, format_trace, parse_json,
+    format_error, format_response, format_response_timed, format_session_ack,
+    format_session_opened, format_session_response, format_stats, format_trace, parse_json,
     parse_request, parse_request_line, Json, ModelNames, NumericNames, Request,
 };
 pub use queue::{AdmissionQueue, PushError};
@@ -54,3 +62,4 @@ pub use runtime::{
     QuerySummary, QueryTiming, RuntimeConfig, ServeError, ServeResult, ShardedRuntime, Ticket,
 };
 pub use server::TcpServer;
+pub use sessions::SessionTableStats;

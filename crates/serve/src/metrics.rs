@@ -7,6 +7,7 @@
 //! `ThreadStats`, the timeline analyzer, and these serving stats all
 //! count with the same implementation — the numbers cannot drift.
 
+use crate::sessions::SessionTableStats;
 use evprop_taskgraph::PlanCacheStats;
 use std::time::Duration;
 
@@ -101,6 +102,12 @@ pub struct RuntimeStats {
     /// (`scalar`, `sse2`, `avx2`, `portable`). Every backend computes
     /// bit-identical tables; this is purely observability.
     pub kernel_backend: &'static str,
+    /// Incremental-session counters: open/opened/closed/expired totals
+    /// plus the merged cached-vs-incremental-vs-full query breakdown.
+    /// `None` until the first `session-open` reaches the runtime; the
+    /// stats protocol omits the field entirely in that case, so the
+    /// stateless golden transcript stays byte-identical.
+    pub sessions: Option<SessionTableStats>,
 }
 
 #[cfg(test)]

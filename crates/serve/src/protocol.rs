@@ -59,6 +59,32 @@
 //!     "queue_us": 104, "exec_us": 87}]}}
 //!   ```
 //!
+//! # Session commands
+//!
+//! Stateful incremental sessions keep calibrated tables resident on
+//! one shard between queries and answer evidence deltas by dirty-slice
+//! propagation:
+//!
+//! ```json
+//! {"cmd": "session-open"}                                      → {"session": 1}
+//! {"cmd": "session-set", "session": 1, "var": "asia", "state": "yes"}  → {"ok": true}
+//! {"cmd": "session-query", "session": 1, "target": "dysp"}
+//!     → {"target": "dysp", "states": [...], "marginal": [...], "mode": "incremental", "dirty": 3}
+//! {"cmd": "session-retract", "session": 1, "var": "asia"}      → {"ok": true, "removed": "yes"}
+//! {"cmd": "session-close", "session": 1}                       → {"ok": true}
+//! ```
+//!
+//! `mode` reports how the query was answered (`cached` /
+//! `incremental` / `full`), and incremental answers carry the number
+//! of re-collected cliques as `dirty` — both deterministic for a fixed
+//! transcript, so session responses are golden-comparable. Unknown or
+//! expired session ids answer `{"error": …}`. Once a session has been
+//! opened, the `stats` response grows a `"sessions"` object
+//! (open/opened/closed/expired/rejected counts plus the merged
+//! cached-vs-incremental-vs-full query breakdown and dirty-clique
+//! histogram); before that it is omitted entirely, keeping stateless
+//! transcripts byte-identical.
+//!
 //! All `*_us` fields are integer microseconds. The parser below is a
 //! deliberately tiny recursive-descent JSON reader — the build
 //! environment is offline, so no serde — covering exactly the grammar
@@ -463,7 +489,8 @@ fn resolve_state(names: &dyn ModelNames, var: VarId, v: &Json) -> Result<usize, 
     }
 }
 
-/// One parsed request line: a query or an introspection command.
+/// One parsed request line: a query, an introspection command, or a
+/// session command.
 #[derive(Clone, Debug)]
 pub enum Request {
     /// An inference request, with `timing` set when the client opted
@@ -478,10 +505,61 @@ pub enum Request {
     Stats,
     /// `{"cmd": "trace"}` — recent-query timing summaries.
     Trace,
+    /// `{"cmd": "session-open"}` — open an incremental session.
+    SessionOpen,
+    /// `{"cmd": "session-set", "session": N, "var": …, "state": …}` —
+    /// set hard evidence on a session (pending delta).
+    SessionSet {
+        /// The session id.
+        session: u64,
+        /// The observed variable.
+        var: VarId,
+        /// Its observed state.
+        state: usize,
+    },
+    /// `{"cmd": "session-retract", "session": N, "var": …}` — retract
+    /// a session's evidence on one variable.
+    SessionRetract {
+        /// The session id.
+        session: u64,
+        /// The variable to un-observe.
+        var: VarId,
+    },
+    /// `{"cmd": "session-query", "session": N, "target": …}` — answer
+    /// a posterior on a session via dirty-slice propagation.
+    SessionQuery {
+        /// The session id.
+        session: u64,
+        /// The queried variable.
+        target: VarId,
+    },
+    /// `{"cmd": "session-close", "session": N}` — close a session.
+    SessionClose {
+        /// The session id.
+        session: u64,
+    },
+}
+
+fn session_id(v: &Json) -> Result<u64, String> {
+    match v.get("session") {
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= (1u64 << 53) as f64 => {
+            Ok(*n as u64)
+        }
+        Some(other) => Err(format!("bad session id: {other:?}")),
+        None => Err("request is missing \"session\"".to_string()),
+    }
+}
+
+fn session_var(names: &dyn ModelNames, v: &Json, key: &str) -> Result<VarId, String> {
+    resolve_var(
+        names,
+        v.get(key)
+            .ok_or_else(|| format!("request is missing \"{key}\""))?,
+    )
 }
 
 /// Parses one request line: either an inference query or a `"cmd"`
-/// request (`stats`, `trace`).
+/// request (`stats`, `trace`, `session-*`).
 ///
 /// # Errors
 ///
@@ -494,8 +572,35 @@ pub fn parse_request_line(line: &str, names: &dyn ModelNames) -> Result<Request,
         return match cmd {
             Json::Str(c) if c == "stats" => Ok(Request::Stats),
             Json::Str(c) if c == "trace" => Ok(Request::Trace),
+            Json::Str(c) if c == "session-open" => Ok(Request::SessionOpen),
+            Json::Str(c) if c == "session-set" => {
+                let session = session_id(&v)?;
+                let var = session_var(names, &v, "var")?;
+                let state = resolve_state(
+                    names,
+                    var,
+                    v.get("state").ok_or("request is missing \"state\"")?,
+                )?;
+                Ok(Request::SessionSet {
+                    session,
+                    var,
+                    state,
+                })
+            }
+            Json::Str(c) if c == "session-retract" => Ok(Request::SessionRetract {
+                session: session_id(&v)?,
+                var: session_var(names, &v, "var")?,
+            }),
+            Json::Str(c) if c == "session-query" => Ok(Request::SessionQuery {
+                session: session_id(&v)?,
+                target: session_var(names, &v, "target")?,
+            }),
+            Json::Str(c) if c == "session-close" => Ok(Request::SessionClose {
+                session: session_id(&v)?,
+            }),
             other => Err(format!(
-                "unknown command {other:?} (expected \"stats\" or \"trace\")"
+                "unknown command {other:?} (expected \"stats\", \"trace\", or \"session-open\"/\
+                 \"session-set\"/\"session-retract\"/\"session-query\"/\"session-close\")"
             )),
         };
     }
@@ -612,6 +717,50 @@ pub fn format_response_timed(
     out
 }
 
+/// Formats a successful `session-open` as one response line:
+/// `{"session":N}`.
+pub fn format_session_opened(id: u64) -> String {
+    format!("{{\"session\":{id}}}")
+}
+
+/// Formats a successful `session-set` / `session-retract` /
+/// `session-close` acknowledgement: `{"ok":true}`, with the previously
+/// observed state appended as `"removed"` when a retraction actually
+/// removed evidence.
+pub fn format_session_ack(removed: Option<&str>) -> String {
+    match removed {
+        Some(state) => {
+            let mut out = String::from("{\"ok\":true,\"removed\":\"");
+            escape_into(&mut out, state);
+            out.push_str("\"}");
+            out
+        }
+        None => "{\"ok\":true}".to_string(),
+    }
+}
+
+/// Formats a successful `session-query` answer: the plain
+/// [`format_response`] line plus how it was answered — a `"mode"`
+/// field (`"cached"`, `"incremental"`, or `"full"`) and, for
+/// incremental answers, the re-collected clique count as `"dirty"`.
+/// Both extras are deterministic for a fixed request transcript, so
+/// session responses stay golden-comparable.
+pub fn format_session_response(
+    names: &dyn ModelNames,
+    target: VarId,
+    marginal: &PotentialTable,
+    mode: &evprop_incremental::QueryMode,
+) -> String {
+    let mut out = format_response(names, target, marginal);
+    out.pop(); // reopen the object: drop the trailing '}'
+    out.push_str(&format!(",\"mode\":\"{}\"", mode.label()));
+    if let evprop_incremental::QueryMode::Incremental { dirty_cliques, .. } = mode {
+        out.push_str(&format!(",\"dirty\":{dirty_cliques}"));
+    }
+    out.push('}');
+    out
+}
+
 /// Formats an error as one response line (no trailing newline).
 pub fn format_error(message: &str) -> String {
     let mut out = String::from("{\"error\":\"");
@@ -674,6 +823,33 @@ pub fn format_stats(stats: &RuntimeStats) -> String {
             ",\"plan_cache\":{{\"hits\":{},\"misses\":{},\"interned\":{}}}",
             p.hits, p.misses, p.interned,
         ));
+    }
+    if let Some(s) = &stats.sessions {
+        let p = &s.propagation;
+        out.push_str(&format!(
+            ",\"sessions\":{{\"open\":{},\"opened\":{},\"closed\":{},\
+             \"expired\":{},\"rejected\":{},\"queries\":{},\"cached\":{},\
+             \"incremental\":{},\"full\":{},\"full_zero_separator\":{},\
+             \"stale_edges\":{},\"dirty_hist\":[",
+            s.open,
+            s.opened,
+            s.closed,
+            s.expired,
+            s.rejected,
+            p.queries,
+            p.cached,
+            p.incremental,
+            p.full,
+            p.full_zero_separator,
+            p.stale_edges,
+        ));
+        for (i, c) in p.dirty_hist.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str("]}");
     }
     out.push_str("}}");
     out
@@ -842,6 +1018,7 @@ mod tests {
             uptime: std::time::Duration::from_millis(1),
             plan_cache: None,
             kernel_backend: "scalar",
+            sessions: None,
         };
         let line = format_stats(&stats);
         let v = parse_json(&line).unwrap();
@@ -849,6 +1026,150 @@ mod tests {
         assert_eq!(s.get("kernel_backend"), Some(&Json::Str("scalar".into())));
         assert_eq!(s.get("served"), Some(&Json::Num(3.0)));
         assert_eq!(s.get("plan_cache"), None);
+    }
+
+    #[test]
+    fn parses_session_commands() {
+        let names = asia_names();
+        assert!(matches!(
+            parse_request_line(r#"{"cmd": "session-open"}"#, &names),
+            Ok(Request::SessionOpen)
+        ));
+        let Ok(Request::SessionSet {
+            session,
+            var,
+            state,
+        }) = parse_request_line(
+            r#"{"cmd": "session-set", "session": 7, "var": "v2", "state": 1}"#,
+            &names,
+        )
+        else {
+            panic!("expected SessionSet");
+        };
+        assert_eq!((session, var, state), (7, VarId(2), 1));
+        assert!(matches!(
+            parse_request_line(
+                r#"{"cmd": "session-retract", "session": 7, "var": "v2"}"#,
+                &names
+            ),
+            Ok(Request::SessionRetract {
+                session: 7,
+                var: VarId(2)
+            })
+        ));
+        assert!(matches!(
+            parse_request_line(
+                r#"{"cmd": "session-query", "session": 7, "target": 3}"#,
+                &names
+            ),
+            Ok(Request::SessionQuery {
+                session: 7,
+                target: VarId(3)
+            })
+        ));
+        assert!(matches!(
+            parse_request_line(r#"{"cmd": "session-close", "session": 7}"#, &names),
+            Ok(Request::SessionClose { session: 7 })
+        ));
+        // Malformed session commands are rejected with a message.
+        for bad in [
+            r#"{"cmd": "session-set", "var": "v2", "state": 1}"#, // no id
+            r#"{"cmd": "session-set", "session": -1, "var": "v2", "state": 1}"#,
+            r#"{"cmd": "session-set", "session": 1.5, "var": "v2", "state": 1}"#,
+            r#"{"cmd": "session-set", "session": 1, "var": "v2"}"#, // no state
+            r#"{"cmd": "session-set", "session": 1, "var": "v2", "state": 99}"#,
+            r#"{"cmd": "session-query", "session": 1}"#, // no target
+            r#"{"cmd": "session-frobnicate", "session": 1}"#,
+        ] {
+            assert!(parse_request_line(bad, &names).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn session_response_formatting() {
+        assert_eq!(format_session_opened(12), r#"{"session":12}"#);
+        assert_eq!(format_session_ack(None), r#"{"ok":true}"#);
+        assert_eq!(
+            format_session_ack(Some("yes")),
+            r#"{"ok":true,"removed":"yes"}"#
+        );
+        let names = asia_names();
+        let session = evprop_core::InferenceSession::from_network(&networks::asia()).unwrap();
+        let m = session
+            .posterior(
+                &evprop_core::SequentialEngine,
+                VarId(3),
+                &EvidenceSet::new(),
+            )
+            .unwrap();
+        let plain = format_response(&names, VarId(3), &m);
+        let cached =
+            format_session_response(&names, VarId(3), &m, &evprop_incremental::QueryMode::Cached);
+        let v = parse_json(&cached).unwrap();
+        assert_eq!(v.get("mode"), Some(&Json::Str("cached".into())));
+        assert_eq!(v.get("dirty"), None, "dirty only on incremental answers");
+        assert_eq!(
+            v.get("marginal"),
+            parse_json(&plain).unwrap().get("marginal")
+        );
+        let inc = format_session_response(
+            &names,
+            VarId(3),
+            &m,
+            &evprop_incremental::QueryMode::Incremental {
+                dirty_cliques: 3,
+                stale_edges: 2,
+            },
+        );
+        let v = parse_json(&inc).unwrap();
+        assert_eq!(v.get("mode"), Some(&Json::Str("incremental".into())));
+        assert_eq!(v.get("dirty"), Some(&Json::Num(3.0)));
+    }
+
+    #[test]
+    fn stats_line_sessions_are_absent_when_none() {
+        use crate::sessions::SessionTableStats;
+        let mut stats = RuntimeStats {
+            shards: vec![],
+            served: 0,
+            errors: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            mean_latency: std::time::Duration::ZERO,
+            p50: std::time::Duration::ZERO,
+            p95: std::time::Duration::ZERO,
+            p99: std::time::Duration::ZERO,
+            uptime: std::time::Duration::ZERO,
+            plan_cache: None,
+            kernel_backend: "scalar",
+            sessions: None,
+        };
+        let line = format_stats(&stats);
+        assert!(!line.contains("sessions"), "{line}");
+
+        let mut table = SessionTableStats {
+            open: 1,
+            opened: 2,
+            closed: 1,
+            ..Default::default()
+        };
+        table.propagation.queries = 5;
+        table.propagation.incremental = 3;
+        table.propagation.dirty_hist[2] = 3;
+        stats.sessions = Some(table);
+        let line = format_stats(&stats);
+        let v = parse_json(&line).unwrap();
+        let s = v
+            .get("stats")
+            .and_then(|s| s.get("sessions"))
+            .expect("sessions object");
+        assert_eq!(s.get("open"), Some(&Json::Num(1.0)));
+        assert_eq!(s.get("incremental"), Some(&Json::Num(3.0)));
+        let Some(Json::Arr(hist)) = s.get("dirty_hist") else {
+            panic!("missing dirty_hist: {line}");
+        };
+        assert_eq!(hist.len(), evprop_incremental::DIRTY_HIST_BUCKETS);
+        assert_eq!(hist[2], Json::Num(3.0));
     }
 
     mod prop {

@@ -25,7 +25,11 @@
 
 use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
 use crate::queue::{AdmissionQueue, PushError};
-use evprop_core::{CompiledModel, EngineError, InferenceSession, Query, ShardState};
+use crate::sessions::SessionTable;
+use evprop_core::{
+    CalibratedState, CompiledModel, EngineError, InferenceSession, Query, ShardState,
+};
+use evprop_incremental::{IncrementalSession, QueryMode};
 use evprop_potential::{PotentialTable, VarId};
 use evprop_sched::SchedulerConfig;
 use parking_lot::{Condvar, Mutex};
@@ -44,6 +48,12 @@ pub enum ServeError {
     Overloaded,
     /// The runtime is shutting down; no new queries are admitted.
     ShuttingDown,
+    /// The referenced session id is not open (never opened, already
+    /// closed, or evicted after its idle TTL).
+    UnknownSession(u64),
+    /// The session table is full; no new session can be opened until
+    /// one closes or expires.
+    SessionLimit,
     /// The query was answered with an engine error.
     Engine(EngineError),
 }
@@ -53,6 +63,10 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "admission queue full: query rejected"),
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::UnknownSession(id) => {
+                write!(f, "unknown session {id} (closed, expired, or never opened)")
+            }
+            ServeError::SessionLimit => write!(f, "session table full: open rejected"),
             ServeError::Engine(e) => write!(f, "{e}"),
         }
     }
@@ -95,6 +109,12 @@ pub struct RuntimeConfig {
     pub delta: Option<usize>,
     /// Work-stealing flag forwarded to each shard's scheduler.
     pub work_stealing: bool,
+    /// Max concurrently open incremental sessions; `session-open`
+    /// beyond this is rejected with [`ServeError::SessionLimit`].
+    pub session_capacity: usize,
+    /// Idle time after which an open session may be evicted (lazily,
+    /// on the next session-table access).
+    pub session_ttl: Duration,
 }
 
 impl RuntimeConfig {
@@ -110,7 +130,23 @@ impl RuntimeConfig {
             max_batch: 8,
             delta: Some(4096),
             work_stealing: false,
+            session_capacity: 256,
+            session_ttl: Duration::from_secs(600),
         }
+    }
+
+    /// Sets the max number of concurrently open sessions
+    /// (builder-style).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "session capacity must be positive");
+        self.session_capacity = capacity;
+        self
+    }
+
+    /// Sets the session idle TTL (builder-style).
+    pub fn with_session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = ttl;
+        self
     }
 
     /// Sets the admission-queue capacity (builder-style).
@@ -284,6 +320,13 @@ struct Inner {
     started: Instant,
     /// Ring of the last [`RECENT_CAP`] completed queries, oldest first.
     recent: Mutex<VecDeque<QuerySummary>>,
+    /// Open incremental sessions (bounded, TTL-evicted, shard-pinned).
+    sessions: SessionTable,
+    /// Lazily computed empty-evidence calibration, cloned into every
+    /// session opened after the first — opening then costs one buffer
+    /// copy instead of one full propagation, and a fresh session's
+    /// first evidence-bearing query already runs incrementally.
+    session_base: Mutex<Option<Arc<CalibratedState>>>,
 }
 
 impl Inner {
@@ -338,6 +381,8 @@ impl ShardedRuntime {
             max_batch: config.max_batch,
             started: Instant::now(),
             recent: Mutex::new(VecDeque::with_capacity(RECENT_CAP)),
+            sessions: SessionTable::new(config.session_capacity, config.session_ttl),
+            session_base: Mutex::new(None),
         });
         let dispatchers = (0..config.shards)
             .map(|idx| {
@@ -507,7 +552,124 @@ impl ShardedRuntime {
             shards,
             plan_cache: Some(plan_cache),
             kernel_backend,
+            sessions: self
+                .inner
+                .sessions
+                .ever_used()
+                .then(|| self.inner.sessions.stats()),
         }
+    }
+
+    // ------------------------------------------------- session commands
+    //
+    // Session commands run on the calling (connection) thread against
+    // the pinned shard's `ShardState` directly — the pool serializes
+    // jobs internally, so this is safe alongside the dispatcher's
+    // stateless queries on the same shard. Pinning keeps a session's
+    // resident arena on one pool for its whole lifetime.
+
+    /// Opens an incremental session pinned to one shard (round-robin)
+    /// and returns its id. The first open calibrates the model once
+    /// under empty evidence; later opens clone that snapshot, so a new
+    /// session starts with resident state and its first query under
+    /// fresh evidence already runs incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionLimit`] when the table is full;
+    /// [`ServeError::Engine`] if the base calibration fails.
+    pub fn session_open(&self) -> ServeResult<u64> {
+        let base = self.session_base_snapshot()?;
+        self.inner
+            .sessions
+            .open(self.inner.shards.len(), |_| {
+                IncrementalSession::from_snapshot(Arc::clone(&self.inner.model), &base)
+            })
+            .map(|(id, _)| id)
+            .map_err(|()| ServeError::SessionLimit)
+    }
+
+    /// Sets hard evidence on an open session (a pending delta; the
+    /// propagation happens on the next `session_query`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`]; [`ServeError::Engine`] on an
+    /// unknown variable or out-of-range state.
+    pub fn session_set(&self, id: u64, var: VarId, state: usize) -> ServeResult<()> {
+        let (_, session) = self.session_entry(id)?;
+        let result = session.lock().observe(var, state);
+        result.map_err(ServeError::Engine)
+    }
+
+    /// Retracts evidence from an open session, returning the state that
+    /// was observed (`None` when the variable was unobserved).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`].
+    pub fn session_retract(&self, id: u64, var: VarId) -> ServeResult<Option<usize>> {
+        let (_, session) = self.session_entry(id)?;
+        let removed = session.lock().retract(var);
+        Ok(removed)
+    }
+
+    /// Answers a posterior query on an open session, bringing exactly
+    /// the dirty slice of the tree up to date on the session's pinned
+    /// shard. Also returns how the query was answered (cached /
+    /// incremental / full).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`]; [`ServeError::Engine`] for
+    /// propagation errors (unknown target, impossible evidence, …).
+    pub fn session_query(
+        &self,
+        id: u64,
+        target: VarId,
+    ) -> ServeResult<(PotentialTable, QueryMode)> {
+        let (shard, session) = self.session_entry(id)?;
+        let state = &self.inner.shards[shard].state;
+        let result = session.lock().query(state, target);
+        result.map_err(ServeError::Engine)
+    }
+
+    /// Closes an open session, releasing its resident tables.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] when the id is not open.
+    pub fn session_close(&self, id: u64) -> ServeResult<()> {
+        if self.inner.sessions.close(id) {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownSession(id))
+        }
+    }
+
+    fn session_entry(
+        &self,
+        id: u64,
+    ) -> ServeResult<(usize, Arc<parking_lot::Mutex<IncrementalSession>>)> {
+        self.inner
+            .sessions
+            .get(id)
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// The shared empty-evidence calibration, computed on first use on
+    /// shard 0's pool.
+    fn session_base_snapshot(&self) -> ServeResult<Arc<CalibratedState>> {
+        let mut base = self.inner.session_base.lock();
+        if let Some(b) = base.as_ref() {
+            return Ok(Arc::clone(b));
+        }
+        let mut boot = IncrementalSession::new(Arc::clone(&self.inner.model));
+        boot.calibrate_full(&self.inner.shards[0].state)
+            .map_err(ServeError::Engine)?;
+        let snapshot = Arc::new(boot.snapshot().expect("no pending deltas after calibrate"));
+        *base = Some(Arc::clone(&snapshot));
+        Ok(snapshot)
     }
 
     /// Stops admission, answers everything already queued, and joins
@@ -579,6 +741,8 @@ mod tests {
     use evprop_bayesnet::networks;
     use evprop_core::SequentialEngine;
     use evprop_potential::{EvidenceSet, VarId};
+
+    use evprop_incremental::QueryMode;
 
     fn asia_runtime(config: RuntimeConfig) -> ShardedRuntime {
         let session = InferenceSession::from_network(&networks::asia()).unwrap();
@@ -708,6 +872,105 @@ mod tests {
         assert_eq!(last.target, VarId(99));
         assert!(!last.ok);
         assert!(recent[..RECENT_CAP - 1].iter().all(|q| q.ok));
+    }
+
+    #[test]
+    fn sessions_answer_incrementally_and_match_stateless() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1).without_partitioning());
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        let id = rt.session_open().unwrap();
+
+        // The open cloned the shared empty-evidence calibration, so the
+        // first query needs no propagation at all.
+        let (m0, mode0) = rt.session_query(id, VarId(3)).unwrap();
+        assert_eq!(mode0, QueryMode::Cached);
+        let want0 = session
+            .posterior(&SequentialEngine, VarId(3), &EvidenceSet::new())
+            .unwrap();
+        for (g, w) in m0.data().iter().zip(want0.data()) {
+            assert!(
+                (g - w).abs() < 1e-12,
+                "{:?} vs {:?}",
+                m0.data(),
+                want0.data()
+            );
+        }
+
+        // An additive delta runs the dirty slice, not a full repropagation,
+        // and still matches the stateless path.
+        rt.session_set(id, VarId(7), 1).unwrap();
+        let (m1, mode1) = rt.session_query(id, VarId(3)).unwrap();
+        assert!(
+            matches!(mode1, QueryMode::Incremental { .. }),
+            "got {mode1:?}"
+        );
+        let mut ev = EvidenceSet::new();
+        ev.observe(VarId(7), 1);
+        let want1 = session.posterior(&SequentialEngine, VarId(3), &ev).unwrap();
+        for (g, w) in m1.data().iter().zip(want1.data()) {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "{:?} vs {:?}",
+                m1.data(),
+                want1.data()
+            );
+        }
+
+        // Retraction round-trips and the posterior returns to the prior.
+        assert_eq!(rt.session_retract(id, VarId(7)).unwrap(), Some(1));
+        assert_eq!(rt.session_retract(id, VarId(7)).unwrap(), None);
+        let (m2, _) = rt.session_query(id, VarId(3)).unwrap();
+        for (g, w) in m2.data().iter().zip(want0.data()) {
+            assert!((g - w).abs() < 1e-9);
+        }
+
+        rt.session_close(id).unwrap();
+        assert!(matches!(
+            rt.session_query(id, VarId(3)),
+            Err(ServeError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn session_table_is_bounded_and_ids_are_checked() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1).with_session_capacity(1));
+        assert!(matches!(
+            rt.session_set(42, VarId(0), 0),
+            Err(ServeError::UnknownSession(42))
+        ));
+        let id = rt.session_open().unwrap();
+        assert!(matches!(rt.session_open(), Err(ServeError::SessionLimit)));
+        rt.session_close(id).unwrap();
+        assert!(matches!(
+            rt.session_close(id),
+            Err(ServeError::UnknownSession(_))
+        ));
+        rt.session_open().unwrap();
+        // Per-session engine errors surface without killing the session.
+        let id2 = 2;
+        assert!(matches!(
+            rt.session_set(id2, VarId(99), 0),
+            Err(ServeError::Engine(EngineError::VariableNotInTree(_)))
+        ));
+        assert!(rt.session_query(id2, VarId(3)).is_ok());
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_stats_appear_on_first_use() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1).with_session_ttl(Duration::from_millis(20)));
+        assert!(rt.stats().sessions.is_none(), "absent before any open");
+        let id = rt.session_open().unwrap();
+        rt.session_query(id, VarId(3)).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(matches!(
+            rt.session_query(id, VarId(3)),
+            Err(ServeError::UnknownSession(_))
+        ));
+        let stats = rt.stats().sessions.expect("present after first open");
+        assert_eq!(stats.opened, 1);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.open, 0);
+        assert_eq!(stats.propagation.queries, 1, "retired counters survive");
     }
 
     #[test]

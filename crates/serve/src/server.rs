@@ -8,8 +8,9 @@
 //! promptly even with idle clients attached.
 
 use crate::protocol::{
-    format_error, format_response, format_response_timed, format_stats, format_trace,
-    parse_request_line, ModelNames, Request,
+    format_error, format_response, format_response_timed, format_session_ack,
+    format_session_opened, format_session_response, format_stats, format_trace, parse_request_line,
+    ModelNames, Request,
 };
 use crate::runtime::ShardedRuntime;
 use parking_lot::Mutex;
@@ -169,6 +170,38 @@ fn answer_line(line: &str, shared: &Shared) -> String {
                 }
             }
         }
+        Ok(Request::SessionOpen) => match shared.runtime.session_open() {
+            Ok(id) => format_session_opened(id),
+            Err(e) => format_error(&e.to_string()),
+        },
+        Ok(Request::SessionSet {
+            session,
+            var,
+            state,
+        }) => match shared.runtime.session_set(session, var, state) {
+            Ok(()) => format_session_ack(None),
+            Err(e) => format_error(&e.to_string()),
+        },
+        Ok(Request::SessionRetract { session, var }) => {
+            match shared.runtime.session_retract(session, var) {
+                Ok(removed) => {
+                    format_session_ack(removed.map(|s| shared.names.state_name(var, s)).as_deref())
+                }
+                Err(e) => format_error(&e.to_string()),
+            }
+        }
+        Ok(Request::SessionQuery { session, target }) => {
+            match shared.runtime.session_query(session, target) {
+                Ok((marginal, mode)) => {
+                    format_session_response(shared.names.as_ref(), target, &marginal, &mode)
+                }
+                Err(e) => format_error(&e.to_string()),
+            }
+        }
+        Ok(Request::SessionClose { session }) => match shared.runtime.session_close(session) {
+            Ok(()) => format_session_ack(None),
+            Err(e) => format_error(&e.to_string()),
+        },
         Err(msg) => format_error(&msg),
     }
 }
@@ -312,6 +345,77 @@ mod tests {
 
         let err = roundtrip(&stream, r#"{"cmd": "nonsense"}"#);
         assert!(err.contains("\"error\""), "got: {err}");
+        server.stop();
+    }
+
+    #[test]
+    fn session_commands_over_tcp() {
+        use crate::protocol::{parse_json, Json};
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+
+        let opened = roundtrip(&stream, r#"{"cmd": "session-open"}"#);
+        assert_eq!(opened, r#"{"session":1}"#);
+
+        let ack = roundtrip(
+            &stream,
+            r#"{"cmd": "session-set", "session": 1, "var": "v7", "state": 1}"#,
+        );
+        assert_eq!(ack, r#"{"ok":true}"#);
+
+        // The session answer matches the stateless path numerically and
+        // reports how it was computed.
+        let line = roundtrip(
+            &stream,
+            r#"{"cmd": "session-query", "session": 1, "target": "v3"}"#,
+        );
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("mode"), Some(&Json::Str("incremental".into())));
+        assert!(matches!(v.get("dirty"), Some(Json::Num(_))), "{line}");
+        let stateless = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        let sv = parse_json(&stateless).unwrap();
+        let (Some(Json::Arr(got)), Some(Json::Arr(want))) = (v.get("marginal"), sv.get("marginal"))
+        else {
+            panic!("missing marginal: {line} / {stateless}");
+        };
+        for (g, w) in got.iter().zip(want) {
+            let (Json::Num(g), Json::Num(w)) = (g, w) else {
+                panic!()
+            };
+            assert!((g - w).abs() < 1e-9, "{line} vs {stateless}");
+        }
+
+        let removed = roundtrip(
+            &stream,
+            r#"{"cmd": "session-retract", "session": 1, "var": "v7"}"#,
+        );
+        assert_eq!(removed, r#"{"ok":true,"removed":"1"}"#);
+        let again = roundtrip(
+            &stream,
+            r#"{"cmd": "session-retract", "session": 1, "var": "v7"}"#,
+        );
+        assert_eq!(again, r#"{"ok":true}"#, "no-op retraction");
+
+        assert_eq!(
+            roundtrip(&stream, r#"{"cmd": "session-close", "session": 1}"#),
+            r#"{"ok":true}"#
+        );
+        let gone = roundtrip(
+            &stream,
+            r#"{"cmd": "session-query", "session": 1, "target": "v3"}"#,
+        );
+        assert!(gone.contains("\"error\""), "got: {gone}");
+
+        // Stats now carry the sessions object.
+        let stats_line = roundtrip(&stream, r#"{"cmd": "stats"}"#);
+        let v = parse_json(&stats_line).unwrap();
+        let sessions = v
+            .get("stats")
+            .and_then(|s| s.get("sessions"))
+            .expect("sessions object after first open");
+        assert_eq!(sessions.get("opened"), Some(&Json::Num(1.0)));
+        assert_eq!(sessions.get("closed"), Some(&Json::Num(1.0)));
+        assert_eq!(sessions.get("open"), Some(&Json::Num(0.0)));
         server.stop();
     }
 

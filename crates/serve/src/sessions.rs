@@ -1,0 +1,285 @@
+//! The session table behind the stateful protocol commands: bounded,
+//! TTL-evicted, with per-shard affinity.
+//!
+//! Each open session pins one [`IncrementalSession`] (resident
+//! calibrated tables) to one shard, so its arena buffers always run on
+//! the same worker pool. The table is bounded ([`SessionLimit`] when
+//! full after sweeping expired entries) and idle sessions are lazily
+//! evicted on the next table access once their TTL elapses — there is
+//! no background reaper thread to shut down.
+//!
+//! [`SessionLimit`]: crate::runtime::ServeError::SessionLimit
+
+use evprop_incremental::{IncrementalSession, SessionStats};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One open session: the wrapped incremental session plus its shard
+/// affinity and idle clock.
+pub(crate) struct SessionEntry {
+    /// The shard whose pool executes every propagation of this session.
+    pub shard: usize,
+    /// The session proper; locked for the duration of each command.
+    pub session: Arc<Mutex<IncrementalSession>>,
+    last_used: Instant,
+}
+
+/// Counters of the session table, plus the merged propagation counters
+/// of every session it has hosted (live and retired).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionTableStats {
+    /// Sessions currently open.
+    pub open: usize,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions closed explicitly by the client.
+    pub closed: u64,
+    /// Sessions evicted after their idle TTL elapsed.
+    pub expired: u64,
+    /// Open attempts rejected because the table was full.
+    pub rejected: u64,
+    /// Query counters merged across all sessions — cached vs
+    /// incremental vs full answers, stale-edge totals, and the
+    /// dirty-clique histogram.
+    pub propagation: SessionStats,
+}
+
+/// Bounded, TTL-evicted map from session id to [`SessionEntry`].
+pub(crate) struct SessionTable {
+    capacity: usize,
+    ttl: Duration,
+    inner: Mutex<TableInner>,
+}
+
+struct TableInner {
+    next_id: u64,
+    round_robin: usize,
+    entries: HashMap<u64, SessionEntry>,
+    opened: u64,
+    closed: u64,
+    expired: u64,
+    rejected: u64,
+    /// Counters inherited from closed/expired sessions; live sessions
+    /// are merged in at snapshot time.
+    retired: SessionStats,
+}
+
+impl SessionTable {
+    pub fn new(capacity: usize, ttl: Duration) -> Self {
+        SessionTable {
+            capacity,
+            ttl,
+            inner: Mutex::new(TableInner {
+                next_id: 1,
+                round_robin: 0,
+                entries: HashMap::new(),
+                opened: 0,
+                closed: 0,
+                expired: 0,
+                rejected: 0,
+                retired: SessionStats::default(),
+            }),
+        }
+    }
+
+    /// Opens a session built by `make` (called with the assigned shard
+    /// index, outside any other session's lock), sweeping expired
+    /// entries first. `Err(())` means the table is still full.
+    pub fn open(
+        &self,
+        num_shards: usize,
+        make: impl FnOnce(usize) -> IncrementalSession,
+    ) -> Result<(u64, usize), ()> {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.ttl);
+        if inner.entries.len() >= self.capacity {
+            inner.rejected += 1;
+            return Err(());
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let shard = inner.round_robin % num_shards.max(1);
+        inner.round_robin = inner.round_robin.wrapping_add(1);
+        let session = Arc::new(Mutex::new(make(shard)));
+        inner.entries.insert(
+            id,
+            SessionEntry {
+                shard,
+                session,
+                last_used: Instant::now(),
+            },
+        );
+        inner.opened += 1;
+        Ok((id, shard))
+    }
+
+    /// Looks up a live session, refreshing its idle clock. Expired
+    /// entries are swept first, so a session past its TTL is gone even
+    /// when it is the one being addressed.
+    pub fn get(&self, id: u64) -> Option<(usize, Arc<Mutex<IncrementalSession>>)> {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.ttl);
+        let entry = inner.entries.get_mut(&id)?;
+        entry.last_used = Instant::now();
+        Some((entry.shard, Arc::clone(&entry.session)))
+    }
+
+    /// Closes a session, folding its counters into the retired totals.
+    /// `false` when the id is unknown (or already expired).
+    pub fn close(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.ttl);
+        match inner.entries.remove(&id) {
+            Some(entry) => {
+                let stats = entry.session.lock().stats().clone();
+                inner.retired.merge(&stats);
+                inner.closed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time counters: table totals plus propagation counters
+    /// merged across retired *and* currently open sessions.
+    pub fn stats(&self) -> SessionTableStats {
+        let mut inner = self.inner.lock();
+        Self::sweep(&mut inner, self.ttl);
+        let mut propagation = inner.retired.clone();
+        let live: Vec<Arc<Mutex<IncrementalSession>>> = inner
+            .entries
+            .values()
+            .map(|e| Arc::clone(&e.session))
+            .collect();
+        let snapshot = SessionTableStats {
+            open: inner.entries.len(),
+            opened: inner.opened,
+            closed: inner.closed,
+            expired: inner.expired,
+            rejected: inner.rejected,
+            propagation: SessionStats::default(),
+        };
+        drop(inner); // never hold the table lock across session locks
+        for session in live {
+            propagation.merge(session.lock().stats());
+        }
+        SessionTableStats {
+            propagation,
+            ..snapshot
+        }
+    }
+
+    /// Whether any session was ever opened — the stats protocol omits
+    /// the whole sessions object until then, keeping the stateless
+    /// golden transcript byte-identical.
+    pub fn ever_used(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.opened > 0 || inner.rejected > 0
+    }
+
+    fn sweep(inner: &mut TableInner, ttl: Duration) {
+        if inner.entries.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let dead: Vec<u64> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.last_used) >= ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            if let Some(entry) = inner.entries.remove(&id) {
+                let stats = entry.session.lock().stats().clone();
+                inner.retired.merge(&stats);
+                inner.expired += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SessionTable")
+            .field("capacity", &self.capacity)
+            .field("ttl", &self.ttl)
+            .field("open", &inner.entries.len())
+            .field("opened", &inner.opened)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_core::CompiledModel;
+    use evprop_core::InferenceSession;
+    use std::sync::Arc as StdArc;
+
+    fn asia_model() -> StdArc<CompiledModel> {
+        let session = InferenceSession::from_network(&evprop_bayesnet::networks::asia()).unwrap();
+        StdArc::clone(session.model())
+    }
+
+    fn table_session(model: &StdArc<CompiledModel>) -> IncrementalSession {
+        IncrementalSession::new(StdArc::clone(model))
+    }
+
+    #[test]
+    fn ids_are_sequential_and_shards_round_robin() {
+        let model = asia_model();
+        let table = SessionTable::new(8, Duration::from_secs(600));
+        let (id1, s1) = table.open(3, |_| table_session(&model)).unwrap();
+        let (id2, s2) = table.open(3, |_| table_session(&model)).unwrap();
+        let (id3, s3) = table.open(3, |_| table_session(&model)).unwrap();
+        let (id4, s4) = table.open(3, |_| table_session(&model)).unwrap();
+        assert_eq!((id1, id2, id3, id4), (1, 2, 3, 4));
+        assert_eq!((s1, s2, s3, s4), (0, 1, 2, 0));
+        // Affinity is sticky: the looked-up shard matches the assigned one.
+        assert_eq!(table.get(id2).unwrap().0, 1);
+        assert!(table.get(99).is_none());
+    }
+
+    #[test]
+    fn capacity_rejects_and_close_frees() {
+        let model = asia_model();
+        let table = SessionTable::new(2, Duration::from_secs(600));
+        let (a, _) = table.open(1, |_| table_session(&model)).unwrap();
+        table.open(1, |_| table_session(&model)).unwrap();
+        assert!(table.open(1, |_| table_session(&model)).is_err());
+        assert!(table.close(a));
+        assert!(!table.close(a), "double close reports unknown");
+        table.open(1, |_| table_session(&model)).unwrap();
+        let stats = table.stats();
+        assert_eq!(stats.open, 2);
+        assert_eq!(stats.opened, 3);
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn idle_sessions_expire_lazily() {
+        let model = asia_model();
+        let table = SessionTable::new(4, Duration::from_millis(20));
+        let (id, _) = table.open(1, |_| table_session(&model)).unwrap();
+        assert!(table.get(id).is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(table.get(id).is_none(), "past-TTL session is gone");
+        let stats = table.stats();
+        assert_eq!(stats.open, 0);
+        assert_eq!(stats.expired, 1);
+    }
+
+    #[test]
+    fn ever_used_flips_only_after_first_open() {
+        let model = asia_model();
+        let table = SessionTable::new(4, Duration::from_secs(600));
+        assert!(!table.ever_used());
+        let (id, _) = table.open(1, |_| table_session(&model)).unwrap();
+        table.close(id);
+        assert!(table.ever_used(), "retired sessions still count");
+    }
+}

@@ -1,7 +1,8 @@
 //! Construction of the global task DAG from a tree shape (§5.2).
 
 use crate::graph::{
-    BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskId, TaskKind,
+    BufferId, BufferInit, BufferSpec, DownBuffers, EdgeBuffers, Phase, PropagationMode, Task,
+    TaskGraph, TaskId, TaskKind,
 };
 use crate::plan_cache::PlanCache;
 use evprop_jtree::{CliqueId, TreeShape};
@@ -11,32 +12,6 @@ use evprop_potential::EntryRange;
 /// the collect message plus the 4-primitive chain of the distribute
 /// message (Fig. 2b/c).
 pub const MESSAGE_TASKS_PER_EDGE: usize = 8;
-
-/// Per-edge buffer ids (the edge is identified by its child clique).
-#[derive(Clone, Copy, Debug)]
-struct EdgeBuffers {
-    /// ψ_S — the original separator (initialized to ones; never written).
-    sep_old: BufferId,
-    /// ψ*_S — collect-phase marginal of the child clique.
-    sep_up: BufferId,
-    /// ψ*_S / ψ_S — collect-phase ratio.
-    ratio_up: BufferId,
-    /// The ratio extended over the parent clique's domain.
-    ext_up: BufferId,
-    /// Distribute-phase buffers; absent in collect-only graphs.
-    down: Option<DownBuffers>,
-}
-
-/// Distribute-phase scratch for one edge.
-#[derive(Clone, Copy, Debug)]
-struct DownBuffers {
-    /// ψ**_S — distribute-phase marginal of the parent clique.
-    sep_down: BufferId,
-    /// ψ**_S / ψ*_S — distribute-phase ratio.
-    ratio_down: BufferId,
-    /// The ratio extended over the child clique's domain.
-    ext_down: BufferId,
-}
 
 impl TaskGraph {
     /// Builds the task dependency graph for two-phase evidence propagation
@@ -81,6 +56,7 @@ impl TaskGraph {
             pred_count: Vec::new(),
             buffers: Vec::with_capacity(n * 8),
             clique_buffers: Vec::with_capacity(n),
+            edge_buffers: vec![None; n],
             plans: PlanCache::new(),
         };
 
@@ -132,6 +108,7 @@ impl TaskGraph {
             };
             edge_bufs[c.index()] = Some(eb);
         }
+        g.edge_buffers = edge_bufs.clone();
 
         // ---------------- collect phase (postorder) ----------------
         // mul_up_chain[p] = last collect Multiply writing clique p

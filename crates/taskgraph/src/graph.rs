@@ -65,6 +65,36 @@ pub struct BufferSpec {
     pub init: BufferInit,
 }
 
+/// The scratch-buffer ids of one junction-tree edge (identified by its
+/// child clique). Recorded at build time so incremental slices
+/// ([`TaskGraph::incremental_slice`]) can re-address the exact buffers
+/// the full graph uses.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeBuffers {
+    /// ψ_S — the original separator (initialized to ones; never written
+    /// by the full graph, reused as stale-edge scratch by slices).
+    pub sep_old: BufferId,
+    /// ψ*_S — collect-phase marginal of the child clique.
+    pub sep_up: BufferId,
+    /// ψ*_S / ψ_S — collect-phase ratio.
+    pub ratio_up: BufferId,
+    /// The collect ratio extended over the parent clique's domain.
+    pub ext_up: BufferId,
+    /// Distribute-phase buffers; absent in collect-only graphs.
+    pub down: Option<DownBuffers>,
+}
+
+/// Distribute-phase scratch for one edge.
+#[derive(Clone, Copy, Debug)]
+pub struct DownBuffers {
+    /// ψ**_S — distribute-phase marginal of the parent clique.
+    pub sep_down: BufferId,
+    /// ψ**_S / ψ*_S — distribute-phase ratio.
+    pub ratio_down: BufferId,
+    /// The ratio extended over the child clique's domain.
+    pub ext_down: BufferId,
+}
+
 /// Which algebra the propagation runs in.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum PropagationMode {
@@ -220,6 +250,9 @@ pub struct TaskGraph {
     pub(crate) buffers: Vec<BufferSpec>,
     /// Buffer holding each clique's potential, indexed by clique id.
     pub(crate) clique_buffers: Vec<BufferId>,
+    /// Per-edge scratch buffers, indexed by child clique (`None` for the
+    /// root, which has no parent edge).
+    pub(crate) edge_buffers: Vec<Option<EdgeBuffers>>,
     /// Interned kernel plans compiled at build time (plus lazily
     /// interned δ-subrange plans the scheduler adds at run time).
     pub(crate) plans: PlanCache,
@@ -266,6 +299,14 @@ impl TaskGraph {
     #[inline]
     pub fn clique_buffer(&self, c: CliqueId) -> BufferId {
         self.clique_buffers[c.index()]
+    }
+
+    /// The scratch buffers of the edge whose child clique is `c`
+    /// (`None` for the root). In replicated graphs this refers to copy
+    /// 0, like [`TaskGraph::clique_buffer`].
+    #[inline]
+    pub fn edge_buffers(&self, c: CliqueId) -> Option<EdgeBuffers> {
+        self.edge_buffers[c.index()]
     }
 
     /// The first **clique-initialized** buffer whose domain contains
@@ -462,6 +503,7 @@ impl TaskGraph {
             pred_count,
             buffers,
             clique_buffers: self.clique_buffers.clone(),
+            edge_buffers: self.edge_buffers.clone(),
             // Copies share domains, so the structurally interned plans
             // (and the plan ids stored on the copied tasks) carry over
             // unchanged.

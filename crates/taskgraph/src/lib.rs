@@ -38,11 +38,13 @@ mod dot;
 mod execute;
 mod graph;
 mod plan_cache;
+mod slice;
 
 pub use build::MESSAGE_TASKS_PER_EDGE;
 pub use execute::{execute_full, execute_range, write_and_read};
 pub use graph::{
-    BufferId, BufferInit, BufferSpec, Phase, PropagationMode, Task, TaskGraph, TaskGraphError,
-    TaskId, TaskKind,
+    BufferId, BufferInit, BufferSpec, DownBuffers, EdgeBuffers, Phase, PropagationMode, Task,
+    TaskGraph, TaskGraphError, TaskId, TaskKind,
 };
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanId};
+pub use slice::{EdgeUpdate, SlicePlan};

@@ -208,6 +208,16 @@ impl PlanCache {
         Ok(id)
     }
 
+    /// Clears the `(task, range)` memo. Required whenever the owning
+    /// graph's task ids are reassigned — a slice scaffold rebuilt by
+    /// [`TaskGraph`](crate::TaskGraph)`::slice_into` reuses ids for
+    /// different tasks, so a stale memo entry would resolve to a plan
+    /// for the wrong domains. Interned shapes and compiled programs
+    /// survive (they are keyed structurally, not by task).
+    pub fn reset_memo(&self) {
+        self.inner.write().by_task_range.clear();
+    }
+
     /// Number of distinct interned plans.
     pub fn len(&self) -> usize {
         self.inner.read().plans.len()

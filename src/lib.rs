@@ -44,6 +44,8 @@
 pub use evprop_bayesnet as bayesnet;
 /// Inference engines and the end-to-end [`core::InferenceSession`].
 pub use evprop_core as core;
+/// Incremental evidence propagation sessions (resident state, deltas).
+pub use evprop_incremental as incremental;
 /// Junction trees: compilation, shapes, rerooting (Algorithm 1).
 pub use evprop_jtree as jtree;
 /// Potential tables and the four node-level primitives.
