@@ -1,0 +1,337 @@
+//! Model-registry serving benchmark (extension): what does routing
+//! every query through the [`ModelRegistry`] cost, and does a hot swap
+//! disturb in-flight traffic?
+//!
+//! Four legs, all on the same host and thread budget:
+//!
+//! * **baseline** — a plain [`ShardedRuntime::from_model`] runtime (no
+//!   registry) serving one model closed-loop: the pre-registry
+//!   throughput the registry path is held against;
+//! * **registry steady** — the same model behind
+//!   [`ShardedRuntime::with_registry`] under its default alias, so the
+//!   only delta is per-submission alias resolution plus the handle
+//!   each job carries (target: within 3% of baseline);
+//! * **mixed interleave** — two models alternating query-by-query
+//!   through one runtime, exercising the dispatcher's arena switching;
+//! * **swap under load** — clients hammer a versioned alias while a
+//!   swapper thread flips it between two versions the whole time;
+//!   every query must succeed (zero errors) and tail latency must stay
+//!   within 2× of the steady-state leg.
+//!
+//! Prints a CSV-ish summary and writes `BENCH_registry.json`. Each
+//! throughput leg runs [`ROUNDS`] times and reports the best round, so
+//! the steady/baseline ratio compares peaks rather than scheduler
+//! noise.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin registry_bench
+//! ```
+
+use evprop_bayesnet::{networks, BayesianNetwork};
+use evprop_core::{InferenceSession, Query};
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_registry::{ModelRegistry, NumericNames};
+use evprop_serve::{RuntimeConfig, ShardedRuntime};
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shards (× 1 worker thread each) for every leg.
+const SHARDS: usize = 2;
+/// Queries per timed round.
+const QUERIES: usize = 400;
+/// Timed rounds per throughput leg; the best round is reported.
+const ROUNDS: usize = 5;
+/// Alias flips during the swap-under-load leg.
+const SWAPS: usize = 200;
+
+fn query_stream(net: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vars = net.num_vars() as u32;
+    (0..n)
+        .map(|_| {
+            let target = rng.gen_range(0..vars);
+            let mut obs = target;
+            while obs == target {
+                obs = rng.gen_range(0..vars);
+            }
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(obs), 0);
+            Query::new(VarId(target), ev)
+        })
+        .collect()
+}
+
+fn registry_with(models: &[(&str, &BayesianNetwork)]) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    for (name, net) in models {
+        let session = InferenceSession::from_network(net).unwrap();
+        registry
+            .install(
+                name,
+                Arc::clone(session.model()),
+                Arc::new(NumericNames::of(net)),
+            )
+            .unwrap();
+    }
+    registry
+}
+
+/// Nearest-rank p99 of an unsorted sample set.
+fn p99(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// Best-of-[`ROUNDS`] queries/sec plus the pooled client-side p99
+/// across all rounds; warmup happens before round 1. Panics if any
+/// query errors (only the swap leg tolerates — and counts — errors,
+/// and none are expected there either).
+fn throughput(rt: &Arc<ShardedRuntime>, queries: &[(Option<&str>, Query)]) -> (f64, Duration) {
+    for (model, q) in queries.iter().take(SHARDS * 2) {
+        rt.submit_model(q.clone(), *model).unwrap().wait().unwrap();
+    }
+    let mut best = 0.0f64;
+    let mut pooled = Vec::with_capacity(ROUNDS * queries.len());
+    for _ in 0..ROUNDS {
+        let (qps, mut lats, errors) = drive_round(rt, queries);
+        assert_eq!(errors, 0, "steady legs must not error");
+        best = best.max(qps);
+        pooled.append(&mut lats);
+    }
+    (best, p99(&mut pooled))
+}
+
+/// One timed closed-loop round.
+fn drive_round(
+    rt: &Arc<ShardedRuntime>,
+    queries: &[(Option<&str>, Query)],
+) -> (f64, Vec<Duration>, usize) {
+    use std::sync::atomic::AtomicUsize;
+    let errors = AtomicUsize::new(0);
+    let start = Instant::now();
+    let lat_slices: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|c| {
+                let rt = Arc::clone(rt);
+                let slice: Vec<(Option<&str>, Query)> =
+                    queries.iter().skip(c).step_by(SHARDS).cloned().collect();
+                let errors = &errors;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(slice.len());
+                    for (model, q) in slice {
+                        let t0 = Instant::now();
+                        match rt.submit_model(q, model).and_then(|t| t.wait()) {
+                            Ok(_) => lats.push(t0.elapsed()),
+                            Err(e) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("query failed: {e}");
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total = start.elapsed().as_secs_f64();
+    let lats: Vec<Duration> = lat_slices.into_iter().flatten().collect();
+    let errors = errors.load(Ordering::Relaxed);
+    (
+        (queries.len() - errors) as f64 / total.max(1e-12),
+        lats,
+        errors,
+    )
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let asia = networks::asia();
+    let student = networks::student();
+    let stream = query_stream(&asia, QUERIES, 0xBEEF);
+    println!(
+        "# registry serving: {SHARDS}x1 shards, {QUERIES} queries/round ({host_cores} host cores)"
+    );
+    evprop_bench::header(&["leg", "qps", "p99_us", "errors"]);
+
+    // Legs 1+2, rounds interleaved A/B: the pre-registry baseline and
+    // the same model behind the registry's default alias. Alternating
+    // rounds on one clock means host drift (frequency scaling, noisy
+    // neighbors) lands on both runtimes instead of biasing whichever
+    // leg ran second; best-of-rounds then compares peak against peak.
+    let rt_base = Arc::new(ShardedRuntime::new(
+        InferenceSession::from_network(&asia).unwrap(),
+        RuntimeConfig::new(SHARDS, 1),
+    ));
+    let registry = registry_with(&[("asia", &asia)]);
+    let rt_reg = Arc::new(
+        ShardedRuntime::with_registry(registry, "asia", RuntimeConfig::new(SHARDS, 1)).unwrap(),
+    );
+    let untagged: Vec<(Option<&str>, Query)> = stream.iter().map(|q| (None, q.clone())).collect();
+    for rt in [&rt_base, &rt_reg] {
+        for (model, q) in untagged.iter().take(SHARDS * 2) {
+            rt.submit_model(q.clone(), *model).unwrap().wait().unwrap();
+        }
+    }
+    let (mut baseline_qps, mut steady_qps) = (0.0f64, 0.0f64);
+    let mut baseline_lats = Vec::new();
+    let mut steady_lats = Vec::new();
+    for _ in 0..ROUNDS {
+        let (qps, mut lats, errors) = drive_round(&rt_base, &untagged);
+        assert_eq!(errors, 0, "baseline leg must not error");
+        baseline_qps = baseline_qps.max(qps);
+        baseline_lats.append(&mut lats);
+        let (qps, mut lats, errors) = drive_round(&rt_reg, &untagged);
+        assert_eq!(errors, 0, "steady leg must not error");
+        steady_qps = steady_qps.max(qps);
+        steady_lats.append(&mut lats);
+    }
+    rt_base.shutdown();
+    rt_reg.shutdown();
+    let baseline_p99 = p99(&mut baseline_lats);
+    let steady_p99 = p99(&mut steady_lats);
+    let overhead = 1.0 - steady_qps / baseline_qps;
+    println!(
+        "baseline_no_registry,{baseline_qps:.0},{},0",
+        baseline_p99.as_micros()
+    );
+    println!(
+        "registry_steady,{steady_qps:.0},{},0",
+        steady_p99.as_micros()
+    );
+
+    // Leg 3: two models interleaved query-by-query.
+    let registry = registry_with(&[("asia", &asia), ("student", &student)]);
+    let rt = Arc::new(
+        ShardedRuntime::with_registry(registry, "asia", RuntimeConfig::new(SHARDS, 1)).unwrap(),
+    );
+    let student_stream = query_stream(&student, QUERIES, 0xBEEF);
+    let mixed: Vec<(Option<&str>, Query)> = stream
+        .iter()
+        .zip(&student_stream)
+        .flat_map(|(a, s)| [(Some("asia"), a.clone()), (Some("student"), s.clone())])
+        .collect();
+    let (mixed_qps, mixed_p99) = throughput(&rt, &mixed);
+    rt.shutdown();
+    println!(
+        "mixed_two_models,{mixed_qps:.0},{},0",
+        mixed_p99.as_micros()
+    );
+
+    // Leg 4: hammer alias "m" while a swapper thread flips it between
+    // two installed versions of the same network (constant work, so
+    // the p99 delta isolates the swap disturbance).
+    let registry = registry_with(&[("m", &asia)]);
+    {
+        let session = InferenceSession::from_network(&asia).unwrap();
+        registry
+            .install(
+                "m",
+                Arc::clone(session.model()),
+                Arc::new(NumericNames::of(&asia)),
+            )
+            .unwrap(); // m@v2
+    }
+    let rt = Arc::new(
+        ShardedRuntime::with_registry(Arc::clone(&registry), "m", RuntimeConfig::new(SHARDS, 1))
+            .unwrap(),
+    );
+    let aliased: Vec<(Option<&str>, Query)> =
+        stream.iter().map(|q| (Some("m"), q.clone())).collect();
+    for (model, q) in aliased.iter().take(SHARDS * 2) {
+        rt.submit_model(q.clone(), *model).unwrap().wait().unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let swapper = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut flips = 0usize;
+            while flips < SWAPS && !stop.load(Ordering::Relaxed) {
+                registry.swap("m", 1 + (flips % 2) as u32).expect("swap");
+                flips += 1;
+                // Spread the flips across the whole leg instead of
+                // burning them in the first scheduler quantum.
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            flips
+        })
+    };
+    // Closed loop like every other leg, so the p99 comparison against
+    // the steady leg isolates swap disturbance rather than queue depth.
+    let mut swap_errors = 0usize;
+    let mut answered = 0usize;
+    let mut best_swap_qps = 0.0f64;
+    let mut swap_lats = Vec::with_capacity(ROUNDS * aliased.len());
+    for _ in 0..ROUNDS {
+        let (qps, mut lats, errors) = drive_round(&rt, &aliased);
+        best_swap_qps = best_swap_qps.max(qps);
+        answered += lats.len();
+        swap_errors += errors;
+        swap_lats.append(&mut lats);
+    }
+    let swap_qps = best_swap_qps;
+    stop.store(true, Ordering::Relaxed);
+    let flips = swapper.join().unwrap();
+    let swap_p99 = p99(&mut swap_lats);
+    let served: u64 = rt
+        .registry()
+        .unwrap()
+        .list()
+        .iter()
+        .flat_map(|m| m.versions.iter())
+        .map(|v| v.served)
+        .sum();
+    rt.shutdown();
+    println!(
+        "swap_under_load,{swap_qps:.0},{},{swap_errors}",
+        swap_p99.as_micros()
+    );
+
+    let p99_ratio = swap_p99.as_secs_f64() / steady_p99.as_secs_f64().max(1e-12);
+    println!(
+        "# registry overhead vs baseline: {:.2}% (target ≤ 3%)",
+        overhead * 100.0
+    );
+    println!("# swap-under-load: {flips} flips, {swap_errors} errors, p99 ratio {p99_ratio:.2} (target ≤ 2)");
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"registry\",\n",
+            "  \"host_cores\": {},\n  \"shards\": {},\n  \"queries_per_round\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"baseline_no_registry\": {{\"qps\": {:.1}, \"p99_us\": {}}},\n",
+            "  \"registry_steady\": {{\"qps\": {:.1}, \"p99_us\": {}, ",
+            "\"overhead_vs_baseline\": {:.4}, \"within_3pct\": {}}},\n",
+            "  \"mixed_two_models\": {{\"qps\": {:.1}, \"p99_us\": {}}},\n",
+            "  \"swap_under_load\": {{\"qps\": {:.1}, \"p99_us\": {}, \"alias_flips\": {}, ",
+            "\"queries\": {}, \"errors\": {}, \"served_total\": {}, ",
+            "\"p99_ratio_vs_steady\": {:.3}, \"p99_within_2x\": {}}}\n}}\n"
+        ),
+        host_cores,
+        SHARDS,
+        QUERIES,
+        ROUNDS,
+        baseline_qps,
+        baseline_p99.as_micros(),
+        steady_qps,
+        steady_p99.as_micros(),
+        overhead,
+        overhead <= 0.03,
+        mixed_qps,
+        mixed_p99.as_micros(),
+        swap_qps,
+        swap_p99.as_micros(),
+        flips,
+        answered + swap_errors,
+        swap_errors,
+        served,
+        p99_ratio,
+        p99_ratio <= 2.0
+    );
+    std::fs::write("BENCH_registry.json", &json).expect("write BENCH_registry.json");
+    println!("# wrote BENCH_registry.json");
+}

@@ -6,7 +6,7 @@
 //! evprop mpe <file.bif> [--evidence VAR=STATE]... [--engine E] [--threads N]
 //! evprop export <sprinkler|asia|student>
 //! evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
-//! evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M]
+//! evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--model NAME=PATH]... [--model-budget-mb MB]
 //! evprop session-bench <file.bif> [--steps N] [--threads P] [--seed S]
 //! evprop simulate --cliques N --width W --states R --degree K [--cores P]...
 //! ```
@@ -31,7 +31,7 @@ const USAGE: &str = "usage:
   evprop export <sprinkler|asia|student>
   evprop dot <file.bif> [--tasks]
   evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
-  evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B]
+  evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B] [--model NAME=PATH]... [--model-budget-mb MB]
   evprop session-bench <file.bif> [--steps N] [--threads P] [--seed S]
   evprop trace <file.bif> [--out FILE] [--threads P] [--delta D] [--runs N] [--stealing]
   evprop trace --random [--cliques N] [--width W] [--states R] [--degree K] [--seed S] [--out FILE] ...
@@ -183,6 +183,16 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// All values of a repeatable flag, in order (`--model a=x --model b=y`).
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
 }
 
 fn make_engine(args: &[String]) -> Result<Box<dyn Engine>, String> {
@@ -409,7 +419,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// `evprop serve <file.bif> --listen ADDR`: boot the sharded runtime
 /// and answer newline-delimited JSON queries over TCP until killed.
+///
+/// Plain invocations serve the positional network on the pre-registry
+/// single-model path. Any `--model NAME=PATH` (repeatable) or
+/// `--model-budget-mb MB` flag boots a model registry instead: the
+/// positional network becomes the default model (alias = its BIF
+/// name), the extra models load alongside it, and the protocol's
+/// `model-load` / `model-swap` / `model-unload` / `model-list`
+/// commands manage versions while serving.
 fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), String> {
+    use evprop_registry::ModelRegistry;
     use evprop_serve::{RuntimeConfig, ShardedRuntime, TcpServer};
     use std::sync::Arc;
 
@@ -428,18 +447,65 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
         config = config.without_partitioning();
     }
 
+    let extra_models = flag_values(args, "--model");
+    let budget_mb = match flag_value(args, "--model-budget-mb") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --model-budget-mb '{v}'"))?,
+        ),
+        None => None,
+    };
+    let registry_mode = !extra_models.is_empty() || budget_mb.is_some();
+
     let session = InferenceSession::from_network(&bif.network).map_err(|e| e.to_string())?;
-    let runtime = Arc::new(ShardedRuntime::new(session, config));
+    let runtime = if registry_mode {
+        let mut registry = ModelRegistry::new();
+        if let Some(mb) = budget_mb {
+            registry = registry.with_budget_mb(mb);
+        }
+        let registry = Arc::new(registry);
+        let default_name = bif.name.clone();
+        registry
+            .install(
+                &default_name,
+                Arc::clone(session.model()),
+                Arc::new(bif.clone()),
+            )
+            .map_err(|e| format!("install {default_name}: {e}"))?;
+        for spec in &extra_models {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad --model '{spec}': expected NAME=PATH"))?;
+            let extra = load(path)?;
+            let extra_session =
+                InferenceSession::from_network(&extra.network).map_err(|e| e.to_string())?;
+            registry
+                .install(name, Arc::clone(extra_session.model()), Arc::new(extra))
+                .map_err(|e| format!("install {name}: {e}"))?;
+            eprintln!("loaded model {name} from {path}");
+        }
+        Arc::new(
+            ShardedRuntime::with_registry(registry, &default_name, config)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        Arc::new(ShardedRuntime::new(session, config))
+    };
     let names = Arc::new(bif);
     let server = TcpServer::bind(addr, Arc::clone(&runtime), names)
         .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "listening on {} [{} shard(s) x {} thread(s), queue depth {}, batch {}]",
+        "listening on {} [{} shard(s) x {} thread(s), queue depth {}, batch {}{}]",
         server.local_addr(),
         runtime.config().shards,
         runtime.config().threads_per_shard,
         runtime.config().queue_depth,
         runtime.config().max_batch,
+        match (registry_mode, budget_mb) {
+            (true, Some(mb)) => format!(", registry budget {mb} MB"),
+            (true, None) => ", registry".to_string(),
+            (false, _) => String::new(),
+        },
     );
     // Serve until the process is killed.
     loop {

@@ -101,6 +101,34 @@ impl CompiledModel {
         self.root_choice
     }
 
+    /// Resident memory of the compiled artifact in bytes: the clique
+    /// potential tables, one arena's worth of propagation buffers
+    /// (what every checkout of this model costs), and the kernel-plan
+    /// programs compiled so far (sum-product, plus max-product once an
+    /// MPE query forced it into existence). This is the unit the model
+    /// registry's `--model-budget-mb` eviction accounts in; it grows
+    /// monotonically as lazily-compiled plans materialize.
+    pub fn resident_bytes(&self) -> u64 {
+        let f64s = std::mem::size_of::<f64>() as u64;
+        let potentials: u64 = self
+            .jt
+            .potentials()
+            .iter()
+            .map(|t| t.data().len() as u64 * f64s)
+            .sum();
+        let buffers: u64 = self
+            .graph
+            .buffers()
+            .iter()
+            .map(|b| b.domain.size() as u64 * f64s)
+            .sum();
+        let mut plans = self.graph.plans().resident_bytes() as u64;
+        if let Some(max) = self.max_graph.get() {
+            plans += max.plans().resident_bytes() as u64;
+        }
+        potentials + buffers + plans
+    }
+
     /// Combined plan-cache counters of every graph this model has
     /// built so far (sum-product, plus max-product once an MPE query
     /// forced it into existence).
@@ -130,6 +158,18 @@ mod tests {
         let b = Arc::clone(&model);
         assert!(std::ptr::eq(a.graph(), b.graph()));
         assert_eq!(model.plan_stats().interned, interned as u64);
+    }
+
+    #[test]
+    fn resident_bytes_grow_as_plans_compile() {
+        let model = CompiledModel::from_network(&networks::asia()).unwrap();
+        let fresh = model.resident_bytes();
+        assert!(fresh > 0, "tables and buffers count even before compile");
+        let plans = model.graph().plans();
+        for i in 0..plans.len() {
+            let _ = plans.get(evprop_taskgraph::PlanId(i as u32));
+        }
+        assert!(model.resident_bytes() > fresh, "compiled plans add bytes");
     }
 
     #[test]

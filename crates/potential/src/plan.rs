@@ -208,6 +208,13 @@ impl KernelPlan {
         self.range.len() as u64
     }
 
+    /// Memory footprint of this compiled program in bytes: the struct
+    /// itself plus its heap-allocated segment list. Backs the model
+    /// registry's resident-byte accounting.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.segs.len() * std::mem::size_of::<Segment>()
+    }
+
     fn check_scan(&self, len: usize) -> Result<()> {
         if len != self.scan_len {
             return Err(PotentialError::DataSizeMismatch {

@@ -1,0 +1,24 @@
+//! Multi-model registry for the evprop serving stack.
+//!
+//! Junction-tree compilation is the expensive step of exact evidence
+//! propagation; answering queries against the compiled artifact is the
+//! cheap, parallel part. This crate amortizes the expensive step
+//! across a server's lifetime: a [`ModelRegistry`] maps versioned
+//! model names (`asia`, `asia@v2`) to shared [`CompiledModel`]s, lets
+//! new versions be loaded and warmed up while traffic keeps flowing
+//! against the old one, flips the alias atomically, and evicts cold
+//! versions under a memory budget without ever pulling a model out
+//! from under an open session or in-flight query.
+//!
+//! [`CompiledModel`]: evprop_core::CompiledModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod names;
+mod registry;
+
+pub use names::{ModelNames, NumericNames};
+pub use registry::{
+    ModelHandle, ModelInfo, ModelRegistry, RegistryError, RegistryStats, VersionInfo,
+};

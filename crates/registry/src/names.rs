@@ -1,0 +1,136 @@
+//! Symbolic variable/state addressing for served models.
+//!
+//! The runtime works on [`VarId`]s; the wire protocol works on names.
+//! [`ModelNames`] bridges the two, and lives here — next to the
+//! registry that owns one name table per loaded model — so the serving
+//! crate can resolve requests against whichever model a query names
+//! without a circular dependency.
+
+use evprop_bayesnet::bif::BifNetwork;
+use evprop_bayesnet::BayesianNetwork;
+use evprop_potential::VarId;
+
+/// Symbolic variable/state addressing for a served model.
+///
+/// The runtime works on [`VarId`]s; the wire protocol works on names.
+/// Implementations bridge the two — [`BifNetwork`] for models loaded
+/// from BIF files, [`NumericNames`] as the fallback for programmatic
+/// networks.
+pub trait ModelNames {
+    /// Number of variables in the model.
+    fn num_vars(&self) -> usize;
+    /// Resolves a variable name to its id.
+    fn var_id(&self, name: &str) -> Option<VarId>;
+    /// The name of a variable.
+    fn var_name(&self, var: VarId) -> String;
+    /// Number of states of a variable.
+    fn num_states(&self, var: VarId) -> usize;
+    /// Resolves a state name of a variable to its index.
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize>;
+    /// The name of a variable's state.
+    fn state_name(&self, var: VarId, state: usize) -> String;
+}
+
+impl ModelNames for BifNetwork {
+    fn num_vars(&self) -> usize {
+        self.network.num_vars()
+    }
+
+    fn var_id(&self, name: &str) -> Option<VarId> {
+        BifNetwork::var_id(self, name)
+    }
+
+    fn var_name(&self, var: VarId) -> String {
+        BifNetwork::var_name(self, var).to_string()
+    }
+
+    fn num_states(&self, var: VarId) -> usize {
+        self.state_names[var.index()].len()
+    }
+
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
+        self.state_names[var.index()]
+            .iter()
+            .position(|s| s == state)
+    }
+
+    fn state_name(&self, var: VarId, state: usize) -> String {
+        BifNetwork::state_name(self, var, state).to_string()
+    }
+}
+
+/// Positional naming (`v0`, `v1`, … with states `0`, `1`, …) for
+/// networks that carry no symbolic names.
+#[derive(Clone, Debug)]
+pub struct NumericNames {
+    cardinalities: Vec<usize>,
+}
+
+impl NumericNames {
+    /// Names every variable of `net` positionally.
+    pub fn of(net: &BayesianNetwork) -> Self {
+        NumericNames {
+            cardinalities: (0..net.num_vars())
+                .map(|i| net.var(VarId(i as u32)).cardinality())
+                .collect(),
+        }
+    }
+}
+
+impl ModelNames for NumericNames {
+    fn num_vars(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    fn var_id(&self, name: &str) -> Option<VarId> {
+        let digits = name.strip_prefix('v').unwrap_or(name);
+        let i: usize = digits.parse().ok()?;
+        (i < self.cardinalities.len()).then_some(VarId(i as u32))
+    }
+
+    fn var_name(&self, var: VarId) -> String {
+        format!("v{}", var.index())
+    }
+
+    fn num_states(&self, var: VarId) -> usize {
+        self.cardinalities[var.index()]
+    }
+
+    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
+        let i: usize = state.parse().ok()?;
+        (i < self.cardinalities[var.index()]).then_some(i)
+    }
+
+    fn state_name(&self, _var: VarId, state: usize) -> String {
+        state.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evprop_bayesnet::networks;
+
+    #[test]
+    fn numeric_names_roundtrip() {
+        let names = NumericNames::of(&networks::asia());
+        assert_eq!(names.num_vars(), 8);
+        assert_eq!(names.var_id("v3"), Some(VarId(3)));
+        assert_eq!(names.var_id("3"), Some(VarId(3)));
+        assert_eq!(names.var_id("v99"), None);
+        assert_eq!(names.var_name(VarId(3)), "v3");
+        assert_eq!(names.state_index(VarId(0), "1"), Some(1));
+        assert_eq!(names.state_index(VarId(0), "9"), None);
+        assert_eq!(names.state_name(VarId(0), 1), "1");
+    }
+
+    #[test]
+    fn bif_names_resolve_symbolically() {
+        let bif = evprop_bayesnet::bif::with_generated_names(networks::asia(), "asia");
+        let v3 = ModelNames::var_name(&bif, VarId(3));
+        assert_eq!(ModelNames::var_id(&bif, &v3), Some(VarId(3)));
+        let s1 = ModelNames::state_name(&bif, VarId(7), 1);
+        assert_eq!(ModelNames::state_index(&bif, VarId(7), &s1), Some(1));
+        assert_eq!(ModelNames::num_states(&bif, VarId(7)), 2);
+    }
+}

@@ -37,16 +37,26 @@
 //! over a single closed-loop connection instead of generating a
 //! stream — the CI session smoke test replays a scripted session
 //! transcript this way and diffs the responses against a golden file.
+//!
+//! `--models NAME=PATH,NAME=PATH,...` switches to mixed-tenant mode
+//! against a registry-mode server: each query carries a `"model"`
+//! field choosing one of the named models (round-robin by default,
+//! `--model-dist zipf` for a skewed tenant mix), with its target and
+//! evidence drawn from that model's own BIF. The summary then reports
+//! one latency row per model (count, errors, mean, p50, p99; measured
+//! client-side, closed-loop only). The positional BIF file is still
+//! required but queries are generated only from the `--models` entries.
 
 use evprop_bayesnet::bif::{self, BifNetwork};
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing] [--session]
+  evprop-loadgen <file.bif> --addr HOST:PORT --queries N --models NAME=PATH,... [--model-dist rr|zipf] [--seed S] [--connections C] [--out FILE] [--open-loop]
   evprop-loadgen <file.bif> --addr HOST:PORT --transcript FILE [--out FILE]";
 
 fn main() -> ExitCode {
@@ -68,35 +78,91 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// The same deterministic query scheme as `evprop serve`: one target,
-/// at most one hard-evidence observation, target and evidence distinct.
-fn request_lines(bif: &BifNetwork, n: usize, seed: u64, timing: bool) -> Vec<String> {
+/// One deterministic stateless request: one target, at most one
+/// hard-evidence observation, target and evidence distinct; optionally
+/// addressed to a named model.
+fn one_request(
+    bif: &BifNetwork,
+    rng: &mut rand::rngs::StdRng,
+    timing: bool,
+    model: Option<&str>,
+) -> String {
     let net = &bif.network;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let vars = net.num_vars() as u32;
+    let target = rng.gen_range(0..vars);
+    let mut line = String::from("{");
+    if let Some(name) = model {
+        line.push_str(&format!(r#""model": "{name}", "#));
+    }
+    line.push_str(&format!(
+        r#""target": "{}""#,
+        bif.var_names[target as usize]
+    ));
+    if vars > 1 {
+        let mut obs = rng.gen_range(0..vars);
+        while obs == target {
+            obs = rng.gen_range(0..vars);
+        }
+        let card = net.var(evprop_potential::VarId(obs)).cardinality();
+        let state = rng.gen_range(0..card);
+        line.push_str(&format!(
+            r#", "evidence": {{"{}": "{}"}}"#,
+            bif.var_names[obs as usize], bif.state_names[obs as usize][state]
+        ));
+    }
+    if timing {
+        line.push_str(r#", "timing": true"#);
+    }
+    line.push('}');
+    line
+}
+
+/// The same deterministic query scheme as `evprop serve`: one stream of
+/// [`one_request`] lines for a given `(file, N, seed)` triple.
+fn request_lines(bif: &BifNetwork, n: usize, seed: u64, timing: bool) -> Vec<String> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            let target = rng.gen_range(0..vars);
-            let mut line = format!(r#"{{"target": "{}""#, bif.var_names[target as usize]);
-            if vars > 1 {
-                let mut obs = rng.gen_range(0..vars);
-                while obs == target {
-                    obs = rng.gen_range(0..vars);
-                }
-                let card = net.var(evprop_potential::VarId(obs)).cardinality();
-                let state = rng.gen_range(0..card);
-                line.push_str(&format!(
-                    r#", "evidence": {{"{}": "{}"}}"#,
-                    bif.var_names[obs as usize], bif.state_names[obs as usize][state]
-                ));
-            }
-            if timing {
-                line.push_str(r#", "timing": true"#);
-            }
-            line.push('}');
-            line
-        })
+        .map(|_| one_request(bif, &mut rng, timing, None))
         .collect()
+}
+
+/// Mixed-tenant request stream: per query, pick one of the named models
+/// (round-robin, or zipf-skewed toward earlier `--models` entries) and
+/// generate a query valid for *that* model's variables. Returns the
+/// request lines plus each line's model index (for per-model latency
+/// accounting). Deterministic for a given `(models, N, seed)` triple.
+fn mixed_request_lines(
+    models: &[(String, BifNetwork)],
+    n: usize,
+    seed: u64,
+    zipf: bool,
+) -> (Vec<String>, Vec<usize>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Harmonic-series CDF: P(model k) ∝ 1/(k+1).
+    let weights: Vec<f64> = (0..models.len()).map(|k| 1.0 / (k + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut lines = Vec::with_capacity(n);
+    let mut choices = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = if zipf {
+            let mut x = rng.gen_range(0.0..total);
+            let mut pick = models.len() - 1;
+            for (j, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = j;
+                    break;
+                }
+                x -= w;
+            }
+            pick
+        } else {
+            i % models.len()
+        };
+        let (name, bif) = &models[k];
+        lines.push(one_request(bif, &mut rng, false, Some(name)));
+        choices.push(k);
+    }
+    (lines, choices)
 }
 
 /// Deterministic session-churn bodies (no session id yet — the server
@@ -164,6 +230,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let session_mode = args.iter().any(|a| a == "--session");
 
     let started = Instant::now();
+    let mut model_rows: Vec<String> = Vec::new();
     let (responses, label) = if let Some(file) = flag_value(args, "--transcript") {
         let text =
             std::fs::read_to_string(file).map_err(|e| format!("cannot read '{file}': {e}"))?;
@@ -176,6 +243,82 @@ fn run(args: &[String]) -> Result<(), String> {
         // Replay is single-connection and closed-loop: the transcript's
         // responses must be byte-reproducible.
         (vec![drive(addr, &lines, false)?], "transcript replay")
+    } else if let Some(spec) = flag_value(args, "--models") {
+        let queries: usize = flag_value(args, "--queries")
+            .ok_or("--queries N is required")?
+            .parse()
+            .map_err(|_| "--queries must be a number".to_string())?;
+        let zipf = match flag_value(args, "--model-dist") {
+            None | Some("rr") => false,
+            Some("zipf") => true,
+            Some(other) => return Err(format!("bad --model-dist '{other}' (rr|zipf)")),
+        };
+        let mut models: Vec<(String, BifNetwork)> = Vec::new();
+        for entry in spec.split(',') {
+            let (name, path) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("bad --models entry '{entry}': expected NAME=PATH"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            models.push((
+                name.to_string(),
+                bif::parse(&src).map_err(|e| e.to_string())?,
+            ));
+        }
+        let (lines, choices) = mixed_request_lines(&models, queries, seed, zipf);
+        let mut workers = Vec::new();
+        for c in 0..connections {
+            let addr = addr.to_string();
+            let batch: Vec<String> = lines.iter().skip(c).step_by(connections).cloned().collect();
+            workers.push(std::thread::spawn(move || {
+                drive_timed(&addr, &batch, open_loop)
+            }));
+        }
+        let mut responses = Vec::new();
+        let mut lat_by_model: Vec<Vec<Duration>> = vec![Vec::new(); models.len()];
+        let mut count_by_model = vec![0u64; models.len()];
+        let mut err_by_model = vec![0u64; models.len()];
+        for (c, w) in workers.into_iter().enumerate() {
+            let (resp, lats) = w.join().map_err(|_| "connection thread panicked")??;
+            let conn_choices: Vec<usize> = choices
+                .iter()
+                .skip(c)
+                .step_by(connections)
+                .copied()
+                .collect();
+            for (i, r) in resp.iter().enumerate() {
+                count_by_model[conn_choices[i]] += 1;
+                if r.contains("\"error\"") {
+                    err_by_model[conn_choices[i]] += 1;
+                }
+            }
+            for (i, l) in lats.iter().enumerate() {
+                lat_by_model[conn_choices[i]].push(*l);
+            }
+            responses.push(resp);
+        }
+        for (k, (name, _)) in models.iter().enumerate() {
+            let mut lats = std::mem::take(&mut lat_by_model[k]);
+            lats.sort_unstable();
+            let row = if lats.is_empty() {
+                format!(
+                    "model {name}: {} queries, {} errors, latency n/a (open loop)",
+                    count_by_model[k], err_by_model[k]
+                )
+            } else {
+                let mean = lats.iter().sum::<Duration>() / lats.len() as u32;
+                format!(
+                    "model {name}: {} queries, {} errors, mean {:.3}ms, p50 {:.3}ms, p99 {:.3}ms",
+                    count_by_model[k],
+                    err_by_model[k],
+                    mean.as_secs_f64() * 1e3,
+                    lat_quantile(&lats, 0.50).as_secs_f64() * 1e3,
+                    lat_quantile(&lats, 0.99).as_secs_f64() * 1e3,
+                )
+            };
+            model_rows.push(row);
+        }
+        (responses, "mixed-tenant")
     } else {
         let queries: usize = flag_value(args, "--queries")
             .ok_or("--queries N is required")?
@@ -239,7 +382,45 @@ fn run(args: &[String]) -> Result<(), String> {
             "closed loop"
         },
     );
+    for row in &model_rows {
+        eprintln!("loadgen:   {row}");
+    }
     Ok(())
+}
+
+/// Nearest-rank quantile over an already-sorted latency sample.
+fn lat_quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// [`drive`] plus per-request client-side latency (write → response).
+/// Latencies are only meaningful closed-loop; open loop returns an
+/// empty latency vector.
+fn drive_timed(
+    addr: &str,
+    requests: &[String],
+    open_loop: bool,
+) -> Result<(Vec<String>, Vec<Duration>), String> {
+    if open_loop {
+        return Ok((drive(addr, requests, true)?, Vec::new()));
+    }
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut latencies = Vec::with_capacity(requests.len());
+    for req in requests {
+        let sent = Instant::now();
+        writeln!(writer, "{req}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        responses.push(read_line(&mut reader)?);
+        latencies.push(sent.elapsed());
+    }
+    Ok((responses, latencies))
 }
 
 /// Drives one connection; returns its responses in request order.

@@ -26,7 +26,16 @@
 //!   commands backed by `evprop-incremental`: each open session pins
 //!   resident calibrated tables to one shard and answers repeat
 //!   queries by dirty-slice propagation instead of full repropagation
-//!   (bounded table, TTL eviction, counters on `{"cmd": "stats"}`).
+//!   (bounded table, TTL eviction, counters on `{"cmd": "stats"}`);
+//! * **multi-model serving** — boot with
+//!   [`ShardedRuntime::with_registry`] and every query resolves its
+//!   model (an optional `"model"` field, or the default alias) against
+//!   an `evprop-registry` [`ModelRegistry`](evprop_registry::ModelRegistry):
+//!   `model-load` / `model-swap` / `model-unload` / `model-list`
+//!   protocol commands load and retire versions while the dispatchers
+//!   keep serving, in-flight queries and open sessions pin the exact
+//!   version answering them, and alias swaps land on the next
+//!   submission.
 //!
 //! ```
 //! use evprop_bayesnet::networks;
@@ -53,9 +62,11 @@ mod sessions;
 
 pub use metrics::{quantile_of, Counter, LatencyHistogram, RuntimeStats, ShardStats};
 pub use protocol::{
-    format_error, format_response, format_response_timed, format_session_ack,
+    format_error, format_model_list, format_model_loaded, format_model_swapped,
+    format_model_unloaded, format_response, format_response_timed, format_session_ack,
     format_session_opened, format_session_response, format_stats, format_trace, parse_json,
-    parse_request, parse_request_line, Json, ModelNames, NumericNames, Request,
+    parse_request, parse_request_line, parse_request_value, request_model, request_session,
+    with_model_tag, Json, ModelNames, NumericNames, Request,
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use runtime::{

@@ -8,6 +8,7 @@
 //! count with the same implementation — the numbers cannot drift.
 
 use crate::sessions::SessionTableStats;
+use evprop_registry::RegistryStats;
 use evprop_taskgraph::PlanCacheStats;
 use std::time::Duration;
 
@@ -108,6 +109,11 @@ pub struct RuntimeStats {
     /// stats protocol omits the field entirely in that case, so the
     /// stateless golden transcript stays byte-identical.
     pub sessions: Option<SessionTableStats>,
+    /// Model-registry counters (loads, evictions, swaps, resident and
+    /// still-pinned unlinked bytes). `None` unless the runtime was
+    /// booted in registry mode, so single-model servers keep their
+    /// pre-registry stats lines byte-identical.
+    pub registry: Option<RegistryStats>,
 }
 
 #[cfg(test)]

@@ -85,6 +85,43 @@
 //! histogram); before that it is omitted entirely, keeping stateless
 //! transcripts byte-identical.
 //!
+//! # Model commands
+//!
+//! When the server runs in registry mode (booted with `--model` or
+//! `--model-budget-mb`), queries and `session-open` accept an optional
+//! `"model"` field — a registry name (`"asia"`, resolved through its
+//! alias) or an exact version tag (`"asia@v2"`). Responses to requests
+//! that named a model echo the answering version as
+//! `"model":"name@vN"`; requests without the field use the default
+//! model and get the unadorned pre-registry response, so existing
+//! clients and golden transcripts are untouched. Four commands manage
+//! the registry over the wire:
+//!
+//! ```json
+//! {"cmd": "model-load", "path": "/models/asia.bif", "name": "asia"}
+//!     → {"ok":true,"model":"asia@v2","bytes":18572}
+//! {"cmd": "model-swap", "name": "asia", "version": 1}
+//!     → {"ok":true,"model":"asia@v1"}
+//! {"cmd": "model-unload", "name": "asia", "version": 2}
+//!     → {"ok":true,"unloaded":["asia@v2"]}
+//! {"cmd": "model-list"}
+//!     → {"models":[{"name":"asia","alias":1,"versions":[
+//!          {"version":1,"bytes":18572,"served":41,"pinned":false}]}]}
+//! ```
+//!
+//! `model-load` parses the BIF file server-side, compiles it, runs a
+//! warmup query, and only then flips the alias — traffic on the old
+//! version is never disturbed. `model-unload` without `"version"`
+//! unloads every version and removes the name; unloaded versions stop
+//! resolving immediately (new `session-open`s racing the unload get a
+//! deterministic `model_unloading: name@vN` error) but keep serving
+//! clients that already pinned them. Sessions pin the exact version
+//! they opened against — `session-open` with a model answers
+//! `{"session":N,"model":"name@vN"}` and every query on that session
+//! is answered by that version, across any number of swaps. In
+//! registry mode the `stats` response grows a `"registry"` object
+//! (loads / evictions / swaps / resident and unlinked byte counts).
+//!
 //! All `*_us` fields are integer microseconds. The parser below is a
 //! deliberately tiny recursive-descent JSON reader — the build
 //! environment is offline, so no serde — covering exactly the grammar
@@ -92,106 +129,13 @@
 
 use crate::metrics::RuntimeStats;
 use crate::runtime::{QuerySummary, QueryTiming};
-use evprop_bayesnet::bif::BifNetwork;
-use evprop_bayesnet::BayesianNetwork;
 use evprop_core::Query;
 use evprop_potential::{EvidenceSet, PotentialTable, VarId};
+use evprop_registry::ModelInfo;
 
-/// Symbolic variable/state addressing for a served model.
-///
-/// The runtime works on [`VarId`]s; the wire protocol works on names.
-/// Implementations bridge the two — [`BifNetwork`] for models loaded
-/// from BIF files, [`NumericNames`] as the fallback for programmatic
-/// networks.
-pub trait ModelNames {
-    /// Number of variables in the model.
-    fn num_vars(&self) -> usize;
-    /// Resolves a variable name to its id.
-    fn var_id(&self, name: &str) -> Option<VarId>;
-    /// The name of a variable.
-    fn var_name(&self, var: VarId) -> String;
-    /// Number of states of a variable.
-    fn num_states(&self, var: VarId) -> usize;
-    /// Resolves a state name of a variable to its index.
-    fn state_index(&self, var: VarId, state: &str) -> Option<usize>;
-    /// The name of a variable's state.
-    fn state_name(&self, var: VarId, state: usize) -> String;
-}
-
-impl ModelNames for BifNetwork {
-    fn num_vars(&self) -> usize {
-        self.network.num_vars()
-    }
-
-    fn var_id(&self, name: &str) -> Option<VarId> {
-        BifNetwork::var_id(self, name)
-    }
-
-    fn var_name(&self, var: VarId) -> String {
-        BifNetwork::var_name(self, var).to_string()
-    }
-
-    fn num_states(&self, var: VarId) -> usize {
-        self.state_names[var.index()].len()
-    }
-
-    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
-        self.state_names[var.index()]
-            .iter()
-            .position(|s| s == state)
-    }
-
-    fn state_name(&self, var: VarId, state: usize) -> String {
-        BifNetwork::state_name(self, var, state).to_string()
-    }
-}
-
-/// Positional naming (`v0`, `v1`, … with states `0`, `1`, …) for
-/// networks that carry no symbolic names.
-#[derive(Clone, Debug)]
-pub struct NumericNames {
-    cardinalities: Vec<usize>,
-}
-
-impl NumericNames {
-    /// Names every variable of `net` positionally.
-    pub fn of(net: &BayesianNetwork) -> Self {
-        NumericNames {
-            cardinalities: (0..net.num_vars())
-                .map(|i| net.var(VarId(i as u32)).cardinality())
-                .collect(),
-        }
-    }
-}
-
-impl ModelNames for NumericNames {
-    fn num_vars(&self) -> usize {
-        self.cardinalities.len()
-    }
-
-    fn var_id(&self, name: &str) -> Option<VarId> {
-        let digits = name.strip_prefix('v').unwrap_or(name);
-        let i: usize = digits.parse().ok()?;
-        (i < self.cardinalities.len()).then_some(VarId(i as u32))
-    }
-
-    fn var_name(&self, var: VarId) -> String {
-        format!("v{}", var.index())
-    }
-
-    fn num_states(&self, var: VarId) -> usize {
-        self.cardinalities[var.index()]
-    }
-
-    fn state_index(&self, var: VarId, state: &str) -> Option<usize> {
-        let i: usize = state.parse().ok()?;
-        (i < self.cardinalities[var.index()]).then_some(i)
-    }
-
-    fn state_name(&self, _var: VarId, state: usize) -> String {
-        state.to_string()
-    }
-}
+// The symbolic-name bridge lives in `evprop-registry` (one name table
+// per loaded model); re-exported here so the serving API is unchanged.
+pub use evprop_registry::{ModelNames, NumericNames};
 
 // ---------------------------------------------------------------- JSON
 
@@ -538,6 +482,43 @@ pub enum Request {
         /// The session id.
         session: u64,
     },
+    /// `{"cmd": "model-load", "path": …, "name": …}` — parse a BIF
+    /// file server-side, compile and warm it up, and install it as the
+    /// next version of `name` (the alias flips to it on success).
+    /// Answers `{"ok":true,"model":"name@vN","bytes":B}`.
+    ModelLoad {
+        /// Filesystem path of the BIF file, as seen by the server.
+        path: String,
+        /// The registry name to install under.
+        name: String,
+    },
+    /// `{"cmd": "model-unload", "name": …}` (all versions, removing
+    /// the name) or `{… , "version": N}` (one version; the alias
+    /// retargets to the highest survivor). Unloaded versions stop
+    /// resolving immediately but stay alive for whoever already pinned
+    /// them. Answers `{"ok":true,"unloaded":["name@vN", …]}`.
+    ModelUnload {
+        /// The registry name.
+        name: String,
+        /// One version, or `None` for every version of the name.
+        version: Option<u32>,
+    },
+    /// `{"cmd": "model-list"}` — every registered name with its alias
+    /// target and resident versions (bytes, served counts, pin state),
+    /// sorted by name then version so transcripts are deterministic.
+    /// Answers `{"models":[{"name":…,"alias":N,"versions":[…]}]}`.
+    ModelList,
+    /// `{"cmd": "model-swap", "name": …, "version": N}` — atomically
+    /// retarget `name`'s alias to an already-resident version (roll
+    /// forward or back without reloading). In-flight queries finish on
+    /// whichever version they resolved. Answers
+    /// `{"ok":true,"model":"name@vN"}`.
+    ModelSwap {
+        /// The registry name.
+        name: String,
+        /// The resident version to alias.
+        version: u32,
+    },
 }
 
 fn session_id(v: &Json) -> Result<u64, String> {
@@ -558,8 +539,62 @@ fn session_var(names: &dyn ModelNames, v: &Json, key: &str) -> Result<VarId, Str
     )
 }
 
+fn string_field(v: &Json, key: &str) -> Result<String, String> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!("\"{key}\" must be a string, got {other:?}")),
+        None => Err(format!("request is missing \"{key}\"")),
+    }
+}
+
+fn version_field(v: &Json) -> Result<Option<u32>, String> {
+    match v.get("version") {
+        None => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 1.0 && *n <= u32::MAX as f64 => {
+            Ok(Some(*n as u32))
+        }
+        Some(other) => Err(format!("bad model version: {other:?}")),
+    }
+}
+
+/// Extracts the optional `"model"` field of a query or `session-open`
+/// request: a registry name (`"asia"`) or exact tag (`"asia@v2"`).
+/// `None` means the server's default model — requests without the
+/// field behave exactly as before the registry existed.
+///
+/// # Errors
+///
+/// A message when the field is present but not a string.
+pub fn request_model(v: &Json) -> Result<Option<String>, String> {
+    match v.get("model") {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!("\"model\" must be a string, got {other:?}")),
+    }
+}
+
+/// The session id a session-addressed command (`session-set` /
+/// `session-retract` / `session-query` / `session-close`) targets, if
+/// this request is one. The multi-model front-end uses it to interpret
+/// and format the command against the names of the model that session
+/// pinned — which need not be the server's default.
+pub fn request_session(v: &Json) -> Option<u64> {
+    match v.get("cmd") {
+        Some(Json::Str(c))
+            if matches!(
+                c.as_str(),
+                "session-set" | "session-retract" | "session-query" | "session-close"
+            ) => {}
+        _ => return None,
+    }
+    match v.get("session") {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
 /// Parses one request line: either an inference query or a `"cmd"`
-/// request (`stats`, `trace`, `session-*`).
+/// request (`stats`, `trace`, `session-*`, `model-*`).
 ///
 /// # Errors
 ///
@@ -568,14 +603,26 @@ fn session_var(names: &dyn ModelNames, v: &Json, key: &str) -> Result<VarId, Str
 /// [`format_error`].
 pub fn parse_request_line(line: &str, names: &dyn ModelNames) -> Result<Request, String> {
     let v = parse_json(line)?;
+    parse_request_value(&v, names)
+}
+
+/// Parses an already-parsed request object against `names` — the
+/// multi-model front-end parses the JSON once, resolves the optional
+/// [`request_model`] field to a registry handle, and then interprets
+/// the request against *that* model's name table.
+///
+/// # Errors
+///
+/// As [`parse_request_line`].
+pub fn parse_request_value(v: &Json, names: &dyn ModelNames) -> Result<Request, String> {
     if let Some(cmd) = v.get("cmd") {
         return match cmd {
             Json::Str(c) if c == "stats" => Ok(Request::Stats),
             Json::Str(c) if c == "trace" => Ok(Request::Trace),
             Json::Str(c) if c == "session-open" => Ok(Request::SessionOpen),
             Json::Str(c) if c == "session-set" => {
-                let session = session_id(&v)?;
-                let var = session_var(names, &v, "var")?;
+                let session = session_id(v)?;
+                let var = session_var(names, v, "var")?;
                 let state = resolve_state(
                     names,
                     var,
@@ -588,25 +635,42 @@ pub fn parse_request_line(line: &str, names: &dyn ModelNames) -> Result<Request,
                 })
             }
             Json::Str(c) if c == "session-retract" => Ok(Request::SessionRetract {
-                session: session_id(&v)?,
-                var: session_var(names, &v, "var")?,
+                session: session_id(v)?,
+                var: session_var(names, v, "var")?,
             }),
             Json::Str(c) if c == "session-query" => Ok(Request::SessionQuery {
-                session: session_id(&v)?,
-                target: session_var(names, &v, "target")?,
+                session: session_id(v)?,
+                target: session_var(names, v, "target")?,
             }),
             Json::Str(c) if c == "session-close" => Ok(Request::SessionClose {
-                session: session_id(&v)?,
+                session: session_id(v)?,
             }),
+            Json::Str(c) if c == "model-load" => Ok(Request::ModelLoad {
+                path: string_field(v, "path")?,
+                name: string_field(v, "name")?,
+            }),
+            Json::Str(c) if c == "model-unload" => Ok(Request::ModelUnload {
+                name: string_field(v, "name")?,
+                version: version_field(v)?,
+            }),
+            Json::Str(c) if c == "model-list" => Ok(Request::ModelList),
+            Json::Str(c) if c == "model-swap" => {
+                let version = version_field(v)?.ok_or("request is missing \"version\"")?;
+                Ok(Request::ModelSwap {
+                    name: string_field(v, "name")?,
+                    version,
+                })
+            }
             other => Err(format!(
-                "unknown command {other:?} (expected \"stats\", \"trace\", or \"session-open\"/\
-                 \"session-set\"/\"session-retract\"/\"session-query\"/\"session-close\")"
+                "unknown command {other:?} (expected \"stats\", \"trace\", \"session-open\"/\
+                 \"session-set\"/\"session-retract\"/\"session-query\"/\"session-close\", or \
+                 \"model-load\"/\"model-unload\"/\"model-list\"/\"model-swap\")"
             )),
         };
     }
     let timing = matches!(v.get("timing"), Some(Json::Bool(true)));
     Ok(Request::Query {
-        query: query_from_json(&v, names)?,
+        query: query_from_json(v, names)?,
         timing,
     })
 }
@@ -761,6 +825,79 @@ pub fn format_session_response(
     out
 }
 
+/// Appends a `"model":"name@vN"` field to an already-formatted
+/// response object — used whenever the *request* named a model, so
+/// every answer reports exactly which version produced it. Requests
+/// that rely on the default alias get the unadorned line, keeping
+/// pre-registry transcripts byte-identical.
+pub fn with_model_tag(mut line: String, tag: &str) -> String {
+    line.pop(); // reopen the object: drop the trailing '}'
+    line.push_str(",\"model\":\"");
+    escape_into(&mut line, tag);
+    line.push_str("\"}");
+    line
+}
+
+/// Formats a successful `model-load`:
+/// `{"ok":true,"model":"name@vN","bytes":B}`.
+pub fn format_model_loaded(tag: &str, bytes: u64) -> String {
+    let mut out = String::from("{\"ok\":true,\"model\":\"");
+    escape_into(&mut out, tag);
+    out.push_str(&format!("\",\"bytes\":{bytes}}}"));
+    out
+}
+
+/// Formats a successful `model-swap`: `{"ok":true,"model":"name@vN"}`.
+pub fn format_model_swapped(tag: &str) -> String {
+    let mut out = String::from("{\"ok\":true,\"model\":\"");
+    escape_into(&mut out, tag);
+    out.push_str("\"}");
+    out
+}
+
+/// Formats a successful `model-unload`:
+/// `{"ok":true,"unloaded":["name@vN", …]}`.
+pub fn format_model_unloaded(tags: &[String]) -> String {
+    let mut out = String::from("{\"ok\":true,\"unloaded\":[");
+    for (i, tag) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, tag);
+        out.push('"');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Formats a `model-list` answer (schema in the [module docs](self)).
+/// The registry returns names and versions sorted, so the line is
+/// deterministic for a fixed command transcript.
+pub fn format_model_list(models: &[ModelInfo]) -> String {
+    let mut out = String::from("{\"models\":[");
+    for (i, m) in models.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &m.name);
+        out.push_str(&format!("\",\"alias\":{},\"versions\":[", m.alias));
+        for (j, v) in m.versions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"version\":{},\"bytes\":{},\"served\":{},\"pinned\":{}}}",
+                v.version, v.bytes, v.served, v.pinned,
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Formats an error as one response line (no trailing newline).
 pub fn format_error(message: &str) -> String {
     let mut out = String::from("{\"error\":\"");
@@ -850,6 +987,22 @@ pub fn format_stats(stats: &RuntimeStats) -> String {
             out.push_str(&c.to_string());
         }
         out.push_str("]}");
+    }
+    if let Some(r) = &stats.registry {
+        out.push_str(&format!(
+            ",\"registry\":{{\"loads\":{},\"evictions\":{},\"swaps\":{},\
+             \"models\":{},\"versions\":{},\"resident_bytes\":{},\
+             \"unlinked\":{},\"unlinked_bytes\":{},\"served\":{}}}",
+            r.loads,
+            r.evictions,
+            r.swaps,
+            r.models,
+            r.versions,
+            r.resident_bytes,
+            r.unlinked,
+            r.unlinked_bytes,
+            r.served,
+        ));
     }
     out.push_str("}}");
     out
@@ -1019,6 +1172,7 @@ mod tests {
             plan_cache: None,
             kernel_backend: "scalar",
             sessions: None,
+            registry: None,
         };
         let line = format_stats(&stats);
         let v = parse_json(&line).unwrap();
@@ -1086,6 +1240,120 @@ mod tests {
     }
 
     #[test]
+    fn parses_model_commands() {
+        let names = asia_names();
+        let Ok(Request::ModelLoad { path, name }) = parse_request_line(
+            r#"{"cmd": "model-load", "path": "/tmp/x.bif", "name": "x"}"#,
+            &names,
+        ) else {
+            panic!("expected ModelLoad");
+        };
+        assert_eq!((path.as_str(), name.as_str()), ("/tmp/x.bif", "x"));
+        assert!(matches!(
+            parse_request_line(r#"{"cmd": "model-unload", "name": "x"}"#, &names),
+            Ok(Request::ModelUnload { version: None, .. })
+        ));
+        assert!(matches!(
+            parse_request_line(
+                r#"{"cmd": "model-unload", "name": "x", "version": 2}"#,
+                &names
+            ),
+            Ok(Request::ModelUnload {
+                version: Some(2),
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_request_line(r#"{"cmd": "model-list"}"#, &names),
+            Ok(Request::ModelList)
+        ));
+        assert!(matches!(
+            parse_request_line(
+                r#"{"cmd": "model-swap", "name": "x", "version": 3}"#,
+                &names
+            ),
+            Ok(Request::ModelSwap { version: 3, .. })
+        ));
+        for bad in [
+            r#"{"cmd": "model-load", "name": "x"}"#,  // no path
+            r#"{"cmd": "model-load", "path": "/p"}"#, // no name
+            r#"{"cmd": "model-swap", "name": "x"}"#,  // no version
+            r#"{"cmd": "model-swap", "name": "x", "version": 0}"#, // versions start at 1
+            r#"{"cmd": "model-swap", "name": "x", "version": 1.5}"#, // non-integer
+            r#"{"cmd": "model-unload", "version": 1}"#, // no name
+        ] {
+            assert!(parse_request_line(bad, &names).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn model_field_extraction() {
+        let v = parse_json(r#"{"target": "v3", "model": "asia@v2"}"#).unwrap();
+        assert_eq!(request_model(&v).unwrap(), Some("asia@v2".to_string()));
+        let v = parse_json(r#"{"target": "v3"}"#).unwrap();
+        assert_eq!(request_model(&v).unwrap(), None);
+        let v = parse_json(r#"{"target": "v3", "model": 7}"#).unwrap();
+        assert!(request_model(&v).is_err());
+    }
+
+    #[test]
+    fn session_id_extraction_is_limited_to_session_commands() {
+        let v = parse_json(r#"{"cmd": "session-query", "session": 4, "target": "v3"}"#).unwrap();
+        assert_eq!(request_session(&v), Some(4));
+        let v = parse_json(r#"{"cmd": "session-close", "session": 1}"#).unwrap();
+        assert_eq!(request_session(&v), Some(1));
+        // session-open has no id yet; plain queries never have one; a
+        // malformed id falls back to default names and errors in parse.
+        for other in [
+            r#"{"cmd": "session-open"}"#,
+            r#"{"target": "v3", "session": 4}"#,
+            r#"{"cmd": "session-query", "session": -1, "target": "v3"}"#,
+            r#"{"cmd": "session-query", "target": "v3"}"#,
+        ] {
+            assert_eq!(
+                request_session(&parse_json(other).unwrap()),
+                None,
+                "{other}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_response_formatting() {
+        assert_eq!(
+            format_model_loaded("asia@v2", 1234),
+            r#"{"ok":true,"model":"asia@v2","bytes":1234}"#
+        );
+        assert_eq!(
+            format_model_swapped("asia@v1"),
+            r#"{"ok":true,"model":"asia@v1"}"#
+        );
+        assert_eq!(
+            format_model_unloaded(&["asia@v1".into(), "asia@v2".into()]),
+            r#"{"ok":true,"unloaded":["asia@v1","asia@v2"]}"#
+        );
+        assert_eq!(
+            with_model_tag(r#"{"session":3}"#.to_string(), "asia@v1"),
+            r#"{"session":3,"model":"asia@v1"}"#
+        );
+        let list = vec![ModelInfo {
+            name: "asia".into(),
+            alias: 2,
+            versions: vec![evprop_registry::VersionInfo {
+                version: 2,
+                bytes: 99,
+                served: 1,
+                pinned: true,
+            }],
+        }];
+        assert_eq!(
+            format_model_list(&list),
+            r#"{"models":[{"name":"asia","alias":2,"versions":[{"version":2,"bytes":99,"served":1,"pinned":true}]}]}"#
+        );
+        assert_eq!(format_model_list(&[]), r#"{"models":[]}"#);
+    }
+
+    #[test]
     fn session_response_formatting() {
         assert_eq!(format_session_opened(12), r#"{"session":12}"#);
         assert_eq!(format_session_ack(None), r#"{"ok":true}"#);
@@ -1143,6 +1411,7 @@ mod tests {
             plan_cache: None,
             kernel_backend: "scalar",
             sessions: None,
+            registry: None,
         };
         let line = format_stats(&stats);
         assert!(!line.contains("sessions"), "{line}");

@@ -25,13 +25,14 @@
 
 use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
 use crate::queue::{AdmissionQueue, PushError};
-use crate::sessions::SessionTable;
+use crate::sessions::{OpenError, SessionTable};
 use evprop_core::{
     CalibratedState, CompiledModel, EngineError, InferenceSession, Query, ShardState,
 };
 use evprop_incremental::{IncrementalSession, QueryMode};
 use evprop_potential::{PotentialTable, VarId};
-use evprop_sched::SchedulerConfig;
+use evprop_registry::{ModelHandle, ModelRegistry, RegistryError};
+use evprop_sched::{SchedulerConfig, TableArena};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -56,6 +57,10 @@ pub enum ServeError {
     SessionLimit,
     /// The query was answered with an engine error.
     Engine(EngineError),
+    /// A model-registry operation failed (unknown model or version,
+    /// version mid-unload, bad name, failed warmup). Only produced by
+    /// runtimes booted in registry mode or by requests naming a model.
+    Registry(RegistryError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -68,6 +73,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::SessionLimit => write!(f, "session table full: open rejected"),
             ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Registry(e) => write!(f, "{e}"),
         }
     }
 }
@@ -76,6 +82,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
+            ServeError::Registry(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +91,12 @@ impl std::error::Error for ServeError {
 impl From<EngineError> for ServeError {
     fn from(e: EngineError) -> Self {
         ServeError::Engine(e)
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> Self {
+        ServeError::Registry(e)
     }
 }
 
@@ -272,9 +285,21 @@ impl ResponseSlot {
 #[derive(Debug)]
 pub struct Ticket {
     slot: Arc<ResponseSlot>,
+    /// Exact `name@vN` tag of the version answering this query, when
+    /// the submission named a model. Resolved at submit time, so the
+    /// tag identifies the answering version even if the alias is
+    /// swapped while the query is in flight.
+    tag: Option<String>,
 }
 
 impl Ticket {
+    /// The exact `name@vN` tag of the model version answering this
+    /// query, when the submission named one (`None` for default-alias
+    /// and non-registry submissions).
+    pub fn model_tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
     /// Blocks until the query is answered.
     ///
     /// # Errors
@@ -302,6 +327,12 @@ struct Job {
     query: Query,
     enqueued: Instant,
     slot: Arc<ResponseSlot>,
+    /// The registry version answering this query, resolved at submit
+    /// time. Holding the `Arc` pins the version: an unload or eviction
+    /// racing the queue can drop the registry's strong reference, but
+    /// the compiled model stays alive until this job is answered.
+    /// `None` on runtimes booted without a registry.
+    handle: Option<Arc<ModelHandle>>,
 }
 
 struct Shard {
@@ -309,11 +340,24 @@ struct Shard {
     metrics: ShardMetrics,
 }
 
+/// The registry a runtime was booted against, plus the alias answering
+/// queries that name no model.
+struct RegistryBinding {
+    registry: Arc<ModelRegistry>,
+    default_model: String,
+}
+
 struct Inner {
     /// The one compiled model (domains + task graph + interned kernel
     /// plans) every shard serves. Shards share this `Arc` — they never
-    /// copy the graph or recompile plans.
+    /// copy the graph or recompile plans. In registry mode this is the
+    /// default alias's version at boot; per-query resolution may
+    /// override it job by job.
     model: Arc<CompiledModel>,
+    /// Present iff the runtime was booted with
+    /// [`ShardedRuntime::with_registry`]: every query then resolves a
+    /// model (the `"model"` field or the default alias) at submit time.
+    registry: Option<RegistryBinding>,
     queue: AdmissionQueue<Job>,
     shards: Vec<Shard>,
     max_batch: usize,
@@ -368,6 +412,37 @@ impl ShardedRuntime {
     /// (junction tree, task graph, kernel-plan interning) happened
     /// exactly once, no matter how many shards or runtimes share it.
     pub fn from_model(model: Arc<CompiledModel>, config: RuntimeConfig) -> Self {
+        Self::boot(model, None, config)
+    }
+
+    /// Boots the runtime in registry mode: queries resolve their model
+    /// per submission — the request's `"model"` field, or
+    /// `default_model` when absent — so alias swaps take effect on the
+    /// very next query, loads and unloads happen while serving, and
+    /// every in-flight query pins the exact version that answers it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when `default_model` does not resolve.
+    pub fn with_registry(
+        registry: Arc<ModelRegistry>,
+        default_model: &str,
+        config: RuntimeConfig,
+    ) -> ServeResult<Self> {
+        let handle = registry.resolve(default_model)?;
+        let model = Arc::clone(handle.model());
+        let binding = RegistryBinding {
+            registry,
+            default_model: default_model.to_string(),
+        };
+        Ok(Self::boot(model, Some(binding), config))
+    }
+
+    fn boot(
+        model: Arc<CompiledModel>,
+        registry: Option<RegistryBinding>,
+        config: RuntimeConfig,
+    ) -> Self {
         let shards = (0..config.shards)
             .map(|_| Shard {
                 state: ShardState::new(config.scheduler()),
@@ -376,6 +451,7 @@ impl ShardedRuntime {
             .collect();
         let inner = Arc::new(Inner {
             model,
+            registry,
             queue: AdmissionQueue::new(config.queue_depth),
             shards,
             max_batch: config.max_batch,
@@ -415,20 +491,71 @@ impl ShardedRuntime {
         self.inner.shards.len()
     }
 
+    /// The model registry this runtime was booted against, if any.
+    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
+        self.inner.registry.as_ref().map(|b| &b.registry)
+    }
+
+    /// The alias answering queries that name no model (registry mode
+    /// only).
+    pub fn default_model(&self) -> Option<&str> {
+        self.inner
+            .registry
+            .as_ref()
+            .map(|b| b.default_model.as_str())
+    }
+
+    /// Resolves the model answering a submission: the named spec, or
+    /// the default alias in registry mode, or the one compiled model
+    /// otherwise (`None` — the dispatcher then uses `inner.model`).
+    fn resolve_handle(&self, model: Option<&str>) -> ServeResult<Option<Arc<ModelHandle>>> {
+        match (&self.inner.registry, model) {
+            (Some(binding), spec) => {
+                let spec = spec.unwrap_or(&binding.default_model);
+                Ok(Some(binding.registry.resolve(spec)?))
+            }
+            (None, None) => Ok(None),
+            (None, Some(spec)) => Err(ServeError::Registry(RegistryError::UnknownModel(
+                spec.to_string(),
+            ))),
+        }
+    }
+
     /// Submits a query, blocking while the admission queue is full.
+    /// In registry mode the default alias is resolved at submit time,
+    /// so an alias swap lands on the very next submission.
     ///
     /// # Errors
     ///
     /// [`ServeError::ShuttingDown`] if the runtime is stopping.
     pub fn submit(&self, query: Query) -> ServeResult<Ticket> {
+        self.submit_model(query, None)
+    }
+
+    /// Submits a query against a named model (`"name"` for the alias,
+    /// `"name@vN"` for an exact version), blocking while the admission
+    /// queue is full. The version is resolved — and pinned — here, so
+    /// the returned ticket's [`model_tag`](Ticket::model_tag) names the
+    /// exact version that answers, even across a concurrent swap or
+    /// unload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when the spec does not resolve (or the
+    /// runtime has no registry); [`ServeError::ShuttingDown`] if the
+    /// runtime is stopping.
+    pub fn submit_model(&self, query: Query, model: Option<&str>) -> ServeResult<Ticket> {
+        let handle = self.resolve_handle(model)?;
+        let tag = model.and(handle.as_ref()).map(|h| h.tag());
         let slot = Arc::new(ResponseSlot::new());
         let job = Job {
             query,
             enqueued: Instant::now(),
             slot: Arc::clone(&slot),
+            handle,
         };
         match self.inner.queue.push(job) {
-            Ok(()) => Ok(Ticket { slot }),
+            Ok(()) => Ok(Ticket { slot, tag }),
             Err(_) => Err(ServeError::ShuttingDown),
         }
     }
@@ -441,14 +568,27 @@ impl ShardedRuntime {
     /// [`ServeError::Overloaded`] when the queue is full;
     /// [`ServeError::ShuttingDown`] if the runtime is stopping.
     pub fn try_submit(&self, query: Query) -> ServeResult<Ticket> {
+        self.try_submit_model(query, None)
+    }
+
+    /// Non-blocking [`submit_model`](ShardedRuntime::submit_model).
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit_model`](ShardedRuntime::submit_model), plus
+    /// [`ServeError::Overloaded`] when the queue is full.
+    pub fn try_submit_model(&self, query: Query, model: Option<&str>) -> ServeResult<Ticket> {
+        let handle = self.resolve_handle(model)?;
+        let tag = model.and(handle.as_ref()).map(|h| h.tag());
         let slot = Arc::new(ResponseSlot::new());
         let job = Job {
             query,
             enqueued: Instant::now(),
             slot: Arc::clone(&slot),
+            handle,
         };
         match self.inner.queue.try_push(job) {
-            Ok(()) => Ok(Ticket { slot }),
+            Ok(()) => Ok(Ticket { slot, tag }),
             Err((_, PushError::Full)) => Err(ServeError::Overloaded),
             Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
         }
@@ -557,6 +697,7 @@ impl ShardedRuntime {
                 .sessions
                 .ever_used()
                 .then(|| self.inner.sessions.stats()),
+            registry: self.inner.registry.as_ref().map(|b| b.registry.stats()),
         }
     }
 
@@ -579,14 +720,85 @@ impl ShardedRuntime {
     /// [`ServeError::SessionLimit`] when the table is full;
     /// [`ServeError::Engine`] if the base calibration fails.
     pub fn session_open(&self) -> ServeResult<u64> {
-        let base = self.session_base_snapshot()?;
+        self.session_open_model(None).map(|(id, _)| id)
+    }
+
+    /// Opens an incremental session against a named model (or the
+    /// default alias / the one compiled model when `None`). The session
+    /// pins the exact version it opened against — that version can be
+    /// swapped away, unloaded, or evicted from the registry, yet the
+    /// session keeps answering on it until closed or expired. Returns
+    /// the session id plus the pinned `name@vN` tag when a model was
+    /// named.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when the spec does not resolve or the
+    /// version is being unloaded (the unload check is atomic with the
+    /// table insert, so a racing `model-unload` yields a deterministic
+    /// `model_unloading` error, never a half-dropped session);
+    /// [`ServeError::SessionLimit`] when the table is full;
+    /// [`ServeError::Engine`] if the base calibration fails.
+    pub fn session_open_model(&self, model: Option<&str>) -> ServeResult<(u64, Option<String>)> {
+        match self.resolve_handle(model)? {
+            Some(handle) => self.open_with_handle(handle, model.is_some()),
+            None => {
+                let base = self.session_base_snapshot()?;
+                self.inner
+                    .sessions
+                    .open(self.inner.shards.len(), |_| {
+                        Ok::<_, ServeError>((
+                            IncrementalSession::from_snapshot(Arc::clone(&self.inner.model), &base),
+                            None,
+                        ))
+                    })
+                    .map(|(id, _)| (id, None))
+                    .map_err(|e| match e {
+                        OpenError::Full => ServeError::SessionLimit,
+                        OpenError::Make(e) => e,
+                    })
+            }
+        }
+    }
+
+    /// Opens a session pinning `handle`. Split out so the unload-race
+    /// test can inject a handle resolved *before* a `model-unload`.
+    fn open_with_handle(
+        &self,
+        handle: Arc<ModelHandle>,
+        named: bool,
+    ) -> ServeResult<(u64, Option<String>)> {
+        // Per-version base calibration, computed once per handle (the
+        // same clone-the-snapshot trick as the single-model path).
+        let base = handle.session_base_with(|| {
+            let mut boot = IncrementalSession::new(Arc::clone(handle.model()));
+            boot.calibrate_full(&self.inner.shards[0].state)
+                .map_err(ServeError::Engine)?;
+            Ok::<_, ServeError>(Arc::new(
+                boot.snapshot().expect("no pending deltas after calibrate"),
+            ))
+        })?;
+        let tag = handle.tag();
         self.inner
             .sessions
             .open(self.inner.shards.len(), |_| {
-                IncrementalSession::from_snapshot(Arc::clone(&self.inner.model), &base)
+                // Re-checked under the table lock, atomically with the
+                // insert: once `model-unload` marks the version, no new
+                // session can pin it — and a session inserted before
+                // the mark holds a strong `Arc` the unload observes.
+                if handle.is_unloading() {
+                    return Err(ServeError::Registry(RegistryError::Unloading(handle.tag())));
+                }
+                Ok((
+                    IncrementalSession::from_snapshot(Arc::clone(handle.model()), &base),
+                    Some(Arc::clone(&handle)),
+                ))
             })
-            .map(|(id, _)| id)
-            .map_err(|()| ServeError::SessionLimit)
+            .map(|(id, _)| (id, named.then_some(tag)))
+            .map_err(|e| match e {
+                OpenError::Full => ServeError::SessionLimit,
+                OpenError::Make(e) => e,
+            })
     }
 
     /// Sets hard evidence on an open session (a pending delta; the
@@ -597,7 +809,7 @@ impl ShardedRuntime {
     /// [`ServeError::UnknownSession`]; [`ServeError::Engine`] on an
     /// unknown variable or out-of-range state.
     pub fn session_set(&self, id: u64, var: VarId, state: usize) -> ServeResult<()> {
-        let (_, session) = self.session_entry(id)?;
+        let (_, session, _) = self.session_entry(id)?;
         let result = session.lock().observe(var, state);
         result.map_err(ServeError::Engine)
     }
@@ -609,7 +821,7 @@ impl ShardedRuntime {
     ///
     /// [`ServeError::UnknownSession`].
     pub fn session_retract(&self, id: u64, var: VarId) -> ServeResult<Option<usize>> {
-        let (_, session) = self.session_entry(id)?;
+        let (_, session, _) = self.session_entry(id)?;
         let removed = session.lock().retract(var);
         Ok(removed)
     }
@@ -628,9 +840,14 @@ impl ShardedRuntime {
         id: u64,
         target: VarId,
     ) -> ServeResult<(PotentialTable, QueryMode)> {
-        let (shard, session) = self.session_entry(id)?;
+        let (shard, session, handle) = self.session_entry(id)?;
         let state = &self.inner.shards[shard].state;
         let result = session.lock().query(state, target);
+        if result.is_ok() {
+            if let Some(h) = &handle {
+                h.record_served();
+            }
+        }
         result.map_err(ServeError::Engine)
     }
 
@@ -647,14 +864,31 @@ impl ShardedRuntime {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn session_entry(
         &self,
         id: u64,
-    ) -> ServeResult<(usize, Arc<parking_lot::Mutex<IncrementalSession>>)> {
+    ) -> ServeResult<(
+        usize,
+        Arc<parking_lot::Mutex<IncrementalSession>>,
+        Option<Arc<ModelHandle>>,
+    )> {
         self.inner
             .sessions
             .get(id)
             .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// The name catalog of the model a live session pinned, if it
+    /// pinned one (registry mode). The front-end interprets and formats
+    /// session commands against these names rather than the default
+    /// model's — the pinned model's variables can differ arbitrarily.
+    pub(crate) fn session_names(
+        &self,
+        id: u64,
+    ) -> Option<Arc<dyn evprop_registry::ModelNames + Send + Sync>> {
+        let (_, _, handle) = self.inner.sessions.get(id)?;
+        handle.map(|h| Arc::clone(h.names()))
     }
 
     /// The shared empty-evidence calibration, computed on first use on
@@ -691,10 +925,14 @@ impl Drop for ShardedRuntime {
 
 /// Shard dispatcher loop: pop → drain a micro-batch → answer on one
 /// arena → fulfill tickets. Exits when the queue is closed and empty.
+///
+/// Jobs carry their resolved model, so one micro-batch may interleave
+/// models: the dispatcher keeps the arena checked out while consecutive
+/// jobs share a model and swaps it (recycle + checkout) on a change.
+/// The shard's arena cache matches recycled arenas by graph, so a small
+/// working set of interleaved models serves allocation-free once warm.
 fn dispatcher(inner: &Inner, idx: usize) {
     let shard = &inner.shards[idx];
-    let jt = inner.model.junction_tree();
-    let graph = inner.model.graph();
     let mut batch: Vec<Job> = Vec::with_capacity(inner.max_batch);
     while let Some(first) = inner.queue.pop() {
         batch.push(first);
@@ -702,12 +940,32 @@ fn dispatcher(inner: &Inner, idx: usize) {
             inner.queue.drain_into(&mut batch, inner.max_batch - 1);
         }
         let round = Instant::now();
-        let mut arena = shard.state.checkout(graph, jt.potentials());
+        let mut current: Option<(Arc<CompiledModel>, TableArena)> = None;
         for job in batch.drain(..) {
+            let model = job.handle.as_ref().map_or(&inner.model, |h| h.model());
+            let stale = current
+                .as_ref()
+                .is_none_or(|(cur, _)| !Arc::ptr_eq(cur, model));
+            if stale {
+                if let Some((_, arena)) = current.take() {
+                    shard.state.recycle(arena);
+                }
+                let arena = shard
+                    .state
+                    .checkout(model.graph(), model.junction_tree().potentials());
+                current = Some((Arc::clone(model), arena));
+            }
+            let (model, arena) = current.as_mut().expect("arena checked out above");
             let exec_start = Instant::now();
             let result = shard
                 .state
-                .posterior_on(jt, graph, &mut arena, job.query.target, &job.query.evidence)
+                .posterior_on(
+                    model.junction_tree(),
+                    model.graph(),
+                    arena,
+                    job.query.target,
+                    &job.query.evidence,
+                )
                 .map_err(ServeError::Engine);
             let timing = QueryTiming {
                 queue: exec_start.duration_since(job.enqueued),
@@ -718,6 +976,9 @@ fn dispatcher(inner: &Inner, idx: usize) {
             if result.is_err() {
                 shard.metrics.errors.incr();
             }
+            if let Some(h) = &job.handle {
+                h.record_served();
+            }
             shard.metrics.latency.record(job.enqueued.elapsed());
             inner.remember(QuerySummary {
                 target: job.query.target,
@@ -726,7 +987,9 @@ fn dispatcher(inner: &Inner, idx: usize) {
             });
             job.slot.fulfill(result, timing);
         }
-        shard.state.recycle(arena);
+        if let Some((_, arena)) = current.take() {
+            shard.state.recycle(arena);
+        }
         shard.metrics.batches.incr();
         shard
             .metrics
@@ -971,6 +1234,152 @@ mod tests {
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.open, 0);
         assert_eq!(stats.propagation.queries, 1, "retired counters survive");
+    }
+
+    fn registry_with(nets: &[(&str, &evprop_bayesnet::BayesianNetwork)]) -> Arc<ModelRegistry> {
+        let registry = Arc::new(ModelRegistry::new());
+        for (name, net) in nets {
+            let session = InferenceSession::from_network(net).unwrap();
+            registry
+                .install(
+                    name,
+                    Arc::clone(session.model()),
+                    Arc::new(evprop_registry::NumericNames::of(net)),
+                )
+                .unwrap();
+        }
+        registry
+    }
+
+    #[test]
+    fn registry_mode_answers_match_and_tags_named_queries() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let registry = registry_with(&[("asia", &net)]);
+        let rt = ShardedRuntime::with_registry(
+            Arc::clone(&registry),
+            "asia",
+            RuntimeConfig::new(1, 1).without_partitioning(),
+        )
+        .unwrap();
+        let want = session
+            .posterior(&SequentialEngine, VarId(3), &EvidenceSet::new())
+            .unwrap();
+        // Default-alias submission: untagged, bitwise-identical answer.
+        let t = rt.submit(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        assert_eq!(t.model_tag(), None);
+        assert_eq!(t.wait().unwrap().data(), want.data());
+        // Named submission pins and reports the exact version.
+        let t = rt
+            .submit_model(Query::new(VarId(3), EvidenceSet::new()), Some("asia@v1"))
+            .unwrap();
+        assert_eq!(t.model_tag(), Some("asia@v1"));
+        assert_eq!(t.wait().unwrap().data(), want.data());
+        // Unknown specs fail at submit, before touching the queue.
+        assert!(matches!(
+            rt.submit_model(Query::new(VarId(3), EvidenceSet::new()), Some("nope")),
+            Err(ServeError::Registry(RegistryError::UnknownModel(_)))
+        ));
+        let reg = rt.stats().registry.expect("registry stats present");
+        assert_eq!(reg.loads, 1);
+        assert_eq!(reg.served, 2, "both answered jobs carried a handle");
+    }
+
+    #[test]
+    fn interleaved_models_each_answer_with_their_own_tables() {
+        let asia = networks::asia();
+        let student = networks::student();
+        let registry = registry_with(&[("asia", &asia), ("student", &student)]);
+        let rt = ShardedRuntime::with_registry(
+            Arc::clone(&registry),
+            "asia",
+            RuntimeConfig::new(1, 1)
+                .without_partitioning()
+                .with_max_batch(4),
+        )
+        .unwrap();
+        let want_asia = InferenceSession::from_network(&asia)
+            .unwrap()
+            .posterior(&SequentialEngine, VarId(2), &EvidenceSet::new())
+            .unwrap();
+        let want_student = InferenceSession::from_network(&student)
+            .unwrap()
+            .posterior(&SequentialEngine, VarId(2), &EvidenceSet::new())
+            .unwrap();
+        // Interleave the two models within micro-batches; every answer
+        // must come from the right model's tables, bit-identical.
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| {
+                let spec = if i % 2 == 0 { "asia" } else { "student" };
+                rt.submit_model(Query::new(VarId(2), EvidenceSet::new()), Some(spec))
+                    .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let want = if i % 2 == 0 {
+                &want_asia
+            } else {
+                &want_student
+            };
+            assert_eq!(t.wait().unwrap().data(), want.data(), "query {i}");
+        }
+        // Both graphs fit the shard's arena cache: a second interleaved
+        // round allocates nothing new.
+        let warm: u64 = rt.stats().shards.iter().map(|s| s.arenas_allocated).sum();
+        for i in 0..12 {
+            let spec = if i % 2 == 0 { "asia" } else { "student" };
+            rt.submit_model(Query::new(VarId(2), EvidenceSet::new()), Some(spec))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let after: u64 = rt.stats().shards.iter().map(|s| s.arenas_allocated).sum();
+        assert_eq!(warm, after, "warm interleaved serving must not allocate");
+    }
+
+    #[test]
+    fn session_open_racing_unload_is_rejected_deterministically() {
+        let net = networks::asia();
+        let registry = registry_with(&[("asia", &net)]);
+        let rt =
+            ShardedRuntime::with_registry(Arc::clone(&registry), "asia", RuntimeConfig::new(1, 1))
+                .unwrap();
+        // A connection resolved the handle, then an unload won the race:
+        // the open's re-check under the table lock must reject it.
+        let stale = registry.resolve("asia").unwrap();
+        registry.unload("asia", None).unwrap();
+        let err = rt.open_with_handle(stale, true).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Registry(RegistryError::Unloading(_))
+        ));
+        assert_eq!(err.to_string(), "model_unloading: asia@v1");
+        // The normal path no longer resolves the name at all.
+        assert!(matches!(
+            rt.session_open_model(Some("asia")),
+            Err(ServeError::Registry(RegistryError::UnknownModel(_)))
+        ));
+    }
+
+    #[test]
+    fn open_sessions_pin_their_version_across_unload() {
+        let net = networks::asia();
+        let registry = registry_with(&[("asia", &net)]);
+        let rt =
+            ShardedRuntime::with_registry(Arc::clone(&registry), "asia", RuntimeConfig::new(1, 1))
+                .unwrap();
+        let (id, tag) = rt.session_open_model(Some("asia")).unwrap();
+        assert_eq!(tag.as_deref(), Some("asia@v1"));
+        registry.unload("asia", None).unwrap();
+        // New work can no longer name the model...
+        assert!(rt
+            .submit_model(Query::new(VarId(3), EvidenceSet::new()), Some("asia"))
+            .is_err());
+        // ...but the open session still answers on its pinned version.
+        rt.session_set(id, VarId(7), 1).unwrap();
+        let (m, _) = rt.session_query(id, VarId(3)).unwrap();
+        assert!((m.sum() - 1.0).abs() < 1e-9);
+        rt.session_close(id).unwrap();
     }
 
     #[test]

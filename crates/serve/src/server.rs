@@ -8,11 +8,13 @@
 //! promptly even with idle clients attached.
 
 use crate::protocol::{
-    format_error, format_response, format_response_timed, format_session_ack,
-    format_session_opened, format_session_response, format_stats, format_trace, parse_request_line,
-    ModelNames, Request,
+    format_error, format_model_list, format_model_loaded, format_model_swapped,
+    format_model_unloaded, format_response, format_response_timed, format_session_ack,
+    format_session_opened, format_session_response, format_stats, format_trace, parse_json,
+    parse_request_value, request_model, request_session, with_model_tag, ModelNames, Request,
 };
-use crate::runtime::ShardedRuntime;
+use crate::runtime::{ServeError, ShardedRuntime};
+use evprop_registry::{ModelHandle, ModelRegistry, RegistryError};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -151,29 +153,74 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// One request line → one response line (no trailing newline).
 fn answer_line(line: &str, shared: &Shared) -> String {
-    match parse_request_line(line, shared.names.as_ref()) {
+    let v = match parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return format_error(&e),
+    };
+    // The optional `"model"` field picks which registry version answers
+    // — and whose variable names interpret — this request. Resolving it
+    // *before* parsing is what lets two models with different variables
+    // share one connection.
+    let resolved: Option<Arc<ModelHandle>> = match request_model(&v) {
+        Ok(None) => None,
+        Ok(Some(spec)) => {
+            let Some(registry) = shared.runtime.registry() else {
+                return format_error(
+                    &ServeError::Registry(RegistryError::UnknownModel(spec)).to_string(),
+                );
+            };
+            match registry.resolve(&spec) {
+                Ok(h) => Some(h),
+                Err(e) => return format_error(&e.to_string()),
+            }
+        }
+        Err(e) => return format_error(&e),
+    };
+    // Session-addressed commands speak the language of whatever model
+    // their session pinned at open, so look that up before parsing.
+    let session_names = request_session(&v).and_then(|id| shared.runtime.session_names(id));
+    let names: &dyn ModelNames = match (&resolved, &session_names) {
+        (Some(h), _) => h.names().as_ref(),
+        (None, Some(n)) => n.as_ref(),
+        (None, None) => shared.names.as_ref(),
+    };
+    match parse_request_value(&v, names) {
         Ok(Request::Stats) => format_stats(&shared.runtime.stats()),
         Ok(Request::Trace) => format_trace(shared.names.as_ref(), &shared.runtime.recent()),
         Ok(Request::Query { query, timing }) => {
             let target = query.target;
-            if timing {
-                match shared.runtime.query_timed(query) {
-                    Ok((marginal, t)) => {
-                        format_response_timed(shared.names.as_ref(), target, &marginal, &t)
-                    }
-                    Err(e) => format_error(&e.to_string()),
+            // Re-resolve by exact tag at submit: the ticket then pins —
+            // and the response names — the exact answering version.
+            let spec = resolved.as_ref().map(|h| h.tag());
+            let ticket = match shared.runtime.submit_model(query, spec.as_deref()) {
+                Ok(t) => t,
+                Err(e) => return format_error(&e.to_string()),
+            };
+            let tag = ticket.model_tag().map(str::to_string);
+            let response = if timing {
+                match ticket.wait_timed() {
+                    (Ok(marginal), t) => format_response_timed(names, target, &marginal, &t),
+                    (Err(e), _) => return format_error(&e.to_string()),
                 }
             } else {
-                match shared.runtime.query(query) {
-                    Ok(marginal) => format_response(shared.names.as_ref(), target, &marginal),
-                    Err(e) => format_error(&e.to_string()),
+                match ticket.wait() {
+                    Ok(marginal) => format_response(names, target, &marginal),
+                    Err(e) => return format_error(&e.to_string()),
                 }
+            };
+            match tag {
+                Some(tag) => with_model_tag(response, &tag),
+                None => response,
             }
         }
-        Ok(Request::SessionOpen) => match shared.runtime.session_open() {
-            Ok(id) => format_session_opened(id),
-            Err(e) => format_error(&e.to_string()),
-        },
+        Ok(Request::SessionOpen) => {
+            let spec = resolved.as_ref().map(|h| h.tag());
+            match shared.runtime.session_open_model(spec.as_deref()) {
+                Ok((id, Some(tag))) => with_model_tag(format_session_opened(id), &tag),
+                Ok((id, None)) => format_session_opened(id),
+                Err(e) => format_error(&e.to_string()),
+            }
+        }
         Ok(Request::SessionSet {
             session,
             var,
@@ -185,16 +232,14 @@ fn answer_line(line: &str, shared: &Shared) -> String {
         Ok(Request::SessionRetract { session, var }) => {
             match shared.runtime.session_retract(session, var) {
                 Ok(removed) => {
-                    format_session_ack(removed.map(|s| shared.names.state_name(var, s)).as_deref())
+                    format_session_ack(removed.map(|s| names.state_name(var, s)).as_deref())
                 }
                 Err(e) => format_error(&e.to_string()),
             }
         }
         Ok(Request::SessionQuery { session, target }) => {
             match shared.runtime.session_query(session, target) {
-                Ok((marginal, mode)) => {
-                    format_session_response(shared.names.as_ref(), target, &marginal, &mode)
-                }
+                Ok((marginal, mode)) => format_session_response(names, target, &marginal, &mode),
                 Err(e) => format_error(&e.to_string()),
             }
         }
@@ -202,7 +247,62 @@ fn answer_line(line: &str, shared: &Shared) -> String {
             Ok(()) => format_session_ack(None),
             Err(e) => format_error(&e.to_string()),
         },
+        Ok(Request::ModelLoad { path, name }) => answer_model_load(shared, &path, &name),
+        Ok(Request::ModelUnload { name, version }) => match registry_of(shared) {
+            Ok(registry) => match registry.unload(&name, version) {
+                Ok(tags) => format_model_unloaded(&tags),
+                Err(e) => format_error(&e.to_string()),
+            },
+            Err(resp) => resp,
+        },
+        Ok(Request::ModelList) => match registry_of(shared) {
+            Ok(registry) => format_model_list(&registry.list()),
+            Err(resp) => resp,
+        },
+        Ok(Request::ModelSwap { name, version }) => match registry_of(shared) {
+            Ok(registry) => match registry.swap(&name, version) {
+                Ok(handle) => format_model_swapped(&handle.tag()),
+                Err(e) => format_error(&e.to_string()),
+            },
+            Err(resp) => resp,
+        },
         Err(msg) => format_error(&msg),
+    }
+}
+
+/// The runtime's registry, or a ready-made error response for servers
+/// booted without one.
+fn registry_of(shared: &Shared) -> Result<&Arc<ModelRegistry>, String> {
+    shared
+        .runtime
+        .registry()
+        .ok_or_else(|| format_error("server has no model registry: boot with --model to enable"))
+}
+
+/// Handles `model-load`: parse + compile + warm up the BIF file on the
+/// connection thread (the dispatcher threads keep serving throughout),
+/// then install it as the next version of `name` and flip the alias.
+fn answer_model_load(shared: &Shared, path: &str, name: &str) -> String {
+    let registry = match registry_of(shared) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => return format_error(&format!("cannot read {path}: {e}")),
+    };
+    let bif = match evprop_bayesnet::bif::parse(&src) {
+        Ok(bif) => bif,
+        Err(e) => return format_error(&format!("cannot parse {path}: {e}")),
+    };
+    let session = match evprop_core::InferenceSession::from_network(&bif.network) {
+        Ok(s) => s,
+        Err(e) => return format_error(&format!("cannot compile {path}: {e}")),
+    };
+    let model = Arc::clone(session.model());
+    match registry.install(name, model, Arc::new(bif)) {
+        Ok(handle) => format_model_loaded(&handle.tag(), handle.resident_bytes()),
+        Err(e) => format_error(&e.to_string()),
     }
 }
 
@@ -416,6 +516,123 @@ mod tests {
         assert_eq!(sessions.get("opened"), Some(&Json::Num(1.0)));
         assert_eq!(sessions.get("closed"), Some(&Json::Num(1.0)));
         assert_eq!(sessions.get("open"), Some(&Json::Num(0.0)));
+        server.stop();
+    }
+
+    fn boot_registry() -> (TcpServer, SocketAddr, Arc<ModelRegistry>) {
+        let asia = networks::asia();
+        let student = networks::student();
+        let registry = Arc::new(ModelRegistry::new());
+        for (name, net) in [("asia", &asia), ("student", &student)] {
+            let session = InferenceSession::from_network(net).unwrap();
+            registry
+                .install(
+                    name,
+                    Arc::clone(session.model()),
+                    Arc::new(NumericNames::of(net)),
+                )
+                .unwrap();
+        }
+        let runtime = Arc::new(
+            ShardedRuntime::with_registry(
+                Arc::clone(&registry),
+                "asia",
+                RuntimeConfig::new(1, 1).without_partitioning(),
+            )
+            .unwrap(),
+        );
+        let names = Arc::new(NumericNames::of(&asia));
+        let server = TcpServer::bind("127.0.0.1:0", runtime, names).unwrap();
+        let addr = server.local_addr();
+        (server, addr, registry)
+    }
+
+    #[test]
+    fn model_commands_and_named_queries_over_tcp() {
+        use crate::protocol::{parse_json, with_model_tag, Json};
+        let (mut server, addr, _registry) = boot_registry();
+        let stream = TcpStream::connect(addr).unwrap();
+
+        // A named query is answered by that model's tables and tagged
+        // with the exact version — byte-for-byte predictable.
+        let line = roundtrip(&stream, r#"{"model": "student", "target": "v2"}"#);
+        let student = networks::student();
+        let want = InferenceSession::from_network(&student)
+            .unwrap()
+            .posterior(&SequentialEngine, VarId(2), &EvidenceSet::new())
+            .unwrap();
+        let expected = with_model_tag(
+            format_response(&NumericNames::of(&student), VarId(2), &want),
+            "student@v1",
+        );
+        assert_eq!(line, expected);
+
+        // Default-alias queries stay untagged (golden-stable output).
+        let plain = roundtrip(&stream, r#"{"target": "v3"}"#);
+        assert!(!plain.contains("\"model\""), "got: {plain}");
+
+        // model-list names both models, sorted and deterministic.
+        let list = roundtrip(&stream, r#"{"cmd": "model-list"}"#);
+        assert!(
+            list.contains(r#""name":"asia""#) && list.contains(r#""name":"student""#),
+            "got: {list}"
+        );
+
+        // Load a third model over the wire, then query it by name.
+        let path = std::env::temp_dir().join("evprop_model_cmd_test.bif");
+        let bif_src = evprop_bayesnet::bif::write(&evprop_bayesnet::bif::with_generated_names(
+            networks::sprinkler(),
+            "sprinkler",
+        ));
+        std::fs::write(&path, bif_src).unwrap();
+        let loaded = roundtrip(
+            &stream,
+            &format!(
+                r#"{{"cmd": "model-load", "path": "{}", "name": "sprinkler"}}"#,
+                path.display()
+            ),
+        );
+        assert!(
+            loaded.starts_with(r#"{"ok":true,"model":"sprinkler@v1","bytes":"#),
+            "got: {loaded}"
+        );
+        let resp = roundtrip(&stream, r#"{"model": "sprinkler", "target": "v1"}"#);
+        let v = parse_json(&resp).unwrap();
+        assert_eq!(v.get("model"), Some(&Json::Str("sprinkler@v1".into())));
+
+        // A session pinned to a named model reports its version and
+        // keeps answering after the model is unloaded.
+        let opened = roundtrip(&stream, r#"{"cmd": "session-open", "model": "student"}"#);
+        assert_eq!(opened, r#"{"session":1,"model":"student@v1"}"#);
+        let unloaded = roundtrip(&stream, r#"{"cmd": "model-unload", "name": "student"}"#);
+        assert_eq!(unloaded, r#"{"ok":true,"unloaded":["student@v1"]}"#);
+        let sq = roundtrip(
+            &stream,
+            r#"{"cmd": "session-query", "session": 1, "target": "v2"}"#,
+        );
+        assert!(sq.contains("\"marginal\""), "got: {sq}");
+        let gone = roundtrip(&stream, r#"{"model": "student", "target": "v2"}"#);
+        assert!(gone.contains("\"error\""), "got: {gone}");
+
+        // Swap acks with the exact retargeted version.
+        let swapped = roundtrip(
+            &stream,
+            r#"{"cmd": "model-swap", "name": "asia", "version": 1}"#,
+        );
+        assert_eq!(swapped, r#"{"ok":true,"model":"asia@v1"}"#);
+
+        server.stop();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_commands_without_registry_are_rejected() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+        let resp = roundtrip(&stream, r#"{"cmd": "model-list"}"#);
+        assert!(resp.contains("no model registry"), "got: {resp}");
+        let resp = roundtrip(&stream, r#"{"model": "asia", "target": "v3"}"#);
+        assert!(resp.contains("\"error\""), "got: {resp}");
         server.stop();
     }
 

@@ -11,6 +11,7 @@
 //! [`SessionLimit`]: crate::runtime::ServeError::SessionLimit
 
 use evprop_incremental::{IncrementalSession, SessionStats};
+use evprop_registry::ModelHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,7 +24,21 @@ pub(crate) struct SessionEntry {
     pub shard: usize,
     /// The session proper; locked for the duration of each command.
     pub session: Arc<Mutex<IncrementalSession>>,
+    /// The registry version this session opened against, if the server
+    /// runs a registry. Holding the `Arc` *is* the pin: the version can
+    /// be unloaded or evicted from the registry, but its compiled model
+    /// stays alive until this session closes or expires.
+    pub handle: Option<Arc<ModelHandle>>,
     last_used: Instant,
+}
+
+/// Why [`SessionTable::open`] failed.
+#[derive(Debug)]
+pub(crate) enum OpenError<E> {
+    /// The table is still full after sweeping expired entries.
+    Full,
+    /// The `make` closure failed; nothing was inserted.
+    Make(E),
 }
 
 /// Counters of the session table, plus the merged propagation counters
@@ -85,29 +100,36 @@ impl SessionTable {
     }
 
     /// Opens a session built by `make` (called with the assigned shard
-    /// index, outside any other session's lock), sweeping expired
-    /// entries first. `Err(())` means the table is still full.
-    pub fn open(
+    /// index), sweeping expired entries first. `make` returns the
+    /// session plus the registry handle it pinned (if any) — it runs
+    /// under the table lock, *after* the capacity check and *before*
+    /// the insert, so its final checks (is the pinned model still
+    /// loadable?) are atomic with the insertion: a `model-unload`
+    /// racing the open can never leave a session pinning a model the
+    /// unload already observed as unpinned. A failed `make` inserts
+    /// nothing and consumes no id.
+    pub fn open<E>(
         &self,
         num_shards: usize,
-        make: impl FnOnce(usize) -> IncrementalSession,
-    ) -> Result<(u64, usize), ()> {
+        make: impl FnOnce(usize) -> Result<(IncrementalSession, Option<Arc<ModelHandle>>), E>,
+    ) -> Result<(u64, usize), OpenError<E>> {
         let mut inner = self.inner.lock();
         Self::sweep(&mut inner, self.ttl);
         if inner.entries.len() >= self.capacity {
             inner.rejected += 1;
-            return Err(());
+            return Err(OpenError::Full);
         }
+        let shard = inner.round_robin % num_shards.max(1);
+        let (session, handle) = make(shard).map_err(OpenError::Make)?;
+        inner.round_robin = inner.round_robin.wrapping_add(1);
         let id = inner.next_id;
         inner.next_id += 1;
-        let shard = inner.round_robin % num_shards.max(1);
-        inner.round_robin = inner.round_robin.wrapping_add(1);
-        let session = Arc::new(Mutex::new(make(shard)));
         inner.entries.insert(
             id,
             SessionEntry {
                 shard,
-                session,
+                session: Arc::new(Mutex::new(session)),
+                handle,
                 last_used: Instant::now(),
             },
         );
@@ -115,15 +137,29 @@ impl SessionTable {
         Ok((id, shard))
     }
 
-    /// Looks up a live session, refreshing its idle clock. Expired
-    /// entries are swept first, so a session past its TTL is gone even
-    /// when it is the one being addressed.
-    pub fn get(&self, id: u64) -> Option<(usize, Arc<Mutex<IncrementalSession>>)> {
+    /// Looks up a live session, refreshing its idle clock; also returns
+    /// the registry handle the session pinned, so session queries count
+    /// toward their model's served total. Expired entries are swept
+    /// first, so a session past its TTL is gone even when it is the one
+    /// being addressed.
+    #[allow(clippy::type_complexity)]
+    pub fn get(
+        &self,
+        id: u64,
+    ) -> Option<(
+        usize,
+        Arc<Mutex<IncrementalSession>>,
+        Option<Arc<ModelHandle>>,
+    )> {
         let mut inner = self.inner.lock();
         Self::sweep(&mut inner, self.ttl);
         let entry = inner.entries.get_mut(&id)?;
         entry.last_used = Instant::now();
-        Some((entry.shard, Arc::clone(&entry.session)))
+        Some((
+            entry.shard,
+            Arc::clone(&entry.session),
+            entry.handle.clone(),
+        ))
     }
 
     /// Closes a session, folding its counters into the retired totals.
@@ -224,18 +260,20 @@ mod tests {
         StdArc::clone(session.model())
     }
 
-    fn table_session(model: &StdArc<CompiledModel>) -> IncrementalSession {
-        IncrementalSession::new(StdArc::clone(model))
+    fn ok(
+        model: &StdArc<CompiledModel>,
+    ) -> Result<(IncrementalSession, Option<Arc<ModelHandle>>), ()> {
+        Ok((IncrementalSession::new(StdArc::clone(model)), None))
     }
 
     #[test]
     fn ids_are_sequential_and_shards_round_robin() {
         let model = asia_model();
         let table = SessionTable::new(8, Duration::from_secs(600));
-        let (id1, s1) = table.open(3, |_| table_session(&model)).unwrap();
-        let (id2, s2) = table.open(3, |_| table_session(&model)).unwrap();
-        let (id3, s3) = table.open(3, |_| table_session(&model)).unwrap();
-        let (id4, s4) = table.open(3, |_| table_session(&model)).unwrap();
+        let (id1, s1) = table.open(3, |_| ok(&model)).unwrap();
+        let (id2, s2) = table.open(3, |_| ok(&model)).unwrap();
+        let (id3, s3) = table.open(3, |_| ok(&model)).unwrap();
+        let (id4, s4) = table.open(3, |_| ok(&model)).unwrap();
         assert_eq!((id1, id2, id3, id4), (1, 2, 3, 4));
         assert_eq!((s1, s2, s3, s4), (0, 1, 2, 0));
         // Affinity is sticky: the looked-up shard matches the assigned one.
@@ -247,12 +285,15 @@ mod tests {
     fn capacity_rejects_and_close_frees() {
         let model = asia_model();
         let table = SessionTable::new(2, Duration::from_secs(600));
-        let (a, _) = table.open(1, |_| table_session(&model)).unwrap();
-        table.open(1, |_| table_session(&model)).unwrap();
-        assert!(table.open(1, |_| table_session(&model)).is_err());
+        let (a, _) = table.open(1, |_| ok(&model)).unwrap();
+        table.open(1, |_| ok(&model)).unwrap();
+        assert!(matches!(
+            table.open(1, |_| ok(&model)),
+            Err(OpenError::Full)
+        ));
         assert!(table.close(a));
         assert!(!table.close(a), "double close reports unknown");
-        table.open(1, |_| table_session(&model)).unwrap();
+        table.open(1, |_| ok(&model)).unwrap();
         let stats = table.stats();
         assert_eq!(stats.open, 2);
         assert_eq!(stats.opened, 3);
@@ -264,7 +305,7 @@ mod tests {
     fn idle_sessions_expire_lazily() {
         let model = asia_model();
         let table = SessionTable::new(4, Duration::from_millis(20));
-        let (id, _) = table.open(1, |_| table_session(&model)).unwrap();
+        let (id, _) = table.open(1, |_| ok(&model)).unwrap();
         assert!(table.get(id).is_some());
         std::thread::sleep(Duration::from_millis(40));
         assert!(table.get(id).is_none(), "past-TTL session is gone");
@@ -278,7 +319,7 @@ mod tests {
         let model = asia_model();
         let table = SessionTable::new(4, Duration::from_secs(600));
         assert!(!table.ever_used());
-        let (id, _) = table.open(1, |_| table_session(&model)).unwrap();
+        let (id, _) = table.open(1, |_| ok(&model)).unwrap();
         table.close(id);
         assert!(table.ever_used(), "retired sessions still count");
     }

@@ -228,6 +228,19 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Bytes of compiled plan programs resident in this cache. Only
+    /// entries whose program has actually been compiled count —
+    /// interned-but-never-dereferenced shapes hold no program memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner
+            .read()
+            .plans
+            .iter()
+            .filter_map(|e| e.compiled.get())
+            .map(|p| p.resident_bytes())
+            .sum()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {

@@ -50,6 +50,8 @@ pub use evprop_incremental as incremental;
 pub use evprop_jtree as jtree;
 /// Potential tables and the four node-level primitives.
 pub use evprop_potential as potential;
+/// Multi-model registry: versioned aliases, hot swap, budgeted eviction.
+pub use evprop_registry as registry;
 /// The collaborative scheduler on OS threads.
 pub use evprop_sched as sched;
 /// Sharded serving runtime: admission control, metrics, TCP front-end.
