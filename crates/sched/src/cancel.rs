@@ -1,0 +1,80 @@
+//! Cooperative cancellation of in-flight scheduler jobs.
+//!
+//! A [`CancelToken`] is attached to one pool job (see
+//! [`CollabPool::run_cancellable`]) and checked by every worker at task
+//! boundaries — the same boundaries the Fetch module already crosses —
+//! so a cancelled job stops within one task's worth of work per thread
+//! without ever observing a half-written table: a task either ran to
+//! completion or never ran.
+//!
+//! Determinism contract: cancellation never changes the *value* of a
+//! result, only whether one is produced. If the job finishes before the
+//! workers observe the token (however late the token fired), the run
+//! reports success and the result is bit-identical to an uncancelled
+//! run.
+//!
+//! [`CollabPool::run_cancellable`]: crate::CollabPool::run_cancellable
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable flag (plus optional deadline) that requests a job stop
+/// early. Cloning is cheap and every clone observes the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`cancel`](Self::cancel) is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `deadline` passes. Workers
+    /// consult the clock at task boundaries, so a deadline-armed token
+    /// costs one `Instant::now()` per task; a plain token costs one
+    /// atomic load.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_on_its_own() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic fault injection, compiled in only with the `chaos`
+//! feature and armed only when the `EVPROP_CHAOS` environment variable
+//! is set.
+//!
+//! The spec is a comma-separated list of `key=value` fields:
+//!
+//! ```text
+//! EVPROP_CHAOS=seed=42,worker_kill=0.02,kernel_slow_us=500@0.05,conn_drop=0.01,queue_stall_ms=5@0.02
+//! ```
+//!
+//! - `seed=N` — base of the deterministic draw sequence (default 0).
+//! - `worker_kill=R` — probability that a pool worker dies (a genuine
+//!   thread death, outside the job's panic guard) when it picks up a
+//!   job, exercising the supervision/respawn path.
+//! - `kernel_slow_us=U@R` — with probability `R`, a worker sleeps `U`
+//!   microseconds before executing a task (an artificially slow kernel,
+//!   pushing queries past their deadlines).
+//! - `conn_drop=R` — probability that the server tears a connection
+//!   down right before answering a request.
+//! - `queue_stall_ms=M@R` — with probability `R`, a dispatcher stalls
+//!   `M` milliseconds before draining its next batch.
+//!
+//! Draws are a counter-indexed `splitmix64` stream: for a fixed seed
+//! the *sequence* of outcomes is fixed, so the total number of
+//! injections for a given request volume is tightly concentrated and a
+//! CI job can assert lower bounds on it. A rate of `0` (or an unset
+//! variable) disables an injection point entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Parsed `EVPROP_CHAOS` spec; all-zero when the variable is unset, in
+/// which case every injection point is a single branch on a cached
+/// struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// Base seed of the draw stream.
+    pub seed: u64,
+    /// Worker-death probability per job pickup.
+    pub worker_kill: f64,
+    /// Artificial kernel slowdown, microseconds.
+    pub kernel_slow_us: u64,
+    /// Probability of the slowdown per task.
+    pub kernel_slow_rate: f64,
+    /// Connection-teardown probability per answered request.
+    pub conn_drop: f64,
+    /// Dispatcher stall, milliseconds.
+    pub queue_stall_ms: u64,
+    /// Probability of the stall per batch.
+    pub queue_stall_rate: f64,
+}
+
+impl ChaosSpec {
+    /// Parses the `EVPROP_CHAOS` grammar. Unknown keys and malformed
+    /// values are rejected loudly: a chaos run with a typo'd spec that
+    /// silently injects nothing would report a green result it never
+    /// earned.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        let mut out = ChaosSpec::default();
+        for field in spec.split(',').filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("chaos field {field:?} is not key=value"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("chaos rate {v:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("chaos rate {v:?} is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            // `U@R` — a magnitude with an occurrence rate.
+            let at = |v: &str| -> Result<(u64, f64), String> {
+                let (mag, r) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("chaos value {v:?} is not magnitude@rate"))?;
+                let mag = mag
+                    .parse()
+                    .map_err(|_| format!("chaos magnitude {mag:?} is not an integer"))?;
+                Ok((mag, rate(r)?))
+            };
+            match key {
+                "seed" => {
+                    out.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos seed {value:?} is not an integer"))?;
+                }
+                "worker_kill" => out.worker_kill = rate(value)?,
+                "kernel_slow_us" => (out.kernel_slow_us, out.kernel_slow_rate) = at(value)?,
+                "conn_drop" => out.conn_drop = rate(value)?,
+                "queue_stall_ms" => (out.queue_stall_ms, out.queue_stall_rate) = at(value)?,
+                other => return Err(format!("unknown chaos key {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The process-wide spec, parsed once from `EVPROP_CHAOS`. A malformed
+/// spec aborts startup (panics) rather than running a silently
+/// fault-free "chaos" test.
+pub fn spec() -> &'static ChaosSpec {
+    static SPEC: OnceLock<ChaosSpec> = OnceLock::new();
+    SPEC.get_or_init(|| match std::env::var("EVPROP_CHAOS") {
+        Ok(s) => ChaosSpec::parse(&s).unwrap_or_else(|e| panic!("EVPROP_CHAOS: {e}")),
+        Err(_) => ChaosSpec::default(),
+    })
+}
+
+/// Counter-indexed splitmix64: draw `i` of stream `seed`.
+fn draw(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn roll(rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let i = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // Compare the top 53 bits against the rate as a dyadic fraction.
+    let u = (draw(spec().seed, i) >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+/// Whether the worker picking up a job should die (thread death outside
+/// the panic guard, so the pool's reaper — not `catch_unwind` — must
+/// recover).
+pub fn should_kill_worker() -> bool {
+    roll(spec().worker_kill)
+}
+
+/// An artificial per-task kernel slowdown, when one fires.
+pub fn kernel_slowdown() -> Option<Duration> {
+    let s = spec();
+    roll(s.kernel_slow_rate).then(|| Duration::from_micros(s.kernel_slow_us))
+}
+
+/// Whether the server should tear this connection down mid-exchange.
+pub fn should_drop_conn() -> bool {
+    roll(spec().conn_drop)
+}
+
+/// A dispatcher stall before the next batch, when one fires.
+pub fn queue_stall() -> Option<Duration> {
+    let s = spec();
+    roll(s.queue_stall_rate).then(|| Duration::from_millis(s.queue_stall_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let s = ChaosSpec::parse(
+            "seed=42,worker_kill=0.25,kernel_slow_us=500@0.05,conn_drop=0.01,queue_stall_ms=5@0.02",
+        )
+        .unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.worker_kill, 0.25);
+        assert_eq!((s.kernel_slow_us, s.kernel_slow_rate), (500, 0.05));
+        assert_eq!(s.conn_drop, 0.01);
+        assert_eq!((s.queue_stall_ms, s.queue_stall_rate), (5, 0.02));
+    }
+
+    #[test]
+    fn rejects_typos_and_bad_rates() {
+        assert!(ChaosSpec::parse("worker_kil=0.1").is_err());
+        assert!(ChaosSpec::parse("worker_kill=1.5").is_err());
+        assert!(ChaosSpec::parse("kernel_slow_us=500").is_err());
+        assert!(ChaosSpec::parse("seed").is_err());
+        assert_eq!(ChaosSpec::parse("").unwrap(), ChaosSpec::default());
+    }
+
+    #[test]
+    fn draw_stream_is_deterministic() {
+        let a: Vec<u64> = (0..8).map(|i| draw(7, i)).collect();
+        let b: Vec<u64> = (0..8).map(|i| draw(7, i)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+}

@@ -1,6 +1,6 @@
 //! The collaborative scheduling algorithm (Algorithm 2 of the paper).
 
-use crate::{ArenaView, RunReport, SchedulerConfig, TableArena, ThreadStats};
+use crate::{ArenaView, CancelToken, RunReport, SchedulerConfig, TableArena, ThreadStats};
 use crossbeam::utils::Backoff;
 use evprop_potential::{raw, EntryRange, PotentialTable};
 use evprop_taskgraph::{PlanId, TaskGraph, TaskId, TaskKind};
@@ -92,6 +92,12 @@ pub(crate) struct Shared<'g> {
     /// ready), so every other worker must stop waiting for `remaining`
     /// to hit zero and bail out instead of spinning forever.
     aborted: AtomicBool,
+    /// Optional cooperative cancellation token, checked by every worker
+    /// at task boundaries alongside the abort flag. A cancelled job
+    /// stops early and leaves `remaining > 0`, which the pool reports
+    /// as [`crate::JobError::Cancelled`]; a job that drains before any
+    /// worker observes the token completes normally.
+    cancel: Option<CancelToken>,
     /// Optional span sink: worker `id` records into row `id`, the
     /// submitter records the job span on the control row. An `Arc`
     /// (not a borrow) so attaching a sink never narrows the job
@@ -151,6 +157,7 @@ impl<'g> Shared<'g> {
             partitioned: AtomicUsize::new(0),
             subtasks: AtomicUsize::new(0),
             aborted: AtomicBool::new(false),
+            cancel: None,
             #[cfg(feature = "trace")]
             trace: None,
         };
@@ -179,6 +186,26 @@ impl<'g> Shared<'g> {
     /// `true` once [`Shared::abort`] ran.
     pub(crate) fn is_aborted(&self) -> bool {
         self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Attaches the job's cancellation token. Like
+    /// [`Shared::set_trace`], this must happen before any worker starts
+    /// the job (the pool does it under its submission lock,
+    /// pre-handoff).
+    pub(crate) fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Whether the job's token (if any) has fired. One `Option` branch
+    /// when no token is attached — the steady-state serving path.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// How many static tasks never (semantically) completed — nonzero
+    /// after a cancelled or aborted job.
+    pub(crate) fn tasks_remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
     }
 
     /// Attaches the sink workers record into. Must happen before any
@@ -225,6 +252,9 @@ impl<'g> Shared<'g> {
     /// counter is back at zero. A leftover queue entry means a lost
     /// task; a nonzero weight means a bookkeeping leak that would skew
     /// every Allocate decision of the *next* job on a reused pool.
+    /// Release builds skip the check (and the tests that call it), so
+    /// the method is debug/test-only.
+    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
     pub(crate) fn assert_drained(&self) {
         for (i, ll) in self.lls.iter().enumerate() {
             let q = ll.queue.lock();
@@ -406,7 +436,7 @@ pub(crate) fn worker(sh: &Shared<'_>, id: usize) -> ThreadStats {
     let mut tr = sh.tracer(id);
     let backoff = Backoff::new();
     loop {
-        if sh.remaining.load(Ordering::Acquire) == 0 || sh.is_aborted() {
+        if sh.remaining.load(Ordering::Acquire) == 0 || sh.is_aborted() || sh.is_cancelled() {
             break;
         }
         // Fetch: head of own LL.
@@ -505,12 +535,15 @@ fn allocate(sh: &Shared<'_>, e: Exec, w: u64, stats: &mut ThreadStats) {
 /// Executes one unit and performs the Allocate bookkeeping for whatever
 /// it unblocks.
 fn process(sh: &Shared<'_>, id: usize, e: Exec, stats: &mut ThreadStats, tr: &WorkerTracer) {
+    #[cfg(feature = "chaos")]
+    if let Some(delay) = crate::chaos::kernel_slowdown() {
+        std::thread::sleep(delay);
+    }
     match e {
         Exec::Static(t) => {
-            // Test-only fault injection: poison one task to exercise the
-            // pool's panic containment (a real panic here would be a bug
-            // in a primitive or an OOM inside a partial-table allocation).
-            #[cfg(test)]
+            // Fault injection: poison one task to exercise the pool's
+            // panic containment (a real panic here would be a bug in a
+            // primitive or an OOM inside a partial-table allocation).
             if sh.cfg.poison_task == Some(t.index()) {
                 panic!("injected poison: task {} panicked", t.index());
             }
@@ -1055,6 +1088,36 @@ mod tests {
             });
             sh.assert_drained();
         }
+    }
+
+    /// A token that fired before the handoff stops every worker at its
+    /// first boundary check: no task runs, `remaining` stays at the
+    /// full task count, and the workers return instead of spinning.
+    #[test]
+    fn pre_fired_token_stops_workers_before_any_task() {
+        let (g, pots) = asia_setup();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let cfg = SchedulerConfig::with_threads(2);
+        // SAFETY: this test is the arena's only user; workers are
+        // joined by the scope.
+        let mut sh = unsafe { Shared::prepare(&g, &arena, &cfg, 2) };
+        let token = CancelToken::new();
+        token.cancel();
+        sh.set_cancel(Some(token));
+        let reports = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|id| {
+                    let shr = &sh;
+                    s.spawn(move || worker(shr, id))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(sh.tasks_remaining(), g.num_tasks());
+        assert!(reports.iter().all(|r| r.tasks_executed == 0));
     }
 
     /// The weight-aware initial distribution: with one worker far ahead

@@ -14,10 +14,13 @@ pub struct SchedulerConfig {
     /// *tail* of the heaviest-loaded victim's ready list instead of
     /// spinning. Off by default — the paper's scheduler does not steal.
     pub work_stealing: bool,
-    /// Test-only fault injection: the static task at this index panics
-    /// when executed, exercising the pool's panic containment.
-    #[cfg(test)]
-    pub(crate) poison_task: Option<usize>,
+    /// Fault injection for tests and the robustness harness: the static
+    /// task at this index panics when executed, exercising the pool's
+    /// panic containment. Hidden because it is not part of the stable
+    /// scheduling API — only the fault proptests and `robustness_bench`
+    /// set it. One branch per static task when unset.
+    #[doc(hidden)]
+    pub poison_task: Option<usize>,
 }
 
 impl SchedulerConfig {
@@ -28,7 +31,6 @@ impl SchedulerConfig {
             num_threads,
             partition_threshold: Some(4096),
             work_stealing: false,
-            #[cfg(test)]
             poison_task: None,
         }
     }

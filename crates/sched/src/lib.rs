@@ -28,16 +28,20 @@
 #![warn(missing_debug_implementations)]
 
 mod arena;
+mod cancel;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod collab;
 mod config;
 mod generic;
 mod pool;
 
 pub use arena::{ArenaView, RangeView, ReadView, TableArena};
+pub use cancel::CancelToken;
 pub use collab::run_collaborative;
 pub use config::SchedulerConfig;
 pub use generic::{DagBuilder, DagTaskId};
-pub use pool::{CollabPool, JobPanic};
+pub use pool::{CollabPool, JobError, JobPanic};
 // The statistic types live in `evprop-trace` (shared with the serving
 // runtime's metrics and the timeline analyzer); re-exported here so
 // scheduler callers keep a single import path.

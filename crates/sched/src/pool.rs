@@ -40,14 +40,36 @@
 //! descriptor — though the *arena* of the failed job is left in an
 //! unspecified intermediate state and must be re-initialized (or
 //! discarded) by the caller before reuse.
+//!
+//! # Supervision
+//!
+//! `catch_unwind` cannot save a worker whose thread genuinely dies —
+//! a panic *outside* the job guard (injected by the chaos harness, or
+//! a defect in the loop itself) exits the thread without decrementing
+//! `active`, which would hang the submitter forever. The pool
+//! therefore supervises its own threads: the completion handshake
+//! waits in bounded slices and, on each timeout, reaps finished
+//! (dead) worker handles — joining them, respawning a replacement
+//! parked past the in-flight job, settling the missing `active`
+//! decrements, and failing only that job with a [`JobPanic`]. A
+//! pre-submission sweep does the same between jobs. Sibling shards
+//! (other pools) are untouched, and [`CollabPool::restarts`] counts
+//! every respawn for the serving stats.
 
 use crate::collab::{worker, Shared};
-use crate::{RunReport, SchedulerConfig, TableArena, ThreadStats};
+use crate::{CancelToken, RunReport, SchedulerConfig, TableArena, ThreadStats};
 use evprop_taskgraph::TaskGraph;
 use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long the completion handshake waits between checks for dead
+/// worker threads. Long enough that healthy jobs (microseconds to
+/// milliseconds) never pay for a sweep; short enough that a killed
+/// worker is reaped and its job failed promptly.
+const REAP_INTERVAL: Duration = Duration::from_millis(25);
 
 /// A worker thread panicked while executing a pool job. Carries the
 /// panic payload's message when it was a string (the common case).
@@ -70,6 +92,28 @@ impl std::fmt::Display for JobPanic {
 }
 
 impl std::error::Error for JobPanic {}
+
+/// Why a pool job did not produce a result.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// A worker panicked (or its thread died) mid-job; the pool reaped
+    /// and respawned any dead threads and remains usable.
+    Panicked(JobPanic),
+    /// The job's [`CancelToken`] fired before the job drained; the
+    /// workers stopped at task boundaries and no result was produced.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(p) => p.fmt(f),
+            JobError::Cancelled => write!(f, "job cancelled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// The job slot workers and submitter rendezvous over.
 struct Slot {
@@ -94,6 +138,13 @@ struct Inner {
     job_cv: Condvar,
     /// The submitter waits here for `active == 0`.
     done_cv: Condvar,
+    /// Pending injected worker deaths: each picked-up job decrements
+    /// this and, when it wins a decrement, kills its thread *outside*
+    /// the panic guard — exercising the reap/respawn path, not
+    /// `catch_unwind`. Test/bench fault injection; zero in production.
+    kill: AtomicUsize,
+    /// Dead worker threads reaped and respawned over the pool's life.
+    restarts: AtomicU64,
 }
 
 /// A persistent pool of collaborative-scheduler workers.
@@ -128,7 +179,11 @@ pub struct CollabPool {
     /// on the control row).
     #[cfg(feature = "trace")]
     trace: Mutex<Option<Arc<evprop_trace::TraceSink>>>,
-    handles: Vec<JoinHandle<()>>,
+    /// Worker handles, index = worker id. Behind a lock so the
+    /// supervisor can swap a dead thread's handle for its replacement.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Cached `handles.len()` so `num_threads` stays lock-free.
+    threads: usize,
 }
 
 impl CollabPool {
@@ -146,13 +201,15 @@ impl CollabPool {
             }),
             job_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            kill: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
         });
         let handles = (0..p)
             .map(|id| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("evprop-worker-{id}"))
-                    .spawn(move || worker_loop(&inner, id))
+                    .spawn(move || worker_loop(&inner, id, 0))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -161,13 +218,55 @@ impl CollabPool {
             submit: Mutex::new(()),
             #[cfg(feature = "trace")]
             trace: Mutex::new(None),
-            handles,
+            handles: Mutex::new(handles),
+            threads: p,
         }
     }
 
     /// Number of worker threads (every job runs on exactly this many).
     pub fn num_threads(&self) -> usize {
-        self.handles.len()
+        self.threads
+    }
+
+    /// Dead worker threads the supervisor has reaped and respawned over
+    /// the pool's lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.inner.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection for tests and the robustness harness: the next
+    /// `n` job pickups each kill their worker thread *outside* the
+    /// job's panic guard (a genuine thread death, recovered by the
+    /// supervisor — not by `catch_unwind`). Hidden because it is not
+    /// part of the stable API.
+    #[doc(hidden)]
+    pub fn inject_worker_deaths(&self, n: usize) {
+        self.inner.kill.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Joins and respawns every worker thread that has died, returning
+    /// how many were reaped. Replacements park with `start_epoch` set
+    /// to the current epoch so they never join the job that was in
+    /// flight (or just finished) when their predecessor died — the
+    /// submitter has already settled that job's accounting.
+    fn reap_dead(&self, start_epoch: u64) -> usize {
+        let mut handles = self.handles.lock();
+        let mut dead = 0;
+        for (id, handle) in handles.iter_mut().enumerate() {
+            if !handle.is_finished() {
+                continue;
+            }
+            let inner = Arc::clone(&self.inner);
+            let fresh = std::thread::Builder::new()
+                .name(format!("evprop-worker-{id}"))
+                .spawn(move || worker_loop(&inner, id, start_epoch))
+                .expect("failed to respawn pool worker");
+            let old = std::mem::replace(handle, fresh);
+            let _ = old.join(); // finished; the Err payload is the death cause
+            dead += 1;
+            self.inner.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        dead
     }
 
     /// Attaches (or with `None`, detaches) a span sink recorded into by
@@ -209,7 +308,29 @@ impl CollabPool {
         cfg: &SchedulerConfig,
     ) -> Result<RunReport, JobPanic> {
         let submission = self.submit.lock();
-        self.run_locked(submission, graph, arena, cfg)
+        self.run_locked(submission, graph, arena, cfg, None)
+            .map_err(|e| match e {
+                JobError::Panicked(p) => p,
+                JobError::Cancelled => unreachable!("no cancel token was attached"),
+            })
+    }
+
+    /// Like [`CollabPool::run`], but the job can be stopped early by
+    /// `cancel`: workers check the token at task boundaries and bail,
+    /// and the call returns [`JobError::Cancelled`] with no result. If
+    /// the job drains before any worker observes the fired token, the
+    /// run succeeds and the arena holds the same bits an uncancelled
+    /// run would have produced. After a cancelled run the arena is in
+    /// an unspecified intermediate state — re-initialize before reuse.
+    pub fn run_cancellable(
+        &self,
+        graph: &TaskGraph,
+        arena: &TableArena,
+        cfg: &SchedulerConfig,
+        cancel: &CancelToken,
+    ) -> Result<RunReport, JobError> {
+        let submission = self.submit.lock();
+        self.run_locked(submission, graph, arena, cfg, Some(cancel))
     }
 
     /// Non-blocking variant of [`CollabPool::run`]: returns `None`
@@ -223,7 +344,13 @@ impl CollabPool {
         cfg: &SchedulerConfig,
     ) -> Option<Result<RunReport, JobPanic>> {
         let submission = self.submit.try_lock()?;
-        Some(self.run_locked(submission, graph, arena, cfg))
+        Some(
+            self.run_locked(submission, graph, arena, cfg, None)
+                .map_err(|e| match e {
+                    JobError::Panicked(p) => p,
+                    JobError::Cancelled => unreachable!("no cancel token was attached"),
+                }),
+        )
     }
 
     fn run_locked(
@@ -232,7 +359,8 @@ impl CollabPool {
         graph: &TaskGraph,
         arena: &TableArena,
         cfg: &SchedulerConfig,
-    ) -> Result<RunReport, JobPanic> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunReport, JobError> {
         let p = self.num_threads();
         let mut report = RunReport {
             threads: vec![ThreadStats::default(); p],
@@ -247,17 +375,23 @@ impl CollabPool {
             return Ok(report);
         }
 
+        // Pre-submission sweep: a worker that died between jobs (or
+        // whose death the last reap raced) is respawned before this job
+        // sets `active`, so the handshake never waits on a ghost.
+        {
+            let epoch = self.inner.slot.lock().epoch;
+            self.reap_dead(epoch);
+        }
+
         // SAFETY: the submission lock makes this job the arena's only
         // user until we return — no other job can derive a view or
         // touch the buffers — and the completion handshake below joins
         // every worker access before we drop `shared`.
-        let shared = unsafe { Shared::prepare(graph, arena, cfg, p) };
+        let mut shared = unsafe { Shared::prepare(graph, arena, cfg, p) };
+        shared.set_cancel(cancel.cloned());
         #[cfg(feature = "trace")]
-        let shared = {
-            let mut shared = shared;
-            shared.set_trace(self.trace.lock().clone());
-            shared
-        };
+        shared.set_trace(self.trace.lock().clone());
+        let shared = shared;
 
         let wall_start = Instant::now();
         let panicked = {
@@ -268,7 +402,26 @@ impl CollabPool {
             slot.epoch += 1;
             self.inner.job_cv.notify_all();
             while slot.active > 0 {
-                self.inner.done_cv.wait(&mut slot);
+                if self.inner.done_cv.wait_for(&mut slot, REAP_INTERVAL) {
+                    // Timed out: any worker that died mid-job exited
+                    // without decrementing `active`. Reap and respawn
+                    // the dead (replacements park past this epoch),
+                    // settle their missing decrements, and fail the job
+                    // — its bookkeeping is unrecoverable.
+                    let dead = self.reap_dead(slot.epoch);
+                    if dead > 0 {
+                        slot.active = slot.active.saturating_sub(dead);
+                        if slot.panic.is_none() {
+                            slot.panic = Some(format!(
+                                "{dead} worker thread(s) died mid-job \
+                                 (reaped and respawned)"
+                            ));
+                        }
+                        // Live siblings stop waiting for tasks the dead
+                        // worker will never complete.
+                        shared.abort();
+                    }
+                }
             }
             slot.job = None;
             report.threads.clone_from_slice(&slot.results);
@@ -281,7 +434,15 @@ impl CollabPool {
             // The aborted job left tasks in ready lists and nonzero
             // weight counters; `shared` (and all of them) drops here, so
             // nothing leaks into the next job.
-            return Err(JobPanic { message });
+            return Err(JobError::Panicked(JobPanic { message }));
+        }
+        if shared.tasks_remaining() > 0 {
+            // No panic, tasks left behind: the cancel token fired and
+            // the workers bailed at their next boundary. The ready
+            // lists drop with `shared`; nothing leaks into the next
+            // job. (`assert_drained` is deliberately skipped — a
+            // cancelled job legitimately leaves entries behind.)
+            return Err(JobError::Cancelled);
         }
         // Catch scheduler bookkeeping leaks (lost tasks, weight-counter
         // drift) at the end of every job while testing.
@@ -307,16 +468,19 @@ impl Drop for CollabPool {
             slot.shutdown = true;
             self.inner.job_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.handles.get_mut().drain(..).collect();
+        for h in handles {
             let _ = h.join();
         }
     }
 }
 
 /// What a resident worker does for its whole life: park, wake on a new
-/// epoch, run the job, report back, park again.
-fn worker_loop(inner: &Inner, id: usize) {
-    let mut seen_epoch = 0u64;
+/// epoch, run the job, report back, park again. A respawned
+/// replacement starts with `start_epoch` at the epoch that was current
+/// when its predecessor died, so it skips that (already-settled) job.
+fn worker_loop(inner: &Inner, id: usize, start_epoch: u64) {
+    let mut seen_epoch = start_epoch;
     loop {
         let job = {
             let mut slot = inner.slot.lock();
@@ -329,6 +493,22 @@ fn worker_loop(inner: &Inner, id: usize) {
             seen_epoch = slot.epoch;
             slot.job.expect("a fresh epoch always carries a job")
         };
+
+        // Injected worker death: panic *outside* the catch_unwind below,
+        // so the thread genuinely dies without checking back in — only
+        // the supervisor's reap path can recover. The message is never
+        // observed (the reaper writes its own); dying is the point.
+        if inner
+            .kill
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |k| k.checked_sub(1))
+            .is_ok()
+        {
+            panic!("injected worker death: thread {id} killed outside the job guard");
+        }
+        #[cfg(feature = "chaos")]
+        if crate::chaos::should_kill_worker() {
+            panic!("chaos: worker {id} killed outside the job guard");
+        }
 
         // SAFETY: `run` blocks until this worker decrements `active`
         // below, so the `Shared` behind the pointer is alive for the
@@ -502,6 +682,88 @@ mod tests {
         let report = pool.run(&g, &arena, &cfg).expect("clean job succeeds");
         let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
         assert!(executed >= g.num_tasks());
+    }
+
+    /// A genuine worker-thread death (outside the job's panic guard) is
+    /// the failure `catch_unwind` cannot contain: the supervisor must
+    /// reap the dead thread, respawn it, fail only the in-flight job,
+    /// and leave the pool serving.
+    #[test]
+    fn killed_worker_is_reaped_and_respawned() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        let cfg = SchedulerConfig::with_threads(2);
+        pool.inject_worker_deaths(1);
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let err = pool
+            .run(&g, &arena, &cfg)
+            .expect_err("the killed worker must fail the job");
+        assert!(err.message().contains("died mid-job"), "{err}");
+        assert_eq!(pool.restarts(), 1);
+
+        // The respawned complement serves the next job normally.
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let report = pool.run(&g, &arena, &cfg).expect("pool recovered");
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert!(executed >= g.num_tasks());
+        assert_eq!(pool.restarts(), 1, "no spurious respawns");
+    }
+
+    /// Repeated deaths, including on a single-thread pool (where the
+    /// dead worker *was* the whole pool), never hang a submitter.
+    #[test]
+    fn pool_survives_repeated_worker_deaths() {
+        let (g, pots) = asia_graph();
+        for threads in [1, 2] {
+            let pool = CollabPool::new(threads);
+            let cfg = SchedulerConfig::with_threads(threads);
+            for round in 0..3u64 {
+                pool.inject_worker_deaths(1);
+                let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+                assert!(pool.run(&g, &arena, &cfg).is_err(), "round {round}");
+                let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+                assert!(pool.run(&g, &arena, &cfg).is_ok(), "round {round}");
+            }
+            assert_eq!(pool.restarts(), 3);
+        }
+    }
+
+    /// A pre-fired token cancels the job deterministically; an unfired
+    /// one changes nothing.
+    #[test]
+    fn cancelled_job_reports_cancelled_and_pool_survives() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        let cfg = SchedulerConfig::with_threads(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        assert!(matches!(
+            pool.run_cancellable(&g, &arena, &cfg, &token),
+            Err(JobError::Cancelled)
+        ));
+
+        let token = CancelToken::new();
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        let report = pool
+            .run_cancellable(&g, &arena, &cfg, &token)
+            .expect("unfired token never cancels");
+        let executed: usize = report.threads.iter().map(|t| t.tasks_executed).sum();
+        assert!(executed >= g.num_tasks());
+    }
+
+    /// A token that fires only after the job drained does not turn a
+    /// completed job into an error (the bit-identical contract: results
+    /// that exist are never altered by cancellation).
+    #[test]
+    fn late_cancel_keeps_completed_result() {
+        let (g, pots) = asia_graph();
+        let pool = CollabPool::new(2);
+        let cfg = SchedulerConfig::with_threads(2);
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let arena = TableArena::initialize(&g, &pots, &EvidenceSet::new());
+        pool.run_cancellable(&g, &arena, &cfg, &token)
+            .expect("far-future deadline never fires");
     }
 
     /// Back-to-back poisoned jobs: every submission returns (no hang),

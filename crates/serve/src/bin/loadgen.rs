@@ -46,6 +46,23 @@
 //! one latency row per model (count, errors, mean, p50, p99; measured
 //! client-side, closed-loop only). The positional BIF file is still
 //! required but queries are generated only from the `--models` entries.
+//!
+//! `--deadline-ms N` stamps `"deadline_ms": N` on every stateless
+//! request, so the server sheds what it cannot start in time. Off by
+//! default, keeping the golden request stream byte-identical.
+//!
+//! `--chaos` drives the stateless stream fault-tolerantly against a
+//! chaos-enabled server: a dropped connection is survived by
+//! reconnecting (the unanswered request counts as `dropped`), every
+//! 37th request is deliberately torn mid-line (no newline, then hang
+//! up — counts as `torn`, no response expected), and if the server
+//! goes away entirely (e.g. a mid-run drain) the remaining requests
+//! are marked dropped. The run fails unless the books balance:
+//! `received + dropped == requests − torn`.
+//!
+//! Every run prints a response-class summary line to stderr
+//! (`loadgen: classes ok=… deadline_exceeded=… worker_panicked=… …`),
+//! so smoke jobs can assert on exact fault accounting.
 
 use evprop_bayesnet::bif::{self, BifNetwork};
 use rand::{Rng, SeedableRng};
@@ -55,7 +72,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
-  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing] [--session]
+  evprop-loadgen <file.bif> --addr HOST:PORT --queries N [--seed S] [--connections C] [--out FILE] [--open-loop] [--timing] [--session] [--deadline-ms N] [--chaos]
   evprop-loadgen <file.bif> --addr HOST:PORT --queries N --models NAME=PATH,... [--model-dist rr|zipf] [--seed S] [--connections C] [--out FILE] [--open-loop]
   evprop-loadgen <file.bif> --addr HOST:PORT --transcript FILE [--out FILE]";
 
@@ -86,6 +103,7 @@ fn one_request(
     rng: &mut rand::rngs::StdRng,
     timing: bool,
     model: Option<&str>,
+    deadline_ms: Option<u64>,
 ) -> String {
     let net = &bif.network;
     let vars = net.num_vars() as u32;
@@ -113,16 +131,25 @@ fn one_request(
     if timing {
         line.push_str(r#", "timing": true"#);
     }
+    if let Some(ms) = deadline_ms {
+        line.push_str(&format!(r#", "deadline_ms": {ms}"#));
+    }
     line.push('}');
     line
 }
 
 /// The same deterministic query scheme as `evprop serve`: one stream of
 /// [`one_request`] lines for a given `(file, N, seed)` triple.
-fn request_lines(bif: &BifNetwork, n: usize, seed: u64, timing: bool) -> Vec<String> {
+fn request_lines(
+    bif: &BifNetwork,
+    n: usize,
+    seed: u64,
+    timing: bool,
+    deadline_ms: Option<u64>,
+) -> Vec<String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| one_request(bif, &mut rng, timing, None))
+        .map(|_| one_request(bif, &mut rng, timing, None, deadline_ms))
         .collect()
 }
 
@@ -159,7 +186,7 @@ fn mixed_request_lines(
             i % models.len()
         };
         let (name, bif) = &models[k];
-        lines.push(one_request(bif, &mut rng, false, Some(name)));
+        lines.push(one_request(bif, &mut rng, false, Some(name), None));
         choices.push(k);
     }
     (lines, choices)
@@ -228,9 +255,27 @@ fn run(args: &[String]) -> Result<(), String> {
     let open_loop = args.iter().any(|a| a == "--open-loop");
     let timing = args.iter().any(|a| a == "--timing");
     let session_mode = args.iter().any(|a| a == "--session");
+    let chaos_mode = args.iter().any(|a| a == "--chaos");
+    let deadline_ms: Option<u64> = match flag_value(args, "--deadline-ms") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "--deadline-ms must be a number".to_string())?,
+        ),
+        None => None,
+    };
+    if chaos_mode
+        && (session_mode
+            || flag_value(args, "--models").is_some()
+            || flag_value(args, "--transcript").is_some())
+    {
+        return Err("--chaos drives the plain stateless stream only".to_string());
+    }
 
     let started = Instant::now();
     let mut model_rows: Vec<String> = Vec::new();
+    let mut dropped_total = 0u64;
+    let mut torn_total = 0u64;
+    let mut chaos_requests = 0usize;
     let (responses, label) = if let Some(file) = flag_value(args, "--transcript") {
         let text =
             std::fs::read_to_string(file).map_err(|e| format!("cannot read '{file}': {e}"))?;
@@ -324,8 +369,8 @@ fn run(args: &[String]) -> Result<(), String> {
             .ok_or("--queries N is required")?
             .parse()
             .map_err(|_| "--queries must be a number".to_string())?;
-        let mut workers = Vec::new();
         if session_mode {
+            let mut workers = Vec::new();
             for c in 0..connections {
                 let addr = addr.to_string();
                 // Distinct seed per connection: independent case streams.
@@ -335,24 +380,46 @@ fn run(args: &[String]) -> Result<(), String> {
                     drive_session(&addr, &steps, open_loop)
                 }));
             }
+            let mut responses = Vec::new();
+            for w in workers {
+                responses.push(w.join().map_err(|_| "connection thread panicked")??);
+            }
+            (responses, "session")
+        } else if chaos_mode {
+            let lines = request_lines(&bif, queries, seed, timing, deadline_ms);
+            chaos_requests = lines.len();
+            let mut workers = Vec::new();
+            for c in 0..connections {
+                let addr = addr.to_string();
+                let batch: Vec<String> =
+                    lines.iter().skip(c).step_by(connections).cloned().collect();
+                workers.push(std::thread::spawn(move || drive_chaos(&addr, &batch)));
+            }
+            let mut responses = Vec::new();
+            for w in workers {
+                let (resp, dropped, torn) =
+                    w.join().map_err(|_| "connection thread panicked")??;
+                dropped_total += dropped;
+                torn_total += torn;
+                responses.push(resp);
+            }
+            (responses, "chaos")
         } else {
-            let lines = request_lines(&bif, queries, seed, timing);
+            let lines = request_lines(&bif, queries, seed, timing, deadline_ms);
             // Round-robin split keeps per-connection order deterministic.
+            let mut workers = Vec::new();
             for c in 0..connections {
                 let addr = addr.to_string();
                 let batch: Vec<String> =
                     lines.iter().skip(c).step_by(connections).cloned().collect();
                 workers.push(std::thread::spawn(move || drive(&addr, &batch, open_loop)));
             }
+            let mut responses = Vec::new();
+            for w in workers {
+                responses.push(w.join().map_err(|_| "connection thread panicked")??);
+            }
+            (responses, "stateless")
         }
-        let mut responses = Vec::new();
-        for w in workers {
-            responses.push(w.join().map_err(|_| "connection thread panicked")??);
-        }
-        (
-            responses,
-            if session_mode { "session" } else { "stateless" },
-        )
     };
     let elapsed = started.elapsed();
 
@@ -385,7 +452,48 @@ fn run(args: &[String]) -> Result<(), String> {
     for row in &model_rows {
         eprintln!("loadgen:   {row}");
     }
+
+    // Per-class response accounting — one grep-friendly stderr line so
+    // smoke jobs can assert on exact fault counts.
+    let mut classes = [0u64; 6];
+    for conn in &responses {
+        for line in conn {
+            classes[class_index(line)] += 1;
+        }
+    }
+    eprintln!(
+        "loadgen: classes ok={} deadline_exceeded={} worker_panicked={} queue_full={} shutting_down={} other_error={} dropped={dropped_total} torn={torn_total}",
+        classes[0], classes[1], classes[2], classes[3], classes[4], classes[5],
+    );
+    if chaos_mode {
+        let received = total as u64 + dropped_total;
+        let expected = chaos_requests as u64 - torn_total;
+        if received != expected {
+            return Err(format!(
+                "chaos accounting mismatch: {total} received + {dropped_total} dropped != {chaos_requests} requests - {torn_total} torn"
+            ));
+        }
+        eprintln!("loadgen: chaos accounting ok ({total} received + {dropped_total} dropped = {chaos_requests} requests - {torn_total} torn)");
+    }
     Ok(())
+}
+
+/// Buckets a response line: 0 ok, 1 deadline_exceeded, 2
+/// worker_panicked, 3 queue_full, 4 shutting_down, 5 other_error.
+fn class_index(line: &str) -> usize {
+    if !line.contains("\"error\"") {
+        0
+    } else if line.contains("deadline_exceeded") {
+        1
+    } else if line.contains("panicked") {
+        2
+    } else if line.contains("admission queue full") {
+        3
+    } else if line.contains("shutting down") {
+        4
+    } else {
+        5
+    }
 }
 
 /// Nearest-rank quantile over an already-sorted latency sample.
@@ -446,6 +554,65 @@ fn drive(addr: &str, requests: &[String], open_loop: bool) -> Result<Vec<String>
         }
     }
     Ok(responses)
+}
+
+/// Chaos-tolerant closed-loop driver. A server-side connection drop is
+/// survived by reconnecting (the unanswered request counts as
+/// `dropped`); every 37th request is deliberately torn mid-line — no
+/// newline, then hang up — to exercise the server's partial-read
+/// handling (counts as `torn`; no response is expected). If the server
+/// goes away entirely (mid-run drain), the rest of the batch is marked
+/// dropped. Returns `(responses, dropped, torn)`.
+fn drive_chaos(addr: &str, requests: &[String]) -> Result<(Vec<String>, u64, u64), String> {
+    let mut responses = Vec::with_capacity(requests.len());
+    let (mut dropped, mut torn) = (0u64, 0u64);
+    let mut conn: Option<(BufWriter<TcpStream>, BufReader<TcpStream>)> = None;
+    for (i, req) in requests.iter().enumerate() {
+        if conn.is_none() {
+            match connect(addr) {
+                Ok(c) => conn = Some(c),
+                Err(_) => {
+                    dropped += (requests.len() - i) as u64;
+                    break;
+                }
+            }
+        }
+        let mut kill_conn = false;
+        {
+            let (writer, reader) = conn.as_mut().expect("connected above");
+            if (i + 1) % 37 == 0 {
+                let _ = writer.write_all(req.as_bytes()); // no newline
+                let _ = writer.flush();
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+                torn += 1;
+                kill_conn = true;
+            } else if writeln!(writer, "{req}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                dropped += 1;
+                kill_conn = true;
+            } else {
+                match read_line(reader) {
+                    Ok(line) => responses.push(line),
+                    Err(_) => {
+                        dropped += 1;
+                        kill_conn = true;
+                    }
+                }
+            }
+        }
+        if kill_conn {
+            conn = None;
+        }
+    }
+    Ok((responses, dropped, torn))
+}
+
+fn connect(addr: &str) -> std::io::Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    let writer = BufWriter::new(stream.try_clone()?);
+    Ok((writer, BufReader::new(stream)))
 }
 
 /// Drives one stateful connection: synchronous `session-open` (the

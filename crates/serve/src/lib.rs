@@ -35,7 +35,17 @@
 //!   protocol commands load and retire versions while the dispatchers
 //!   keep serving, in-flight queries and open sessions pin the exact
 //!   version answering them, and alias swaps land on the next
-//!   submission.
+//!   submission;
+//! * **deadline-aware, fault-tolerant serving** — queries carry an
+//!   optional `"deadline_ms"`: already-expired work is shed at dequeue
+//!   (never executed) and in-flight work is cancelled cooperatively at
+//!   task-graph boundaries; dead pool worker threads are reaped and
+//!   respawned, failing only the job they were running; the
+//!   `{"cmd": "drain"}` command closes admission, answers everything
+//!   already admitted, and lets the host exit cleanly
+//!   ([`ShardedRuntime::drain`], [`TcpServer::wait_for_drain`]); and
+//!   [`ServerOptions`] bounds per-connection line length, idle time,
+//!   and total connections.
 //!
 //! ```
 //! use evprop_bayesnet::networks;
@@ -60,9 +70,9 @@ mod runtime;
 mod server;
 mod sessions;
 
-pub use metrics::{quantile_of, Counter, LatencyHistogram, RuntimeStats, ShardStats};
+pub use metrics::{quantile_of, Counter, FaultStats, LatencyHistogram, RuntimeStats, ShardStats};
 pub use protocol::{
-    format_error, format_model_list, format_model_loaded, format_model_swapped,
+    format_drain_ack, format_error, format_model_list, format_model_loaded, format_model_swapped,
     format_model_unloaded, format_response, format_response_timed, format_session_ack,
     format_session_opened, format_session_response, format_stats, format_trace, parse_json,
     parse_request, parse_request_line, parse_request_value, request_model, request_session,
@@ -72,5 +82,5 @@ pub use queue::{AdmissionQueue, PushError};
 pub use runtime::{
     QuerySummary, QueryTiming, RuntimeConfig, ServeError, ServeResult, ShardedRuntime, Ticket,
 };
-pub use server::TcpServer;
+pub use server::{ServerOptions, TcpServer};
 pub use sessions::SessionTableStats;

@@ -22,6 +22,13 @@ pub(crate) struct ShardMetrics {
     pub batches: Counter,
     pub busy_nanos: Counter,
     pub latency: LatencyHistogram,
+    /// Queries shed at dequeue because their deadline had already
+    /// expired (the propagation never started).
+    pub shed: Counter,
+    /// In-flight propagations stopped early by a fired deadline token.
+    pub cancelled: Counter,
+    /// Queries failed by a worker panic or thread death.
+    pub panics: Counter,
 }
 
 impl ShardMetrics {
@@ -70,6 +77,32 @@ pub struct ShardStats {
     pub arenas_allocated: u64,
 }
 
+/// Aggregate fault-tolerance counters across every shard. All four
+/// stay zero on a healthy runtime serving deadline-free traffic, and
+/// the stats protocol omits the whole object until one of them moves,
+/// keeping pre-fault transcripts byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Queries shed at dequeue with an already-expired deadline: they
+    /// consumed queue capacity but never a worker cycle.
+    pub shed: u64,
+    /// In-flight propagations stopped early at a task boundary by a
+    /// fired deadline token.
+    pub cancelled: u64,
+    /// Queries failed by a worker panic or thread death.
+    pub panics: u64,
+    /// Dead pool worker threads reaped and respawned by supervision.
+    pub restarts: u64,
+}
+
+impl FaultStats {
+    /// Whether any counter has moved — the stats protocol gates the
+    /// `"faults"` object on this.
+    pub fn any(&self) -> bool {
+        self.shed != 0 || self.cancelled != 0 || self.panics != 0 || self.restarts != 0
+    }
+}
+
 /// A point-in-time view of the whole runtime.
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
@@ -114,6 +147,10 @@ pub struct RuntimeStats {
     /// booted in registry mode, so single-model servers keep their
     /// pre-registry stats lines byte-identical.
     pub registry: Option<RegistryStats>,
+    /// Fault-tolerance counters (deadline sheds, in-flight
+    /// cancellations, worker panics, supervised restarts). `None` until
+    /// any of them moves, so fault-free transcripts stay byte-identical.
+    pub faults: Option<FaultStats>,
 }
 
 #[cfg(test)]

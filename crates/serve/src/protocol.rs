@@ -27,6 +27,16 @@
 //! Without the flag the response is byte-identical to the plain form,
 //! so golden transcripts stay stable.
 //!
+//! An optional `"deadline_ms"` field attaches a completion deadline
+//! (milliseconds, relative to admission). A query whose deadline
+//! expires while queued is shed without ever starting a propagation; a
+//! deadline firing mid-flight cancels the propagation cooperatively at
+//! a task boundary. Either way the response is a deterministic
+//! `{"error": "deadline_exceeded: …"}` line carrying the queue wait —
+//! and a query that completes despite its deadline returns its normal,
+//! bit-identical answer. Requests without the field take the exact
+//! pre-deadline path.
+//!
 //! # Commands
 //!
 //! A request object carrying `"cmd"` instead of `"target"` is a
@@ -58,6 +68,17 @@
 //!   {"trace": {"recent": [{"target": "dysp", "ok": true, "shard": 0,
 //!     "queue_us": 104, "exec_us": 87}]}}
 //!   ```
+//!
+//! * `{"cmd": "drain"}` — graceful shutdown: the server acks
+//!   immediately with `{"ok":true,"draining":true}`, stops admitting
+//!   new queries, answers everything already admitted, closes open
+//!   sessions, and exits (bounded by its `--drain-timeout-ms`).
+//!
+//! Once any fault counter moves (deadline sheds, in-flight
+//! cancellations, worker panics, supervised thread restarts), the
+//! `stats` response grows a `"faults"` object —
+//! `{"shed":N,"cancelled":N,"panics":N,"restarts":N}`; before that it
+//! is omitted entirely, keeping fault-free transcripts byte-identical.
 //!
 //! # Session commands
 //!
@@ -444,6 +465,11 @@ pub enum Request {
         query: Query,
         /// Whether the response should carry the timing pair.
         timing: bool,
+        /// Optional completion deadline (the `"deadline_ms"` field,
+        /// relative to admission). Expired queries are shed or
+        /// cancelled with a deterministic `deadline_exceeded` error;
+        /// `None` (the default) leaves the pre-deadline path untouched.
+        deadline: Option<std::time::Duration>,
     },
     /// `{"cmd": "stats"}` — a [`RuntimeStats`] snapshot.
     Stats,
@@ -519,6 +545,11 @@ pub enum Request {
         /// The resident version to alias.
         version: u32,
     },
+    /// `{"cmd": "drain"}` — graceful shutdown: stop admitting, answer
+    /// everything already admitted, close sessions, then exit (bounded
+    /// by the server's drain timeout). Acks immediately with
+    /// `{"ok":true,"draining":true}`.
+    Drain,
 }
 
 fn session_id(v: &Json) -> Result<u64, String> {
@@ -661,18 +692,36 @@ pub fn parse_request_value(v: &Json, names: &dyn ModelNames) -> Result<Request, 
                     version,
                 })
             }
+            Json::Str(c) if c == "drain" => Ok(Request::Drain),
             other => Err(format!(
-                "unknown command {other:?} (expected \"stats\", \"trace\", \"session-open\"/\
-                 \"session-set\"/\"session-retract\"/\"session-query\"/\"session-close\", or \
+                "unknown command {other:?} (expected \"stats\", \"trace\", \"drain\", \
+                 \"session-open\"/\"session-set\"/\"session-retract\"/\"session-query\"/\
+                 \"session-close\", or \
                  \"model-load\"/\"model-unload\"/\"model-list\"/\"model-swap\")"
             )),
         };
     }
     let timing = matches!(v.get("timing"), Some(Json::Bool(true)));
+    let deadline = deadline_field(v)?;
     Ok(Request::Query {
         query: query_from_json(v, names)?,
         timing,
+        deadline,
     })
+}
+
+/// Parses the optional `"deadline_ms"` field of a query request: a
+/// non-negative integer number of milliseconds, relative to admission.
+fn deadline_field(v: &Json) -> Result<Option<std::time::Duration>, String> {
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= (1u64 << 53) as f64 => {
+            Ok(Some(std::time::Duration::from_millis(*n as u64)))
+        }
+        Some(other) => Err(format!(
+            "bad \"deadline_ms\": {other:?} (expected a non-negative integer of milliseconds)"
+        )),
+    }
 }
 
 /// Parses one request line into a [`Query`] (queries only — commands
@@ -898,6 +947,13 @@ pub fn format_model_list(models: &[ModelInfo]) -> String {
     out
 }
 
+/// Formats the immediate `drain` acknowledgement:
+/// `{"ok":true,"draining":true}`. Sent before the drain completes, so
+/// the client knows admission is shut and can disconnect.
+pub fn format_drain_ack() -> String {
+    "{\"ok\":true,\"draining\":true}".to_string()
+}
+
 /// Formats an error as one response line (no trailing newline).
 pub fn format_error(message: &str) -> String {
     let mut out = String::from("{\"error\":\"");
@@ -1002,6 +1058,12 @@ pub fn format_stats(stats: &RuntimeStats) -> String {
             r.unlinked,
             r.unlinked_bytes,
             r.served,
+        ));
+    }
+    if let Some(fa) = &stats.faults {
+        out.push_str(&format!(
+            ",\"faults\":{{\"shed\":{},\"cancelled\":{},\"panics\":{},\"restarts\":{}}}",
+            fa.shed, fa.cancelled, fa.panics, fa.restarts,
         ));
     }
     out.push_str("}}");
@@ -1173,6 +1235,7 @@ mod tests {
             kernel_backend: "scalar",
             sessions: None,
             registry: None,
+            faults: None,
         };
         let line = format_stats(&stats);
         let v = parse_json(&line).unwrap();
@@ -1180,6 +1243,77 @@ mod tests {
         assert_eq!(s.get("kernel_backend"), Some(&Json::Str("scalar".into())));
         assert_eq!(s.get("served"), Some(&Json::Num(3.0)));
         assert_eq!(s.get("plan_cache"), None);
+        assert!(!line.contains("faults"), "absent until a counter moves");
+    }
+
+    #[test]
+    fn stats_line_faults_appear_only_when_counters_moved() {
+        use crate::metrics::FaultStats;
+        let mut stats = RuntimeStats {
+            shards: vec![],
+            served: 0,
+            errors: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            mean_latency: std::time::Duration::ZERO,
+            p50: std::time::Duration::ZERO,
+            p95: std::time::Duration::ZERO,
+            p99: std::time::Duration::ZERO,
+            uptime: std::time::Duration::ZERO,
+            plan_cache: None,
+            kernel_backend: "scalar",
+            sessions: None,
+            registry: None,
+            faults: None,
+        };
+        assert!(!format_stats(&stats).contains("faults"));
+        stats.faults = Some(FaultStats {
+            shed: 2,
+            cancelled: 1,
+            panics: 3,
+            restarts: 4,
+        });
+        let line = format_stats(&stats);
+        let v = parse_json(&line).unwrap();
+        let f = v
+            .get("stats")
+            .and_then(|s| s.get("faults"))
+            .expect("faults object");
+        assert_eq!(f.get("shed"), Some(&Json::Num(2.0)));
+        assert_eq!(f.get("cancelled"), Some(&Json::Num(1.0)));
+        assert_eq!(f.get("panics"), Some(&Json::Num(3.0)));
+        assert_eq!(f.get("restarts"), Some(&Json::Num(4.0)));
+    }
+
+    #[test]
+    fn parses_deadline_and_drain() {
+        let names = asia_names();
+        // No deadline by default — the pre-deadline path exactly.
+        let Ok(Request::Query { deadline, .. }) = parse_request_line(r#"{"target": "v3"}"#, &names)
+        else {
+            panic!("expected Query");
+        };
+        assert_eq!(deadline, None);
+        let Ok(Request::Query { deadline, .. }) =
+            parse_request_line(r#"{"target": "v3", "deadline_ms": 250}"#, &names)
+        else {
+            panic!("expected Query");
+        };
+        assert_eq!(deadline, Some(std::time::Duration::from_millis(250)));
+        // Zero is legal (shed immediately); junk is rejected.
+        assert!(parse_request_line(r#"{"target": "v3", "deadline_ms": 0}"#, &names).is_ok());
+        for bad in [
+            r#"{"target": "v3", "deadline_ms": -1}"#,
+            r#"{"target": "v3", "deadline_ms": 1.5}"#,
+            r#"{"target": "v3", "deadline_ms": "fast"}"#,
+        ] {
+            assert!(parse_request_line(bad, &names).is_err(), "{bad}");
+        }
+        assert!(matches!(
+            parse_request_line(r#"{"cmd": "drain"}"#, &names),
+            Ok(Request::Drain)
+        ));
+        assert_eq!(format_drain_ack(), r#"{"ok":true,"draining":true}"#);
     }
 
     #[test]
@@ -1412,6 +1546,7 @@ mod tests {
             kernel_backend: "scalar",
             sessions: None,
             registry: None,
+            faults: None,
         };
         let line = format_stats(&stats);
         assert!(!line.contains("sessions"), "{line}");

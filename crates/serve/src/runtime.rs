@@ -23,7 +23,7 @@
 //! drain up to `max_batch - 1` more (micro-batching amortizes the
 //! arena checkout), answer them all on one arena, fulfill the tickets.
 
-use crate::metrics::{quantile_of, RuntimeStats, ShardMetrics};
+use crate::metrics::{quantile_of, FaultStats, RuntimeStats, ShardMetrics};
 use crate::queue::{AdmissionQueue, PushError};
 use crate::sessions::{OpenError, SessionTable};
 use evprop_core::{
@@ -32,7 +32,7 @@ use evprop_core::{
 use evprop_incremental::{IncrementalSession, QueryMode};
 use evprop_potential::{PotentialTable, VarId};
 use evprop_registry::{ModelHandle, ModelRegistry, RegistryError};
-use evprop_sched::{SchedulerConfig, TableArena};
+use evprop_sched::{CancelToken, SchedulerConfig, TableArena};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -55,6 +55,16 @@ pub enum ServeError {
     /// The session table is full; no new session can be opened until
     /// one closes or expires.
     SessionLimit,
+    /// The query's deadline expired before a result was produced —
+    /// either shed at dequeue (the propagation never started) or
+    /// cancelled mid-flight at a task boundary. Either way no partial
+    /// result escapes: a query that *does* complete is bit-identical to
+    /// an undeadlined run. Carries the time the query spent queued, the
+    /// usual culprit.
+    DeadlineExceeded {
+        /// Enqueue-to-verdict wait.
+        queue: Duration,
+    },
     /// The query was answered with an engine error.
     Engine(EngineError),
     /// A model-registry operation failed (unknown model or version,
@@ -72,6 +82,13 @@ impl std::fmt::Display for ServeError {
                 write!(f, "unknown session {id} (closed, expired, or never opened)")
             }
             ServeError::SessionLimit => write!(f, "session table full: open rejected"),
+            ServeError::DeadlineExceeded { queue } => {
+                write!(
+                    f,
+                    "deadline_exceeded: queued {}us without completing",
+                    queue.as_micros()
+                )
+            }
             ServeError::Engine(e) => write!(f, "{e}"),
             ServeError::Registry(e) => write!(f, "{e}"),
         }
@@ -269,14 +286,14 @@ impl ResponseSlot {
             if let Some(r) = guard.take() {
                 return Some(r);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return None;
             }
-            // The vendored Condvar has no timed wait; poll in short
-            // slices. Fine for the test-facing timeout path.
-            drop(guard);
-            std::thread::sleep(Duration::from_millis(1));
-            guard = self.result.lock();
+            // Timed condvar wait: wakes on fulfill, re-checks on
+            // spurious wakeups, and gives up at the deadline — no
+            // sleep-slice polling, no wasted latency on the fulfill.
+            let _ = self.ready.wait_for(&mut guard, deadline - now);
         }
     }
 }
@@ -326,6 +343,11 @@ impl Ticket {
 struct Job {
     query: Query,
     enqueued: Instant,
+    /// Absolute completion deadline, fixed at submit time. Expired jobs
+    /// are shed at dequeue without ever starting a propagation; jobs
+    /// already executing are cancelled cooperatively at task
+    /// boundaries. `None` (the default) adds zero cost to the job.
+    deadline: Option<Instant>,
     slot: Arc<ResponseSlot>,
     /// The registry version answering this query, resolved at submit
     /// time. Holding the `Arc` pins the version: an unload or eviction
@@ -545,18 +567,73 @@ impl ShardedRuntime {
     /// runtime has no registry); [`ServeError::ShuttingDown`] if the
     /// runtime is stopping.
     pub fn submit_model(&self, query: Query, model: Option<&str>) -> ServeResult<Ticket> {
+        self.enqueue(query, model, None, true)
+    }
+
+    /// [`submit_model`](ShardedRuntime::submit_model) with an optional
+    /// relative deadline. A query whose deadline expires while queued is
+    /// shed at dequeue — it never starts a propagation — and one whose
+    /// deadline fires mid-flight is cancelled cooperatively at the next
+    /// task boundary; both resolve the ticket with
+    /// [`ServeError::DeadlineExceeded`]. A query that completes despite
+    /// a tight deadline returns its normal, bit-identical answer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit_model`](ShardedRuntime::submit_model).
+    pub fn submit_with_deadline(
+        &self,
+        query: Query,
+        model: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> ServeResult<Ticket> {
+        self.enqueue(query, model, deadline, true)
+    }
+
+    /// Non-blocking
+    /// [`submit_with_deadline`](ShardedRuntime::submit_with_deadline).
+    ///
+    /// # Errors
+    ///
+    /// As for [`try_submit_model`](ShardedRuntime::try_submit_model).
+    pub fn try_submit_with_deadline(
+        &self,
+        query: Query,
+        model: Option<&str>,
+        deadline: Option<Duration>,
+    ) -> ServeResult<Ticket> {
+        self.enqueue(query, model, deadline, false)
+    }
+
+    fn enqueue(
+        &self,
+        query: Query,
+        model: Option<&str>,
+        deadline: Option<Duration>,
+        blocking: bool,
+    ) -> ServeResult<Ticket> {
         let handle = self.resolve_handle(model)?;
         let tag = model.and(handle.as_ref()).map(|h| h.tag());
         let slot = Arc::new(ResponseSlot::new());
+        let now = Instant::now();
         let job = Job {
             query,
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
             slot: Arc::clone(&slot),
             handle,
         };
-        match self.inner.queue.push(job) {
-            Ok(()) => Ok(Ticket { slot, tag }),
-            Err(_) => Err(ServeError::ShuttingDown),
+        if blocking {
+            match self.inner.queue.push(job) {
+                Ok(()) => Ok(Ticket { slot, tag }),
+                Err(_) => Err(ServeError::ShuttingDown),
+            }
+        } else {
+            match self.inner.queue.try_push(job) {
+                Ok(()) => Ok(Ticket { slot, tag }),
+                Err((_, PushError::Full)) => Err(ServeError::Overloaded),
+                Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+            }
         }
     }
 
@@ -578,20 +655,7 @@ impl ShardedRuntime {
     /// As for [`submit_model`](ShardedRuntime::submit_model), plus
     /// [`ServeError::Overloaded`] when the queue is full.
     pub fn try_submit_model(&self, query: Query, model: Option<&str>) -> ServeResult<Ticket> {
-        let handle = self.resolve_handle(model)?;
-        let tag = model.and(handle.as_ref()).map(|h| h.tag());
-        let slot = Arc::new(ResponseSlot::new());
-        let job = Job {
-            query,
-            enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
-            handle,
-        };
-        match self.inner.queue.try_push(job) {
-            Ok(()) => Ok(Ticket { slot, tag }),
-            Err((_, PushError::Full)) => Err(ServeError::Overloaded),
-            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
-        }
+        self.enqueue(query, model, None, false)
     }
 
     /// Submit-and-wait convenience (closed-loop client).
@@ -645,8 +709,21 @@ impl ShardedRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let plan_cache = self.inner.model.plan_stats();
         let kernel_backend = evprop_potential::simd::active().name();
+        let mut faults = FaultStats::default();
+        for s in &self.inner.shards {
+            faults.shed += s.metrics.shed.get();
+            faults.cancelled += s.metrics.cancelled.get();
+            faults.panics += s.metrics.panics.get();
+            faults.restarts += s.state.pool_restarts();
+        }
         #[cfg(feature = "trace")]
         for shard in &self.inner.shards {
+            shard.state.trace_instant(evprop_trace::SpanKind::Faults {
+                shed: faults.shed,
+                cancelled: faults.cancelled,
+                panics: faults.panics,
+                restarts: faults.restarts,
+            });
             shard
                 .state
                 .trace_instant(evprop_trace::SpanKind::PlanCache {
@@ -698,6 +775,7 @@ impl ShardedRuntime {
                 .ever_used()
                 .then(|| self.inner.sessions.stats()),
             registry: self.inner.registry.as_ref().map(|b| b.registry.stats()),
+            faults: faults.any().then_some(faults),
         }
     }
 
@@ -906,6 +984,52 @@ impl ShardedRuntime {
         Ok(snapshot)
     }
 
+    /// Stops admitting new queries without waiting: later submissions
+    /// fail with [`ServeError::ShuttingDown`] while the dispatchers
+    /// keep draining everything already admitted. The first step of a
+    /// graceful drain; [`ShardedRuntime::drain`] adds the bounded wait.
+    pub fn close_admission(&self) {
+        self.inner.queue.close();
+    }
+
+    /// Graceful drain: stop admitting, answer every query already
+    /// admitted, close all open sessions, and join the dispatcher
+    /// threads — bounded by `timeout`. Returns `true` on a clean drain;
+    /// `false` when the timeout fired first (sessions are still closed
+    /// and admission stays shut, but dispatcher threads may still be
+    /// finishing — the caller decides whether to force-exit).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.inner.queue.close();
+        let deadline = Instant::now() + timeout;
+        // `JoinHandle` has no timed join; poll `is_finished` instead.
+        // The dispatchers exit as soon as the closed queue runs dry.
+        loop {
+            if self.dispatchers.lock().iter().all(|h| h.is_finished()) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                self.inner.sessions.close_all();
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let handles: Vec<_> = self.dispatchers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.inner.sessions.close_all();
+        true
+    }
+
+    /// Marks `n` upcoming pool jobs on `shard` to kill their worker
+    /// thread outside the panic guard — exercising the supervision/
+    /// respawn path from tests and benchmarks without the `chaos`
+    /// feature.
+    #[doc(hidden)]
+    pub fn inject_worker_deaths(&self, shard: usize, n: usize) {
+        self.inner.shards[shard].state.inject_worker_deaths(n);
+    }
+
     /// Stops admission, answers everything already queued, and joins
     /// the dispatcher threads. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
@@ -939,9 +1063,39 @@ fn dispatcher(inner: &Inner, idx: usize) {
         if inner.max_batch > 1 {
             inner.queue.drain_into(&mut batch, inner.max_batch - 1);
         }
+        #[cfg(feature = "chaos")]
+        if let Some(stall) = evprop_sched::chaos::queue_stall() {
+            std::thread::sleep(stall);
+        }
         let round = Instant::now();
         let mut current: Option<(Arc<CompiledModel>, TableArena)> = None;
         for job in batch.drain(..) {
+            // Deadline shed: a job whose deadline expired while queued
+            // never starts a propagation — the deterministic outcome
+            // for work the client has already given up on.
+            if let Some(dl) = job.deadline {
+                let now = Instant::now();
+                if now >= dl {
+                    let queue = now.duration_since(job.enqueued);
+                    let timing = QueryTiming {
+                        queue,
+                        exec: Duration::ZERO,
+                        shard: idx,
+                    };
+                    shard.metrics.served.incr();
+                    shard.metrics.errors.incr();
+                    shard.metrics.shed.incr();
+                    shard.metrics.latency.record(queue);
+                    inner.remember(QuerySummary {
+                        target: job.query.target,
+                        ok: false,
+                        timing,
+                    });
+                    job.slot
+                        .fulfill(Err(ServeError::DeadlineExceeded { queue }), timing);
+                    continue;
+                }
+            }
             let model = job.handle.as_ref().map_or(&inner.model, |h| h.model());
             let stale = current
                 .as_ref()
@@ -956,17 +1110,35 @@ fn dispatcher(inner: &Inner, idx: usize) {
                 current = Some((Arc::clone(model), arena));
             }
             let (model, arena) = current.as_mut().expect("arena checked out above");
+            // Deadline-armed jobs run under a cancel token the workers
+            // consult at task boundaries; deadline-free jobs take the
+            // exact pre-existing path (no token, no clock reads).
+            let cancel = job.deadline.map(CancelToken::with_deadline);
             let exec_start = Instant::now();
             let result = shard
                 .state
-                .posterior_on(
+                .posterior_on_cancellable(
                     model.junction_tree(),
                     model.graph(),
                     arena,
                     job.query.target,
                     &job.query.evidence,
+                    cancel.as_ref(),
                 )
-                .map_err(ServeError::Engine);
+                .map_err(|e| match e {
+                    EngineError::Cancelled => {
+                        shard.metrics.cancelled.incr();
+                        ServeError::DeadlineExceeded {
+                            queue: exec_start.duration_since(job.enqueued),
+                        }
+                    }
+                    other => {
+                        if matches!(other, EngineError::WorkerPanicked(_)) {
+                            shard.metrics.panics.incr();
+                        }
+                        ServeError::Engine(other)
+                    }
+                });
             let timing = QueryTiming {
                 queue: exec_start.duration_since(job.enqueued),
                 exec: exec_start.elapsed(),
@@ -1380,6 +1552,114 @@ mod tests {
         let (m, _) = rt.session_query(id, VarId(3)).unwrap();
         assert!((m.sum() - 1.0).abs() < 1e-9);
         rt.session_close(id).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_sheds_deterministically() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1));
+        let t = rt
+            .submit_with_deadline(
+                Query::new(VarId(3), EvidenceSet::new()),
+                None,
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+        let stats = rt.stats();
+        let faults = stats
+            .faults
+            .expect("faults object appears once a counter moves");
+        assert_eq!(faults.shed, 1, "expired-at-dequeue is a shed, not a cancel");
+        assert_eq!(faults.cancelled, 0);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.served, 1, "shed queries still count as answered");
+    }
+
+    #[test]
+    fn far_deadline_answers_bit_identical_with_no_fault_counters() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1).without_partitioning());
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        let want = session
+            .posterior(&SequentialEngine, VarId(3), &EvidenceSet::new())
+            .unwrap();
+        let got = rt
+            .submit_with_deadline(
+                Query::new(VarId(3), EvidenceSet::new()),
+                None,
+                Some(Duration::from_secs(3600)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "deadline-armed completion is bit-identical"
+        );
+        assert!(
+            rt.stats().faults.is_none(),
+            "nothing fired, no faults object"
+        );
+    }
+
+    #[test]
+    fn worker_death_fails_one_query_and_the_shard_recovers() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1).without_partitioning());
+        rt.query(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        rt.inject_worker_deaths(0, 1);
+        let err = rt
+            .query(Query::new(VarId(3), EvidenceSet::new()))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Engine(EngineError::WorkerPanicked(_))),
+            "{err}"
+        );
+        // The respawned worker answers the next query, bit-identical.
+        let session = InferenceSession::from_network(&networks::asia()).unwrap();
+        let want = session
+            .posterior(&SequentialEngine, VarId(3), &EvidenceSet::new())
+            .unwrap();
+        let got = rt.query(Query::new(VarId(3), EvidenceSet::new())).unwrap();
+        assert_eq!(got.data(), want.data());
+        let faults = rt.stats().faults.expect("panic and restart counted");
+        assert_eq!(faults.panics, 1);
+        assert_eq!(faults.restarts, 1);
+    }
+
+    #[test]
+    fn drain_answers_admitted_work_and_reports_clean() {
+        let rt = asia_runtime(RuntimeConfig::new(2, 1));
+        let tickets: Vec<Ticket> = (0..8u32)
+            .map(|i| {
+                rt.submit(Query::new(VarId(i % 8), EvidenceSet::new()))
+                    .unwrap()
+            })
+            .collect();
+        assert!(rt.drain(Duration::from_secs(30)), "drain should finish");
+        for t in tickets {
+            assert!(t.wait().is_ok(), "every admitted query is answered");
+        }
+        assert!(matches!(
+            rt.submit(Query::new(VarId(0), EvidenceSet::new())),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn drain_closes_open_sessions() {
+        let rt = asia_runtime(RuntimeConfig::new(1, 1));
+        let id = rt.session_open().unwrap();
+        assert!(rt.drain(Duration::from_secs(30)));
+        assert!(matches!(
+            rt.session_query(id, VarId(3)),
+            Err(ServeError::UnknownSession(_))
+        ));
+        let stats = rt.stats().sessions.unwrap();
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.open, 0);
     }
 
     #[test]

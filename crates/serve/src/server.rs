@@ -8,26 +8,69 @@
 //! promptly even with idle clients attached.
 
 use crate::protocol::{
-    format_error, format_model_list, format_model_loaded, format_model_swapped,
+    format_drain_ack, format_error, format_model_list, format_model_loaded, format_model_swapped,
     format_model_unloaded, format_response, format_response_timed, format_session_ack,
     format_session_opened, format_session_response, format_stats, format_trace, parse_json,
     parse_request_value, request_model, request_session, with_model_tag, ModelNames, Request,
 };
 use crate::runtime::{ServeError, ShardedRuntime};
 use evprop_registry::{ModelHandle, ModelRegistry, RegistryError};
-use parking_lot::Mutex;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Connection-hygiene knobs of the TCP front-end. The defaults match
+/// the pre-options server (no timeouts, a generous line cap), so
+/// [`TcpServer::bind`] behaves exactly as before; hardened deployments
+/// tighten them via [`TcpServer::bind_with`].
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Maximum concurrently open connections; excess connects receive
+    /// one `{"error": …}` line and are closed immediately.
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes (newline included). An
+    /// over-long line gets one error response and the connection is
+    /// closed — a client streaming garbage can't balloon server memory.
+    pub max_line_bytes: usize,
+    /// Per-connection read timeout: a connection idle longer than this
+    /// is reaped. `None` (the default) keeps idle clients forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout: a client that stops reading its
+    /// responses is disconnected instead of blocking a handler thread.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_conns: 1024,
+            max_line_bytes: 1 << 20,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
 
 struct Shared {
     runtime: Arc<ShardedRuntime>,
     names: Arc<dyn ModelNames + Send + Sync>,
     stop: AtomicBool,
-    /// Clones of live connection streams, so `stop` can shut them down
-    /// and unblock their handler threads mid-read.
-    conns: Mutex<Vec<TcpStream>>,
+    options: ServerOptions,
+    /// Clones of live connection streams keyed by connection id, so
+    /// `stop` can shut them down and unblock their handler threads
+    /// mid-read — and each handler removes its own entry on exit, so
+    /// the table tracks *live* connections (the `max_conns` witness),
+    /// not every connection ever accepted.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    /// Set by the `drain` protocol command; [`TcpServer::wait_for_drain`]
+    /// blocks on it.
+    draining: Mutex<bool>,
+    drain_cv: Condvar,
 }
 
 /// A running TCP front-end; dropping (or [`TcpServer::stop`]) shuts it
@@ -58,13 +101,31 @@ impl TcpServer {
         runtime: Arc<ShardedRuntime>,
         names: Arc<dyn ModelNames + Send + Sync>,
     ) -> std::io::Result<Self> {
+        Self::bind_with(addr, runtime, names, ServerOptions::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit connection-hygiene options.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn bind_with(
+        addr: &str,
+        runtime: Arc<ShardedRuntime>,
+        names: Arc<dyn ModelNames + Send + Sync>,
+        options: ServerOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             runtime,
             names,
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            options,
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            draining: Mutex::new(false),
+            drain_cv: Condvar::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -83,6 +144,17 @@ impl TcpServer {
         self.addr
     }
 
+    /// Blocks until some client sends the `{"cmd": "drain"}` protocol
+    /// command (or the server is stopped). By the time this returns,
+    /// runtime admission is already closed; the caller finishes the
+    /// shutdown with [`ShardedRuntime::drain`] and [`TcpServer::stop`].
+    pub fn wait_for_drain(&self) {
+        let mut draining = self.shared.draining.lock();
+        while !*draining && !self.shared.stop.load(Ordering::SeqCst) {
+            self.shared.drain_cv.wait(&mut draining);
+        }
+    }
+
     /// Stops accepting, disconnects clients, and joins the accept
     /// thread. Idempotent; does **not** shut down the runtime (it may
     /// be shared).
@@ -90,10 +162,12 @@ impl TcpServer {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock `accept` by connecting once; the loop re-checks the
-        // stop flag before handling the connection.
+        // Release wait_for_drain, then unblock `accept` by connecting
+        // once; the loop re-checks the stop flag before handling the
+        // connection.
+        self.shared.drain_cv.notify_all();
         let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().drain(..) {
+        for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         if let Some(t) = self.accept_thread.take() {
@@ -114,30 +188,92 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().push(clone);
-        }
+        let conn_id = {
+            let mut conns = shared.conns.lock();
+            if conns.len() >= shared.options.max_conns {
+                drop(conns);
+                // Refuse politely with one error line so the client sees
+                // *why*, instead of an unexplained reset.
+                let mut w = BufWriter::new(stream);
+                let _ = w
+                    .write_all(format_error("connection limit reached: try again later").as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .and_then(|()| w.flush());
+                continue; // dropping `w` closes the stream
+            }
+            let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                conns.insert(id, clone);
+            }
+            id
+        };
         let conn_shared = Arc::clone(shared);
         let _ = std::thread::Builder::new()
             .name("evprop-conn".into())
-            .spawn(move || handle_connection(stream, &conn_shared));
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.conns.lock().remove(&conn_id);
+            });
     }
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(shared.options.read_timeout);
+    let _ = stream.set_write_timeout(shared.options.write_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let cap = shared.options.max_line_bytes;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // Read one line, but never buffer more than the cap: the `take`
+        // bounds how much a newline-less client can make us hold.
+        let n = match (&mut reader)
+            .take(cap as u64 + 1)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            // A read timeout means the connection idled past its
+            // budget: reap it.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(_) => break,
+        };
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
+        if n > cap && !buf.ends_with(b"\n") {
+            // The line is longer than the cap; answer once and hang up
+            // (we cannot resynchronize on the next line boundary
+            // without buffering the rest).
+            let msg = format_error(&format!("request line exceeds {cap} bytes"));
+            let _ = writer
+                .write_all(msg.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush());
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            break;
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
+        }
+        #[cfg(feature = "chaos")]
+        if evprop_sched::chaos::should_drop_conn() {
+            // Injected fault: tear the connection down mid-request, as a
+            // crashing client or flaky network would.
+            let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+            break;
         }
         let response = answer_line(trimmed, shared);
         if writer
@@ -187,12 +323,19 @@ fn answer_line(line: &str, shared: &Shared) -> String {
     match parse_request_value(&v, names) {
         Ok(Request::Stats) => format_stats(&shared.runtime.stats()),
         Ok(Request::Trace) => format_trace(shared.names.as_ref(), &shared.runtime.recent()),
-        Ok(Request::Query { query, timing }) => {
+        Ok(Request::Query {
+            query,
+            timing,
+            deadline,
+        }) => {
             let target = query.target;
             // Re-resolve by exact tag at submit: the ticket then pins —
             // and the response names — the exact answering version.
             let spec = resolved.as_ref().map(|h| h.tag());
-            let ticket = match shared.runtime.submit_model(query, spec.as_deref()) {
+            let ticket = match shared
+                .runtime
+                .submit_with_deadline(query, spec.as_deref(), deadline)
+            {
                 Ok(t) => t,
                 Err(e) => return format_error(&e.to_string()),
             };
@@ -266,6 +409,15 @@ fn answer_line(line: &str, shared: &Shared) -> String {
             },
             Err(resp) => resp,
         },
+        Ok(Request::Drain) => {
+            // Close admission immediately — every query already queued
+            // still gets its answer — then wake whoever is parked in
+            // `wait_for_drain` to run the bounded drain and exit.
+            shared.runtime.close_admission();
+            *shared.draining.lock() = true;
+            shared.drain_cv.notify_all();
+            format_drain_ack()
+        }
         Err(msg) => format_error(&msg),
     }
 }
@@ -633,6 +785,172 @@ mod tests {
         assert!(resp.contains("no model registry"), "got: {resp}");
         let resp = roundtrip(&stream, r#"{"model": "asia", "target": "v3"}"#);
         assert!(resp.contains("\"error\""), "got: {resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn drain_command_acks_and_releases_waiters() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+        // Work submitted before the drain is still answered.
+        let before = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        assert!(before.contains("\"marginal\""), "got: {before}");
+
+        let ack = roundtrip(&stream, r#"{"cmd": "drain"}"#);
+        assert_eq!(ack, r#"{"ok":true,"draining":true}"#);
+        server.wait_for_drain(); // returns without stop() being called
+
+        // Admission is closed: new queries are refused with a clean
+        // error while the connection stays usable for the refusal.
+        let refused = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        assert!(refused.contains("shutting down"), "got: {refused}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_releases_wait_for_drain() {
+        let (mut server, _addr) = boot();
+        let shared = Arc::clone(&server.shared);
+        let waiter = std::thread::spawn(move || {
+            let mut draining = shared.draining.lock();
+            while !*draining && !shared.stop.load(Ordering::SeqCst) {
+                shared.drain_cv.wait(&mut draining);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        server.stop();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn connection_limit_refuses_with_an_error_line() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let runtime = Arc::new(ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(1, 1).without_partitioning(),
+        ));
+        let names = Arc::new(NumericNames::of(&net));
+        let options = ServerOptions {
+            max_conns: 1,
+            ..ServerOptions::default()
+        };
+        let mut server = TcpServer::bind_with("127.0.0.1:0", runtime, names, options).unwrap();
+        let addr = server.local_addr();
+
+        let first = TcpStream::connect(addr).unwrap();
+        let ok = roundtrip(&first, r#"{"target": "v3"}"#);
+        assert!(ok.contains("\"marginal\""), "got: {ok}");
+
+        // The second connection is refused with one explanatory line.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(second);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("connection limit reached"), "got: {line}");
+        line.clear();
+        let n = r.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "refused connection is closed after the error");
+
+        // Closing the first connection frees the slot.
+        drop(first);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let reused = loop {
+            let third = TcpStream::connect(addr).unwrap();
+            let resp = roundtrip(&third, r#"{"target": "v3"}"#);
+            if resp.contains("\"marginal\"") {
+                break true;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slot never freed: {resp}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(reused);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_connection_closed() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let runtime = Arc::new(ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(1, 1).without_partitioning(),
+        ));
+        let names = Arc::new(NumericNames::of(&net));
+        let options = ServerOptions {
+            max_line_bytes: 256,
+            ..ServerOptions::default()
+        };
+        let mut server = TcpServer::bind_with("127.0.0.1:0", runtime, names, options).unwrap();
+        let addr = server.local_addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        // A line under the cap still works.
+        let ok = roundtrip(&stream, r#"{"target": "v3"}"#);
+        assert!(ok.contains("\"marginal\""), "got: {ok}");
+
+        // A line over the cap gets one error and then EOF.
+        let huge = format!(r#"{{"target": "v3", "junk": "{}"}}"#, "x".repeat(512));
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        writeln!(w, "{huge}").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(stream);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("request line exceeds 256 bytes"),
+            "got: {line}"
+        );
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0, "connection closed");
+        server.stop();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_by_read_timeout() {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let runtime = Arc::new(ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(1, 1).without_partitioning(),
+        ));
+        let names = Arc::new(NumericNames::of(&net));
+        let options = ServerOptions {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServerOptions::default()
+        };
+        let mut server = TcpServer::bind_with("127.0.0.1:0", runtime, names, options).unwrap();
+        let addr = server.local_addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        // Idle past the timeout: the server hangs up (we observe EOF).
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        let n = r.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection should be closed, got: {line}");
+        server.stop();
+    }
+
+    #[test]
+    fn deadline_ms_rides_the_wire() {
+        let (mut server, addr) = boot();
+        let stream = TcpStream::connect(addr).unwrap();
+        // A generous deadline changes nothing about the answer.
+        let plain = roundtrip(&stream, r#"{"target": "v3", "evidence": {"v7": 1}}"#);
+        let armed = roundtrip(
+            &stream,
+            r#"{"target": "v3", "evidence": {"v7": 1}, "deadline_ms": 60000}"#,
+        );
+        assert_eq!(plain, armed, "completed deadline query is bit-identical");
+        // An already-expired deadline is a deterministic refusal.
+        let shed = roundtrip(
+            &stream,
+            r#"{"target": "v3", "evidence": {"v7": 1}, "deadline_ms": 0}"#,
+        );
+        assert!(shed.contains("deadline_exceeded"), "got: {shed}");
         server.stop();
     }
 

@@ -178,6 +178,26 @@ impl SessionTable {
         }
     }
 
+    /// Closes every open session (graceful-drain path), folding each
+    /// one's counters into the retired totals exactly as an explicit
+    /// close would. Returns how many sessions were closed.
+    pub fn close_all(&self) -> usize {
+        let entries: Vec<SessionEntry> = {
+            let mut inner = self.inner.lock();
+            inner.entries.drain().map(|(_, e)| e).collect()
+        };
+        // Collect counters outside the table lock (a connection thread
+        // may hold a session lock mid-propagation), then fold them in.
+        let mut merged = SessionStats::default();
+        for entry in &entries {
+            merged.merge(entry.session.lock().stats());
+        }
+        let mut inner = self.inner.lock();
+        inner.retired.merge(&merged);
+        inner.closed += entries.len() as u64;
+        entries.len()
+    }
+
     /// Point-in-time counters: table totals plus propagation counters
     /// merged across retired *and* currently open sessions.
     pub fn stats(&self) -> SessionTableStats {

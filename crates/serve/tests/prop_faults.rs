@@ -1,0 +1,142 @@
+//! Property tests for the fault-tolerance contract of the serving
+//! runtime:
+//!
+//! * **exactly-once accounting** — under randomly interleaved worker
+//!   deaths, per-query deadlines (absent, already expired, or
+//!   far-future), and a final drain, every admitted query's ticket
+//!   resolves exactly once within a bounded wait: an answer, a
+//!   deterministic `deadline_exceeded`, or a worker-panic error —
+//!   never a hang, never a double fulfillment (the slot API makes the
+//!   latter a take-once, so a resolved ticket *is* the proof);
+//! * **bit-identical completions** — whenever a query completes, its
+//!   posterior equals the [`SequentialEngine`] answer bit for bit, no
+//!   matter how many worker deaths or cancellations happened around
+//!   it;
+//! * **drain is a fence** — after `drain` returns, submission fails
+//!   with `ShuttingDown` and the runtime reports every in-flight
+//!   ticket resolved.
+
+use evprop_bayesnet::networks;
+use evprop_core::{InferenceSession, Query, SequentialEngine};
+use evprop_potential::{EvidenceSet, VarId};
+use evprop_serve::{RuntimeConfig, ServeError, ShardedRuntime};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One generated step of the interleaved fault schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Submit a query: (target, evidence var, evidence state, deadline
+    /// class 0=none 1=expired 2=far-future).
+    Query(u32, u32, usize, u8),
+    /// Kill one pool worker thread on the given shard.
+    KillWorker(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // ~1 in 7 steps kills a worker; the rest are queries.
+    (0u8..7, 0u32..8, 0u32..8, 0usize..2, 0u8..3).prop_map(|(kind, t, v, s, d)| {
+        if kind == 6 {
+            Step::KillWorker(t as usize % 2)
+        } else {
+            Step::Query(t, v, s, d)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_admitted_query_resolves_exactly_once_and_completions_are_bit_identical(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+    ) {
+        let net = networks::asia();
+        let session = InferenceSession::from_network(&net).unwrap();
+        let reference = InferenceSession::from_network(&net).unwrap();
+        // Deep queue so admission never sheds in this test: every
+        // generated query is admitted and therefore owed a resolution.
+        let rt = ShardedRuntime::new(
+            session,
+            RuntimeConfig::new(2, 1)
+                .without_partitioning()
+                .with_queue_depth(64),
+        );
+
+        let mut pending = Vec::new();
+        for step in &steps {
+            match *step {
+                Step::Query(target, ev_var, ev_state, deadline_class) => {
+                    let target = VarId(target);
+                    let mut ev = EvidenceSet::new();
+                    if ev_var != target.0 {
+                        ev.observe(VarId(ev_var), ev_state);
+                    }
+                    let deadline = match deadline_class {
+                        0 => None,
+                        1 => Some(Duration::ZERO),
+                        _ => Some(Duration::from_secs(3600)),
+                    };
+                    let ticket = rt
+                        .submit_with_deadline(Query::new(target, ev.clone()), None, deadline)
+                        .unwrap();
+                    pending.push((target, ev, deadline_class, ticket));
+                }
+                Step::KillWorker(shard) => rt.inject_worker_deaths(shard, 1),
+            }
+        }
+
+        // Drain mid-flight: everything admitted above must still
+        // resolve, and the drain itself must finish in bounded time.
+        let clean = rt.drain(Duration::from_secs(30));
+        prop_assert!(clean, "drain timed out with work still in flight");
+
+        for (i, (target, ev, deadline_class, ticket)) in pending.into_iter().enumerate() {
+            let resolved = ticket.wait_timeout(Duration::from_secs(30));
+            let Some(result) = resolved else {
+                panic!("ticket {i} never resolved");
+            };
+            match result {
+                Ok(marginal) => {
+                    let want = reference
+                        .posterior(&SequentialEngine, target, &ev)
+                        .unwrap();
+                    prop_assert_eq!(
+                        marginal.data(),
+                        want.data(),
+                        "query {} completed but diverged from the sequential engine",
+                        i
+                    );
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => {
+                    prop_assert!(
+                        deadline_class != 0,
+                        "query {} had no deadline but was shed",
+                        i
+                    );
+                }
+                Err(ServeError::Engine(_)) => {
+                    // A worker death landed on this query; the error is
+                    // a legal resolution, and later queries must still
+                    // have completed bit-identically (checked above as
+                    // they come up in this same loop).
+                }
+                Err(other) => {
+                    panic!("query {i} failed with an unexpected error: {other}");
+                }
+            }
+        }
+
+        // Drain is a fence: nothing new gets in.
+        let refused = rt.submit_with_deadline(
+            Query::new(VarId(0), EvidenceSet::new()),
+            None,
+            None,
+        );
+        prop_assert!(
+            matches!(refused, Err(ServeError::ShuttingDown)),
+            "post-drain submit was not refused: {:?}",
+            refused.map(|_| ())
+        );
+    }
+}

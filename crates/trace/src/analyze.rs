@@ -111,7 +111,8 @@ pub fn analyze(trace: &Trace) -> TimelineAnalysis {
                 SpanKind::Partition { .. }
                 | SpanKind::ArenaCheckout { .. }
                 | SpanKind::PlanCache { .. }
-                | SpanKind::KernelBackend { .. } => {}
+                | SpanKind::KernelBackend { .. }
+                | SpanKind::Faults { .. } => {}
             }
         }
         threads.push(tl);

@@ -29,6 +29,7 @@ fn event_name(kind: &SpanKind) -> &'static str {
         SpanKind::Query { .. } => "query",
         SpanKind::PlanCache { .. } => "plan-cache",
         SpanKind::KernelBackend { .. } => "kernel-backend",
+        SpanKind::Faults { .. } => "faults",
     }
 }
 
@@ -62,6 +63,15 @@ fn push_args(out: &mut String, e: &TraceEvent) {
             "\"hits\":{hits},\"misses\":{misses},\"interned\":{interned},"
         ),
         SpanKind::KernelBackend { backend } => write!(out, "\"backend\":\"{backend}\","),
+        SpanKind::Faults {
+            shed,
+            cancelled,
+            panics,
+            restarts,
+        } => write!(
+            out,
+            "\"shed\":{shed},\"cancelled\":{cancelled},\"panics\":{panics},\"restarts\":{restarts},"
+        ),
         SpanKind::Fetch | SpanKind::IdleSpin => Ok(()),
     };
     let _ = write!(out, "\"depth\":{}", e.depth);

@@ -97,6 +97,20 @@ pub enum SpanKind {
         /// Stable backend name (`scalar`, `sse2`, `avx2`, `portable`).
         backend: &'static str,
     },
+    /// A fault-tolerance counter snapshot, recorded as an instant on
+    /// the control row alongside stats snapshots so exported timelines
+    /// carry the shed/cancel/panic/restart history of the serving
+    /// runtime next to the scheduler spans.
+    Faults {
+        /// Queries shed at dequeue with an already-expired deadline.
+        shed: u64,
+        /// In-flight jobs stopped early by a fired deadline token.
+        cancelled: u64,
+        /// Queries failed by a worker panic (or thread death).
+        panics: u64,
+        /// Dead pool worker threads reaped and respawned.
+        restarts: u64,
+    },
 }
 
 impl SpanKind {
@@ -113,6 +127,7 @@ impl SpanKind {
             SpanKind::Query { .. } => "query",
             SpanKind::PlanCache { .. } => "plan-cache",
             SpanKind::KernelBackend { .. } => "kernel-backend",
+            SpanKind::Faults { .. } => "faults",
         }
     }
 }

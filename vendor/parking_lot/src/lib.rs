@@ -10,6 +10,7 @@
 
 use std::fmt;
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
 /// A guard releasing the mutex on drop. Alias of the std guard so
 /// deref/debug behave identically.
@@ -124,6 +125,22 @@ impl Condvar {
         });
     }
 
+    /// Blocks until notified or `timeout` elapses. Returns `true` when
+    /// the wait timed out without a notification (parking_lot returns a
+    /// `WaitTimeoutResult`; a bare bool is the subset callers need).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, result) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        timed_out
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -198,6 +215,33 @@ mod tests {
             cv.wait(&mut started);
         }
         drop(started);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: the wait must report a timeout.
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        assert!(cv.wait_for(&mut flag, Duration::from_millis(10)));
+        drop(flag);
+        // With a notifier flipping the flag, the wait returns early.
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        while !*flag {
+            if cv.wait_for(&mut flag, Duration::from_secs(5)) {
+                panic!("missed the notification");
+            }
+        }
+        drop(flag);
         t.join().unwrap();
     }
 
